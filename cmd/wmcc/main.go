@@ -1,0 +1,58 @@
+// wmcc is the compiler driver: it compiles a Mini-C source file to WM
+// assembly at a chosen optimization level.
+//
+// Usage:
+//
+//	wmcc [-O level] [-fn name] [-o out.wm] file.mc
+//
+// Levels: 0 naive, 1 standard optimizations, 2 +recurrence
+// optimization, 3 +streaming (default).  With -fn only that function's
+// listing is printed (handy for comparing against the paper's
+// figures).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wmstream"
+)
+
+func main() {
+	level := flag.Int("O", 3, "optimization level 0..3")
+	fn := flag.String("fn", "", "print only this function's listing")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: wmcc [-O level] [-fn name] [-o out.wm] file.mc")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	p, err := wmstream.Compile(string(src), *level)
+	if err != nil {
+		fatal(err)
+	}
+	text := p.Listing()
+	if *fn != "" {
+		text = p.FuncListing(*fn)
+		if text == "" {
+			fatal(fmt.Errorf("no function %q", *fn))
+		}
+	}
+	if *out == "" {
+		fmt.Print(text)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wmcc:", err)
+	os.Exit(1)
+}

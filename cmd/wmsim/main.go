@@ -1,0 +1,65 @@
+// wmsim runs a WM assembly file (as produced by wmcc) on the
+// cycle-level simulator and reports execution statistics.
+//
+// Usage:
+//
+//	wmsim [-latency n] [-ports n] [-fifo n] [-scu n] [-stats] file.wm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wmstream"
+)
+
+func main() {
+	latency := flag.Int("latency", 0, "memory latency in cycles (0 = default)")
+	ports := flag.Int("ports", 0, "memory ports per cycle (0 = default)")
+	fifo := flag.Int("fifo", 0, "FIFO depth (0 = default)")
+	scu := flag.Int("scu", 0, "number of stream control units (0 = default)")
+	stats := flag.Bool("stats", false, "print execution statistics to stderr")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: wmsim [flags] file.wm")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	p, err := wmstream.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	m := wmstream.DefaultMachine()
+	if *latency > 0 {
+		m.MemLatency = *latency
+	}
+	if *ports > 0 {
+		m.MemPorts = *ports
+	}
+	if *fifo > 0 {
+		m.FIFODepth = *fifo
+	}
+	if *scu > 0 {
+		m.NumSCU = *scu
+	}
+	res, err := wmstream.Run(p, m)
+	if res.Output != "" {
+		fmt.Print(res.Output)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "cycles=%d instructions=%d memreads=%d memwrites=%d streamed=%d\n",
+			res.Cycles, res.Instructions, res.MemReads, res.MemWrites, res.StreamElems)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wmsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module wmstream
+
+go 1.22

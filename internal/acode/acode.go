@@ -1,0 +1,142 @@
+// Package acode is the code expander: it lowers a checked Mini-C AST to
+// naive but correct WM RTLs.
+//
+// Following the paper's compiler structure, this phase makes *no*
+// code-quality decisions: every expression lands in a fresh virtual
+// register, every global address is rematerialized at each use, and all
+// loads/stores go through the architectural FIFO registers in the
+// load/dequeue (store/enqueue) pairs the hardware requires.  All
+// optimization is delayed to package opt, which operates on the emitted
+// RTLs exactly as vpo does.
+//
+// One departure from strictly-naive code is folded in here: scalar
+// locals whose address is never taken live in virtual registers rather
+// than stack slots.  The paper performs the equivalent promotion during
+// early optimization (its Figure 4 "unoptimized" listing already has i
+// in r22); doing it during expansion avoids a separate pattern-matching
+// pass without changing any downstream behaviour.
+package acode
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"wmstream/internal/minic"
+	"wmstream/internal/rtl"
+)
+
+// Gen lowers a checked program to RTL.  The returned program's entry
+// point is the synthetic function "_start", which calls main and halts.
+func Gen(prog *minic.Program) (*rtl.Program, error) {
+	if prog.Func("main") == nil {
+		return nil, fmt.Errorf("acode: program has no main function")
+	}
+	out := &rtl.Program{Entry: "_start"}
+	for _, d := range prog.Globals {
+		item, err := globalData(d)
+		if err != nil {
+			return nil, err
+		}
+		out.AddGlobal(item)
+	}
+	for _, s := range prog.Strings {
+		data := make([]byte, len(s.V)+1)
+		copy(data, s.V)
+		out.AddGlobal(&rtl.DataItem{Name: s.Sym.AsmName, Size: len(data), Align: 1, Init: data})
+	}
+	for _, fn := range prog.Funcs {
+		g := &generator{prog: prog}
+		rf, err := g.genFunc(fn)
+		if err != nil {
+			return nil, err
+		}
+		out.Funcs = append(out.Funcs, rf)
+	}
+	start := rtl.NewFunc("_start")
+	start.Append(&rtl.Instr{Kind: rtl.KCall, Name: "main"})
+	start.Append(&rtl.Instr{Kind: rtl.KHalt})
+	out.Funcs = append(out.Funcs, start)
+	return out, nil
+}
+
+// globalData converts a global declaration into an initialized data
+// item.
+func globalData(d *minic.VarDecl) (*rtl.DataItem, error) {
+	item := &rtl.DataItem{Name: d.Sym.AsmName, Size: d.Ty.Size(), Align: d.Ty.Align()}
+	if !d.HasInit {
+		return item, nil
+	}
+	buf := make([]byte, item.Size)
+	switch {
+	case d.InitStr != "":
+		copy(buf, d.InitStr)
+	case d.InitList != nil:
+		esz := d.Ty.Elem.Size()
+		for n, e := range d.InitList {
+			if err := encodeConst(buf[n*esz:], d.Ty.Elem, e); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		if err := encodeConst(buf, d.Ty, d.Init); err != nil {
+			return nil, err
+		}
+	}
+	item.Init = buf
+	return item, nil
+}
+
+func encodeConst(buf []byte, ty *minic.Type, e minic.Expr) error {
+	iv, fv, isFloat, ok := constValue(e)
+	if !ok {
+		return fmt.Errorf("acode: non-constant global initializer")
+	}
+	switch ty.Kind {
+	case minic.TypeChar:
+		if isFloat {
+			iv = int64(fv)
+		}
+		buf[0] = byte(iv)
+	case minic.TypeInt:
+		if isFloat {
+			iv = int64(fv)
+		}
+		binary.LittleEndian.PutUint32(buf, uint32(iv))
+	case minic.TypeDouble:
+		if !isFloat {
+			fv = float64(iv)
+		}
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(fv))
+	default:
+		return fmt.Errorf("acode: cannot initialize %s", ty)
+	}
+	return nil
+}
+
+func constValue(e minic.Expr) (iv int64, fv float64, isFloat, ok bool) {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		return x.V, 0, false, true
+	case *minic.FloatLit:
+		return 0, x.V, true, true
+	case *minic.Conv:
+		iv, fv, isFloat, ok = constValue(x.X)
+		if !ok {
+			return
+		}
+		if x.Type().Kind == minic.TypeDouble && !isFloat {
+			return 0, float64(iv), true, true
+		}
+		if x.Type().IsInteger() && isFloat {
+			return int64(fv), 0, false, true
+		}
+		return
+	case *minic.Unary:
+		if x.Op == "-" {
+			iv, fv, isFloat, ok = constValue(x.X)
+			return -iv, -fv, isFloat, ok
+		}
+	}
+	return 0, 0, false, false
+}

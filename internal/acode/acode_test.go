@@ -1,0 +1,423 @@
+package acode
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"wmstream/internal/minic"
+	"wmstream/internal/opt"
+	"wmstream/internal/rtl"
+	"wmstream/internal/sim"
+)
+
+// gen compiles Mini-C to naive RTL.
+func gen(t *testing.T, src string) *rtl.Program {
+	t.Helper()
+	ast, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	p, err := Gen(ast)
+	if err != nil {
+		t.Fatalf("acode: %v", err)
+	}
+	return p
+}
+
+// runO0 compiles, register-allocates (no optimization) and executes,
+// returning the output text.
+func runO0(t *testing.T, src string) string {
+	t.Helper()
+	p := gen(t, src)
+	if err := opt.Optimize(p, opt.Options{}); err != nil {
+		t.Fatalf("regalloc: %v", err)
+	}
+	img, err := sim.Link(p)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	cfg := sim.DefaultConfig()
+	var out bytes.Buffer
+	cfg.Output = &out
+	if _, err := sim.New(img, cfg).Run(); err != nil {
+		t.Fatalf("run: %v\n%s", err, p.String())
+	}
+	return out.String()
+}
+
+func TestEntryPoint(t *testing.T) {
+	p := gen(t, `int main(void) { return 0; }`)
+	if p.Entry != "_start" {
+		t.Errorf("entry = %q", p.Entry)
+	}
+	start := p.Func("_start")
+	if start == nil || start.Code[0].Kind != rtl.KCall || start.Code[0].Name != "main" {
+		t.Fatalf("_start shape wrong:\n%s", start.Listing())
+	}
+	if start.Code[1].Kind != rtl.KHalt {
+		t.Error("_start must halt")
+	}
+}
+
+func TestMissingMainRejected(t *testing.T) {
+	ast, err := minic.Compile(`int f(void) { return 1; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Gen(ast); err == nil {
+		t.Fatal("program without main accepted")
+	}
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	p := gen(t, `
+int a = -5;
+double d = 2.5;
+char c = 'x';
+int tab[3] = {7, 8, 9};
+char s[8] = "hi";
+int main(void) { return 0; }
+`)
+	g := p.Global("a")
+	if g == nil || int32(binary.LittleEndian.Uint32(g.Init)) != -5 {
+		t.Errorf("a init wrong: %+v", g)
+	}
+	gd := p.Global("d")
+	if gd == nil || math.Float64frombits(binary.LittleEndian.Uint64(gd.Init)) != 2.5 {
+		t.Errorf("d init wrong: %+v", gd)
+	}
+	gc := p.Global("c")
+	if gc == nil || gc.Init[0] != 'x' {
+		t.Errorf("c init wrong: %+v", gc)
+	}
+	gt := p.Global("tab")
+	if gt == nil || binary.LittleEndian.Uint32(gt.Init[4:]) != 8 {
+		t.Errorf("tab init wrong: %+v", gt)
+	}
+	gs := p.Global("s")
+	if gs == nil || string(gs.Init[:2]) != "hi" || gs.Init[2] != 0 {
+		t.Errorf("s init wrong: %+v", gs)
+	}
+}
+
+func TestStringLiteralGlobals(t *testing.T) {
+	p := gen(t, `
+int f(char *s) { return s[0]; }
+int main(void) { return f("abc"); }
+`)
+	found := false
+	for _, g := range p.Globals {
+		if strings.HasPrefix(g.Name, "Lstr") && len(g.Init) == 4 && string(g.Init[:3]) == "abc" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("string literal global missing: %+v", p.Globals)
+	}
+}
+
+func TestNaiveShapeLoadsViaFIFO(t *testing.T) {
+	p := gen(t, `
+double x[4];
+int main(void) { putd(x[2]); return 0; }
+`)
+	f := p.Func("main")
+	// Expect a KLoad followed by a dequeue from f0.
+	for n, i := range f.Code {
+		if i.Kind == rtl.KLoad && i.MemClass == rtl.Float {
+			next := f.Code[n+1]
+			rx, ok := next.Src.(rtl.RegX)
+			if next.Kind != rtl.KAssign || !ok || !rx.Reg.IsFIFO() {
+				t.Fatalf("load not followed by dequeue:\n%s", f.Listing())
+			}
+			return
+		}
+	}
+	t.Fatalf("no float load emitted:\n%s", f.Listing())
+}
+
+func TestPrologueSavesLinkRegisterWhenCalling(t *testing.T) {
+	p := gen(t, `
+void g(void) {}
+int main(void) { g(); return 0; }
+`)
+	f := p.Func("main")
+	savesLR := false
+	for _, i := range f.Code {
+		if i.Kind == rtl.KAssign && i.Dst.IsFIFO() {
+			if rx, ok := i.Src.(rtl.RegX); ok && rx.Reg == rtl.RegLR {
+				savesLR = true
+			}
+		}
+	}
+	if !savesLR {
+		t.Errorf("caller does not save link register:\n%s", f.Listing())
+	}
+	leaf := p.Func("g")
+	for _, i := range leaf.Code {
+		if i.Kind == rtl.KStore {
+			t.Errorf("leaf function saves link register:\n%s", leaf.Listing())
+		}
+	}
+}
+
+// --- end-to-end semantics at O0 (pure code generator correctness) ---------
+
+func TestArithmeticSemantics(t *testing.T) {
+	out := runO0(t, `
+int main(void) {
+    puti(7 + 3 * 4 - 20 / 4 % 3);
+    putchar(' ');
+    puti((1 << 6) | (255 & 15) ^ 5);
+    putchar(' ');
+    puti(-(5 - 9));
+    putchar(' ');
+    puti(~0);
+    return 0;
+}`)
+	if out != "17 74 4 -1" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestComparisonAndLogical(t *testing.T) {
+	out := runO0(t, `
+int main(void) {
+    puti(3 < 4);
+    puti(4 <= 3);
+    puti(5 == 5);
+    puti(5 != 5);
+    puti(1 && 0);
+    puti(1 || 0);
+    puti(!42);
+    return 0;
+}`)
+	if out != "1010010" {
+		t.Errorf("output = %q, want 1010010", out)
+	}
+}
+
+func TestShortCircuitEvaluation(t *testing.T) {
+	out := runO0(t, `
+int hits;
+int bump(int v) { hits = hits + 1; return v; }
+int main(void) {
+    hits = 0;
+    if (bump(0) && bump(1)) putchar('x');
+    if (bump(1) || bump(1)) putchar('y');
+    puti(hits);
+    return 0;
+}`)
+	if out != "y2" {
+		t.Errorf("output = %q, want y2 (short circuit broken)", out)
+	}
+}
+
+func TestIncDecSemantics(t *testing.T) {
+	out := runO0(t, `
+int a[3];
+int main(void) {
+    int i, x;
+    i = 0;
+    a[i++] = 10;
+    a[i++] = 20;
+    a[--i] = 21;
+    x = ++i;
+    puti(a[0]); putchar(' ');
+    puti(a[1]); putchar(' ');
+    puti(x); putchar(' ');
+    puti(i);
+    return 0;
+}`)
+	if out != "10 21 2 2" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestPointerSemantics(t *testing.T) {
+	out := runO0(t, `
+int v[4];
+int sum(int *p, int n) {
+    int s, i;
+    s = 0;
+    for (i = 0; i < n; i++)
+        s = s + *(p + i);
+    return s;
+}
+int main(void) {
+    int *q;
+    int i;
+    for (i = 0; i < 4; i++)
+        v[i] = (i + 1) * 10;
+    q = &v[1];
+    puti(sum(v, 4)); putchar(' ');
+    puti(q[1]); putchar(' ');
+    puti(&v[3] - v);
+    return 0;
+}`)
+	if out != "100 30 3" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestAddressedLocalGoesToStack(t *testing.T) {
+	out := runO0(t, `
+void set(int *p) { *p = 77; }
+int main(void) {
+    int local;
+    local = 1;
+    set(&local);
+    puti(local);
+    return 0;
+}`)
+	if out != "77" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestRecursionSemantics(t *testing.T) {
+	out := runO0(t, `
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int main(void) { puti(fib(15)); return 0; }`)
+	if out != "610" {
+		t.Errorf("fib(15) = %q", out)
+	}
+}
+
+func TestDoubleSemantics(t *testing.T) {
+	out := runO0(t, `
+int main(void) {
+    double a, b;
+    a = 1.5;
+    b = a * 4.0 + 0.25;
+    putd(b / 2.0);
+    putchar(' ');
+    puti(b > a);
+    putchar(' ');
+    puti(b);
+    return 0;
+}`)
+	if out != "3.125 1 6" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestCharTruncationAndSignExtension(t *testing.T) {
+	out := runO0(t, `
+char c;
+int main(void) {
+    c = 300;      /* truncates to 44 */
+    puti(c); putchar(' ');
+    c = -1;       /* 0xff, sign extends back to -1 */
+    puti(c);
+    return 0;
+}`)
+	if out != "44 -1" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestWhileDoWhileFor(t *testing.T) {
+	out := runO0(t, `
+int main(void) {
+    int i, s;
+    s = 0;
+    i = 0;
+    while (i < 3) { s = s + 1; i++; }
+    do { s = s + 10; } while (0);
+    for (i = 10; i > 8; i--) s = s + 100;
+    puti(s);
+    return 0;
+}`)
+	if out != "213" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	out := runO0(t, `
+int main(void) {
+    int i, s;
+    s = 0;
+    for (i = 0; i < 10; i++) {
+        if (i == 7) break;
+        if (i % 2) continue;
+        s = s + i;
+    }
+    puti(s);
+    return 0;
+}`)
+	if out != "12" { // 0+2+4+6
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestTernarySemantics(t *testing.T) {
+	out := runO0(t, `
+int main(void) {
+    int a;
+    a = 5;
+    puti(a > 3 ? a * 2 : a - 1);
+    putchar(' ');
+    puti(a < 3 ? a * 2 : a - 1);
+    return 0;
+}`)
+	if out != "10 4" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestLocalArrayAndStringInit(t *testing.T) {
+	out := runO0(t, `
+int main(void) {
+    int t[3] = {4, 5, 6};
+    char s[4] = "ab";
+    puti(t[0] + t[1] + t[2]);
+    putchar(s[0]);
+    putchar(s[1]);
+    puti(s[2]);
+    return 0;
+}`)
+	if out != "15ab0" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestMathBuiltinsInline(t *testing.T) {
+	p := gen(t, `int main(void) { putd(sqrt(2.0)); return 0; }`)
+	f := p.Func("main")
+	for _, i := range f.Code {
+		if i.Kind == rtl.KCall {
+			t.Fatalf("math builtin compiled to a call:\n%s", f.Listing())
+		}
+	}
+	out := runO0(t, `int main(void) { putd(sqrt(16.0) + fabs(-1.0)); return 0; }`)
+	if out != "5" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestConversionSemantics(t *testing.T) {
+	out := runO0(t, `
+int main(void) {
+    int i;
+    double d;
+    i = 7;
+    d = i;         /* int -> double */
+    d = d / 2.0;
+    i = d;         /* double -> int truncates */
+    puti(i);
+    putchar(' ');
+    putd(d);
+    return 0;
+}`)
+	if out != "3 3.5" {
+		t.Errorf("output = %q", out)
+	}
+}

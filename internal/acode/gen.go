@@ -1,0 +1,295 @@
+package acode
+
+import (
+	"fmt"
+
+	"wmstream/internal/minic"
+	"wmstream/internal/rtl"
+)
+
+// generator holds per-function code generation state.
+type generator struct {
+	prog *minic.Program
+	fn   *minic.FuncDecl
+	out  *rtl.Func
+
+	nextLabel int
+	regs      map[*minic.VarSym]rtl.Reg // scalars promoted to virtual registers
+	slots     map[*minic.VarSym]int     // frame offsets of memory-resident locals
+	frame     int
+	hasCalls  bool
+	lrOff     int
+	retLabel  string
+
+	breakLbl []string
+	contLbl  []string
+}
+
+// mathOps maps builtin math functions to their FEU operation.
+var mathOps = map[string]rtl.Op{
+	"sqrt": rtl.Sqrt, "sin": rtl.Sin, "cos": rtl.Cos, "exp": rtl.Exp,
+	"log": rtl.Log, "atan": rtl.Atan, "fabs": rtl.Fabs,
+}
+
+func (g *generator) genFunc(fn *minic.FuncDecl) (*rtl.Func, error) {
+	g.fn = fn
+	g.out = rtl.NewFunc(fn.Name)
+	g.regs = map[*minic.VarSym]rtl.Reg{}
+	g.slots = map[*minic.VarSym]int{}
+	g.retLabel = g.newLabel()
+	g.out.UsesFloatResult = fn.Ret == minic.DoubleType
+
+	addressed := map[*minic.VarSym]bool{}
+	g.survey(fn.Body, addressed)
+
+	// Frame layout: saved link register first (when this function makes
+	// calls), then the memory-resident locals in declaration order.
+	if g.hasCalls {
+		g.lrOff = 0
+		g.frame = 8
+	}
+	layout := func(sym *minic.VarSym) {
+		a := sym.Ty.Align()
+		g.frame = (g.frame + a - 1) &^ (a - 1)
+		g.slots[sym] = g.frame
+		g.frame += sym.Ty.Size()
+	}
+	classify := func(sym *minic.VarSym) {
+		if sym.Ty.Kind == minic.TypeArray || addressed[sym] {
+			layout(sym)
+		} else {
+			g.regs[sym] = g.out.NewVirt(classOf(sym.Ty))
+		}
+	}
+	for _, p := range fn.Params {
+		classify(p.Sym)
+	}
+	g.walkDecls(fn.Body, classify)
+	g.frame = (g.frame + 7) &^ 7
+
+	// Prologue.
+	if g.frame > 0 {
+		g.emit(rtl.NewAssign(rtl.RegSP, rtl.B(rtl.Sub, rtl.RX(rtl.RegSP), rtl.I(int64(g.frame))))).Note = "allocate frame"
+	}
+	if g.hasCalls {
+		g.emit(rtl.NewAssign(rtl.R0, rtl.RX(rtl.RegLR))).Note = "save return address"
+		g.emit(rtl.NewStore(rtl.R0, g.spOff(g.lrOff), 8))
+	}
+	intArg, fltArg := rtl.FirstArgReg, rtl.FirstArgReg
+	for _, p := range fn.Params {
+		var abi rtl.Reg
+		if classOf(p.Ty) == rtl.Float {
+			abi = rtl.F(fltArg)
+			fltArg++
+		} else {
+			abi = rtl.R(intArg)
+			intArg++
+		}
+		if abi.N > rtl.LastArgReg {
+			return nil, errPos(p.Pos, "too many parameters in %q", fn.Name)
+		}
+		if r, ok := g.regs[p.Sym]; ok {
+			g.emit(rtl.NewAssign(r, rtl.RX(abi))).Note = "param " + p.Name
+		} else {
+			g.storeTo(g.spOff(g.slots[p.Sym]), abi, p.Ty.Size())
+		}
+	}
+
+	if err := g.genStmt(fn.Body); err != nil {
+		return nil, err
+	}
+
+	// Epilogue.
+	g.emit(rtl.NewLabel(g.retLabel))
+	if g.hasCalls {
+		g.emit(rtl.NewLoad(rtl.R0, g.spOff(g.lrOff), 8))
+		g.emit(rtl.NewAssign(rtl.RegLR, rtl.RX(rtl.R0))).Note = "restore return address"
+	}
+	if g.frame > 0 {
+		g.emit(rtl.NewAssign(rtl.RegSP, rtl.B(rtl.Add, rtl.RX(rtl.RegSP), rtl.I(int64(g.frame))))).Note = "release frame"
+	}
+	g.emit(&rtl.Instr{Kind: rtl.KRet})
+	g.out.Frame = g.frame
+	g.out.Renumber()
+	return g.out, nil
+}
+
+// survey records address-taken locals and whether the function contains
+// real calls (builtins expand inline and do not count).
+func (g *generator) survey(s minic.Stmt, addressed map[*minic.VarSym]bool) {
+	walkStmt(s, func(e minic.Expr) {
+		switch x := e.(type) {
+		case *minic.Unary:
+			if x.Op == "&" {
+				if id, ok := x.X.(*minic.Ident); ok {
+					addressed[id.Sym] = true
+				}
+			}
+		case *minic.Call:
+			if x.Fn != nil {
+				g.hasCalls = true
+			}
+		}
+	})
+}
+
+// walkDecls calls fn for every local declaration in statement order.
+func (g *generator) walkDecls(s minic.Stmt, fn func(*minic.VarSym)) {
+	switch st := s.(type) {
+	case *minic.BlockStmt:
+		for _, sub := range st.List {
+			g.walkDecls(sub, fn)
+		}
+	case *minic.DeclStmt:
+		for _, d := range st.Vars {
+			fn(d.Sym)
+		}
+	case *minic.IfStmt:
+		g.walkDecls(st.Then, fn)
+		if st.Else != nil {
+			g.walkDecls(st.Else, fn)
+		}
+	case *minic.WhileStmt:
+		g.walkDecls(st.Body, fn)
+	case *minic.ForStmt:
+		g.walkDecls(st.Body, fn)
+	}
+}
+
+// walkStmt visits every expression under s.
+func walkStmt(s minic.Stmt, fn func(minic.Expr)) {
+	var we func(e minic.Expr)
+	we = func(e minic.Expr) {
+		if e == nil {
+			return
+		}
+		fn(e)
+		switch x := e.(type) {
+		case *minic.Unary:
+			we(x.X)
+		case *minic.Binary:
+			we(x.L)
+			we(x.R)
+		case *minic.Assign:
+			we(x.L)
+			we(x.R)
+		case *minic.Cond:
+			we(x.C)
+			we(x.T2)
+			we(x.F)
+		case *minic.Call:
+			for _, a := range x.Args {
+				we(a)
+			}
+		case *minic.Index:
+			we(x.Base)
+			we(x.Idx)
+		case *minic.Conv:
+			we(x.X)
+		}
+	}
+	switch st := s.(type) {
+	case *minic.BlockStmt:
+		for _, sub := range st.List {
+			walkStmt(sub, fn)
+		}
+	case *minic.DeclStmt:
+		for _, d := range st.Vars {
+			we(d.Init)
+			for _, e := range d.InitList {
+				we(e)
+			}
+		}
+	case *minic.ExprStmt:
+		we(st.X)
+	case *minic.IfStmt:
+		we(st.Cond)
+		walkStmt(st.Then, fn)
+		if st.Else != nil {
+			walkStmt(st.Else, fn)
+		}
+	case *minic.WhileStmt:
+		we(st.Cond)
+		walkStmt(st.Body, fn)
+	case *minic.ForStmt:
+		we(st.Init)
+		we(st.Cond)
+		we(st.Post)
+		walkStmt(st.Body, fn)
+	case *minic.ReturnStmt:
+		we(st.X)
+	}
+}
+
+// --- helpers -------------------------------------------------------------
+
+func classOf(t *minic.Type) rtl.Class {
+	if t.Kind == minic.TypeDouble {
+		return rtl.Float
+	}
+	return rtl.Int
+}
+
+func fifoOf(c rtl.Class) rtl.Reg { return rtl.Reg{Class: c, N: rtl.FIFO0} }
+
+func (g *generator) emit(i *rtl.Instr) *rtl.Instr { return g.out.Append(i) }
+
+func (g *generator) newLabel() string {
+	g.nextLabel++
+	return fmt.Sprintf("L%d", g.nextLabel)
+}
+
+func (g *generator) spOff(off int) rtl.Expr {
+	if off == 0 {
+		return rtl.RX(rtl.RegSP)
+	}
+	return rtl.B(rtl.Add, rtl.RX(rtl.RegSP), rtl.I(int64(off)))
+}
+
+// loadFrom emits a load/dequeue pair and returns the virtual register
+// holding the loaded value.
+func (g *generator) loadFrom(addr rtl.Expr, size int, c rtl.Class) rtl.Reg {
+	g.emit(rtl.NewLoad(fifoOf(c), addr, size))
+	t := g.out.NewVirt(c)
+	g.emit(rtl.NewAssign(t, rtl.RX(fifoOf(c))))
+	return t
+}
+
+// storeTo emits an enqueue/store pair.
+func (g *generator) storeTo(addr rtl.Expr, val rtl.Reg, size int) {
+	g.emit(rtl.NewAssign(fifoOf(val.Class), rtl.RX(val)))
+	g.emit(rtl.NewStore(fifoOf(val.Class), addr, size))
+}
+
+func errPos(pos minic.Pos, format string, args ...interface{}) error {
+	return fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...))
+}
+
+// memInfo returns the access size and register class for a scalar type.
+func memInfo(t *minic.Type) (size int, c rtl.Class) {
+	return t.Size(), classOf(t)
+}
+
+// log2 returns the base-2 logarithm of a power of two, or -1.
+func log2(n int) int {
+	for s := 0; s < 31; s++ {
+		if 1<<s == n {
+			return s
+		}
+	}
+	return -1
+}
+
+// scaleIndex emits code computing idx*size naively.
+func (g *generator) scaleIndex(idx rtl.Reg, size int) rtl.Reg {
+	if size == 1 {
+		return idx
+	}
+	t := g.out.NewVirt(rtl.Int)
+	if s := log2(size); s >= 0 {
+		g.emit(rtl.NewAssign(t, rtl.B(rtl.Shl, rtl.RX(idx), rtl.I(int64(s)))))
+	} else {
+		g.emit(rtl.NewAssign(t, rtl.B(rtl.Mul, rtl.RX(idx), rtl.I(int64(size)))))
+	}
+	return t
+}

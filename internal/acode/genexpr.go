@@ -1,0 +1,432 @@
+package acode
+
+import (
+	"fmt"
+
+	"wmstream/internal/minic"
+	"wmstream/internal/rtl"
+)
+
+// genExpr emits naive code computing e and returns the virtual register
+// holding the value.
+func (g *generator) genExpr(e minic.Expr) (rtl.Reg, error) {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		t := g.out.NewVirt(rtl.Int)
+		g.emit(rtl.NewAssign(t, rtl.I(x.V)))
+		return t, nil
+
+	case *minic.FloatLit:
+		t := g.out.NewVirt(rtl.Float)
+		g.emit(rtl.NewAssign(t, rtl.FImm{V: x.V}))
+		return t, nil
+
+	case *minic.StrLit:
+		t := g.out.NewVirt(rtl.Int)
+		g.emit(rtl.NewAssign(t, rtl.Sym{Name: x.Sym.AsmName}))
+		return t, nil
+
+	case *minic.Ident:
+		return g.genIdentValue(x)
+
+	case *minic.Conv:
+		return g.genConv(x)
+
+	case *minic.Unary:
+		return g.genUnary(x)
+
+	case *minic.Binary:
+		return g.genBinary(x)
+
+	case *minic.Assign:
+		return g.genAssign(x)
+
+	case *minic.Cond:
+		return g.genCond(x)
+
+	case *minic.Call:
+		return g.genCall(x)
+
+	case *minic.Index:
+		addr, err := g.genAddr(x)
+		if err != nil {
+			return rtl.Reg{}, err
+		}
+		size, c := memInfo(x.Type())
+		return g.loadFrom(rtl.RX(addr), size, c), nil
+	}
+	return rtl.Reg{}, fmt.Errorf("acode: unknown expression %T", e)
+}
+
+func (g *generator) genIdentValue(x *minic.Ident) (rtl.Reg, error) {
+	sym := x.Sym
+	if r, ok := g.regs[sym]; ok {
+		t := g.out.NewVirt(r.Class)
+		g.emit(rtl.NewAssign(t, rtl.RX(r)))
+		return t, nil
+	}
+	if sym.Ty.Kind == minic.TypeArray {
+		return g.genAddr(x) // arrays evaluate to their address
+	}
+	addr, err := g.genAddr(x)
+	if err != nil {
+		return rtl.Reg{}, err
+	}
+	size, c := memInfo(sym.Ty)
+	return g.loadFrom(rtl.RX(addr), size, c), nil
+}
+
+func (g *generator) genConv(x *minic.Conv) (rtl.Reg, error) {
+	// Array decay: the value is the array's address.
+	if x.X.Type().Kind == minic.TypeArray {
+		return g.genAddr(x.X)
+	}
+	v, err := g.genExpr(x.X)
+	if err != nil {
+		return rtl.Reg{}, err
+	}
+	from, to := classOf(x.X.Type()), classOf(x.Type())
+	if from == to {
+		return v, nil // char<->int<->pointer: same register domain
+	}
+	t := g.out.NewVirt(to)
+	g.emit(rtl.NewAssign(t, rtl.Cvt{To: to, X: rtl.RX(v)}))
+	return t, nil
+}
+
+func (g *generator) genUnary(x *minic.Unary) (rtl.Reg, error) {
+	switch x.Op {
+	case "-":
+		v, err := g.genExpr(x.X)
+		if err != nil {
+			return rtl.Reg{}, err
+		}
+		t := g.out.NewVirt(v.Class)
+		g.emit(rtl.NewAssign(t, rtl.Un{Op: rtl.Neg, X: rtl.RX(v)}))
+		return t, nil
+	case "~":
+		v, err := g.genExpr(x.X)
+		if err != nil {
+			return rtl.Reg{}, err
+		}
+		t := g.out.NewVirt(rtl.Int)
+		g.emit(rtl.NewAssign(t, rtl.Un{Op: rtl.Not, X: rtl.RX(v)}))
+		return t, nil
+	case "!":
+		v, err := g.genExpr(x.X)
+		if err != nil {
+			return rtl.Reg{}, err
+		}
+		var zero rtl.Expr = rtl.I(0)
+		if v.Class == rtl.Float {
+			zero = rtl.FImm{V: 0}
+		}
+		t := g.out.NewVirt(rtl.Int)
+		g.emit(rtl.NewAssign(t, rtl.B(rtl.Eq, rtl.RX(v), zero)))
+		return t, nil
+	case "*":
+		p, err := g.genExpr(x.X)
+		if err != nil {
+			return rtl.Reg{}, err
+		}
+		size, c := memInfo(x.Type())
+		return g.loadFrom(rtl.RX(p), size, c), nil
+	case "&":
+		return g.genAddr(x.X)
+	case "++pre", "--pre", "++post", "--post":
+		return g.genIncDec(x)
+	}
+	return rtl.Reg{}, fmt.Errorf("acode: unknown unary %q", x.Op)
+}
+
+// genIncDec handles the four increment/decrement forms for both
+// register-resident and memory-resident lvalues.  Pointers step by
+// their element size.
+func (g *generator) genIncDec(x *minic.Unary) (rtl.Reg, error) {
+	op := rtl.Add
+	if x.Op[0] == '-' {
+		op = rtl.Sub
+	}
+	post := x.Op[2:] == "post"
+	t := x.X.Type()
+	var step rtl.Expr = rtl.I(1)
+	if t.Kind == minic.TypePointer {
+		step = rtl.I(int64(t.Elem.Size()))
+	}
+	if t == minic.DoubleType {
+		step = rtl.FImm{V: 1}
+	}
+
+	if id, ok := x.X.(*minic.Ident); ok {
+		if r, isReg := g.regs[id.Sym]; isReg {
+			old := g.out.NewVirt(r.Class)
+			g.emit(rtl.NewAssign(old, rtl.RX(r)))
+			g.emit(rtl.NewAssign(r, rtl.B(op, rtl.RX(r), step)))
+			if post {
+				return old, nil
+			}
+			newv := g.out.NewVirt(r.Class)
+			g.emit(rtl.NewAssign(newv, rtl.RX(r)))
+			return newv, nil
+		}
+	}
+	addr, err := g.genAddr(x.X)
+	if err != nil {
+		return rtl.Reg{}, err
+	}
+	size, c := memInfo(t)
+	old := g.loadFrom(rtl.RX(addr), size, c)
+	newv := g.out.NewVirt(c)
+	g.emit(rtl.NewAssign(newv, rtl.B(op, rtl.RX(old), step)))
+	g.storeTo(rtl.RX(addr), newv, size)
+	if post {
+		return old, nil
+	}
+	return newv, nil
+}
+
+var binOps = map[string]rtl.Op{
+	"+": rtl.Add, "-": rtl.Sub, "*": rtl.Mul, "/": rtl.Div, "%": rtl.Rem,
+	"<<": rtl.Shl, ">>": rtl.Shr, "&": rtl.And, "|": rtl.Or, "^": rtl.Xor,
+	"==": rtl.Eq, "!=": rtl.Ne, "<": rtl.Lt, "<=": rtl.Le, ">": rtl.Gt, ">=": rtl.Ge,
+}
+
+func (g *generator) genBinary(x *minic.Binary) (rtl.Reg, error) {
+	switch x.Op {
+	case "&&", "||":
+		// Materialize short-circuit logical values through branches.
+		t := g.out.NewVirt(rtl.Int)
+		falseL, endL := g.newLabel(), g.newLabel()
+		if err := g.genBranch(x, falseL, false); err != nil {
+			return rtl.Reg{}, err
+		}
+		g.emit(rtl.NewAssign(t, rtl.I(1)))
+		g.emit(rtl.NewJump(endL))
+		g.emit(rtl.NewLabel(falseL))
+		g.emit(rtl.NewAssign(t, rtl.I(0)))
+		g.emit(rtl.NewLabel(endL))
+		return t, nil
+	}
+
+	lt, rt := x.L.Type(), x.R.Type()
+	// Pointer arithmetic.
+	if lt.Kind == minic.TypePointer && x.Op == "-" && rt.Kind == minic.TypePointer {
+		l, err := g.genExpr(x.L)
+		if err != nil {
+			return rtl.Reg{}, err
+		}
+		r, err := g.genExpr(x.R)
+		if err != nil {
+			return rtl.Reg{}, err
+		}
+		diff := g.out.NewVirt(rtl.Int)
+		g.emit(rtl.NewAssign(diff, rtl.B(rtl.Sub, rtl.RX(l), rtl.RX(r))))
+		esz := lt.Elem.Size()
+		if esz == 1 {
+			return diff, nil
+		}
+		t := g.out.NewVirt(rtl.Int)
+		if s := log2(esz); s >= 0 {
+			g.emit(rtl.NewAssign(t, rtl.B(rtl.Shr, rtl.RX(diff), rtl.I(int64(s)))))
+		} else {
+			g.emit(rtl.NewAssign(t, rtl.B(rtl.Div, rtl.RX(diff), rtl.I(int64(esz)))))
+		}
+		return t, nil
+	}
+	if lt.Kind == minic.TypePointer && (x.Op == "+" || x.Op == "-") {
+		p, err := g.genExpr(x.L)
+		if err != nil {
+			return rtl.Reg{}, err
+		}
+		idx, err := g.genExpr(x.R)
+		if err != nil {
+			return rtl.Reg{}, err
+		}
+		scaled := g.scaleIndex(idx, lt.Elem.Size())
+		t := g.out.NewVirt(rtl.Int)
+		g.emit(rtl.NewAssign(t, rtl.B(binOps[x.Op], rtl.RX(p), rtl.RX(scaled))))
+		return t, nil
+	}
+
+	l, err := g.genExpr(x.L)
+	if err != nil {
+		return rtl.Reg{}, err
+	}
+	r, err := g.genExpr(x.R)
+	if err != nil {
+		return rtl.Reg{}, err
+	}
+	op, ok := binOps[x.Op]
+	if !ok {
+		return rtl.Reg{}, fmt.Errorf("acode: unknown binary %q", x.Op)
+	}
+	t := g.out.NewVirt(classOf(x.Type()))
+	g.emit(rtl.NewAssign(t, rtl.B(op, rtl.RX(l), rtl.RX(r))))
+	return t, nil
+}
+
+func (g *generator) genAssign(x *minic.Assign) (rtl.Reg, error) {
+	// Register-resident scalar target.
+	if id, ok := x.L.(*minic.Ident); ok {
+		if r, isReg := g.regs[id.Sym]; isReg {
+			v, err := g.genExpr(x.R)
+			if err != nil {
+				return rtl.Reg{}, err
+			}
+			g.emit(rtl.NewAssign(r, rtl.RX(v)))
+			return v, nil
+		}
+	}
+	addr, err := g.genAddr(x.L)
+	if err != nil {
+		return rtl.Reg{}, err
+	}
+	v, err := g.genExpr(x.R)
+	if err != nil {
+		return rtl.Reg{}, err
+	}
+	size, _ := memInfo(x.L.Type())
+	g.storeTo(rtl.RX(addr), v, size)
+	return v, nil
+}
+
+func (g *generator) genCond(x *minic.Cond) (rtl.Reg, error) {
+	t := g.out.NewVirt(classOf(x.Type()))
+	falseL, endL := g.newLabel(), g.newLabel()
+	if err := g.genBranch(x.C, falseL, false); err != nil {
+		return rtl.Reg{}, err
+	}
+	tv, err := g.genExpr(x.T2)
+	if err != nil {
+		return rtl.Reg{}, err
+	}
+	g.emit(rtl.NewAssign(t, rtl.RX(tv)))
+	g.emit(rtl.NewJump(endL))
+	g.emit(rtl.NewLabel(falseL))
+	fv, err := g.genExpr(x.F)
+	if err != nil {
+		return rtl.Reg{}, err
+	}
+	g.emit(rtl.NewAssign(t, rtl.RX(fv)))
+	g.emit(rtl.NewLabel(endL))
+	return t, nil
+}
+
+func (g *generator) genCall(x *minic.Call) (rtl.Reg, error) {
+	// FEU math builtins expand inline.
+	if op, ok := mathOps[x.Name]; ok {
+		v, err := g.genExpr(x.Args[0])
+		if err != nil {
+			return rtl.Reg{}, err
+		}
+		t := g.out.NewVirt(rtl.Float)
+		g.emit(rtl.NewAssign(t, rtl.Un{Op: op, X: rtl.RX(v)}))
+		return t, nil
+	}
+	// Output builtins become put instructions.
+	switch x.Name {
+	case "putchar", "puti", "putd":
+		v, err := g.genExpr(x.Args[0])
+		if err != nil {
+			return rtl.Reg{}, err
+		}
+		fmtByte := byte('c')
+		if x.Name == "puti" {
+			fmtByte = 'i'
+		} else if x.Name == "putd" {
+			fmtByte = 'd'
+		}
+		g.emit(&rtl.Instr{Kind: rtl.KPut, Fmt: fmtByte, Src: rtl.RX(v)})
+		return v, nil // putchar's value is its argument
+	}
+	// Real call: evaluate arguments, move them to ABI registers, call,
+	// then immediately copy out the result (r2/f2 are clobber-exposed).
+	vals := make([]rtl.Reg, len(x.Args))
+	for n, a := range x.Args {
+		v, err := g.genExpr(a)
+		if err != nil {
+			return rtl.Reg{}, err
+		}
+		vals[n] = v
+	}
+	var abiRegs []rtl.Reg
+	intArg, fltArg := rtl.FirstArgReg, rtl.FirstArgReg
+	for _, v := range vals {
+		var abi rtl.Reg
+		if v.Class == rtl.Float {
+			abi = rtl.F(fltArg)
+			fltArg++
+		} else {
+			abi = rtl.R(intArg)
+			intArg++
+		}
+		if abi.N > rtl.LastArgReg {
+			return rtl.Reg{}, errPos(x.Pos(), "too many arguments to %q", x.Name)
+		}
+		g.emit(rtl.NewAssign(abi, rtl.RX(v)))
+		abiRegs = append(abiRegs, abi)
+	}
+	g.emit(&rtl.Instr{Kind: rtl.KCall, Name: x.Name, Args: abiRegs})
+	if x.Type() == minic.VoidType {
+		return rtl.Reg{Class: rtl.Int, N: rtl.ZeroReg}, nil
+	}
+	c := classOf(x.Type())
+	t := g.out.NewVirt(c)
+	g.emit(rtl.NewAssign(t, rtl.RX(rtl.Reg{Class: c, N: rtl.ResultReg}))).Note = "call result"
+	return t, nil
+}
+
+// genAddr emits code computing the address of an lvalue (or array) and
+// returns the register holding it.
+func (g *generator) genAddr(e minic.Expr) (rtl.Reg, error) {
+	switch x := e.(type) {
+	case *minic.Ident:
+		sym := x.Sym
+		if _, isReg := g.regs[sym]; isReg {
+			return rtl.Reg{}, errPos(x.Pos(), "internal: address of register variable %q", sym.Name)
+		}
+		t := g.out.NewVirt(rtl.Int)
+		if sym.Global {
+			g.emit(rtl.NewAssign(t, rtl.Sym{Name: sym.AsmName})).Note = "address of " + sym.Name
+			return t, nil
+		}
+		g.emit(rtl.NewAssign(t, g.spOff(g.slots[sym]))).Note = "address of " + sym.Name
+		return t, nil
+
+	case *minic.StrLit:
+		t := g.out.NewVirt(rtl.Int)
+		g.emit(rtl.NewAssign(t, rtl.Sym{Name: x.Sym.AsmName}))
+		return t, nil
+
+	case *minic.Index:
+		var base rtl.Reg
+		var err error
+		if x.Base.Type().Kind == minic.TypeArray {
+			base, err = g.genAddr(x.Base)
+		} else {
+			base, err = g.genExpr(x.Base) // pointer value
+		}
+		if err != nil {
+			return rtl.Reg{}, err
+		}
+		idx, err := g.genExpr(x.Idx)
+		if err != nil {
+			return rtl.Reg{}, err
+		}
+		scaled := g.scaleIndex(idx, x.Type().Size())
+		t := g.out.NewVirt(rtl.Int)
+		g.emit(rtl.NewAssign(t, rtl.B(rtl.Add, rtl.RX(scaled), rtl.RX(base))))
+		return t, nil
+
+	case *minic.Unary:
+		if x.Op == "*" {
+			return g.genExpr(x.X)
+		}
+
+	case *minic.Conv:
+		if x.X.Type().Kind == minic.TypeArray {
+			return g.genAddr(x.X)
+		}
+	}
+	return rtl.Reg{}, fmt.Errorf("acode: cannot take address of %T", e)
+}

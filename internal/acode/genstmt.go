@@ -1,0 +1,282 @@
+package acode
+
+import (
+	"fmt"
+
+	"wmstream/internal/minic"
+	"wmstream/internal/rtl"
+)
+
+func (g *generator) genStmt(s minic.Stmt) error {
+	switch st := s.(type) {
+	case *minic.BlockStmt:
+		for _, sub := range st.List {
+			if err := g.genStmt(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *minic.DeclStmt:
+		for _, d := range st.Vars {
+			if err := g.genLocalInit(d); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *minic.ExprStmt:
+		_, err := g.genExpr(st.X)
+		return err
+
+	case *minic.IfStmt:
+		elseL := g.newLabel()
+		if err := g.genBranch(st.Cond, elseL, false); err != nil {
+			return err
+		}
+		if err := g.genStmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			endL := g.newLabel()
+			g.emit(rtl.NewJump(endL))
+			g.emit(rtl.NewLabel(elseL))
+			if err := g.genStmt(st.Else); err != nil {
+				return err
+			}
+			g.emit(rtl.NewLabel(endL))
+		} else {
+			g.emit(rtl.NewLabel(elseL))
+		}
+		return nil
+
+	case *minic.WhileStmt:
+		// Rotated loop: guard at the top (skipped for do-while), test at
+		// the bottom.  This is the shape the paper's Figure 4 shows and
+		// gives the loop a preheader and a single latch.
+		bodyL, contL, exitL := g.newLabel(), g.newLabel(), g.newLabel()
+		if !st.DoWhile {
+			if err := g.genBranch(st.Cond, exitL, false); err != nil {
+				return err
+			}
+		}
+		g.emit(rtl.NewLabel(bodyL))
+		g.breakLbl = append(g.breakLbl, exitL)
+		g.contLbl = append(g.contLbl, contL)
+		err := g.genStmt(st.Body)
+		g.breakLbl = g.breakLbl[:len(g.breakLbl)-1]
+		g.contLbl = g.contLbl[:len(g.contLbl)-1]
+		if err != nil {
+			return err
+		}
+		g.emit(rtl.NewLabel(contL))
+		if err := g.genBranch(st.Cond, bodyL, true); err != nil {
+			return err
+		}
+		g.emit(rtl.NewLabel(exitL))
+		return nil
+
+	case *minic.ForStmt:
+		if st.Init != nil {
+			if _, err := g.genExpr(st.Init); err != nil {
+				return err
+			}
+		}
+		bodyL, contL, exitL := g.newLabel(), g.newLabel(), g.newLabel()
+		if st.Cond != nil {
+			if err := g.genBranch(st.Cond, exitL, false); err != nil {
+				return err
+			}
+		}
+		g.emit(rtl.NewLabel(bodyL))
+		g.breakLbl = append(g.breakLbl, exitL)
+		g.contLbl = append(g.contLbl, contL)
+		err := g.genStmt(st.Body)
+		g.breakLbl = g.breakLbl[:len(g.breakLbl)-1]
+		g.contLbl = g.contLbl[:len(g.contLbl)-1]
+		if err != nil {
+			return err
+		}
+		g.emit(rtl.NewLabel(contL))
+		if st.Post != nil {
+			if _, err := g.genExpr(st.Post); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := g.genBranch(st.Cond, bodyL, true); err != nil {
+				return err
+			}
+		} else {
+			g.emit(rtl.NewJump(bodyL))
+		}
+		g.emit(rtl.NewLabel(exitL))
+		return nil
+
+	case *minic.ReturnStmt:
+		if st.X != nil {
+			v, err := g.genExpr(st.X)
+			if err != nil {
+				return err
+			}
+			if v.Class == rtl.Float {
+				g.emit(rtl.NewAssign(rtl.F(rtl.ResultReg), rtl.RX(v))).Note = "return value"
+			} else {
+				g.emit(rtl.NewAssign(rtl.R(rtl.ResultReg), rtl.RX(v))).Note = "return value"
+			}
+		}
+		g.emit(rtl.NewJump(g.retLabel))
+		return nil
+
+	case *minic.BreakStmt:
+		g.emit(rtl.NewJump(g.breakLbl[len(g.breakLbl)-1]))
+		return nil
+
+	case *minic.ContinueStmt:
+		g.emit(rtl.NewJump(g.contLbl[len(g.contLbl)-1]))
+		return nil
+	}
+	return fmt.Errorf("acode: unknown statement %T", s)
+}
+
+// genLocalInit emits initialization code for one local declaration.
+func (g *generator) genLocalInit(d *minic.VarDecl) error {
+	if !d.HasInit {
+		return nil
+	}
+	sym := d.Sym
+	switch {
+	case d.InitStr != "":
+		off := g.slots[sym]
+		for n := 0; n <= len(d.InitStr); n++ { // include NUL
+			var b byte
+			if n < len(d.InitStr) {
+				b = d.InitStr[n]
+			}
+			t := g.out.NewVirt(rtl.Int)
+			g.emit(rtl.NewAssign(t, rtl.I(int64(b))))
+			g.storeTo(g.spOff(off+n), t, 1)
+		}
+		return nil
+	case d.InitList != nil:
+		off := g.slots[sym]
+		esz := d.Ty.Elem.Size()
+		for n, e := range d.InitList {
+			v, err := g.genExpr(e)
+			if err != nil {
+				return err
+			}
+			g.storeTo(g.spOff(off+n*esz), v, esz)
+		}
+		return nil
+	default:
+		v, err := g.genExpr(d.Init)
+		if err != nil {
+			return err
+		}
+		if r, ok := g.regs[sym]; ok {
+			g.emit(rtl.NewAssign(r, rtl.RX(v))).Note = "init " + d.Name
+			return nil
+		}
+		g.storeTo(g.spOff(g.slots[sym]), v, d.Ty.Size())
+		return nil
+	}
+}
+
+// genBranch emits code branching to target when the truth value of e
+// equals sense.  Relational and logical operators branch directly;
+// anything else is compared against zero.
+func (g *generator) genBranch(e minic.Expr, target string, sense bool) error {
+	switch x := e.(type) {
+	case *minic.Binary:
+		switch x.Op {
+		case "<", "<=", ">", ">=", "==", "!=":
+			l, err := g.genExpr(x.L)
+			if err != nil {
+				return err
+			}
+			r, err := g.genExpr(x.R)
+			if err != nil {
+				return err
+			}
+			op := relOp(x.Op)
+			cc := l.Class
+			zero := rtl.Reg{Class: cc, N: rtl.ZeroReg}
+			g.emit(rtl.NewAssign(zero, rtl.B(op, rtl.RX(l), rtl.RX(r))))
+			g.emit(rtl.NewCondJump(target, sense, cc))
+			return nil
+		case "&&":
+			if sense {
+				skip := g.newLabel()
+				if err := g.genBranch(x.L, skip, false); err != nil {
+					return err
+				}
+				if err := g.genBranch(x.R, target, true); err != nil {
+					return err
+				}
+				g.emit(rtl.NewLabel(skip))
+				return nil
+			}
+			if err := g.genBranch(x.L, target, false); err != nil {
+				return err
+			}
+			return g.genBranch(x.R, target, false)
+		case "||":
+			if sense {
+				if err := g.genBranch(x.L, target, true); err != nil {
+					return err
+				}
+				return g.genBranch(x.R, target, true)
+			}
+			skip := g.newLabel()
+			if err := g.genBranch(x.L, skip, true); err != nil {
+				return err
+			}
+			if err := g.genBranch(x.R, target, false); err != nil {
+				return err
+			}
+			g.emit(rtl.NewLabel(skip))
+			return nil
+		}
+	case *minic.Unary:
+		if x.Op == "!" {
+			return g.genBranch(x.X, target, !sense)
+		}
+	case *minic.IntLit:
+		if (x.V != 0) == sense {
+			g.emit(rtl.NewJump(target))
+		}
+		return nil
+	}
+	// General scalar: compare against zero.
+	v, err := g.genExpr(e)
+	if err != nil {
+		return err
+	}
+	zero := rtl.Reg{Class: v.Class, N: rtl.ZeroReg}
+	var zval rtl.Expr = rtl.I(0)
+	if v.Class == rtl.Float {
+		zval = rtl.FImm{V: 0}
+	}
+	g.emit(rtl.NewAssign(zero, rtl.B(rtl.Ne, rtl.RX(v), zval)))
+	g.emit(rtl.NewCondJump(target, sense, v.Class))
+	return nil
+}
+
+func relOp(op string) rtl.Op {
+	switch op {
+	case "<":
+		return rtl.Lt
+	case "<=":
+		return rtl.Le
+	case ">":
+		return rtl.Gt
+	case ">=":
+		return rtl.Ge
+	case "==":
+		return rtl.Eq
+	case "!=":
+		return rtl.Ne
+	}
+	panic("acode: bad relational " + op)
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestAllProgramsAllLevels is the central correctness harness: every
+// benchmark must produce identical output at every optimization level,
+// and cycles must not increase as optimization increases... (levels
+// are allowed to tie; streaming must never lose to O2 on these
+// workloads).
+func TestAllProgramsAllLevels(t *testing.T) {
+	progs := append(Programs(), Livermore5(500))
+	for _, p := range progs {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			var ref string
+			var prevCycles int64
+			for lvl := 0; lvl <= 3; lvl++ {
+				r, err := Measure(p, lvl)
+				if err != nil {
+					t.Fatalf("O%d: %v", lvl, err)
+				}
+				if r.Output == "" {
+					t.Fatalf("O%d: no output", lvl)
+				}
+				if lvl == 0 {
+					ref = r.Output
+					if p.Expect != "" && ref != p.Expect {
+						t.Fatalf("output %q, want %q", ref, p.Expect)
+					}
+				} else if r.Output != ref {
+					t.Fatalf("O%d output %q != O0 output %q", lvl, r.Output, ref)
+				}
+				t.Logf("O%d: %10d cycles  %8d memreads  %8d streamed",
+					lvl, r.Stats.Cycles, r.Stats.MemReads, r.Stats.StreamElems)
+				if lvl >= 1 && prevCycles > 0 && r.Stats.Cycles > prevCycles*11/10 {
+					t.Errorf("O%d (%d cycles) much slower than O%d (%d cycles)",
+						lvl, r.Stats.Cycles, lvl-1, prevCycles)
+				}
+				prevCycles = r.Stats.Cycles
+			}
+		})
+	}
+}
+
+// TestGoldenChecksums verifies a few benchmarks against values
+// computed independently in Go, catching compiler+simulator systematic
+// agreement bugs.
+func TestGoldenChecksums(t *testing.T) {
+	// bubblesort: a[i] = (n-i)*7 % 101 sorted, sum of a[i]*i.
+	n := 500
+	a := make([]int, n)
+	for i := 0; i < n; i++ {
+		a[i] = (n - i) * 7 % 101
+	}
+	// insertion sort for the reference
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += a[i] * i
+	}
+	r, err := Measure(Bubblesort, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Output != itoa(sum) {
+		t.Errorf("bubblesort = %s, want %d", r.Output, sum)
+	}
+
+	// quicksort: a[i] = (i*1103515245+12345) % 10007 sorted, sum of a[i]%97.
+	qn := 2000
+	q := make([]int, qn)
+	for i := 0; i < qn; i++ {
+		q[i] = (i*1103515245 + 12345) % 10007
+	}
+	for i := 1; i < qn; i++ {
+		for j := i; j > 0 && q[j-1] > q[j]; j-- {
+			q[j-1], q[j] = q[j], q[j-1]
+		}
+	}
+	qsum := 0
+	for i := 0; i < qn; i++ {
+		qsum += q[i] % 97
+	}
+	rq, err := Measure(Quicksort, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rq.Output != itoa(qsum) {
+		t.Errorf("quicksort = %s, want %d", rq.Output, qsum)
+	}
+
+	// dot product (the kernel runs four passes, accumulating).
+	var dsum float64
+	for pass := 0; pass < 4; pass++ {
+		for i := 0; i < 4096; i++ {
+			av := float64(i%10)*0.5 + 0.25
+			bv := float64(i%8)*0.25 + 0.5
+			dsum += av * bv
+		}
+	}
+	rd, err := Measure(DotProduct, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trimFloat(dsum)
+	if rd.Output != want {
+		t.Errorf("dot-product = %s, want %s", rd.Output, want)
+	}
+}
+
+func trimFloat(f float64) string {
+	// Matches the simulator's putd formatting (%g).
+	return fmt.Sprintf("%g", f)
+}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+
+	"wmstream/internal/acode"
+	"wmstream/internal/minic"
+	"wmstream/internal/opt"
+	"wmstream/internal/rtl"
+	"wmstream/internal/sim"
+)
+
+// Result is one benchmark execution.
+type Result struct {
+	Program string
+	Level   int
+	Stats   sim.Stats
+	Output  string
+}
+
+// Compile builds a benchmark at the given optimization level.
+func Compile(p Program, level int) (*rtl.Program, error) {
+	ast, err := minic.Compile(p.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: frontend: %w", p.Name, err)
+	}
+	rp, err := acode.Gen(ast)
+	if err != nil {
+		return nil, fmt.Errorf("%s: expand: %w", p.Name, err)
+	}
+	if err := opt.Optimize(rp, opt.Level(level)); err != nil {
+		return nil, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	return rp, nil
+}
+
+// CompileNone runs the front end and code expander only, leaving naive
+// RTL with virtual registers (callers pick their own optimization
+// pipeline, e.g. opt.OptimizeScalar).
+func CompileNone(p Program) (*rtl.Program, error) {
+	ast, err := minic.Compile(p.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: frontend: %w", p.Name, err)
+	}
+	rp, err := acode.Gen(ast)
+	if err != nil {
+		return nil, fmt.Errorf("%s: expand: %w", p.Name, err)
+	}
+	return rp, nil
+}
+
+// CompileOptions builds with explicit optimizer options (ablations).
+func CompileOptions(p Program, o opt.Options) (*rtl.Program, error) {
+	ast, err := minic.Compile(p.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: frontend: %w", p.Name, err)
+	}
+	rp, err := acode.Gen(ast)
+	if err != nil {
+		return nil, fmt.Errorf("%s: expand: %w", p.Name, err)
+	}
+	if err := opt.Optimize(rp, o); err != nil {
+		return nil, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	return rp, nil
+}
+
+// Run executes a compiled benchmark on the simulator.
+func Run(rp *rtl.Program, cfg sim.Config) (sim.Stats, string, error) {
+	img, err := sim.Link(rp)
+	if err != nil {
+		return sim.Stats{}, "", err
+	}
+	var out bytes.Buffer
+	cfg.Output = &out
+	m := sim.New(img, cfg)
+	stats, err := m.Run()
+	return stats, out.String(), err
+}
+
+// Measure compiles and runs one benchmark at one level with the
+// default machine.
+func Measure(p Program, level int) (Result, error) {
+	rp, err := Compile(p, level)
+	if err != nil {
+		return Result{}, err
+	}
+	stats, out, err := Run(rp, sim.DefaultConfig())
+	if err != nil {
+		return Result{}, fmt.Errorf("%s O%d: %w", p.Name, level, err)
+	}
+	return Result{Program: p.Name, Level: level, Stats: stats, Output: out}, nil
+}
+
+// StreamingReduction measures the paper's Table II quantity for one
+// program: the percent reduction in cycles executed between the
+// optimized compiler without streaming (O2: standard + recurrence) and
+// with streaming (O3).
+func StreamingReduction(p Program) (without, with int64, pct float64, err error) {
+	r2, err := Measure(p, 2)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	r3, err := Measure(p, 3)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if r2.Output != r3.Output {
+		return 0, 0, 0, fmt.Errorf("%s: O2 output %q != O3 output %q", p.Name, r2.Output, r3.Output)
+	}
+	without, with = r2.Stats.Cycles, r3.Stats.Cycles
+	pct = 100 * float64(without-with) / float64(without)
+	return without, with, pct, nil
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestInfiniteStreamStringScan: the paper's Unix-utility claim —
+// string scanning loops with unknown trip counts stream with an
+// infinite count and stream-stops at the exits.
+func TestInfiniteStreamStringScan(t *testing.T) {
+	p := Program{Name: "strscan", Source: `
+char buf[64] = "the quick brown fox jumps over the lazy dog";
+int main(void) {
+    int i, s;
+    s = 0;
+    for (i = 0; buf[i]; i++)
+        s = s + buf[i];
+    puti(s);
+    return 0;
+}`}
+	var ref string
+	for lvl := 0; lvl <= 3; lvl++ {
+		r, err := Measure(p, lvl)
+		if err != nil {
+			t.Fatalf("O%d: %v", lvl, err)
+		}
+		if lvl == 0 {
+			ref = r.Output
+		} else if r.Output != ref {
+			t.Fatalf("O%d output %q != %q", lvl, r.Output, ref)
+		}
+	}
+	rp, err := Compile(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := rp.Func("main").Listing()
+	if !strings.Contains(text, "(infinite)") || !strings.Contains(text, "sstop") {
+		t.Errorf("no infinite stream generated:\n%s", text)
+	}
+	t.Logf("\n%s", text)
+}

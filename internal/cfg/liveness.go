@@ -1,0 +1,113 @@
+package cfg
+
+import "wmstream/internal/rtl"
+
+// trackable reports whether liveness tracks the register.  The zero
+// registers read as constants and FIFO registers have queue semantics
+// (their "value" lives in hardware queues, not in the cell), so neither
+// participates in register liveness.
+func trackable(r rtl.Reg) bool { return !r.IsZero() && !r.IsFIFO() }
+
+// InstrUses calls fn for every trackable register the instruction
+// reads, including the implicit reads of calls and returns.
+func InstrUses(i *rtl.Instr, fn func(rtl.Reg)) {
+	switch i.Kind {
+	case rtl.KCall:
+		for _, r := range i.Args {
+			if trackable(r) {
+				fn(r)
+			}
+		}
+		fn(rtl.RegSP)
+	case rtl.KRet:
+		// The ABI returns results in r2/f2; without per-function result
+		// annotations at every return we conservatively treat both as
+		// read, plus the link register and stack pointer.
+		fn(rtl.R(rtl.ResultReg))
+		fn(rtl.F(rtl.ResultReg))
+		fn(rtl.RegLR)
+		fn(rtl.RegSP)
+	default:
+		for _, r := range i.Uses(nil) {
+			if trackable(r) {
+				fn(r)
+			}
+		}
+	}
+}
+
+// InstrDefs calls fn for every trackable register the instruction
+// writes.  Calls clobber every caller-saved register.
+func InstrDefs(i *rtl.Instr, fn func(rtl.Reg)) {
+	switch i.Kind {
+	case rtl.KCall:
+		rtl.CallClobbers(func(r rtl.Reg) {
+			if trackable(r) {
+				fn(r)
+			}
+		})
+	case rtl.KAssign:
+		if trackable(i.Dst) {
+			fn(i.Dst)
+		}
+	}
+}
+
+// Liveness computes LiveIn/LiveOut for every block with the standard
+// backward iterative data-flow algorithm.
+func (g *Graph) Liveness() {
+	f := g.F
+	// Per-block use/def summaries.
+	use := make([]RegSet, len(g.Blocks))
+	def := make([]RegSet, len(g.Blocks))
+	for _, b := range g.Blocks {
+		u, d := NewRegSet(), NewRegSet()
+		for _, i := range b.Instrs(f) {
+			InstrUses(i, func(r rtl.Reg) {
+				if !d.Has(r) {
+					u.Add(r)
+				}
+			})
+			InstrDefs(i, func(r rtl.Reg) { d.Add(r) })
+		}
+		use[b.Index], def[b.Index] = u, d
+		b.LiveIn, b.LiveOut = NewRegSet(), NewRegSet()
+	}
+	changed := true
+	for changed {
+		changed = false
+		// Backward over reverse postorder is fastest; correctness does
+		// not depend on order.
+		order := g.ReversePostorder()
+		for k := len(order) - 1; k >= 0; k-- {
+			b := order[k]
+			out := NewRegSet()
+			for _, s := range b.Succs {
+				out.AddAll(s.LiveIn)
+			}
+			in := out.Clone()
+			for r := range def[b.Index] {
+				in.Remove(r)
+			}
+			in.AddAll(use[b.Index])
+			if !in.Equal(b.LiveIn) || !out.Equal(b.LiveOut) {
+				b.LiveIn, b.LiveOut = in, out
+				changed = true
+			}
+		}
+	}
+}
+
+// LiveAtEach walks block b backward and calls fn for every instruction
+// with the set of registers live immediately *after* it.  Liveness must
+// have been computed.  The set passed to fn is reused between calls;
+// clone it to retain.
+func (g *Graph) LiveAtEach(b *Block, fn func(idx int, i *rtl.Instr, liveAfter RegSet)) {
+	live := b.LiveOut.Clone()
+	for n := b.End - 1; n >= b.Start; n-- {
+		i := g.F.Code[n]
+		fn(n, i, live)
+		InstrDefs(i, func(r rtl.Reg) { live.Remove(r) })
+		InstrUses(i, func(r rtl.Reg) { live.Add(r) })
+	}
+}

@@ -1,0 +1,149 @@
+package cfg
+
+import "sort"
+
+// Loop is a natural loop: a header block plus the set of blocks that can
+// reach one of its back edges without passing through the header.
+type Loop struct {
+	Header  *Block
+	Blocks  map[*Block]bool // includes Header
+	Latches []*Block        // blocks with a back edge to Header
+
+	// Exits are blocks inside the loop with at least one successor
+	// outside; ExitTargets are those outside successors.
+	Exits       []*Block
+	ExitTargets []*Block
+
+	// Preheader is the unique predecessor of the header outside the
+	// loop, when one exists (nil otherwise).  The optimizer creates one
+	// on demand.
+	Preheader *Block
+
+	// Parent is the innermost enclosing loop, Depth its nesting depth
+	// (outermost loops have depth 1).
+	Parent *Loop
+	Depth  int
+}
+
+// Contains reports whether b belongs to the loop.
+func (l *Loop) Contains(b *Block) bool { return l.Blocks[b] }
+
+// ContainsInstr reports whether instruction index n of the owning
+// function falls inside the loop.
+func (l *Loop) ContainsInstr(g *Graph, n int) bool {
+	b := g.BlockOf(n)
+	return b != nil && l.Blocks[b]
+}
+
+// NaturalLoops detects all natural loops.  Dominators must have been
+// computed.  Back edges with the same header are merged into a single
+// loop, and nesting (Parent/Depth) is derived from block containment.
+// Loops are returned innermost-first (deepest nesting first).
+func (g *Graph) NaturalLoops() []*Loop {
+	byHeader := map[*Block]*Loop{}
+	for _, b := range g.ReversePostorder() {
+		for _, s := range b.Succs {
+			if g.Dominates(s, b) {
+				// b -> s is a back edge.
+				l := byHeader[s]
+				if l == nil {
+					l = &Loop{Header: s, Blocks: map[*Block]bool{s: true}}
+					byHeader[s] = l
+				}
+				l.Latches = append(l.Latches, b)
+				l.collectBody(b)
+			}
+		}
+	}
+	loops := make([]*Loop, 0, len(byHeader))
+	for _, l := range byHeader {
+		l.findExits()
+		l.findPreheader()
+		loops = append(loops, l)
+	}
+	// Nesting: loop A is nested in B when B contains A's header and
+	// A != B.  The innermost enclosing loop is the smallest such B.
+	for _, a := range loops {
+		for _, b := range loops {
+			if a == b || !b.Blocks[a.Header] || len(b.Blocks) <= len(a.Blocks) {
+				continue
+			}
+			if a.Parent == nil || len(b.Blocks) < len(a.Parent.Blocks) {
+				a.Parent = b
+			}
+		}
+	}
+	for _, l := range loops {
+		l.Depth = 1
+		for p := l.Parent; p != nil; p = p.Parent {
+			l.Depth++
+		}
+	}
+	sort.Slice(loops, func(i, j int) bool {
+		if loops[i].Depth != loops[j].Depth {
+			return loops[i].Depth > loops[j].Depth
+		}
+		return loops[i].Header.Index < loops[j].Header.Index
+	})
+	return loops
+}
+
+// collectBody walks predecessors from the latch back to the header,
+// adding every block on the way.
+func (l *Loop) collectBody(latch *Block) {
+	stack := []*Block{latch}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if l.Blocks[b] {
+			continue
+		}
+		l.Blocks[b] = true
+		for _, p := range b.Preds {
+			if !l.Blocks[p] {
+				stack = append(stack, p)
+			}
+		}
+	}
+}
+
+func (l *Loop) findExits() {
+	for b := range l.Blocks {
+		exit := false
+		for _, s := range b.Succs {
+			if !l.Blocks[s] {
+				exit = true
+				l.ExitTargets = appendUnique(l.ExitTargets, s)
+			}
+		}
+		if exit {
+			l.Exits = append(l.Exits, b)
+		}
+	}
+	sort.Slice(l.Exits, func(i, j int) bool { return l.Exits[i].Index < l.Exits[j].Index })
+	sort.Slice(l.ExitTargets, func(i, j int) bool { return l.ExitTargets[i].Index < l.ExitTargets[j].Index })
+}
+
+func (l *Loop) findPreheader() {
+	var outside []*Block
+	for _, p := range l.Header.Preds {
+		if !l.Blocks[p] {
+			outside = appendUnique(outside, p)
+		}
+	}
+	// A usable preheader is a unique outside predecessor whose only
+	// successor is the header (so code placed there runs exactly when
+	// the loop is entered).
+	if len(outside) == 1 && len(outside[0].Succs) == 1 {
+		l.Preheader = outside[0]
+	}
+}
+
+func appendUnique(s []*Block, b *Block) []*Block {
+	for _, x := range s {
+		if x == b {
+			return s
+		}
+	}
+	return append(s, b)
+}

@@ -1,0 +1,71 @@
+package cfg
+
+import (
+	"sort"
+	"strings"
+
+	"wmstream/internal/rtl"
+)
+
+// RegSet is a set of registers.  The zero value is usable as an empty
+// set for reads; use NewRegSet (or Add, which allocates lazily via
+// map assignment on a made set) before inserting.
+type RegSet map[rtl.Reg]struct{}
+
+// NewRegSet returns an empty set.
+func NewRegSet() RegSet { return RegSet{} }
+
+// Add inserts r.
+func (s RegSet) Add(r rtl.Reg) { s[r] = struct{}{} }
+
+// Remove deletes r.
+func (s RegSet) Remove(r rtl.Reg) { delete(s, r) }
+
+// Has reports membership.
+func (s RegSet) Has(r rtl.Reg) bool {
+	_, ok := s[r]
+	return ok
+}
+
+// AddAll inserts every element of t and reports whether s grew.
+func (s RegSet) AddAll(t RegSet) bool {
+	grew := false
+	for r := range t {
+		if _, ok := s[r]; !ok {
+			s[r] = struct{}{}
+			grew = true
+		}
+	}
+	return grew
+}
+
+// Clone returns a copy.
+func (s RegSet) Clone() RegSet {
+	c := make(RegSet, len(s))
+	for r := range s {
+		c[r] = struct{}{}
+	}
+	return c
+}
+
+// Equal reports set equality.
+func (s RegSet) Equal(t RegSet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for r := range s {
+		if _, ok := t[r]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (s RegSet) String() string {
+	names := make([]string, 0, len(s))
+	for r := range s {
+		names = append(names, r.String())
+	}
+	sort.Strings(names)
+	return "{" + strings.Join(names, " ") + "}"
+}

@@ -1,0 +1,246 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"wmstream/internal/rtl"
+)
+
+// M68KListing renders a function in Motorola 68020 assembler flavor,
+// reproducing the presentation of the paper's Figure 6.  The
+// translation is syntactic: integer registers map to d/a registers,
+// float registers to fp registers, load/dequeue pairs to fmoved/movl
+// with auto-increment when a derived pointer stepped by the element
+// size feeds them.  It exists for the figure reproduction; the cost
+// model (not this listing) is what Table I measures.
+func M68KListing(f *rtl.Func) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "| %s (MC68020/68881 flavor)\n", f.Name)
+	autoinc := findAutoIncrement(f)
+	skip := map[int]bool{}
+	for n, i := range f.Code {
+		if skip[n] {
+			continue
+		}
+		switch i.Kind {
+		case rtl.KLabel:
+			fmt.Fprintf(&b, "%s:\n", i.Name)
+		case rtl.KLoad:
+			// Pair with the following dequeue when adjacent.
+			dst := "fp0"
+			if n+1 < len(f.Code) {
+				if d := f.Code[n+1]; d.Kind == rtl.KAssign {
+					if rx, ok := d.Src.(rtl.RegX); ok && rx.Reg.IsFIFO() {
+						dst = m68kReg(d.Dst)
+						skip[n+1] = true
+					}
+				}
+			}
+			mnem := "movl"
+			if i.MemClass == rtl.Float {
+				mnem = "fmoved"
+			}
+			fmt.Fprintf(&b, "\t%s\t%s,%s\n", mnem, m68kAddr(i.Addr, autoinc), dst)
+		case rtl.KStore:
+			// The datum is the closest preceding enqueue.
+			src := "fp0"
+			for k := n - 1; k >= 0 && k > n-8; k-- {
+				e := f.Code[k]
+				if e.Kind == rtl.KAssign && e.Dst.IsFIFO() && e.Dst.Class == i.MemClass {
+					if rx, ok := e.Src.(rtl.RegX); ok {
+						src = m68kReg(rx.Reg)
+					}
+					break
+				}
+			}
+			mnem := "movl"
+			if i.MemClass == rtl.Float {
+				mnem = "fmoved"
+			}
+			fmt.Fprintf(&b, "\t%s\t%s,%s\n", mnem, src, m68kAddr(i.Addr, autoinc))
+		case rtl.KAssign:
+			emitM68KAssign(&b, i, autoinc)
+		case rtl.KJump:
+			fmt.Fprintf(&b, "\tjra\t%s\n", i.Target)
+		case rtl.KCondJump:
+			cc := "jne"
+			if !i.Sense {
+				cc = "jeq"
+			}
+			fmt.Fprintf(&b, "\t%s\t%s\n", cc, i.Target)
+		case rtl.KRet:
+			fmt.Fprintf(&b, "\trts\n")
+		case rtl.KHalt:
+			fmt.Fprintf(&b, "\ttrap\t#0\n")
+		case rtl.KCall:
+			fmt.Fprintf(&b, "\tjbsr\t%s\n", i.Name)
+		case rtl.KPut:
+			fmt.Fprintf(&b, "\tjbsr\t_putchar\n")
+		}
+	}
+	return b.String()
+}
+
+// findAutoIncrement identifies derived pointers stepped by a constant
+// equal to an access size: their uses render as aX@+.
+func findAutoIncrement(f *rtl.Func) map[rtl.Reg]bool {
+	out := map[rtl.Reg]bool{}
+	for _, i := range f.Code {
+		if i.Kind != rtl.KAssign {
+			continue
+		}
+		b, ok := i.Src.(rtl.Bin)
+		if !ok || b.Op != rtl.Add {
+			continue
+		}
+		rx, lok := b.L.(rtl.RegX)
+		c, rok := b.R.(rtl.Imm)
+		if lok && rok && rx.Reg == i.Dst && (c.V == 1 || c.V == 4 || c.V == 8) {
+			out[i.Dst] = true
+		}
+	}
+	return out
+}
+
+func emitM68KAssign(b *strings.Builder, i *rtl.Instr, autoinc map[rtl.Reg]bool) {
+	// Pointer bumps of auto-increment registers vanish into the @+
+	// addressing mode.
+	if src, ok := i.Src.(rtl.Bin); ok && src.Op == rtl.Add {
+		if rx, isReg := src.L.(rtl.RegX); isReg && rx.Reg == i.Dst && autoinc[i.Dst] {
+			if _, isImm := src.R.(rtl.Imm); isImm {
+				return
+			}
+		}
+	}
+	if i.Dst.IsFIFO() {
+		// Enqueues that just name a register were folded into the store.
+		if _, isReg := i.Src.(rtl.RegX); isReg {
+			return
+		}
+	}
+	switch src := i.Src.(type) {
+	case rtl.Imm:
+		fmt.Fprintf(b, "\tmoveq\t#%d,%s\n", src.V, m68kReg(i.Dst))
+	case rtl.Sym:
+		fmt.Fprintf(b, "\tlea\t_%s", src.Name)
+		if src.Off != 0 {
+			fmt.Fprintf(b, "+%d", src.Off)
+		}
+		fmt.Fprintf(b, ",%s\n", m68kReg(i.Dst))
+	case rtl.FImm:
+		fmt.Fprintf(b, "\tfmoved\t#%g,%s\n", src.V, m68kReg(i.Dst))
+	case rtl.RegX:
+		fmt.Fprintf(b, "\tmovl\t%s,%s\n", m68kReg(src.Reg), m68kReg(i.Dst))
+	case rtl.Bin:
+		op := m68kOp(src.Op, src.L.Class() == rtl.Float)
+		if i.IsCompare() {
+			fmt.Fprintf(b, "\tcmpl\t%s,%s\n", m68kOperand(src.R, autoinc), m68kOperand(src.L, autoinc))
+			return
+		}
+		fmt.Fprintf(b, "\t%s\t%s,%s\n", op, m68kOperand(src.R, autoinc), m68kReg(i.Dst))
+	case rtl.Un:
+		fmt.Fprintf(b, "\t%s\t%s\n", src.Op, m68kReg(i.Dst))
+	case rtl.Cvt:
+		fmt.Fprintf(b, "\tfmovel\t%s,%s\n", m68kOperand(src.X, autoinc), m68kReg(i.Dst))
+	}
+}
+
+func m68kOp(op rtl.Op, float bool) string {
+	if float {
+		switch op {
+		case rtl.Add:
+			return "faddx"
+		case rtl.Sub:
+			return "fsubx"
+		case rtl.Mul:
+			return "fmulx"
+		case rtl.Div:
+			return "fdivx"
+		}
+		return "f" + op.String()
+	}
+	switch op {
+	case rtl.Add:
+		return "addl"
+	case rtl.Sub:
+		return "subl"
+	case rtl.Mul:
+		return "mulsl"
+	case rtl.Div:
+		return "divsl"
+	case rtl.Shl:
+		return "lsll"
+	case rtl.Shr:
+		return "asrl"
+	case rtl.And:
+		return "andl"
+	case rtl.Or:
+		return "orl"
+	case rtl.Xor:
+		return "eorl"
+	}
+	return op.String()
+}
+
+func m68kOperand(e rtl.Expr, autoinc map[rtl.Reg]bool) string {
+	switch x := e.(type) {
+	case rtl.RegX:
+		return m68kReg(x.Reg)
+	case rtl.Imm:
+		return fmt.Sprintf("#%d", x.V)
+	default:
+		return e.String()
+	}
+}
+
+func m68kAddr(addr rtl.Expr, autoinc map[rtl.Reg]bool) string {
+	switch x := addr.(type) {
+	case rtl.RegX:
+		if autoinc[x.Reg] {
+			return m68kAReg(x.Reg) + "@+"
+		}
+		return m68kAReg(x.Reg) + "@"
+	case rtl.Sym:
+		if x.Off != 0 {
+			return fmt.Sprintf("(_%s+%d)", x.Name, x.Off)
+		}
+		return "_" + x.Name
+	case rtl.Bin:
+		if x.Op == rtl.Add {
+			if base, ok := x.R.(rtl.RegX); ok {
+				if sh, ok := x.L.(rtl.Bin); ok && sh.Op == rtl.Shl {
+					if idx, ok := sh.L.(rtl.RegX); ok {
+						if sc, ok := sh.R.(rtl.Imm); ok {
+							return fmt.Sprintf("%s@(0,%s:l:%d)", m68kAReg(base.Reg), m68kReg(idx.Reg), 1<<uint(sc.V))
+						}
+					}
+				}
+				if off, ok := x.L.(rtl.Imm); ok {
+					return fmt.Sprintf("%s@(%d)", m68kAReg(base.Reg), off.V)
+				}
+			}
+			if off, ok := x.R.(rtl.Imm); ok {
+				if base, ok := x.L.(rtl.RegX); ok {
+					return fmt.Sprintf("%s@(%d)", m68kAReg(base.Reg), off.V)
+				}
+			}
+		}
+	}
+	return addr.String()
+}
+
+// m68kReg maps RTL registers to the 68020's split register files: data
+// registers for integer values, fp registers for floats.
+func m68kReg(r rtl.Reg) string {
+	if r.Class == rtl.Float {
+		return fmt.Sprintf("fp%d", r.N%8)
+	}
+	return fmt.Sprintf("d%d", r.N%8)
+}
+
+// m68kAReg renders a register used as a base address as an address
+// register.
+func m68kAReg(r rtl.Reg) string {
+	return fmt.Sprintf("a%d", r.N%8)
+}

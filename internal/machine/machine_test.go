@@ -1,0 +1,87 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"wmstream/internal/rtl"
+)
+
+func TestTableIMachinesComplete(t *testing.T) {
+	ms := TableIMachines()
+	if len(ms) != 4 {
+		t.Fatalf("machines = %d, want 4", len(ms))
+	}
+	names := map[string]bool{}
+	for _, m := range ms {
+		names[m.Name] = true
+		// Every cost must be positive (a zero would silently hide a
+		// class of work from Table I).
+		for field, v := range map[string]int64{
+			"Issue": m.Issue, "IntOp": m.IntOp, "FpAdd": m.FpAdd,
+			"FpMul": m.FpMul, "Load": m.Load, "FLoad": m.FLoad,
+			"Store": m.Store, "FStore": m.FStore, "Branch": m.Branch,
+		} {
+			if v <= 0 {
+				t.Errorf("%s: %s = %d", m.Name, field, v)
+			}
+		}
+	}
+	for _, want := range []string{"Sun 3/280", "HP 9000/345", "VAX 8600", "Motorola 88100"} {
+		if !names[want] {
+			t.Errorf("missing machine %q", want)
+		}
+	}
+}
+
+func TestRelativeCostStructure(t *testing.T) {
+	sun := Sun3_280()
+	vax := VAX8600()
+	m88 := M88100()
+	// The Table I story: coprocessor FP loads dwarf integer work on the
+	// Sun; the VAX's operand fetch is nearly free relative to its FP
+	// execution; the 88100 is cheap across the board.
+	if sun.FLoad <= 5*sun.IntOp {
+		t.Errorf("Sun FLoad (%d) should dwarf IntOp (%d)", sun.FLoad, sun.IntOp)
+	}
+	if vax.FLoad >= vax.FpAdd {
+		t.Errorf("VAX FLoad (%d) should be small relative to FpAdd (%d)", vax.FLoad, vax.FpAdd)
+	}
+	if m88.FpMul >= sun.FpMul/4 {
+		t.Errorf("88100 FpMul (%d) should be far below Sun's (%d)", m88.FpMul, sun.FpMul)
+	}
+}
+
+func TestM68KListing(t *testing.T) {
+	p, err := rtl.Parse(`
+.func kernel
+r10 := 2
+r11 := _x
+f0 := 1.5f
+L2:
+l64f f0, r11
+f2 := f0
+f3 := (f3 - f2)
+f0 := f3
+s64f f0, (r11 + 8)
+r11 := (r11 + 8)
+r10 := (r10 + 1)
+r31 := (r10 < r12)
+jumpTr L2
+ret
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := M68KListing(p.Func("kernel"))
+	for _, want := range []string{"moveq", "lea", "fmoved", "fsubx", "cmpl", "jne", "rts", "@+"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+	// The auto-increment pointer's bump must have vanished into @+.
+	if strings.Contains(out, "addl\t#8") {
+		t.Errorf("pointer bump not absorbed into auto-increment:\n%s", out)
+	}
+}

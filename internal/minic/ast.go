@@ -1,0 +1,223 @@
+package minic
+
+// Node positions let diagnostics point at source; every expression also
+// carries the type the checker computed for it.
+
+// Expr is a Mini-C expression.  After Check succeeds, T holds the
+// expression's type (arrays already decayed where C says they decay).
+type Expr interface {
+	Pos() Pos
+	Type() *Type
+	exprNode()
+}
+
+// exprBase provides Pos/Type storage for all expression nodes.
+type exprBase struct {
+	P Pos
+	T *Type
+}
+
+func (e *exprBase) Pos() Pos     { return e.P }
+func (e *exprBase) Type() *Type  { return e.T }
+func (e *exprBase) exprNode()    {}
+func (e *exprBase) setT(t *Type) { e.T = t }
+
+// IntLit is an integer or character literal.
+type IntLit struct {
+	exprBase
+	V int64
+}
+
+// FloatLit is a floating literal.
+type FloatLit struct {
+	exprBase
+	V float64
+}
+
+// StrLit is a string literal.  The checker assigns it a fresh global
+// symbol (Sym) holding the NUL-terminated bytes.
+type StrLit struct {
+	exprBase
+	V   string
+	Sym *VarSym
+}
+
+// Ident is a name use, resolved by the checker to its symbol.
+type Ident struct {
+	exprBase
+	Name string
+	Sym  *VarSym
+}
+
+// Unary is -x, !x, ~x, *p, &lv, ++lv, --lv, lv++, lv--.
+// Op spellings: "-", "!", "~", "*", "&", "++pre", "--pre", "++post", "--post".
+type Unary struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// Binary is l op r for the arithmetic, relational, shift, bitwise and
+// logical (&&, ||) operators.
+type Binary struct {
+	exprBase
+	Op   string
+	L, R Expr
+}
+
+// Assign is l = r (plain assignment; compound assignments are expanded
+// by the parser into Assign(l, Binary(op, l, r))).
+type Assign struct {
+	exprBase
+	L, R Expr
+}
+
+// Cond is c ? t : f.
+type Cond struct {
+	exprBase
+	C, T2, F Expr
+}
+
+// Call is a function call.
+type Call struct {
+	exprBase
+	Name string
+	Args []Expr
+	Fn   *FuncDecl // resolved target, nil for builtins
+}
+
+// Index is base[idx].
+type Index struct {
+	exprBase
+	Base, Idx Expr
+}
+
+// Conv is an implicit conversion the checker inserted.
+type Conv struct {
+	exprBase
+	X Expr
+}
+
+// Stmt is a Mini-C statement.
+type Stmt interface{ stmtNode() }
+
+// DeclStmt declares local variables.
+type DeclStmt struct {
+	Vars []*VarDecl
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct{ X Expr }
+
+// IfStmt is if (Cond) Then else Else (Else may be nil).
+type IfStmt struct {
+	Cond       Expr
+	Then, Else Stmt
+}
+
+// WhileStmt is while (Cond) Body, or do Body while (Cond) when DoWhile.
+type WhileStmt struct {
+	Cond    Expr
+	Body    Stmt
+	DoWhile bool
+}
+
+// ForStmt is for (Init; Cond; Post) Body; any header part may be nil.
+type ForStmt struct {
+	Init, Post Expr
+	Cond       Expr
+	Body       Stmt
+}
+
+// ReturnStmt returns X (nil for void returns).
+type ReturnStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt restarts the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+// BlockStmt is { stmts... } with its own scope.
+type BlockStmt struct{ List []Stmt }
+
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*BlockStmt) stmtNode()    {}
+
+// VarSym is the symbol for one declared variable (or string literal).
+// The code generator assigns Frame offsets for locals.
+type VarSym struct {
+	Name   string
+	Ty     *Type
+	Global bool
+	// Param marks function parameters and records their index.
+	Param    bool
+	ParamIdx int
+	// Linked declaration for globals (initializer data).
+	Decl *VarDecl
+	// Unique assembly-level name (globals and string literals).
+	AsmName string
+}
+
+// VarDecl is one declarator: a name, type, and optional initializer.
+// Globals permit constant scalar initializers, brace lists for arrays,
+// and string literals for char arrays.
+type VarDecl struct {
+	Name string
+	Ty   *Type
+	Pos  Pos
+
+	Init     Expr   // scalar initializer (may be non-constant for locals)
+	InitList []Expr // array initializer elements
+	InitStr  string // char-array string initializer
+	HasInit  bool
+
+	Sym *VarSym // filled by the checker
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Ty   *Type
+	Pos  Pos
+	Sym  *VarSym
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    *Type
+	Params []*Param
+	Body   *BlockStmt
+	Pos    Pos
+}
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+
+	// Strings collects the string-literal symbols created during
+	// checking, in order of appearance.
+	Strings []*StrLit
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}

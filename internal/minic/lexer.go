@@ -1,0 +1,234 @@
+package minic
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Lexer turns Mini-C source text into tokens.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// multi-character punctuation, longest first.
+var puncts = []string{
+	"<<=", ">>=", "...",
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "++", "--",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->",
+	"+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+	"(", ")", "[", "]", "{", "}", ",", ";", "?", ":",
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	start := Pos{l.line, l.col}
+	if l.pos >= len(l.src) {
+		return Token{Kind: TEOF, Pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		word := l.takeWhile(isIdentPart)
+		if keywords[word] {
+			return Token{Kind: TKeyword, Text: word, Pos: start}, nil
+		}
+		return Token{Kind: TIdent, Text: word, Pos: start}, nil
+	case c >= '0' && c <= '9':
+		return l.lexNumber(start)
+	case c == '\'':
+		return l.lexChar(start)
+	case c == '"':
+		return l.lexString(start)
+	}
+	for _, p := range puncts {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			l.advance(len(p))
+			return Token{Kind: TPunct, Text: p, Pos: start}, nil
+		}
+	}
+	return Token{}, errf(start, "unexpected character %q", string(c))
+}
+
+// Tokenize scans the entire input.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *Lexer) lexNumber(start Pos) (Token, error) {
+	text := l.takeWhile(func(c byte) bool {
+		return c >= '0' && c <= '9' || c == '.' || c == 'x' || c == 'X' ||
+			c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+	})
+	// Exponent part: 1e10, 1.5e-3.
+	if l.pos < len(l.src) && (l.peekByte() == 'e' || l.peekByte() == 'E') &&
+		!strings.HasPrefix(text, "0x") && !strings.HasPrefix(text, "0X") {
+		text += string(l.peekByte())
+		l.advance(1)
+		if l.pos < len(l.src) && (l.peekByte() == '+' || l.peekByte() == '-') {
+			text += string(l.peekByte())
+			l.advance(1)
+		}
+		text += l.takeWhile(func(c byte) bool { return c >= '0' && c <= '9' })
+	}
+	if strings.ContainsAny(text, ".eE") && !strings.HasPrefix(text, "0x") && !strings.HasPrefix(text, "0X") {
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Token{}, errf(start, "bad float literal %q", text)
+		}
+		return Token{Kind: TFloatLit, Text: text, Flt: v, Pos: start}, nil
+	}
+	v, err := strconv.ParseInt(text, 0, 64)
+	if err != nil {
+		return Token{}, errf(start, "bad integer literal %q", text)
+	}
+	return Token{Kind: TIntLit, Text: text, Int: v, Pos: start}, nil
+}
+
+func (l *Lexer) lexChar(start Pos) (Token, error) {
+	l.advance(1) // opening quote
+	if l.pos >= len(l.src) {
+		return Token{}, errf(start, "unterminated character literal")
+	}
+	var v int64
+	if l.peekByte() == '\\' {
+		l.advance(1)
+		if l.pos >= len(l.src) {
+			return Token{}, errf(start, "unterminated escape")
+		}
+		e, ok := unescape(l.peekByte())
+		if !ok {
+			return Token{}, errf(start, "unknown escape \\%c", l.peekByte())
+		}
+		v = int64(e)
+		l.advance(1)
+	} else {
+		v = int64(l.peekByte())
+		l.advance(1)
+	}
+	if l.pos >= len(l.src) || l.peekByte() != '\'' {
+		return Token{}, errf(start, "unterminated character literal")
+	}
+	l.advance(1)
+	return Token{Kind: TCharLit, Int: v, Pos: start}, nil
+}
+
+func (l *Lexer) lexString(start Pos) (Token, error) {
+	l.advance(1) // opening quote
+	var sb strings.Builder
+	for {
+		if l.pos >= len(l.src) || l.peekByte() == '\n' {
+			return Token{}, errf(start, "unterminated string literal")
+		}
+		c := l.peekByte()
+		if c == '"' {
+			l.advance(1)
+			return Token{Kind: TStringLit, Str: sb.String(), Pos: start}, nil
+		}
+		if c == '\\' {
+			l.advance(1)
+			if l.pos >= len(l.src) {
+				return Token{}, errf(start, "unterminated escape")
+			}
+			e, ok := unescape(l.peekByte())
+			if !ok {
+				return Token{}, errf(start, "unknown escape \\%c", l.peekByte())
+			}
+			sb.WriteByte(e)
+			l.advance(1)
+			continue
+		}
+		sb.WriteByte(c)
+		l.advance(1)
+	}
+}
+
+func unescape(c byte) (byte, bool) {
+	switch c {
+	case 'n':
+		return '\n', true
+	case 't':
+		return '\t', true
+	case 'r':
+		return '\r', true
+	case '0':
+		return 0, true
+	case '\\':
+		return '\\', true
+	case '\'':
+		return '\'', true
+	case '"':
+		return '"', true
+	}
+	return 0, false
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance(1)
+		case strings.HasPrefix(l.src[l.pos:], "/*"):
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.advance(len(l.src) - l.pos)
+				return
+			}
+			l.advance(end + 4)
+		case strings.HasPrefix(l.src[l.pos:], "//"):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) takeWhile(pred func(byte) bool) string {
+	start := l.pos
+	for l.pos < len(l.src) && pred(l.src[l.pos]) {
+		l.advance(1)
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *Lexer) peekByte() byte { return l.src[l.pos] }
+
+func (l *Lexer) advance(n int) {
+	for k := 0; k < n && l.pos < len(l.src); k++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }

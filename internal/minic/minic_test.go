@@ -1,0 +1,463 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+// --- lexer ---------------------------------------------------------------
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := Tokenize(`int x = 42; double d = 1.5e3; char c = 'a';`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{}
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	want := []TokKind{TKeyword, TIdent, TPunct, TIntLit, TPunct,
+		TKeyword, TIdent, TPunct, TFloatLit, TPunct,
+		TKeyword, TIdent, TPunct, TCharLit, TPunct, TEOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for n := range want {
+		if kinds[n] != want[n] {
+			t.Errorf("token %d kind = %v, want %v", n, kinds[n], want[n])
+		}
+	}
+	if toks[3].Int != 42 {
+		t.Errorf("int literal = %d", toks[3].Int)
+	}
+	if toks[8].Flt != 1500 {
+		t.Errorf("float literal = %g", toks[8].Flt)
+	}
+	if toks[13].Int != 'a' {
+		t.Errorf("char literal = %d", toks[13].Int)
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	toks, err := Tokenize(`a <<= 1; b >>= 2; a << b >> c <= d >= e == f != g && h || i ++ -- += -=`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, tk := range toks {
+		if tk.Kind == TPunct {
+			ops = append(ops, tk.Text)
+		}
+	}
+	for _, want := range []string{"<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "++", "--", "+=", "-="} {
+		found := false
+		for _, o := range ops {
+			if o == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("operator %q not lexed: %v", want, ops)
+		}
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	toks, err := Tokenize("int /* block \n comment */ x; // line\nint y;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{}
+	for _, tk := range toks {
+		if tk.Kind == TIdent {
+			names = append(names, tk.Text)
+		}
+	}
+	if len(names) != 2 || names[0] != "x" || names[1] != "y" {
+		t.Errorf("idents = %v", names)
+	}
+}
+
+func TestTokenizeString(t *testing.T) {
+	toks, err := Tokenize(`"hi\n\t\"q\""`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Str != "hi\n\t\"q\"" {
+		t.Errorf("string = %q", toks[0].Str)
+	}
+}
+
+func TestTokenizeHex(t *testing.T) {
+	toks, err := Tokenize("0x1f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TIntLit || toks[0].Int != 31 {
+		t.Errorf("hex = %+v", toks[0])
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	for _, src := range []string{"'", "'ab", `"unterminated`, "@", `'\q'`} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q) succeeded", src)
+		}
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks, err := Tokenize("int\n  x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("positions: %v %v", toks[0].Pos, toks[1].Pos)
+	}
+}
+
+// --- parser --------------------------------------------------------------
+
+func mustCompile(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return prog
+}
+
+func TestParseLivermore5(t *testing.T) {
+	prog := mustCompile(t, `
+double x[100], y[100], z[100];
+void kernel(int n) {
+    int i;
+    for (i = 2; i < n; i++)
+        x[i] = z[i] * (y[i] - x[i-1]);
+}
+int main(void) { kernel(100); return 0; }
+`)
+	if len(prog.Globals) != 3 || len(prog.Funcs) != 2 {
+		t.Fatalf("globals=%d funcs=%d", len(prog.Globals), len(prog.Funcs))
+	}
+	k := prog.Func("kernel")
+	if k == nil || len(k.Params) != 1 || k.Params[0].Ty != IntType {
+		t.Fatalf("kernel signature wrong: %+v", k)
+	}
+	// Body: DeclStmt, ForStmt.
+	if len(k.Body.List) != 2 {
+		t.Fatalf("kernel body = %d stmts", len(k.Body.List))
+	}
+	fs, ok := k.Body.List[1].(*ForStmt)
+	if !ok {
+		t.Fatalf("second stmt is %T", k.Body.List[1])
+	}
+	as, ok := fs.Body.(*ExprStmt).X.(*Assign)
+	if !ok {
+		t.Fatalf("loop body is %T", fs.Body.(*ExprStmt).X)
+	}
+	if as.L.Type() != DoubleType {
+		t.Errorf("x[i] type = %s", as.L.Type())
+	}
+}
+
+func TestParsePointerDecls(t *testing.T) {
+	prog := mustCompile(t, `
+int *p;
+double **q;
+int f(int *a, char *s) { return a[0] + s[1]; }
+`)
+	if prog.Globals[0].Ty.Kind != TypePointer || prog.Globals[0].Ty.Elem != IntType {
+		t.Errorf("p type = %s", prog.Globals[0].Ty)
+	}
+	if prog.Globals[1].Ty.Elem.Kind != TypePointer {
+		t.Errorf("q type = %s", prog.Globals[1].Ty)
+	}
+}
+
+func TestParseMultiDeclarators(t *testing.T) {
+	prog := mustCompile(t, `int a, b = 3, c[4];`)
+	if len(prog.Globals) != 3 {
+		t.Fatalf("globals = %d", len(prog.Globals))
+	}
+	if !prog.Globals[1].HasInit {
+		t.Error("b lost initializer")
+	}
+	if prog.Globals[2].Ty.Kind != TypeArray || prog.Globals[2].Ty.Len != 4 {
+		t.Errorf("c type = %s", prog.Globals[2].Ty)
+	}
+}
+
+func TestParseArrayInitializers(t *testing.T) {
+	prog := mustCompile(t, `
+int tab[3] = {1, 2, 3};
+char msg[] = "hey";
+double w[] = {1.5, 2.5};
+`)
+	if prog.Globals[1].Ty.Len != 4 {
+		t.Errorf("msg len = %d, want 4 (incl NUL)", prog.Globals[1].Ty.Len)
+	}
+	if prog.Globals[2].Ty.Len != 2 {
+		t.Errorf("w len = %d", prog.Globals[2].Ty.Len)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog := mustCompile(t, `int f(int a, int b, int c) { return a + b * c; }`)
+	ret := prog.Funcs[0].Body.List[0].(*ReturnStmt)
+	add, ok := ret.X.(*Binary)
+	if !ok || add.Op != "+" {
+		t.Fatalf("top op = %v", ret.X)
+	}
+	mul, ok := add.R.(*Binary)
+	if !ok || mul.Op != "*" {
+		t.Fatalf("right op = %v", add.R)
+	}
+}
+
+func TestParseCompoundAssign(t *testing.T) {
+	prog := mustCompile(t, `int f(int a) { a += 2; a <<= 1; return a; }`)
+	s := prog.Funcs[0].Body.List[0].(*ExprStmt)
+	as, ok := s.X.(*Assign)
+	if !ok {
+		t.Fatalf("stmt = %T", s.X)
+	}
+	bin, ok := as.R.(*Binary)
+	if !ok || bin.Op != "+" {
+		t.Fatalf("compound RHS = %v", as.R)
+	}
+}
+
+func TestParseIncDec(t *testing.T) {
+	prog := mustCompile(t, `int f(int a) { int b; b = a++; b = ++a; a--; return b; }`)
+	body := prog.Funcs[0].Body.List
+	post := body[1].(*ExprStmt).X.(*Assign).R.(*Unary)
+	if post.Op != "++post" {
+		t.Errorf("op = %q", post.Op)
+	}
+	pre := body[2].(*ExprStmt).X.(*Assign).R.(*Unary)
+	if pre.Op != "++pre" {
+		t.Errorf("op = %q", pre.Op)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	mustCompile(t, `
+int f(int n) {
+    int s, i;
+    s = 0;
+    i = 0;
+    while (i < n) { s += i; i++; }
+    do { s--; } while (s > 100);
+    for (i = 0; i < n; i++) {
+        if (i % 2 == 0) continue;
+        if (s > 1000) break;
+        s += i;
+    }
+    if (s < 0) s = -s; else s = s + 1;
+    return s;
+}`)
+}
+
+func TestParseTernary(t *testing.T) {
+	prog := mustCompile(t, `int max(int a, int b) { return a > b ? a : b; }`)
+	ret := prog.Funcs[0].Body.List[0].(*ReturnStmt)
+	if _, ok := ret.X.(*Cond); !ok {
+		t.Fatalf("not ternary: %T", ret.X)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"int;",
+		"int f( { }",
+		"int f() { return }",
+		"int f() { if (1 }",
+		"int a[0];",
+		"int a[x];",
+		"xyz w;",
+		"int f() { 3 = 4; }",
+		"int f() { for (;;) }",
+	}
+	for _, src := range bad {
+		if _, err := ParseProgram(src); err == nil {
+			// Some only fail in Check.
+			if _, err2 := Compile(src); err2 == nil {
+				t.Errorf("Compile(%q) succeeded", src)
+			}
+		}
+	}
+}
+
+// --- checker -------------------------------------------------------------
+
+func TestCheckUndefined(t *testing.T) {
+	for _, src := range []string{
+		"int f() { return q; }",
+		"int f() { g(); return 0; }",
+		"int f(int a) { return a + b; }",
+	} {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q) succeeded, want undefined error", src)
+		}
+	}
+}
+
+func TestCheckTypeErrors(t *testing.T) {
+	bad := []string{
+		"double d; int f() { return d % 2; }",
+		"int a[3]; int f() { a = 0; return 0; }",
+		"int f() { return *3; }",
+		"int x; int f() { return x[2]; }",
+		"void g() {} int f() { return g() + 1; }",
+		"int f(int a) { return f(a, a); }",
+		"int f() { break; }",
+		"int f() { continue; }",
+		"void f() { return 3; }",
+		"int f() { return; }",
+		"int f() { int a; int a; return 0; }",
+		"int f() { return &3; }",
+		"int f() { 4++; return 0; }",
+	}
+	for _, src := range bad {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q) succeeded, want type error", src)
+		}
+	}
+}
+
+func TestCheckImplicitConversions(t *testing.T) {
+	prog := mustCompile(t, `
+double f(int a, double b) { return a + b; }
+int g() { return 2.5; }
+`)
+	ret := prog.Funcs[0].Body.List[0].(*ReturnStmt)
+	bin := ret.X.(*Binary)
+	if bin.L.Type() != DoubleType || bin.R.Type() != DoubleType {
+		t.Errorf("operand types %s, %s", bin.L.Type(), bin.R.Type())
+	}
+	if _, ok := bin.L.(*Conv); !ok {
+		t.Errorf("int operand not converted: %T", bin.L)
+	}
+	ret2 := prog.Funcs[1].Body.List[0].(*ReturnStmt)
+	if ret2.X.Type() != IntType {
+		t.Errorf("return conv type = %s", ret2.X.Type())
+	}
+}
+
+func TestCheckCharPromotion(t *testing.T) {
+	prog := mustCompile(t, `char c; int f() { return c + 1; }`)
+	ret := prog.Funcs[0].Body.List[0].(*ReturnStmt)
+	bin := ret.X.(*Binary)
+	if bin.L.Type() != IntType {
+		t.Errorf("char operand type = %s", bin.L.Type())
+	}
+}
+
+func TestCheckArrayDecay(t *testing.T) {
+	prog := mustCompile(t, `
+int a[10];
+int *f() { return a; }
+int g(int *p) { return p[0]; }
+int h() { return g(a); }
+`)
+	ret := prog.Funcs[0].Body.List[0].(*ReturnStmt)
+	if ret.X.Type().Kind != TypePointer {
+		t.Errorf("decayed type = %s", ret.X.Type())
+	}
+}
+
+func TestCheckPointerArith(t *testing.T) {
+	prog := mustCompile(t, `
+int a[10];
+int f(int *p, int n) { return *(p + n) + (a + 2 - a); }
+`)
+	_ = prog
+}
+
+func TestCheckStringLiterals(t *testing.T) {
+	prog := mustCompile(t, `
+int puts2(char *s) { int i; i = 0; while (s[i]) { putchar(s[i]); i++; } return i; }
+int main() { puts2("hello"); return 0; }
+`)
+	if len(prog.Strings) != 1 {
+		t.Fatalf("strings = %d", len(prog.Strings))
+	}
+	s := prog.Strings[0]
+	if s.Sym.Ty.Len != 6 {
+		t.Errorf("string storage = %s", s.Sym.Ty)
+	}
+	if s.Type().Kind != TypePointer {
+		t.Errorf("string value type = %s", s.Type())
+	}
+}
+
+func TestCheckBuiltins(t *testing.T) {
+	mustCompile(t, `
+double f(double x) { return sqrt(x) + sin(x) * cos(x) + exp(log(x)) + atan(x) + fabs(-x); }
+int main() { putchar(65); puti(42); putd(2.5); return 0; }
+`)
+	if _, err := Compile(`int sqrt(int x) { return x; }`); err == nil {
+		t.Error("shadowing builtin should fail")
+	}
+	if _, err := Compile(`int f() { return sqrt(2.0, 3.0); }`); err == nil {
+		t.Error("arity error should fail")
+	}
+}
+
+func TestCheckGlobalInitConstness(t *testing.T) {
+	if _, err := Compile(`int a; int b = a;`); err == nil {
+		t.Error("non-constant global init should fail")
+	}
+	mustCompile(t, `int b = -5; double d = 2.5; int t[2] = {1, 2};`)
+}
+
+func TestCheckRecursion(t *testing.T) {
+	mustCompile(t, `
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+`)
+}
+
+func TestCheckScopes(t *testing.T) {
+	mustCompile(t, `
+int x;
+int f() {
+    int x;
+    x = 1;
+    { int x; x = 2; }
+    return x;
+}`)
+}
+
+func TestErrorMessagesCarryPosition(t *testing.T) {
+	_, err := Compile("int f() {\n  return q;\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error lacks line: %v", err)
+	}
+}
+
+func TestTypeHelpers(t *testing.T) {
+	at := ArrayOf(DoubleType, 10)
+	if at.Size() != 80 || at.Align() != 8 {
+		t.Errorf("array size/align = %d/%d", at.Size(), at.Align())
+	}
+	pt := PointerTo(IntType)
+	if pt.Size() != 8 {
+		t.Errorf("pointer size = %d", pt.Size())
+	}
+	if !at.Decay().Equal(PointerTo(DoubleType)) {
+		t.Errorf("decay = %s", at.Decay())
+	}
+	if IntType.String() != "int" || pt.String() != "int*" || at.String() != "double[10]" {
+		t.Errorf("strings: %s %s %s", IntType, pt, at)
+	}
+	if !IntType.IsInteger() || !CharType.IsInteger() || DoubleType.IsInteger() {
+		t.Error("IsInteger wrong")
+	}
+	if !pt.IsScalar() || at.IsScalar() {
+		t.Error("IsScalar wrong")
+	}
+}

@@ -1,0 +1,684 @@
+package minic
+
+// Parser is a recursive-descent parser for Mini-C.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// ParseProgram tokenizes and parses src, returning the (unchecked) AST.
+func ParseProgram(src string) (*Program, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	prog := &Program{}
+	for !p.atEOF() {
+		base, err := p.parseBaseType()
+		if err != nil {
+			return nil, err
+		}
+		ty, name, namePos, err := p.parseDeclarator(base)
+		if err != nil {
+			return nil, err
+		}
+		if p.peekPunct("(") {
+			fn, err := p.parseFuncRest(ty, name, namePos)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+			continue
+		}
+		decls, err := p.parseVarDeclRest(base, ty, name, namePos)
+		if err != nil {
+			return nil, err
+		}
+		prog.Globals = append(prog.Globals, decls...)
+	}
+	return prog, nil
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) atEOF() bool { return p.cur().Kind == TEOF }
+
+func (p *Parser) advance() Token {
+	t := p.cur()
+	if t.Kind != TEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) peekPunct(s string) bool {
+	t := p.cur()
+	return t.Kind == TPunct && t.Text == s
+}
+
+func (p *Parser) peekKeyword(s string) bool {
+	t := p.cur()
+	return t.Kind == TKeyword && t.Text == s
+}
+
+func (p *Parser) acceptPunct(s string) bool {
+	if p.peekPunct(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return errf(p.cur().Pos, "expected %q, found %s %q", s, p.cur().Kind, p.cur().Text)
+	}
+	return nil
+}
+
+func (p *Parser) isTypeStart() bool {
+	t := p.cur()
+	if t.Kind != TKeyword {
+		return false
+	}
+	switch t.Text {
+	case "int", "char", "double", "void":
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseBaseType() (*Type, error) {
+	t := p.cur()
+	if t.Kind != TKeyword {
+		return nil, errf(t.Pos, "expected type, found %q", t.Text)
+	}
+	var ty *Type
+	switch t.Text {
+	case "int":
+		ty = IntType
+	case "char":
+		ty = CharType
+	case "double":
+		ty = DoubleType
+	case "void":
+		ty = VoidType
+	default:
+		return nil, errf(t.Pos, "expected type, found %q", t.Text)
+	}
+	p.advance()
+	return ty, nil
+}
+
+// parseDeclarator parses "*"* name ("[" int "]")?, returning the full
+// type and the declared name.
+func (p *Parser) parseDeclarator(base *Type) (*Type, string, Pos, error) {
+	ty := base
+	for p.acceptPunct("*") {
+		ty = PointerTo(ty)
+	}
+	t := p.cur()
+	if t.Kind != TIdent {
+		return nil, "", t.Pos, errf(t.Pos, "expected identifier, found %q", t.Text)
+	}
+	p.advance()
+	if p.acceptPunct("[") {
+		// Empty brackets: length inferred from the initializer.
+		if p.acceptPunct("]") {
+			return ArrayOf(ty, -1), t.Text, t.Pos, nil
+		}
+		sz := p.cur()
+		if sz.Kind != TIntLit {
+			return nil, "", t.Pos, errf(sz.Pos, "array length must be an integer literal")
+		}
+		p.advance()
+		if err := p.expectPunct("]"); err != nil {
+			return nil, "", t.Pos, err
+		}
+		if sz.Int <= 0 {
+			return nil, "", t.Pos, errf(sz.Pos, "array length must be positive")
+		}
+		return ArrayOf(ty, int(sz.Int)), t.Text, t.Pos, nil
+	}
+	return ty, t.Text, t.Pos, nil
+}
+
+// parseVarDeclRest parses the remainder of a declaration statement
+// after the first declarator has been consumed.
+func (p *Parser) parseVarDeclRest(base, firstTy *Type, firstName string, firstPos Pos) ([]*VarDecl, error) {
+	var decls []*VarDecl
+	ty, name, pos := firstTy, firstName, firstPos
+	for {
+		d := &VarDecl{Name: name, Ty: ty, Pos: pos}
+		if p.acceptPunct("=") {
+			if err := p.parseInitializer(d); err != nil {
+				return nil, err
+			}
+		}
+		if d.Ty.Kind == TypeArray && d.Ty.Len == -1 {
+			switch {
+			case d.InitStr != "":
+				d.Ty = ArrayOf(d.Ty.Elem, len(d.InitStr)+1) // plus NUL
+			case len(d.InitList) > 0:
+				d.Ty = ArrayOf(d.Ty.Elem, len(d.InitList))
+			default:
+				return nil, errf(pos, "array %q needs an explicit length or initializer", name)
+			}
+		}
+		decls = append(decls, d)
+		if p.acceptPunct(",") {
+			var err error
+			ty, name, pos, err = p.parseDeclarator(base)
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return decls, nil
+	}
+}
+
+func (p *Parser) parseInitializer(d *VarDecl) error {
+	d.HasInit = true
+	if p.acceptPunct("{") {
+		for {
+			e, err := p.parseAssign()
+			if err != nil {
+				return err
+			}
+			d.InitList = append(d.InitList, e)
+			if p.acceptPunct(",") {
+				if p.acceptPunct("}") { // trailing comma
+					return nil
+				}
+				continue
+			}
+			return p.expectPunct("}")
+		}
+	}
+	if p.cur().Kind == TStringLit && d.Ty.Kind == TypeArray && d.Ty.Elem.Kind == TypeChar {
+		d.InitStr = p.cur().Str
+		p.advance()
+		return nil
+	}
+	e, err := p.parseAssign()
+	if err != nil {
+		return err
+	}
+	d.Init = e
+	return nil
+}
+
+func (p *Parser) parseFuncRest(ret *Type, name string, pos Pos) (*FuncDecl, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name, Ret: ret, Pos: pos}
+	if p.peekKeyword("void") && p.toks[p.pos+1].Kind == TPunct && p.toks[p.pos+1].Text == ")" {
+		p.advance()
+	}
+	if !p.acceptPunct(")") {
+		for {
+			base, err := p.parseBaseType()
+			if err != nil {
+				return nil, err
+			}
+			ty, pname, ppos, err := p.parseDeclarator(base)
+			if err != nil {
+				return nil, err
+			}
+			// Array parameters decay to pointers, as in C.
+			if ty.Kind == TypeArray {
+				ty = PointerTo(ty.Elem)
+			}
+			fn.Params = append(fn.Params, &Param{Name: pname, Ty: ty, Pos: ppos})
+			if p.acceptPunct(",") {
+				continue
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{}
+	for !p.acceptPunct("}") {
+		if p.atEOF() {
+			return nil, errf(p.cur().Pos, "unexpected end of file in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.List = append(b.List, s)
+	}
+	return b, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.peekPunct("{"):
+		return p.parseBlock()
+	case p.peekPunct(";"):
+		p.advance()
+		return &BlockStmt{}, nil
+	case p.peekKeyword("if"):
+		return p.parseIf()
+	case p.peekKeyword("while"):
+		return p.parseWhile()
+	case p.peekKeyword("do"):
+		return p.parseDoWhile()
+	case p.peekKeyword("for"):
+		return p.parseFor()
+	case p.peekKeyword("return"):
+		pos := p.advance().Pos
+		if p.acceptPunct(";") {
+			return &ReturnStmt{Pos: pos}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{X: e, Pos: pos}, p.expectPunct(";")
+	case p.peekKeyword("break"):
+		pos := p.advance().Pos
+		return &BreakStmt{Pos: pos}, p.expectPunct(";")
+	case p.peekKeyword("continue"):
+		pos := p.advance().Pos
+		return &ContinueStmt{Pos: pos}, p.expectPunct(";")
+	case p.isTypeStart():
+		base, err := p.parseBaseType()
+		if err != nil {
+			return nil, err
+		}
+		ty, name, pos, err := p.parseDeclarator(base)
+		if err != nil {
+			return nil, err
+		}
+		decls, err := p.parseVarDeclRest(base, ty, name, pos)
+		if err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Vars: decls}, nil
+	default:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: e}, p.expectPunct(";")
+	}
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	p.advance() // if
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then}
+	if p.peekKeyword("else") {
+		p.advance()
+		s.Else, err = p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	p.advance() // while
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) parseDoWhile() (Stmt, error) {
+	p.advance() // do
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.peekKeyword("while") {
+		return nil, errf(p.cur().Pos, "expected while after do body")
+	}
+	p.advance()
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, DoWhile: true}, p.expectPunct(";")
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	p.advance() // for
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{}
+	var err error
+	if !p.peekPunct(";") {
+		s.Init, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if !p.peekPunct(";") {
+		s.Cond, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if !p.peekPunct(")") {
+		s.Post, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	s.Body, err = p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// --- expressions --------------------------------------------------------
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseAssign() }
+
+var compoundOps = map[string]string{
+	"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+	"&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+}
+
+func (p *Parser) parseAssign() (Expr, error) {
+	l, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind == TPunct {
+		if t.Text == "=" {
+			p.advance()
+			r, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			a := &Assign{L: l, R: r}
+			a.P = t.Pos
+			return a, nil
+		}
+		if op, ok := compoundOps[t.Text]; ok {
+			p.advance()
+			r, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			// l op= r expands to l = l op r.  The checker rejects
+			// left-hand sides with side effects, so the double
+			// evaluation is safe.
+			bin := &Binary{Op: op, L: l, R: r}
+			bin.P = t.Pos
+			a := &Assign{L: l, R: bin}
+			a.P = t.Pos
+			return a, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseCond() (Expr, error) {
+	c, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.peekPunct("?") {
+		pos := p.advance().Pos
+		t, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		f, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		e := &Cond{C: c, T2: t, F: f}
+		e.P = pos
+		return e, nil
+	}
+	return c, nil
+}
+
+// binary operator precedence levels, lowest binding first.
+var binLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *Parser) parseBinary(level int) (Expr, error) {
+	if level >= len(binLevels) {
+		return p.parseUnary()
+	}
+	l, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TPunct || !contains(binLevels[level], t.Text) {
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseBinary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		b := &Binary{Op: t.Text, L: l, R: r}
+		b.P = t.Pos
+		l = b
+	}
+}
+
+func contains(s []string, x string) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TPunct {
+		switch t.Text {
+		case "-", "!", "~", "*", "&":
+			p.advance()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			u := &Unary{Op: t.Text, X: x}
+			u.P = t.Pos
+			return u, nil
+		case "+":
+			p.advance()
+			return p.parseUnary()
+		case "++", "--":
+			p.advance()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			u := &Unary{Op: t.Text + "pre", X: x}
+			u.P = t.Pos
+			return u, nil
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TPunct {
+			return e, nil
+		}
+		switch t.Text {
+		case "[":
+			p.advance()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			ix := &Index{Base: e, Idx: idx}
+			ix.P = t.Pos
+			e = ix
+		case "(":
+			id, ok := e.(*Ident)
+			if !ok {
+				return nil, errf(t.Pos, "only direct function calls are supported")
+			}
+			p.advance()
+			call := &Call{Name: id.Name}
+			call.P = id.P
+			if !p.acceptPunct(")") {
+				for {
+					a, err := p.parseAssign()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if p.acceptPunct(",") {
+						continue
+					}
+					if err := p.expectPunct(")"); err != nil {
+						return nil, err
+					}
+					break
+				}
+			}
+			e = call
+		case "++", "--":
+			p.advance()
+			u := &Unary{Op: t.Text + "post", X: e}
+			u.P = t.Pos
+			e = u
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TIntLit, TCharLit:
+		p.advance()
+		e := &IntLit{V: t.Int}
+		e.P = t.Pos
+		return e, nil
+	case TFloatLit:
+		p.advance()
+		e := &FloatLit{V: t.Flt}
+		e.P = t.Pos
+		return e, nil
+	case TStringLit:
+		p.advance()
+		e := &StrLit{V: t.Str}
+		e.P = t.Pos
+		return e, nil
+	case TIdent:
+		p.advance()
+		e := &Ident{Name: t.Text}
+		e.P = t.Pos
+		return e, nil
+	case TPunct:
+		if t.Text == "(" {
+			p.advance()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return e, p.expectPunct(")")
+		}
+	}
+	return nil, errf(t.Pos, "unexpected token %q in expression", tokenText(t))
+}
+
+func tokenText(t Token) string {
+	if t.Kind == TEOF {
+		return "<eof>"
+	}
+	return t.Text
+}

@@ -1,0 +1,736 @@
+package minic
+
+import "fmt"
+
+// Builtins are the functions the runtime provides without declaration:
+// simple output routines (the simulator implements them directly) and
+// the FEU math operations used by the whetstone-like benchmark.
+var Builtins = map[string]*Type{
+	"putchar": {Kind: TypeFunc, Ret: IntType, Par: []*Type{IntType}},
+	"puti":    {Kind: TypeFunc, Ret: VoidType, Par: []*Type{IntType}},
+	"putd":    {Kind: TypeFunc, Ret: VoidType, Par: []*Type{DoubleType}},
+	"sqrt":    {Kind: TypeFunc, Ret: DoubleType, Par: []*Type{DoubleType}},
+	"sin":     {Kind: TypeFunc, Ret: DoubleType, Par: []*Type{DoubleType}},
+	"cos":     {Kind: TypeFunc, Ret: DoubleType, Par: []*Type{DoubleType}},
+	"exp":     {Kind: TypeFunc, Ret: DoubleType, Par: []*Type{DoubleType}},
+	"log":     {Kind: TypeFunc, Ret: DoubleType, Par: []*Type{DoubleType}},
+	"atan":    {Kind: TypeFunc, Ret: DoubleType, Par: []*Type{DoubleType}},
+	"fabs":    {Kind: TypeFunc, Ret: DoubleType, Par: []*Type{DoubleType}},
+}
+
+// checker carries the state of one Check run.
+type checker struct {
+	prog    *Program
+	scopes  []map[string]*VarSym
+	curFn   *FuncDecl
+	loop    int // nesting depth of loops (for break/continue)
+	nextStr int
+	funcs   map[string]*FuncDecl
+}
+
+// Check resolves names, computes types, inserts implicit conversions
+// and validates the program.  It mutates the AST in place.
+func Check(prog *Program) error {
+	c := &checker{prog: prog, funcs: map[string]*FuncDecl{}}
+	c.push()
+	// Declare functions first so forward references and recursion work.
+	for _, fn := range prog.Funcs {
+		if _, dup := c.funcs[fn.Name]; dup {
+			return errf(fn.Pos, "function %q redefined", fn.Name)
+		}
+		if Builtins[fn.Name] != nil {
+			return errf(fn.Pos, "function %q shadows a builtin", fn.Name)
+		}
+		c.funcs[fn.Name] = fn
+	}
+	// Globals.
+	for _, d := range prog.Globals {
+		if err := c.declareGlobal(d); err != nil {
+			return err
+		}
+	}
+	// Function bodies.
+	for _, fn := range prog.Funcs {
+		if err := c.checkFunc(fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]*VarSym{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(sym *VarSym, pos Pos) error {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[sym.Name]; dup {
+		return errf(pos, "%q redeclared in this scope", sym.Name)
+	}
+	top[sym.Name] = sym
+	return nil
+}
+
+func (c *checker) lookup(name string) *VarSym {
+	for n := len(c.scopes) - 1; n >= 0; n-- {
+		if s := c.scopes[n][name]; s != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+func (c *checker) declareGlobal(d *VarDecl) error {
+	if d.Ty == VoidType {
+		return errf(d.Pos, "variable %q has void type", d.Name)
+	}
+	sym := &VarSym{Name: d.Name, Ty: d.Ty, Global: true, Decl: d, AsmName: d.Name}
+	d.Sym = sym
+	if err := c.declare(sym, d.Pos); err != nil {
+		return err
+	}
+	return c.checkInitializer(d, true)
+}
+
+func (c *checker) checkInitializer(d *VarDecl, global bool) error {
+	if !d.HasInit {
+		return nil
+	}
+	switch {
+	case d.InitStr != "":
+		if d.Ty.Kind != TypeArray || d.Ty.Elem.Kind != TypeChar {
+			return errf(d.Pos, "string initializer requires a char array")
+		}
+		if len(d.InitStr)+1 > d.Ty.Size() {
+			return errf(d.Pos, "string initializer too long for %q", d.Name)
+		}
+	case d.InitList != nil:
+		if d.Ty.Kind != TypeArray {
+			return errf(d.Pos, "brace initializer requires an array")
+		}
+		if len(d.InitList) > d.Ty.Len {
+			return errf(d.Pos, "too many initializers for %q", d.Name)
+		}
+		for n, e := range d.InitList {
+			ce, err := c.checkExpr(e)
+			if err != nil {
+				return err
+			}
+			ce, err = c.convertTo(ce, d.Ty.Elem)
+			if err != nil {
+				return err
+			}
+			if global && !isConstExpr(ce) {
+				return errf(d.Pos, "global initializer element %d is not constant", n)
+			}
+			d.InitList[n] = ce
+		}
+	default:
+		ce, err := c.checkExpr(d.Init)
+		if err != nil {
+			return err
+		}
+		if d.Ty.Kind == TypeArray {
+			return errf(d.Pos, "cannot assign to array %q", d.Name)
+		}
+		ce, err = c.convertTo(ce, d.Ty)
+		if err != nil {
+			return err
+		}
+		if global && !isConstExpr(ce) {
+			return errf(d.Pos, "global initializer for %q is not constant", d.Name)
+		}
+		d.Init = ce
+	}
+	return nil
+}
+
+// isConstExpr reports whether the (checked) expression is a literal,
+// possibly behind conversions or a leading negation.
+func isConstExpr(e Expr) bool {
+	switch x := e.(type) {
+	case *IntLit, *FloatLit:
+		return true
+	case *Conv:
+		return isConstExpr(x.X)
+	case *Unary:
+		return x.Op == "-" && isConstExpr(x.X)
+	}
+	return false
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) error {
+	c.curFn = fn
+	c.push()
+	defer c.pop()
+	for n, p := range fn.Params {
+		if p.Ty == VoidType {
+			return errf(p.Pos, "parameter %q has void type", p.Name)
+		}
+		sym := &VarSym{Name: p.Name, Ty: p.Ty, Param: true, ParamIdx: n}
+		p.Sym = sym
+		if err := c.declare(sym, p.Pos); err != nil {
+			return err
+		}
+	}
+	return c.checkBlock(fn.Body)
+}
+
+func (c *checker) checkBlock(b *BlockStmt) error {
+	c.push()
+	defer c.pop()
+	for _, s := range b.List {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return c.checkBlock(st)
+	case *DeclStmt:
+		for _, d := range st.Vars {
+			if d.Ty == VoidType {
+				return errf(d.Pos, "variable %q has void type", d.Name)
+			}
+			sym := &VarSym{Name: d.Name, Ty: d.Ty}
+			d.Sym = sym
+			if err := c.declare(sym, d.Pos); err != nil {
+				return err
+			}
+			if err := c.checkInitializer(d, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ExprStmt:
+		e, err := c.checkExpr(st.X)
+		if err != nil {
+			return err
+		}
+		st.X = e
+		return nil
+	case *IfStmt:
+		e, err := c.checkCond(st.Cond)
+		if err != nil {
+			return err
+		}
+		st.Cond = e
+		if err := c.checkStmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkStmt(st.Else)
+		}
+		return nil
+	case *WhileStmt:
+		e, err := c.checkCond(st.Cond)
+		if err != nil {
+			return err
+		}
+		st.Cond = e
+		c.loop++
+		defer func() { c.loop-- }()
+		return c.checkStmt(st.Body)
+	case *ForStmt:
+		var err error
+		if st.Init != nil {
+			if st.Init, err = c.checkExpr(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if st.Cond, err = c.checkCond(st.Cond); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if st.Post, err = c.checkExpr(st.Post); err != nil {
+				return err
+			}
+		}
+		c.loop++
+		defer func() { c.loop-- }()
+		return c.checkStmt(st.Body)
+	case *ReturnStmt:
+		if st.X == nil {
+			if c.curFn.Ret != VoidType {
+				return errf(st.Pos, "function %q must return %s", c.curFn.Name, c.curFn.Ret)
+			}
+			return nil
+		}
+		if c.curFn.Ret == VoidType {
+			return errf(st.Pos, "void function %q returns a value", c.curFn.Name)
+		}
+		e, err := c.checkExpr(st.X)
+		if err != nil {
+			return err
+		}
+		e, err = c.convertTo(e, c.curFn.Ret)
+		if err != nil {
+			return err
+		}
+		st.X = e
+		return nil
+	case *BreakStmt:
+		if c.loop == 0 {
+			return errf(st.Pos, "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loop == 0 {
+			return errf(st.Pos, "continue outside loop")
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown statement %T", s)
+}
+
+// checkCond checks a boolean context expression: any scalar works.
+func (c *checker) checkCond(e Expr) (Expr, error) {
+	ce, err := c.checkExpr(e)
+	if err != nil {
+		return nil, err
+	}
+	if !ce.Type().Decay().IsScalar() {
+		return nil, errf(ce.Pos(), "condition has non-scalar type %s", ce.Type())
+	}
+	return ce, nil
+}
+
+// checkExpr type-checks e and returns the (possibly rewritten)
+// expression with its type set.
+func (c *checker) checkExpr(e Expr) (Expr, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		x.setT(IntType)
+		return x, nil
+	case *FloatLit:
+		x.setT(DoubleType)
+		return x, nil
+	case *StrLit:
+		return c.checkStrLit(x)
+	case *Ident:
+		sym := c.lookup(x.Name)
+		if sym == nil {
+			return nil, errf(x.P, "undefined name %q", x.Name)
+		}
+		x.Sym = sym
+		x.setT(sym.Ty)
+		return x, nil
+	case *Unary:
+		return c.checkUnary(x)
+	case *Binary:
+		return c.checkBinary(x)
+	case *Assign:
+		return c.checkAssign(x)
+	case *Cond:
+		return c.checkCondExpr(x)
+	case *Call:
+		return c.checkCall(x)
+	case *Index:
+		return c.checkIndex(x)
+	case *Conv:
+		return x, nil // already checked
+	}
+	return nil, fmt.Errorf("unknown expression %T", e)
+}
+
+func (c *checker) checkStrLit(x *StrLit) (Expr, error) {
+	name := fmt.Sprintf("Lstr%d", c.nextStr)
+	c.nextStr++
+	sym := &VarSym{
+		Name:    name,
+		Ty:      ArrayOf(CharType, len(x.V)+1),
+		Global:  true,
+		AsmName: name,
+	}
+	x.Sym = sym
+	x.setT(PointerTo(CharType))
+	c.prog.Strings = append(c.prog.Strings, x)
+	return x, nil
+}
+
+// decayVal converts array-typed values to pointers by wrapping them in
+// a Conv node (codegen produces the array's address).
+func decayVal(e Expr) Expr {
+	if e.Type().Kind == TypeArray {
+		cv := &Conv{X: e}
+		cv.P = e.Pos()
+		cv.setT(PointerTo(e.Type().Elem))
+		return cv
+	}
+	return e
+}
+
+// isLvalue reports whether e designates a storage location.
+func isLvalue(e Expr) bool {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Type().Kind != TypeArray && x.Type().Kind != TypeFunc
+	case *Index:
+		return true
+	case *Unary:
+		return x.Op == "*"
+	}
+	return false
+}
+
+// hasSideEffects reports whether evaluating e could write state (used
+// to reject double-evaluating compound-assignment targets).
+func hasSideEffects(e Expr) bool {
+	switch x := e.(type) {
+	case *IntLit, *FloatLit, *StrLit, *Ident:
+		return false
+	case *Unary:
+		if x.Op == "++pre" || x.Op == "--pre" || x.Op == "++post" || x.Op == "--post" {
+			return true
+		}
+		return hasSideEffects(x.X)
+	case *Binary:
+		return hasSideEffects(x.L) || hasSideEffects(x.R)
+	case *Assign, *Call:
+		return true
+	case *Cond:
+		return hasSideEffects(x.C) || hasSideEffects(x.T2) || hasSideEffects(x.F)
+	case *Index:
+		return hasSideEffects(x.Base) || hasSideEffects(x.Idx)
+	case *Conv:
+		return hasSideEffects(x.X)
+	}
+	return true
+}
+
+func (c *checker) checkUnary(x *Unary) (Expr, error) {
+	inner, err := c.checkExpr(x.X)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "-":
+		v := decayVal(inner)
+		if !v.Type().IsArith() {
+			return nil, errf(x.P, "unary - requires arithmetic type, got %s", v.Type())
+		}
+		x.X = promote(v)
+		x.setT(x.X.Type())
+		return x, nil
+	case "~":
+		v := decayVal(inner)
+		if !v.Type().IsInteger() {
+			return nil, errf(x.P, "~ requires integer type, got %s", v.Type())
+		}
+		x.X = promote(v)
+		x.setT(IntType)
+		return x, nil
+	case "!":
+		v := decayVal(inner)
+		if !v.Type().IsScalar() {
+			return nil, errf(x.P, "! requires scalar type, got %s", v.Type())
+		}
+		x.X = v
+		x.setT(IntType)
+		return x, nil
+	case "*":
+		v := decayVal(inner)
+		if v.Type().Kind != TypePointer {
+			return nil, errf(x.P, "cannot dereference %s", v.Type())
+		}
+		x.X = v
+		x.setT(v.Type().Elem)
+		return x, nil
+	case "&":
+		if !isLvalue(inner) && inner.Type().Kind != TypeArray {
+			return nil, errf(x.P, "& requires an lvalue")
+		}
+		x.X = inner
+		if inner.Type().Kind == TypeArray {
+			x.setT(PointerTo(inner.Type().Elem))
+		} else {
+			x.setT(PointerTo(inner.Type()))
+		}
+		return x, nil
+	case "++pre", "--pre", "++post", "--post":
+		if !isLvalue(inner) {
+			return nil, errf(x.P, "%s requires an lvalue", x.Op[:2])
+		}
+		t := inner.Type()
+		if !t.IsScalar() {
+			return nil, errf(x.P, "%s requires scalar type, got %s", x.Op[:2], t)
+		}
+		x.X = inner
+		x.setT(t)
+		return x, nil
+	}
+	return nil, errf(x.P, "unknown unary operator %q", x.Op)
+}
+
+// promote applies the integer promotions: char widens to int.
+func promote(e Expr) Expr {
+	if e.Type().Kind == TypeChar {
+		cv := &Conv{X: e}
+		cv.P = e.Pos()
+		cv.setT(IntType)
+		return cv
+	}
+	return e
+}
+
+// convertTo coerces e to type want, inserting a Conv when the types
+// differ but conversion is allowed.
+func (c *checker) convertTo(e Expr, want *Type) (Expr, error) {
+	e = decayVal(e)
+	have := e.Type()
+	if have.Equal(want) {
+		return e, nil
+	}
+	switch {
+	case have.IsArith() && want.IsArith():
+		cv := &Conv{X: e}
+		cv.P = e.Pos()
+		cv.setT(want)
+		return cv, nil
+	case want.Kind == TypePointer && have.Kind == TypePointer:
+		// Allow any pointer-to-pointer conversion (the benchmarks use
+		// only matching types; this mirrors pre-ANSI C laxity).
+		cv := &Conv{X: e}
+		cv.P = e.Pos()
+		cv.setT(want)
+		return cv, nil
+	case want.Kind == TypePointer && isZeroLit(e):
+		cv := &Conv{X: e}
+		cv.P = e.Pos()
+		cv.setT(want)
+		return cv, nil
+	}
+	return nil, errf(e.Pos(), "cannot convert %s to %s", have, want)
+}
+
+func isZeroLit(e Expr) bool {
+	l, ok := e.(*IntLit)
+	return ok && l.V == 0
+}
+
+func (c *checker) checkBinary(x *Binary) (Expr, error) {
+	l, err := c.checkExpr(x.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.checkExpr(x.R)
+	if err != nil {
+		return nil, err
+	}
+	l, r = decayVal(l), decayVal(r)
+	lt, rt := l.Type(), r.Type()
+	switch x.Op {
+	case "&&", "||":
+		if !lt.IsScalar() || !rt.IsScalar() {
+			return nil, errf(x.P, "%s requires scalar operands", x.Op)
+		}
+		x.L, x.R = l, r
+		x.setT(IntType)
+		return x, nil
+	case "==", "!=", "<", "<=", ">", ">=":
+		if lt.Kind == TypePointer || rt.Kind == TypePointer {
+			if lt.Kind != TypePointer {
+				l, err = c.convertTo(l, rt)
+			} else if rt.Kind != TypePointer {
+				r, err = c.convertTo(r, lt)
+			}
+			if err != nil {
+				return nil, err
+			}
+			x.L, x.R = l, r
+			x.setT(IntType)
+			return x, nil
+		}
+		if !lt.IsArith() || !rt.IsArith() {
+			return nil, errf(x.P, "invalid operands to %s: %s and %s", x.Op, lt, rt)
+		}
+		x.L, x.R = usualConversions(l, r)
+		x.setT(IntType)
+		return x, nil
+	case "+", "-":
+		// Pointer arithmetic.
+		if lt.Kind == TypePointer && rt.IsInteger() {
+			x.L, x.R = l, promote(r)
+			x.setT(lt)
+			return x, nil
+		}
+		if x.Op == "+" && lt.IsInteger() && rt.Kind == TypePointer {
+			// Normalize to pointer-first.
+			x.L, x.R = r, promote(l)
+			x.setT(rt)
+			return x, nil
+		}
+		if x.Op == "-" && lt.Kind == TypePointer && rt.Kind == TypePointer {
+			if !lt.Elem.Equal(rt.Elem) {
+				return nil, errf(x.P, "pointer subtraction of different types")
+			}
+			x.L, x.R = l, r
+			x.setT(IntType)
+			return x, nil
+		}
+		fallthrough
+	case "*", "/":
+		if !lt.IsArith() || !rt.IsArith() {
+			return nil, errf(x.P, "invalid operands to %s: %s and %s", x.Op, lt, rt)
+		}
+		x.L, x.R = usualConversions(l, r)
+		x.setT(x.L.Type())
+		return x, nil
+	case "%", "<<", ">>", "&", "|", "^":
+		if !lt.IsInteger() || !rt.IsInteger() {
+			return nil, errf(x.P, "%s requires integer operands, got %s and %s", x.Op, lt, rt)
+		}
+		x.L, x.R = promote(l), promote(r)
+		x.setT(IntType)
+		return x, nil
+	}
+	return nil, errf(x.P, "unknown binary operator %q", x.Op)
+}
+
+// usualConversions applies the usual arithmetic conversions to a pair
+// of arithmetic operands.
+func usualConversions(l, r Expr) (Expr, Expr) {
+	if l.Type().Kind == TypeDouble || r.Type().Kind == TypeDouble {
+		return toDouble(l), toDouble(r)
+	}
+	return promote(l), promote(r)
+}
+
+func toDouble(e Expr) Expr {
+	if e.Type().Kind == TypeDouble {
+		return e
+	}
+	cv := &Conv{X: e}
+	cv.P = e.Pos()
+	cv.setT(DoubleType)
+	return cv
+}
+
+func (c *checker) checkAssign(x *Assign) (Expr, error) {
+	l, err := c.checkExpr(x.L)
+	if err != nil {
+		return nil, err
+	}
+	if !isLvalue(l) {
+		return nil, errf(x.P, "assignment target is not an lvalue")
+	}
+	if hasSideEffects(l) {
+		// Compound assignments expand to double evaluation of the
+		// target; forbid targets where that could matter.
+		if _, isBin := x.R.(*Binary); isBin {
+			if bin := x.R.(*Binary); sameLvalue(bin.L, x.L) {
+				return nil, errf(x.P, "compound assignment target has side effects")
+			}
+		}
+	}
+	r, err := c.checkExpr(x.R)
+	if err != nil {
+		return nil, err
+	}
+	r, err = c.convertTo(r, l.Type())
+	if err != nil {
+		return nil, err
+	}
+	x.L, x.R = l, r
+	x.setT(l.Type())
+	return x, nil
+}
+
+// sameLvalue reports whether two pre-check AST nodes are the same
+// syntactic lvalue (the parser aliases them for compound assignment).
+func sameLvalue(a, b Expr) bool { return a == b }
+
+func (c *checker) checkCondExpr(x *Cond) (Expr, error) {
+	cond, err := c.checkCond(x.C)
+	if err != nil {
+		return nil, err
+	}
+	t, err := c.checkExpr(x.T2)
+	if err != nil {
+		return nil, err
+	}
+	f, err := c.checkExpr(x.F)
+	if err != nil {
+		return nil, err
+	}
+	t, f = decayVal(t), decayVal(f)
+	if t.Type().IsArith() && f.Type().IsArith() {
+		t, f = usualConversions(t, f)
+	} else if !t.Type().Equal(f.Type()) {
+		return nil, errf(x.P, "mismatched ?: arms: %s and %s", t.Type(), f.Type())
+	}
+	x.C, x.T2, x.F = cond, t, f
+	x.setT(t.Type())
+	return x, nil
+}
+
+func (c *checker) checkCall(x *Call) (Expr, error) {
+	var sig *Type
+	if fn := c.funcs[x.Name]; fn != nil {
+		x.Fn = fn
+		par := make([]*Type, len(fn.Params))
+		for n, p := range fn.Params {
+			par[n] = p.Ty
+		}
+		sig = &Type{Kind: TypeFunc, Ret: fn.Ret, Par: par}
+	} else if b := Builtins[x.Name]; b != nil {
+		sig = b
+	} else {
+		return nil, errf(x.P, "call to undefined function %q", x.Name)
+	}
+	if len(x.Args) != len(sig.Par) {
+		return nil, errf(x.P, "%q expects %d arguments, got %d", x.Name, len(sig.Par), len(x.Args))
+	}
+	for n, a := range x.Args {
+		ca, err := c.checkExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		ca, err = c.convertTo(ca, sig.Par[n])
+		if err != nil {
+			return nil, err
+		}
+		x.Args[n] = ca
+	}
+	x.setT(sig.Ret)
+	return x, nil
+}
+
+func (c *checker) checkIndex(x *Index) (Expr, error) {
+	base, err := c.checkExpr(x.Base)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := c.checkExpr(x.Idx)
+	if err != nil {
+		return nil, err
+	}
+	bt := base.Type()
+	if bt.Kind != TypeArray && bt.Kind != TypePointer {
+		return nil, errf(x.P, "cannot index %s", bt)
+	}
+	if !idx.Type().Decay().IsInteger() {
+		return nil, errf(x.P, "array index must be integer, got %s", idx.Type())
+	}
+	x.Base = base
+	x.Idx = promote(decayVal(idx))
+	x.setT(bt.Elem)
+	return x, nil
+}
+
+// Compile is a convenience: parse then check.
+func Compile(src string) (*Program, error) {
+	prog, err := ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}

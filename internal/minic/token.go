@@ -1,0 +1,75 @@
+// Package minic implements the front end of the compiler: a lexer,
+// recursive-descent parser and type checker for Mini-C, the C subset in
+// which the paper's benchmark programs are written.
+//
+// Mini-C covers what the ASPLOS'91 evaluation needs: int/char/double
+// scalars, one-dimensional arrays, pointers with arithmetic, functions
+// (including recursion, for quicksort), the full C expression grammar
+// over those types, and if/while/for/do/break/continue/return control
+// flow.  Structs, unions, typedefs, multi-dimensional arrays and the
+// preprocessor are out of scope; the benchmark sources avoid them.
+//
+// The front end performs no optimization whatsoever — mirroring the
+// paper's design, it produces a checked AST from which package acode
+// generates naive but correct code, and every code-quality decision is
+// delayed to the RTL optimizer.
+package minic
+
+import "fmt"
+
+// TokKind classifies lexical tokens.
+type TokKind int
+
+const (
+	TEOF TokKind = iota
+	TIdent
+	TIntLit
+	TFloatLit
+	TCharLit
+	TStringLit
+	TPunct   // operators and punctuation, Text holds the spelling
+	TKeyword // reserved word, Text holds the spelling
+)
+
+var kindNames = map[TokKind]string{
+	TEOF: "end of file", TIdent: "identifier", TIntLit: "integer",
+	TFloatLit: "float", TCharLit: "char", TStringLit: "string",
+	TPunct: "punctuation", TKeyword: "keyword",
+}
+
+func (k TokKind) String() string { return kindNames[k] }
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string  // identifier name, punct/keyword spelling, or raw literal
+	Int  int64   // TIntLit, TCharLit
+	Flt  float64 // TFloatLit
+	Str  string  // TStringLit (decoded)
+	Pos  Pos
+}
+
+// Pos is a line/column source position (1-based).
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a front-end diagnostic tied to a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...interface{}) error {
+	return &Error{pos, fmt.Sprintf(format, args...)}
+}
+
+var keywords = map[string]bool{
+	"int": true, "char": true, "double": true, "void": true,
+	"if": true, "else": true, "while": true, "for": true, "do": true,
+	"return": true, "break": true, "continue": true,
+}

@@ -1,0 +1,143 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind classifies Mini-C types.
+type TypeKind int
+
+const (
+	TypeVoid TypeKind = iota
+	TypeInt
+	TypeChar
+	TypeDouble
+	TypePointer
+	TypeArray
+	TypeFunc
+)
+
+// Type describes a Mini-C type.  Basic types are canonical singletons
+// (VoidType etc.), so pointer equality works for them.
+type Type struct {
+	Kind TypeKind
+	Elem *Type   // TypePointer, TypeArray
+	Len  int     // TypeArray: element count
+	Ret  *Type   // TypeFunc
+	Par  []*Type // TypeFunc: parameter types
+}
+
+// Canonical basic types.
+var (
+	VoidType   = &Type{Kind: TypeVoid}
+	IntType    = &Type{Kind: TypeInt}
+	CharType   = &Type{Kind: TypeChar}
+	DoubleType = &Type{Kind: TypeDouble}
+)
+
+// PointerTo returns the type *elem.
+func PointerTo(elem *Type) *Type { return &Type{Kind: TypePointer, Elem: elem} }
+
+// ArrayOf returns the type elem[n].
+func ArrayOf(elem *Type, n int) *Type { return &Type{Kind: TypeArray, Elem: elem, Len: n} }
+
+// Size returns the storage size in bytes.  Pointers are 8 bytes (the
+// simulator's registers are 64-bit; the paper's 32-bit addresses would
+// work identically at smaller scale).
+func (t *Type) Size() int {
+	switch t.Kind {
+	case TypeChar:
+		return 1
+	case TypeInt:
+		return 4
+	case TypeDouble, TypePointer:
+		return 8
+	case TypeArray:
+		return t.Elem.Size() * t.Len
+	}
+	return 0
+}
+
+// Align returns the required byte alignment.
+func (t *Type) Align() int {
+	if t.Kind == TypeArray {
+		return t.Elem.Align()
+	}
+	if s := t.Size(); s > 0 {
+		return s
+	}
+	return 1
+}
+
+// IsArith reports whether the type supports arithmetic (int, char,
+// double).
+func (t *Type) IsArith() bool {
+	return t.Kind == TypeInt || t.Kind == TypeChar || t.Kind == TypeDouble
+}
+
+// IsInteger reports whether the type is an integer type.
+func (t *Type) IsInteger() bool { return t.Kind == TypeInt || t.Kind == TypeChar }
+
+// IsScalar reports whether the type is arithmetic or a pointer.
+func (t *Type) IsScalar() bool { return t.IsArith() || t.Kind == TypePointer }
+
+// Equal reports structural type equality.
+func (t *Type) Equal(u *Type) bool {
+	if t == u {
+		return true
+	}
+	if t == nil || u == nil || t.Kind != u.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TypePointer:
+		return t.Elem.Equal(u.Elem)
+	case TypeArray:
+		return t.Len == u.Len && t.Elem.Equal(u.Elem)
+	case TypeFunc:
+		if !t.Ret.Equal(u.Ret) || len(t.Par) != len(u.Par) {
+			return false
+		}
+		for n := range t.Par {
+			if !t.Par[n].Equal(u.Par[n]) {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeChar:
+		return "char"
+	case TypeDouble:
+		return "double"
+	case TypePointer:
+		return t.Elem.String() + "*"
+	case TypeArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	case TypeFunc:
+		parts := make([]string, len(t.Par))
+		for n, p := range t.Par {
+			parts[n] = p.String()
+		}
+		return fmt.Sprintf("%s(%s)", t.Ret, strings.Join(parts, ","))
+	}
+	return "?"
+}
+
+// Decay converts array types to pointers to their element type (the C
+// "array decays to pointer" rule applied in value contexts).
+func (t *Type) Decay() *Type {
+	if t.Kind == TypeArray {
+		return PointerTo(t.Elem)
+	}
+	return t
+}

@@ -1,0 +1,124 @@
+package opt
+
+import "wmstream/internal/rtl"
+
+// CleanBranches tidies control flow: jumps to the immediately following
+// label disappear, jump chains are threaded, unreachable code is
+// dropped, and labels nothing references are removed.
+func CleanBranches(f *rtl.Func) bool {
+	changed := false
+	for round := 0; round < 10; round++ {
+		c := threadJumps(f)
+		c = removeJumpToNext(f) || c
+		c = removeUnreachable(f) || c
+		c = removeUnusedLabels(f) || c
+		if !c {
+			return changed
+		}
+		changed = true
+	}
+	return changed
+}
+
+// threadJumps retargets branches whose destination label is immediately
+// followed by an unconditional jump.
+func threadJumps(f *rtl.Func) bool {
+	// label -> ultimate destination
+	next := map[string]string{}
+	for n, i := range f.Code {
+		if i.Kind != rtl.KLabel {
+			continue
+		}
+		// Find the first non-label instruction after it.
+		for k := n + 1; k < len(f.Code); k++ {
+			if f.Code[k].Kind == rtl.KLabel {
+				continue
+			}
+			if f.Code[k].Kind == rtl.KJump {
+				next[i.Name] = f.Code[k].Target
+			}
+			break
+		}
+	}
+	changed := false
+	for _, i := range f.Code {
+		if i.Kind != rtl.KJump && i.Kind != rtl.KCondJump && i.Kind != rtl.KJumpNotDone {
+			continue
+		}
+		seen := map[string]bool{}
+		for {
+			to, ok := next[i.Target]
+			if !ok || to == i.Target || seen[i.Target] {
+				break
+			}
+			seen[i.Target] = true
+			i.Target = to
+			changed = true
+		}
+	}
+	return changed
+}
+
+func removeJumpToNext(f *rtl.Func) bool {
+	changed := false
+	for n := 0; n < len(f.Code); n++ {
+		i := f.Code[n]
+		if i.Kind != rtl.KJump {
+			continue
+		}
+		// Does the target label appear before the next real instruction?
+		redundant := false
+		for k := n + 1; k < len(f.Code); k++ {
+			if f.Code[k].Kind == rtl.KLabel {
+				if f.Code[k].Name == i.Target {
+					redundant = true
+				}
+				continue
+			}
+			break
+		}
+		if redundant {
+			f.Remove(n)
+			n--
+			changed = true
+		}
+	}
+	return changed
+}
+
+// removeUnreachable deletes instructions that can never execute: those
+// after an unconditional control transfer and before the next label.
+func removeUnreachable(f *rtl.Func) bool {
+	changed := false
+	for n := 0; n < len(f.Code); n++ {
+		i := f.Code[n]
+		if i.Kind != rtl.KJump && i.Kind != rtl.KRet && i.Kind != rtl.KHalt {
+			continue
+		}
+		for n+1 < len(f.Code) && f.Code[n+1].Kind != rtl.KLabel {
+			f.Remove(n + 1)
+			changed = true
+		}
+	}
+	return changed
+}
+
+func removeUnusedLabels(f *rtl.Func) bool {
+	used := map[string]bool{}
+	for _, i := range f.Code {
+		switch i.Kind {
+		case rtl.KJump, rtl.KCondJump, rtl.KJumpNotDone:
+			used[i.Target] = true
+		}
+	}
+	changed := false
+	for n := 0; n < len(f.Code); n++ {
+		i := f.Code[n]
+		if i.Kind == rtl.KLabel && !used[i.Name] {
+			f.Remove(n)
+			n--
+			changed = true
+		}
+	}
+	return changed
+}

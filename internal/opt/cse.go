@@ -1,0 +1,99 @@
+package opt
+
+import (
+	"wmstream/internal/cfg"
+	"wmstream/internal/rtl"
+)
+
+// CSE performs block-local common-subexpression elimination: when an
+// assignment recomputes an expression already available in a register,
+// it becomes a register copy (which copy propagation then dissolves).
+// Expressions containing FIFO reads, memory operands or side effects
+// never participate.
+func CSE(f *rtl.Func) bool {
+	g := cfg.Build(f)
+	changed := false
+	for _, b := range g.Blocks {
+		type avail struct {
+			expr rtl.Expr
+			reg  rtl.Reg
+		}
+		var exprs []avail
+		invalidate := func(r rtl.Reg) {
+			out := exprs[:0]
+			for _, a := range exprs {
+				if a.reg == r || rtl.ExprUsesReg(a.expr, r) {
+					continue
+				}
+				out = append(out, a)
+			}
+			exprs = out
+		}
+		invalidatePhysical := func() {
+			out := exprs[:0]
+			for _, a := range exprs {
+				bad := !a.reg.IsVirtual()
+				rtl.ExprRegs(a.expr, func(r rtl.Reg) {
+					if !r.IsVirtual() {
+						bad = true
+					}
+				})
+				if !bad {
+					out = append(out, a)
+				}
+			}
+			exprs = out
+		}
+		for _, i := range b.Instrs(f) {
+			if i.Kind == rtl.KCall {
+				invalidatePhysical()
+				continue
+			}
+			if i.Kind != rtl.KAssign {
+				continue
+			}
+			d := i.Dst
+			if !i.HasSideEffects() && worthCSE(i.Src) {
+				matched := false
+				for _, a := range exprs {
+					if rtl.EqualExpr(a.expr, i.Src) && a.reg != d {
+						i.Src = rtl.RX(a.reg)
+						changed = true
+						matched = true
+						break
+					}
+				}
+				if !matched && !d.IsZero() && !d.IsFIFO() {
+					invalidate(d)
+					exprs = append(exprs, avail{i.Src, d})
+					continue
+				}
+			}
+			if !d.IsZero() && !d.IsFIFO() {
+				invalidate(d)
+			}
+		}
+	}
+	return changed
+}
+
+// worthCSE reports whether eliminating a recomputation of e saves work:
+// bare registers and immediates are free, so only operator expressions
+// and multi-word materializations (symbols, float immediates) qualify.
+func worthCSE(e rtl.Expr) bool {
+	switch e.(type) {
+	case rtl.Bin, rtl.Un, rtl.Cvt, rtl.Sym, rtl.FImm:
+		return !rtl.ExprHasMem(e) && !hasFIFORef(e)
+	}
+	return false
+}
+
+func hasFIFORef(e rtl.Expr) bool {
+	found := false
+	rtl.ExprRegs(e, func(r rtl.Reg) {
+		if r.IsFIFO() {
+			found = true
+		}
+	})
+	return found
+}

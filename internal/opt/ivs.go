@@ -1,0 +1,524 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wmstream/internal/cfg"
+	"wmstream/internal/rtl"
+)
+
+// This file implements the loop analysis both headline algorithms rely
+// on: basic induction variables, the linear form cee*iv + base + offset
+// of memory addresses (the paper's (iv, cee, dee) vectors), and the
+// partitioning of a loop's memory references into disjoint regions.
+
+// ivInfo describes a basic induction variable: a register with exactly
+// one definition in the loop, of the form iv := iv + step, whose
+// definition executes on every iteration.  The step is usually a
+// constant; it may also be a loop-invariant register (regStep), which
+// the paper's hardware supports directly since the stream stride is a
+// register operand — the sieve's prime-strided marking loop relies on
+// this.  Register steps are assumed positive (upward loops only).
+type ivInfo struct {
+	step    int64
+	stepReg rtl.Reg
+	regStep bool
+	defIdx  int
+}
+
+// stepExpr returns the per-iteration increment as an expression.
+func (iv ivInfo) stepExpr() rtl.Expr {
+	if iv.regStep {
+		return rtl.RX(iv.stepReg)
+	}
+	return rtl.I(iv.step)
+}
+
+// loopCtx gathers everything the transforms need about one loop.
+type loopCtx struct {
+	f    *rtl.Func
+	g    *cfg.Graph
+	loop *cfg.Loop
+
+	ivs      map[rtl.Reg]ivInfo
+	defCount map[rtl.Reg]int
+	defIdx   map[rtl.Reg][]int
+	hasCall  bool
+	hasIO    bool
+	stream   bool // loop already contains stream instructions
+
+	hdrLabelIdx int // index of the header's label instruction
+}
+
+// analyzeLoop builds a loopCtx.  The loop must already have a
+// preheader (EnsurePreheader).
+func analyzeLoop(f *rtl.Func, g *cfg.Graph, l *cfg.Loop) *loopCtx {
+	ctx := &loopCtx{
+		f: f, g: g, loop: l,
+		ivs:      map[rtl.Reg]ivInfo{},
+		defCount: map[rtl.Reg]int{},
+		defIdx:   map[rtl.Reg][]int{},
+	}
+	for b := range l.Blocks {
+		for n := b.Start; n < b.End; n++ {
+			i := f.Code[n]
+			if d, ok := i.Def(); ok {
+				ctx.defCount[d]++
+				ctx.defIdx[d] = append(ctx.defIdx[d], n)
+			}
+			switch i.Kind {
+			case rtl.KCall:
+				ctx.hasCall = true
+			case rtl.KPut:
+				ctx.hasIO = true
+			case rtl.KStreamIn, rtl.KStreamOut, rtl.KStreamStop, rtl.KJumpNotDone:
+				ctx.stream = true
+			}
+		}
+	}
+	ctx.hdrLabelIdx = headerLabelIndex(f, g, l)
+	// Basic induction variables.
+	for r, cnt := range ctx.defCount {
+		if cnt != 1 || r.IsZero() || r.IsFIFO() {
+			continue
+		}
+		idx := ctx.defIdx[r][0]
+		i := f.Code[idx]
+		if i.Kind != rtl.KAssign || i.HasSideEffects() {
+			continue
+		}
+		b, ok := i.Src.(rtl.Bin)
+		if !ok {
+			continue
+		}
+		lx, lok := b.L.(rtl.RegX)
+		if !lok || lx.Reg != r {
+			continue
+		}
+		info := ivInfo{defIdx: idx}
+		switch c := b.R.(type) {
+		case rtl.Imm:
+			switch b.Op {
+			case rtl.Add:
+				info.step = c.V
+			case rtl.Sub:
+				info.step = -c.V
+			default:
+				continue
+			}
+			if info.step == 0 {
+				continue
+			}
+		case rtl.RegX:
+			// iv := iv + s with an invariant register step.
+			if b.Op != rtl.Add || c.Reg.IsFIFO() || c.Reg.IsZero() {
+				continue
+			}
+			if ctx.defCount[c.Reg] != 0 || (ctx.hasCall && !c.Reg.IsVirtual()) {
+				continue
+			}
+			info.regStep = true
+			info.stepReg = c.Reg
+		default:
+			continue
+		}
+		// The increment must run every iteration.
+		blk := g.BlockOf(idx)
+		if !dominatesAllLatches(g, ctx.loop, blk) {
+			continue
+		}
+		ctx.ivs[r] = info
+	}
+	return ctx
+}
+
+// invariant reports whether the register's value is fixed for the
+// duration of the loop.
+func (ctx *loopCtx) invariant(r rtl.Reg) bool {
+	if r.IsZero() {
+		return true
+	}
+	if r.IsFIFO() {
+		return false
+	}
+	if ctx.hasCall && !r.IsVirtual() {
+		return false
+	}
+	return ctx.defCount[r] == 0
+}
+
+// --- linear address forms -------------------------------------------------
+
+// linform is the analyzed shape of an address: cee*iv + bases + off,
+// the paper's (iv, cee, dee) with dee split into symbolic bases plus a
+// constant.
+type linform struct {
+	iv   rtl.Reg // zero value (ZeroReg) when no induction variable
+	cee  int64
+	base []string // sorted symbolic base terms ("_x", "r21", ...)
+	off  int64
+	ok   bool
+	// expanded records that in-loop helper definitions were substituted
+	// to reach this form, i.e. the address costs extra body
+	// instructions (strength reduction's profitability signal).
+	expanded bool
+}
+
+func (lf linform) hasIV() bool { return lf.cee != 0 }
+
+// baseKey identifies the memory region the reference belongs to.
+func (lf linform) baseKey() string {
+	if len(lf.base) == 0 {
+		return "<abs>"
+	}
+	return strings.Join(lf.base, "+")
+}
+
+// linearize analyzes the address expression of the instruction at
+// index atIdx.  Registers that are neither induction variables nor
+// invariant are expanded through their single in-loop definition when
+// that definition provably computes the same value at atIdx.
+func (ctx *loopCtx) linearize(e rtl.Expr, atIdx int, depth int) linform {
+	bad := linform{}
+	if depth > 8 {
+		return bad
+	}
+	switch x := e.(type) {
+	case rtl.Imm:
+		return linform{off: x.V, ok: true}
+	case rtl.Sym:
+		return linform{base: []string{"_" + x.Name}, off: x.Off, ok: true}
+	case rtl.RegX:
+		r := x.Reg
+		if r.IsZero() {
+			return linform{ok: true}
+		}
+		if _, isIV := ctx.ivs[r]; isIV {
+			return linform{iv: r, cee: 1, ok: true}
+		}
+		if ctx.invariant(r) {
+			// An invariant register holding a symbol participates via
+			// its symbol name when we can see the defining instruction
+			// in the preheader chain; otherwise the register itself is
+			// the base term.
+			if sym, ok := ctx.invariantSym(r); ok {
+				return linform{base: []string{"_" + sym.Name}, off: sym.Off, ok: true}
+			}
+			return linform{base: []string{r.String()}, ok: true}
+		}
+		return ctx.expandReg(r, atIdx, depth)
+	case rtl.Bin:
+		l := ctx.linearize(x.L, atIdx, depth+1)
+		r := ctx.linearize(x.R, atIdx, depth+1)
+		if !l.ok || !r.ok {
+			return bad
+		}
+		switch x.Op {
+		case rtl.Add:
+			return addLin(l, r)
+		case rtl.Sub:
+			neg, ok := negLin(r)
+			if !ok {
+				return bad
+			}
+			return addLin(l, neg)
+		case rtl.Shl:
+			if c, isC := x.R.(rtl.Imm); isC && c.V >= 0 && c.V < 32 && len(l.base) == 0 {
+				return scaleLin(l, 1<<uint(c.V))
+			}
+			return bad
+		case rtl.Mul:
+			if c, isC := x.R.(rtl.Imm); isC && len(l.base) == 0 {
+				return scaleLin(l, c.V)
+			}
+			return bad
+		}
+		return bad
+	}
+	return bad
+}
+
+// invariantSym resolves an invariant register to the symbol it was
+// loaded with, by scanning backwards from the loop preheader.
+func (ctx *loopCtx) invariantSym(r rtl.Reg) (rtl.Sym, bool) {
+	// Find the last definition of r before the loop header.
+	for n := ctx.loop.Header.Start - 1; n >= 0; n-- {
+		i := ctx.f.Code[n]
+		if d, ok := i.Def(); ok && d == r {
+			if s, isSym := i.Src.(rtl.Sym); isSym && i.Kind == rtl.KAssign {
+				return s, true
+			}
+			return rtl.Sym{}, false
+		}
+	}
+	return rtl.Sym{}, false
+}
+
+// expandReg substitutes the single in-loop definition of r, provided
+// the definition reaches atIdx unchanged: same block, earlier position,
+// and nothing the definition depends on (including r itself) is
+// redefined in between.
+func (ctx *loopCtx) expandReg(r rtl.Reg, atIdx, depth int) linform {
+	bad := linform{}
+	if ctx.defCount[r] != 1 {
+		return bad
+	}
+	defIdx := ctx.defIdx[r][0]
+	i := ctx.f.Code[defIdx]
+	if i.Kind != rtl.KAssign || i.HasSideEffects() {
+		return bad
+	}
+	b := ctx.g.BlockOf(atIdx)
+	db := ctx.g.BlockOf(defIdx)
+	if b == nil || db == nil || b != db || defIdx >= atIdx {
+		return bad
+	}
+	// No register used by the definition may be redefined in between.
+	used := map[rtl.Reg]bool{r: true}
+	rtl.ExprRegs(i.Src, func(u rtl.Reg) { used[u] = true })
+	for k := defIdx + 1; k < atIdx; k++ {
+		if d, ok := ctx.f.Code[k].Def(); ok && used[d] {
+			return bad
+		}
+	}
+	out := ctx.linearize(i.Src, defIdx, depth+1)
+	out.expanded = true
+	return out
+}
+
+func addLin(a, b linform) linform {
+	out := linform{ok: true}
+	switch {
+	case a.cee == 0:
+		out.iv, out.cee = b.iv, b.cee
+	case b.cee == 0:
+		out.iv, out.cee = a.iv, a.cee
+	case a.iv == b.iv:
+		out.iv, out.cee = a.iv, a.cee+b.cee
+	default:
+		return linform{} // two different induction variables
+	}
+	out.base = append(append([]string{}, a.base...), b.base...)
+	sort.Strings(out.base)
+	out.off = a.off + b.off
+	out.expanded = a.expanded || b.expanded
+	return out
+}
+
+func negLin(a linform) (linform, bool) {
+	if len(a.base) > 0 {
+		return linform{}, false
+	}
+	return linform{iv: a.iv, cee: -a.cee, off: -a.off, ok: true, expanded: a.expanded}, true
+}
+
+func scaleLin(a linform, k int64) linform {
+	if len(a.base) > 0 {
+		return linform{}
+	}
+	return linform{iv: a.iv, cee: a.cee * k, off: a.off * k, ok: true, expanded: a.expanded}
+}
+
+// --- memory references and partitions -------------------------------------
+
+// memRef is one load or store in the loop together with its linear
+// form and the FIFO-side instruction that carries its datum.
+type memRef struct {
+	accIdx  int // index of the KLoad/KStore
+	dataIdx int // index of the dequeue (loads) / enqueue (stores); -1 if unmatched
+	write   bool
+	lin     linform
+	size    int
+	class   rtl.Class
+	every   bool // executes on every iteration (block dominates latches)
+	unknown bool // address not analyzable: aliases everything
+}
+
+// partition groups references that touch one memory region, mirroring
+// the paper's partitions.
+type partition struct {
+	key    string
+	refs   []*memRef
+	unsafe bool
+}
+
+// collectRefs finds every memory reference in the loop and pairs each
+// with its datum instruction.  It returns ok=false when FIFO discipline
+// cannot be established (a reference's datum instruction cannot be
+// identified), in which case the loop must be left alone.
+func (ctx *loopCtx) collectRefs() (refs []*memRef, ok bool) {
+	f := ctx.f
+	for b := range ctx.loop.Blocks {
+		for n := b.Start; n < b.End; n++ {
+			i := f.Code[n]
+			switch i.Kind {
+			case rtl.KLoad:
+				r := &memRef{accIdx: n, write: false, size: i.MemSize, class: i.MemClass}
+				r.dataIdx = ctx.findDequeue(b, n, i)
+				if r.dataIdx < 0 {
+					return nil, false
+				}
+				r.lin = ctx.linearize(i.Addr, n, 0)
+				r.unknown = !r.lin.ok
+				r.every = dominatesAllLatches(ctx.g, ctx.loop, b)
+				refs = append(refs, r)
+			case rtl.KStore:
+				r := &memRef{accIdx: n, write: true, size: i.MemSize, class: i.MemClass}
+				r.dataIdx = ctx.findEnqueue(b, n, i)
+				if r.dataIdx < 0 {
+					return nil, false
+				}
+				r.lin = ctx.linearize(i.Addr, n, 0)
+				r.unknown = !r.lin.ok
+				r.every = dominatesAllLatches(ctx.g, ctx.loop, b)
+				refs = append(refs, r)
+			}
+		}
+	}
+	return refs, true
+}
+
+// findDequeue locates the instruction consuming the load's datum: the
+// next read of the load's FIFO register in the same block, with no
+// other load of that FIFO in between.
+func (ctx *loopCtx) findDequeue(b *cfg.Block, loadIdx int, load *rtl.Instr) int {
+	fifo := rtl.Reg{Class: load.MemClass, N: load.FIFO.N}
+	for n := loadIdx + 1; n < b.End; n++ {
+		i := ctx.f.Code[n]
+		if i.Kind == rtl.KLoad && i.MemClass == load.MemClass && i.FIFO.N == load.FIFO.N {
+			return -1 // another request before ours was consumed
+		}
+		reads := 0
+		for _, u := range i.Uses(nil) {
+			if u == fifo {
+				reads++
+			}
+		}
+		if reads == 1 {
+			return n
+		}
+		if reads > 1 {
+			return -1 // multi-dequeue instruction: ambiguous pairing
+		}
+	}
+	return -1
+}
+
+// findEnqueue locates the instruction producing the store's datum: the
+// closest preceding write to the store's FIFO register in the same
+// block, with no other store of that FIFO in between.
+func (ctx *loopCtx) findEnqueue(b *cfg.Block, storeIdx int, store *rtl.Instr) int {
+	for n := storeIdx - 1; n >= b.Start; n-- {
+		i := ctx.f.Code[n]
+		if i.Kind == rtl.KStore && i.MemClass == store.MemClass && i.FIFO.N == store.FIFO.N {
+			return -1
+		}
+		if i.Kind == rtl.KAssign && i.Dst.Class == store.MemClass && i.Dst.N == store.FIFO.N {
+			return n
+		}
+	}
+	return -1
+}
+
+// buildPartitions implements the paper's step 1-3: group references by
+// region, attach unknown references everywhere, and apply the safety
+// tests (same induction variable, same cee, offsets on the same
+// lattice).
+func buildPartitions(refs []*memRef) []*partition {
+	byKey := map[string]*partition{}
+	var order []string
+	var unknowns []*memRef
+	for _, r := range refs {
+		if r.unknown {
+			unknowns = append(unknowns, r)
+			continue
+		}
+		key := r.lin.baseKey()
+		p := byKey[key]
+		if p == nil {
+			p = &partition{key: key}
+			byKey[key] = p
+			order = append(order, key)
+		}
+		p.refs = append(p.refs, r)
+	}
+	// References whose region is unknown join every partition (paper
+	// step 1) and poison them.
+	parts := make([]*partition, 0, len(order))
+	sort.Strings(order)
+	for _, key := range order {
+		p := byKey[key]
+		if len(unknowns) > 0 {
+			p.refs = append(p.refs, unknowns...)
+			p.unsafe = true
+		}
+		// Distinct register-based regions may alias each other and any
+		// symbol: only symbol-named regions are provably disjoint.
+		parts = append(parts, p)
+	}
+	// "For memory references made via pointers, it is often the case
+	// that it is impossible to tell what regions of memory may be
+	// accessed" (paper step 1): a reference whose base is a register
+	// rather than a named symbol may overlap anything, so its presence
+	// poisons every partition.
+	regBased := 0
+	for _, p := range parts {
+		if !strings.HasPrefix(p.key, "_") {
+			regBased++
+		}
+	}
+	if regBased > 0 {
+		for _, p := range parts {
+			p.unsafe = true
+		}
+	}
+	// Step 3 safety tests.
+	for _, p := range parts {
+		if p.unsafe {
+			continue
+		}
+		first := p.refs[0]
+		for _, r := range p.refs {
+			if !r.lin.hasIV() || r.lin.iv != first.lin.iv || r.lin.cee != first.lin.cee {
+				p.unsafe = true
+				break
+			}
+			if mod(r.lin.off-first.lin.off, r.lin.cee) != 0 {
+				p.unsafe = true
+				break
+			}
+			if r.class != first.class || r.size != first.size {
+				p.unsafe = true
+				break
+			}
+		}
+	}
+	return parts
+}
+
+func mod(a, m int64) int64 {
+	if m < 0 {
+		m = -m
+	}
+	if m == 0 {
+		return a
+	}
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// loopLabel returns the header label name (for diagnostics and for the
+// jnd rewrite).
+func (ctx *loopCtx) loopLabel() string {
+	if ctx.hdrLabelIdx >= 0 && ctx.hdrLabelIdx < len(ctx.f.Code) && ctx.f.Code[ctx.hdrLabelIdx].Kind == rtl.KLabel {
+		return ctx.f.Code[ctx.hdrLabelIdx].Name
+	}
+	return ""
+}
+
+var _ = fmt.Sprintf

@@ -1,0 +1,158 @@
+package opt
+
+import (
+	"fmt"
+
+	"wmstream/internal/rtl"
+)
+
+// Legalize enforces the WM instruction format on every RTL: at most two
+// operations per instruction, symbols and non-zero float immediates
+// only as a whole right-hand side (they are multi-word
+// materializations), conversions standing alone, and no memory
+// operands.  Oversized expressions are split through fresh virtual
+// registers; Legalize therefore runs before register assignment.
+func Legalize(f *rtl.Func) error {
+	for n := 0; n < len(f.Code); n++ {
+		i := f.Code[n]
+		var err error
+		split := func(e rtl.Expr) rtl.Expr {
+			if err != nil {
+				return e
+			}
+			var out rtl.Expr
+			out, err = legalizeExpr(f, &n, e, true)
+			return out
+		}
+		switch i.Kind {
+		case rtl.KAssign:
+			i.Src = split(i.Src)
+		case rtl.KLoad, rtl.KStore:
+			i.Addr = split(i.Addr)
+		case rtl.KStreamIn, rtl.KStreamOut:
+			i.Base = split(i.Base)
+			i.Count = split(i.Count)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// legalizeExpr rewrites e to a legal operand expression, inserting
+// materializing instructions before position *n (and advancing it).
+// top indicates e is the whole operand of its instruction.
+func legalizeExpr(f *rtl.Func, n *int, e rtl.Expr, top bool) (rtl.Expr, error) {
+	emit := func(c rtl.Class, src rtl.Expr) rtl.Expr {
+		t := f.NewVirt(c)
+		f.Insert(*n, rtl.NewAssign(t, src))
+		*n++
+		return rtl.RX(t)
+	}
+	switch x := e.(type) {
+	case rtl.Mem:
+		return nil, fmt.Errorf("legalize: memory operand %s not supported by WM", x)
+	case rtl.Sym:
+		if top {
+			return e, nil
+		}
+		return emit(rtl.Int, x), nil
+	case rtl.FImm:
+		if top || x.V == 0 {
+			if x.V == 0 && !top {
+				return rtl.RX(rtl.F31), nil
+			}
+			return e, nil
+		}
+		return emit(rtl.Float, x), nil
+	case rtl.Cvt:
+		inner, err := legalizeExpr(f, n, x.X, false)
+		if err != nil {
+			return nil, err
+		}
+		// A conversion must stand alone; materialize its operand when
+		// it is not a bare register.
+		if _, ok := inner.(rtl.RegX); !ok {
+			inner = emit(x.X.Class(), inner)
+		}
+		out := rtl.Cvt{To: x.To, X: inner}
+		if top {
+			return out, nil
+		}
+		return emit(x.To, out), nil
+	case rtl.Un:
+		inner, err := legalizeExpr(f, n, x.X, false)
+		if err != nil {
+			return nil, err
+		}
+		// Unary math ops count as one operation; their operand may be a
+		// register or a single Bin (two ops total)... keep them simple:
+		// operand must be a register or immediate.
+		switch inner.(type) {
+		case rtl.RegX, rtl.Imm:
+		default:
+			inner = emit(x.X.Class(), inner)
+		}
+		out := rtl.Un{Op: x.Op, X: inner}
+		if top {
+			return out, nil
+		}
+		return emit(e.Class(), out), nil
+	case rtl.Bin:
+		l, err := legalizeExpr(f, n, x.L, false)
+		if err != nil {
+			return nil, err
+		}
+		r, err := legalizeExpr(f, n, x.R, false)
+		if err != nil {
+			return nil, err
+		}
+		out := rtl.Bin{Op: x.Op, L: l, R: r}
+		for rtl.ExprSize(out) > 2 || regCount(out) > 3 {
+			// Split the deeper side into a temporary.
+			lb, lOk := out.L.(rtl.Bin)
+			rb, rOk := out.R.(rtl.Bin)
+			switch {
+			case lOk && rOk:
+				if rtl.ExprSize(lb) >= rtl.ExprSize(rb) {
+					out.L = emit(lb.Class(), lb)
+				} else {
+					out.R = emit(rb.Class(), rb)
+				}
+			case lOk:
+				out.L = emit(lb.Class(), lb)
+			case rOk:
+				out.R = emit(rb.Class(), rb)
+			default:
+				// Un nested inside Bin, or too many registers: extract
+				// whichever side is not a leaf.
+				if _, isLeaf := out.L.(rtl.RegX); !isLeaf {
+					if _, isImm := out.L.(rtl.Imm); !isImm {
+						out.L = emit(out.L.Class(), out.L)
+						continue
+					}
+				}
+				if _, isLeaf := out.R.(rtl.RegX); !isLeaf {
+					if _, isImm := out.R.(rtl.Imm); !isImm {
+						out.R = emit(out.R.Class(), out.R)
+						continue
+					}
+				}
+				return nil, fmt.Errorf("legalize: cannot reduce %s", out)
+			}
+		}
+		if top {
+			return out, nil
+		}
+		return out, nil
+	default:
+		return e, nil
+	}
+}
+
+func regCount(e rtl.Expr) int {
+	n := 0
+	rtl.ExprRegs(e, func(rtl.Reg) { n++ })
+	return n
+}

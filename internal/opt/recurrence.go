@@ -1,0 +1,281 @@
+package opt
+
+import (
+	"sort"
+
+	"wmstream/internal/cfg"
+	"wmstream/internal/rtl"
+)
+
+// Recurrences implements the paper's recurrence detection and
+// optimization algorithm (its Figure 4 -> Figure 5 transformation):
+//
+//	Step 1   partition the loop's memory references by region;
+//	Step 2   compute (iv, cee, dee) for each reference;
+//	Step 3   safety: same iv, same cee, offsets on one lattice;
+//	Step 4   for read/write pairs where the read fetches a value
+//	         written on a previous iteration, carry the value in
+//	         registers: retain the stored value, replace the loads
+//	         with register references, emit shifting copies at the
+//	         top of the loop and initial loads in the preheader.
+//
+// The number of registers used is degree+1, where the degree is the
+// largest iteration distance.  It returns whether anything changed.
+func Recurrences(f *rtl.Func, maxDegree int64) bool {
+	changed := false
+	for round := 0; round < 128; round++ {
+		if !recurrenceOnce(f, maxDegree) {
+			return changed
+		}
+		changed = true
+	}
+	return changed
+}
+
+func recurrenceOnce(f *rtl.Func, maxDegree int64) bool {
+	g := cfg.Build(f)
+	g.Dominators()
+	for _, l := range g.NaturalLoops() {
+		if pre := EnsurePreheader(f, g, l); pre < 0 {
+			continue
+		} else if l.Preheader == nil {
+			// A preheader was inserted: restart with fresh analyses.
+			return true
+		}
+		ctx := analyzeLoop(f, g, l)
+		if ctx.hasCall || ctx.stream {
+			continue
+		}
+		refs, ok := ctx.collectRefs()
+		if !ok {
+			continue
+		}
+		for _, p := range buildPartitions(refs) {
+			if transformRecurrence(ctx, p, maxDegree) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// recPair is one read that fetches a value written dist iterations ago.
+type recPair struct {
+	read *memRef
+	dist int64
+}
+
+// transformRecurrence applies step 4 to one partition.  Returns whether
+// the function was modified.
+func transformRecurrence(ctx *loopCtx, p *partition, maxDegree int64) bool {
+	if p.unsafe {
+		return false
+	}
+	var write *memRef
+	var reads []*memRef
+	for _, r := range p.refs {
+		if r.write {
+			if write != nil {
+				return false // multiple writes: too hard, leave alone
+			}
+			write = r
+		} else {
+			reads = append(reads, r)
+		}
+	}
+	if write == nil || len(reads) == 0 || !write.every {
+		return false
+	}
+	iv := write.lin.iv
+	ivi, ok := ctx.ivs[iv]
+	if !ok || ivi.regStep {
+		return false // register steps: iteration distance is not static
+	}
+	strideIter := write.lin.cee * ivi.step
+	if strideIter == 0 {
+		return false
+	}
+	// Addresses read after the induction variable's increment would
+	// shift the linear form by one step; require program order
+	// ref-then-increment (the expander's rotated loops guarantee it).
+	if !precedes(ctx, write.accIdx, ivi.defIdx) {
+		return false
+	}
+
+	var pairs []recPair
+	degree := int64(0)
+	for _, r := range reads {
+		if !r.every {
+			return false // conservatively require uniform execution
+		}
+		if !precedes(ctx, r.accIdx, ivi.defIdx) {
+			return false
+		}
+		delta := write.lin.off - r.lin.off
+		if delta == 0 || delta%strideIter != 0 {
+			continue
+		}
+		d := delta / strideIter
+		if d < 1 {
+			continue // reads ahead of the write: not a recurrence
+		}
+		if d > maxDegree {
+			return false // not enough registers (paper step 4a remark)
+		}
+		if r.size != write.size || r.class != write.class {
+			return false
+		}
+		pairs = append(pairs, recPair{r, d})
+		if d > degree {
+			degree = d
+		}
+	}
+	if len(pairs) == 0 {
+		return false
+	}
+
+	f := ctx.f
+	class := write.class
+
+	// Step 4b: retain the written value in a register.  The enqueue
+	// instruction "fifo := expr" becomes "v := expr; fifo := v" unless
+	// its source is already a plain register.
+	enq := f.Code[write.dataIdx]
+	recRegs := make([]rtl.Reg, degree+1)
+	enqIdx := write.dataIdx
+	inserted := 0
+	if rx, isReg := enq.Src.(rtl.RegX); isReg && !rx.Reg.IsFIFO() && !rx.Reg.IsZero() {
+		recRegs[0] = rx.Reg
+	} else {
+		v := f.NewVirt(class)
+		val := rtl.NewAssign(v, enq.Src)
+		val.Note = "recurrence value"
+		enq.Src = rtl.RX(v)
+		f.Insert(enqIdx, val)
+		inserted = 1
+		recRegs[0] = v
+	}
+	adj := func(idx int) int {
+		if idx >= enqIdx {
+			return idx + inserted
+		}
+		return idx
+	}
+	for k := int64(1); k <= degree; k++ {
+		recRegs[k] = f.NewVirt(class)
+	}
+
+	// Step 4b continued: replace each recurrence read with a register
+	// reference and delete its load.  Apply edits from the highest
+	// index downward so positions stay valid.
+	type edit struct {
+		loadIdx, dataIdx int
+		dist             int64
+	}
+	var edits []edit
+	for _, pr := range pairs {
+		edits = append(edits, edit{adj(pr.read.accIdx), adj(pr.read.dataIdx), pr.dist})
+	}
+	// Rewrite the dequeues first (no index shifts), then delete loads
+	// from the highest index down.
+	fifo := rtl.Reg{Class: class, N: rtl.FIFO0}
+	for _, e := range edits {
+		deq := f.Code[e.dataIdx]
+		deq.MapExprs(func(x rtl.Expr) rtl.Expr {
+			return rtl.SubstReg(x, fifo, rtl.RX(recRegs[e.dist]))
+		})
+		if deq.Note == "" {
+			deq.Note = "recurrence register"
+		}
+	}
+	sort.Slice(edits, func(i, j int) bool { return edits[i].loadIdx > edits[j].loadIdx })
+	for _, e := range edits {
+		f.Remove(e.loadIdx)
+	}
+
+	// Step 4c: shifting copies at the top of the loop, highest degree
+	// first so nothing is overwritten prematurely.
+	hdr := headerLabelIndexByName(f, ctx.loopLabel())
+	if hdr < 0 {
+		return false
+	}
+	pos := hdr + 1
+	for k := degree; k >= 1; k-- {
+		cp := rtl.NewAssign(recRegs[k], rtl.RX(recRegs[k-1]))
+		cp.Note = "carry recurrence value"
+		f.Insert(pos, cp)
+		pos++
+	}
+
+	// Step 4d: initial loads in the preheader: recRegs[k-1] holds the
+	// value the first iteration reads at distance k.  Inserting before
+	// the header label places the code at the end of the preheader.
+	insertAt := hdr
+	var seq []*rtl.Instr
+	for k := int64(1); k <= degree; k++ {
+		addr := buildLinExpr(f, &seq, write.lin, iv, write.lin.off-k*strideIter, class)
+		ld := rtl.NewLoad(fifo, addr, write.size)
+		ld.Note = "preload recurrence value"
+		seq = append(seq, ld)
+		mv := rtl.NewAssign(recRegs[k-1], rtl.RX(fifo))
+		mv.Note = "initial recurrence value"
+		seq = append(seq, mv)
+	}
+	f.Insert(insertAt, seq...)
+	return true
+}
+
+// buildLinExpr reconstructs cee*iv + bases + off as an expression,
+// appending any helper instructions to seq (they are inserted together
+// with the loads).
+func buildLinExpr(f *rtl.Func, seq *[]*rtl.Instr, lin linform, iv rtl.Reg, off int64, class rtl.Class) rtl.Expr {
+	var e rtl.Expr
+	if lin.cee != 0 {
+		if s := log2i64(lin.cee); s >= 0 {
+			e = rtl.B(rtl.Shl, rtl.RX(iv), rtl.I(int64(s)))
+		} else {
+			e = rtl.B(rtl.Mul, rtl.RX(iv), rtl.I(lin.cee))
+		}
+	}
+	for _, b := range lin.base {
+		var term rtl.Expr
+		if b[0] == '_' {
+			t := f.NewVirt(rtl.Int)
+			ins := rtl.NewAssign(t, rtl.Sym{Name: b[1:]})
+			*seq = append(*seq, ins)
+			term = rtl.RX(t)
+		} else if r, ok := rtl.ParseReg(b); ok {
+			term = rtl.RX(r)
+		} else {
+			continue
+		}
+		if e == nil {
+			e = term
+		} else {
+			e = rtl.B(rtl.Add, e, term)
+		}
+	}
+	if e == nil {
+		e = rtl.I(off)
+	} else if off != 0 {
+		e = rtl.B(rtl.Add, e, rtl.I(off))
+	}
+	return e
+}
+
+func log2i64(n int64) int {
+	for s := 0; s < 62; s++ {
+		if int64(1)<<uint(s) == n {
+			return s
+		}
+	}
+	return -1
+}
+
+// headerLabelIndexByName finds a label instruction by name.
+func headerLabelIndexByName(f *rtl.Func, name string) int {
+	if name == "" {
+		return -1
+	}
+	return f.FindLabel(name)
+}

@@ -1,0 +1,43 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"wmstream/internal/rtl"
+)
+
+// TestStreamRuntimeStride: a store loop stepping by a register (the
+// sieve's marking-loop shape) must stream with the stride taken from
+// the step register.
+func TestStreamRuntimeStride(t *testing.T) {
+	f := parseFunc(t, `
+rv0 := (rv9 + rv9)
+rv1 := _flags
+LP:
+L1:
+r0 := 0
+s8r r0, (rv0 + rv1)
+rv0 := (rv0 + rv9)
+r31 := (rv0 < rv8)
+jumpTr L1
+halt`)
+	if !Streams(f, 4) {
+		t.Fatalf("runtime-stride loop not streamed:\n%s", listing(f))
+	}
+	if countKind(f, rtl.KStreamOut) != 1 || countKind(f, rtl.KStore) != 0 {
+		t.Fatalf("stream-out missing:\n%s", listing(f))
+	}
+	text := listing(f)
+	if !strings.Contains(text, "sout8r") {
+		t.Errorf("no byte stream-out:\n%s", text)
+	}
+	// The stride operand must be the step register, not a constant.
+	for _, i := range f.Code {
+		if i.Kind == rtl.KStreamOut {
+			if _, isImm := i.Stride.(rtl.Imm); isImm {
+				t.Errorf("stride is constant %s, want register:\n%s", i.Stride, text)
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package opt
+
+import (
+	"wmstream/internal/cfg"
+	"wmstream/internal/rtl"
+)
+
+// ScheduleLoopTest implements the paper's condition-code scheduling
+// discipline: "It is also the compiler's job to arrange the code so
+// that the computation of the condition code occurs well before the
+// result is needed.  When this is done properly, conditional jumps,
+// like unconditional jumps, essentially have zero cost."
+//
+// For a bottom-tested loop whose latch compares the just-incremented
+// induction variable against an invariant limit, the compare moves to
+// the top of the body, rewritten over the pre-increment value:
+//
+//	L:  body            L:  r31 := ((iv + step) OP limit)
+//	    iv := iv + s        body
+//	    r31 := iv OP n  =>  iv := iv + s
+//	    jumpT L             jumpT L
+//
+// The condition code is then enqueued an entire body ahead of the
+// branch, so the IFU never stalls at the bottom of the loop and keeps
+// dispatching the next iteration's loads — which is what lets the
+// decoupled access pipeline run ahead and hide memory latency.
+//
+// The transformation is only legal when the loop contains no other
+// condition-code producer or consumer (the CC FIFO is strictly
+// ordered), and when nothing between the loop top and the increment
+// redefines the induction variable or the limit.
+func ScheduleLoopTest(f *rtl.Func) bool {
+	changed := false
+	for round := 0; round < 64; round++ {
+		if !scheduleOnce(f) {
+			return changed
+		}
+		changed = true
+	}
+	return changed
+}
+
+func scheduleOnce(f *rtl.Func) bool {
+	g := cfg.Build(f)
+	g.Dominators()
+	for _, l := range g.NaturalLoops() {
+		ctx := analyzeLoop(f, g, l)
+		if ctx.hasCall {
+			continue // a callee's compares would interleave in the CC FIFO
+		}
+		trip := analyzeTrip(ctx)
+		if trip == nil {
+			continue
+		}
+		// No other CC traffic inside the loop.
+		ccOps := 0
+		for b := range l.Blocks {
+			for n := b.Start; n < b.End; n++ {
+				i := f.Code[n]
+				if i.IsCompare() || i.Kind == rtl.KCondJump {
+					ccOps++
+				}
+			}
+		}
+		if ccOps != 2 { // exactly the latch compare + jump
+			continue
+		}
+		// The compare must not already be scheduled (i.e. it sits
+		// directly before the jump; analyzeTrip guarantees that).
+		hdr := ctx.hdrLabelIdx
+		if hdr < 0 || hdr+1 > trip.cmpIdx {
+			continue
+		}
+		// The limit operand must be valid at the loop top: a constant
+		// or an invariant register (analyzeTrip guarantees that too).
+		// Build the hoisted compare over the pre-increment value.
+		cmp := f.Code[trip.cmpIdx]
+		pre := rtl.Bin{
+			Op: trip.op,
+			L:  rtl.B(rtl.Add, rtl.RX(trip.iv), trip.stepX),
+			R:  trip.limit,
+		}
+		sense := true
+		newCmp := rtl.NewAssign(rtl.Reg{Class: rtl.Int, N: rtl.ZeroReg}, pre)
+		newCmp.Note = "loop test (scheduled early)"
+		// Rewrite the branch to the canonical taken-when-true sense.
+		jmp := f.Code[trip.jmpIdx]
+		jmp.Sense = sense
+		jmp.CCClass = rtl.Int
+		_ = cmp
+		f.Remove(trip.cmpIdx)
+		f.Insert(hdr+1, newCmp)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,818 @@
+package opt
+
+import (
+	"sort"
+
+	"wmstream/internal/cfg"
+	"wmstream/internal/rtl"
+)
+
+// Streams implements the paper's streaming optimization algorithm (its
+// Figure 5 -> Figure 7 transformation):
+//
+//	Step 1    determine the loop's iteration count; too few
+//	          iterations (MinTrip) means streaming costs more than it
+//	          saves;
+//	Step 2    for every safe partition whose memory recurrences have
+//	          been eliminated, verify each reference runs on every
+//	          iteration with a fixed stride, allocate a FIFO, emit
+//	          sin/sout in the preheader, and rewrite the body's
+//	          loads/stores into FIFO register references;
+//	Step 2i   replace the loop test with jump-on-stream-not-exhausted;
+//	Step 2j   the induction variable dies and dead-code elimination
+//	          (rerun by the driver) removes its increment;
+//	Step 3    strength reduction of whatever addressing remains is a
+//	          separate pass (StrengthReduce).
+//
+// Only innermost loops are streamed.  Returns whether anything changed.
+func Streams(f *rtl.Func, minTrip int64) bool {
+	changed := false
+	for round := 0; round < 128; round++ {
+		if !streamOnce(f, minTrip) {
+			return changed
+		}
+		changed = true
+	}
+	return changed
+}
+
+func streamOnce(f *rtl.Func, minTrip int64) bool {
+	g := cfg.Build(f)
+	g.Dominators()
+	loops := g.NaturalLoops()
+	// Innermost only: loops that are no other loop's parent.
+	isParent := map[*cfg.Loop]bool{}
+	for _, l := range loops {
+		if l.Parent != nil {
+			isParent[l.Parent] = true
+		}
+	}
+	for _, l := range loops {
+		if isParent[l] {
+			continue
+		}
+		if pre := EnsurePreheader(f, g, l); pre < 0 {
+			continue
+		} else if l.Preheader == nil {
+			return true // structural change
+		}
+		if streamLoop(f, g, l, minTrip) {
+			return true
+		}
+	}
+	return false
+}
+
+// DeadIVs implements the paper's step 2j: after streaming replaces the
+// loop test and the address computations, an induction variable whose
+// only remaining use is its own increment is dead, but ordinary
+// liveness cannot see through the self-reference cycle.  This pass
+// deletes such increments (when the variable is also dead at every
+// loop exit).
+func DeadIVs(f *rtl.Func) bool {
+	changed := false
+	for round := 0; round < 128; round++ {
+		if !deadIVOnce(f) {
+			return changed
+		}
+		changed = true
+	}
+	return changed
+}
+
+func deadIVOnce(f *rtl.Func) bool {
+	g := cfg.Build(f)
+	g.Dominators()
+	g.Liveness()
+	for _, l := range g.NaturalLoops() {
+		ctx := analyzeLoop(f, g, l)
+		for iv, ivi := range ctx.ivs {
+			// Uses of iv inside the loop, excluding the increment's
+			// own operand.
+			uses := 0
+			for b := range l.Blocks {
+				for n := b.Start; n < b.End; n++ {
+					if n == ivi.defIdx {
+						continue
+					}
+					for _, u := range f.Code[n].Uses(nil) {
+						if u == iv {
+							uses++
+						}
+					}
+				}
+			}
+			if uses > 0 {
+				continue
+			}
+			liveOut := false
+			for _, t := range l.ExitTargets {
+				if t.LiveIn.Has(iv) {
+					liveOut = true
+				}
+			}
+			if liveOut {
+				continue
+			}
+			f.Remove(ivi.defIdx)
+			return true
+		}
+	}
+	return false
+}
+
+// tripInfo describes the loop's iteration count.
+type tripInfo struct {
+	iv      rtl.Reg
+	step    int64   // constant step, 0 when regStep
+	stepReg rtl.Reg // register step (assumed positive)
+	regStep bool
+	stepX   rtl.Expr // the step as an expression
+	limit   rtl.Expr // invariant register or constant
+	op      rtl.Op   // continue-condition: iv' op limit (iv' = post-increment value)
+	cmpIdx  int      // latch compare instruction
+	jmpIdx  int      // latch conditional jump
+	// constCount >= 0 when the count is known at compile time.
+	constCount int64
+	known      bool
+}
+
+// analyzeTrip recognizes the bottom-tested loop shape the code
+// expander emits: a latch block ending in "zero := (iv OP limit);
+// jump{T,F} header" where iv is a basic induction variable read after
+// its increment.
+func analyzeTrip(ctx *loopCtx) *tripInfo {
+	f := ctx.f
+	if len(ctx.loop.Latches) != 1 {
+		return nil
+	}
+	latch := ctx.loop.Latches[0]
+	jmpIdx := latch.End - 1
+	jmp := f.Code[jmpIdx]
+	if jmp.Kind != rtl.KCondJump {
+		return nil
+	}
+	cmpIdx := jmpIdx - 1
+	if cmpIdx < latch.Start {
+		return nil
+	}
+	cmp := f.Code[cmpIdx]
+	if !cmp.IsCompare() {
+		return nil
+	}
+	bin := cmp.Src.(rtl.Bin)
+	op := bin.Op
+	if !jmp.Sense {
+		op = op.Negate()
+	}
+	// One side must be exactly an induction variable, the other
+	// invariant.
+	var iv rtl.Reg
+	var limit rtl.Expr
+	if lx, ok := bin.L.(rtl.RegX); ok {
+		if _, isIV := ctx.ivs[lx.Reg]; isIV && ctx.operandInvariant(bin.R) {
+			iv, limit = lx.Reg, bin.R
+		}
+	}
+	if iv.N == 0 && iv.Class == rtl.Int {
+		if rx, ok := bin.R.(rtl.RegX); ok {
+			if _, isIV := ctx.ivs[rx.Reg]; isIV && ctx.operandInvariant(bin.L) {
+				iv, limit = rx.Reg, bin.L
+				op = op.Swap()
+			}
+		}
+	}
+	if limit == nil {
+		return nil
+	}
+	ivi := ctx.ivs[iv]
+	info := &tripInfo{iv: iv, step: ivi.step, stepReg: ivi.stepReg,
+		regStep: ivi.regStep, stepX: ivi.stepExpr(),
+		limit: limit, op: op, cmpIdx: cmpIdx, jmpIdx: jmpIdx}
+	// The compare must read the post-increment value: the increment
+	// must precede the compare in the latch block (or dominate it).
+	if !precedes(ctx, ivi.defIdx, cmpIdx) {
+		return nil
+	}
+	// Direction check.  Register steps are assumed positive (the only
+	// pattern the expander emits is "iv = iv + positive step"), so only
+	// upward conditions qualify.
+	switch {
+	case info.regStep && (op == rtl.Lt || op == rtl.Le):
+	case !info.regStep && info.step > 0 && (op == rtl.Lt || op == rtl.Le || op == rtl.Ne):
+	case !info.regStep && info.step < 0 && (op == rtl.Gt || op == rtl.Ge || op == rtl.Ne):
+	default:
+		return nil
+	}
+	// Constant count when both ends are constants.
+	if !info.regStep {
+		if ivInit, ok := ctx.initialValue(iv); ok {
+			if lim, ok := limit.(rtl.Imm); ok {
+				n, ok := countIterations(ivInit, lim.V, info.step, op)
+				if ok {
+					info.constCount = n
+					info.known = true
+				}
+			}
+		}
+	}
+	return info
+}
+
+// precedes reports whether instruction a executes before b on every
+// iteration (same block and earlier, or a's block dominates b's).
+func precedes(ctx *loopCtx, a, b int) bool {
+	ba, bb := ctx.g.BlockOf(a), ctx.g.BlockOf(b)
+	if ba == nil || bb == nil {
+		return false
+	}
+	if ba == bb {
+		return a < b
+	}
+	return ctx.g.Dominates(ba, bb)
+}
+
+// operandInvariant reports whether the expression is a constant or an
+// invariant register.
+func (ctx *loopCtx) operandInvariant(e rtl.Expr) bool {
+	switch x := e.(type) {
+	case rtl.Imm:
+		return true
+	case rtl.RegX:
+		return ctx.invariant(x.Reg)
+	}
+	return false
+}
+
+// initialValue finds the constant value of a register at loop entry by
+// scanning backwards through the chain of straight-line predecessor
+// blocks (preheader, then any block that falls into it exclusively).
+func (ctx *loopCtx) initialValue(r rtl.Reg) (int64, bool) {
+	b := ctx.loop.Preheader
+	if b == nil {
+		return 0, false
+	}
+	for hops := 0; hops < 16 && b != nil; hops++ {
+		for n := b.End - 1; n >= b.Start; n-- {
+			i := ctx.f.Code[n]
+			if i.Kind == rtl.KCall {
+				return 0, false
+			}
+			if d, ok := i.Def(); ok && d == r {
+				if c, isC := i.Src.(rtl.Imm); isC && i.Kind == rtl.KAssign {
+					return c.V, true
+				}
+				return 0, false
+			}
+		}
+		// A unique predecessor dominates this block, so its code runs
+		// on every path here; keep scanning into it.
+		if len(b.Preds) != 1 {
+			return 0, false
+		}
+		b = b.Preds[0]
+	}
+	return 0, false
+}
+
+// countIterations solves for the number of body executions of a
+// bottom-tested loop: the body runs, iv += step, then the loop
+// continues while (iv op limit).
+func countIterations(init, limit, step int64, op rtl.Op) (int64, bool) {
+	n := int64(0)
+	switch op {
+	case rtl.Lt:
+		n = ceilDiv(limit-init, step)
+	case rtl.Le:
+		n = ceilDiv(limit-init+1, step)
+	case rtl.Gt:
+		n = ceilDiv(init-limit, -step)
+	case rtl.Ge:
+		n = ceilDiv(init-limit+1, -step)
+	case rtl.Ne:
+		if step != 0 && (limit-init)%step == 0 {
+			n = (limit - init) / step
+		} else {
+			return 0, false
+		}
+	default:
+		return 0, false
+	}
+	if n < 1 {
+		n = 1 // bottom-tested: the body always runs at least once
+	}
+	return n, true
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		return 0
+	}
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// streamLoop applies the algorithm to one innermost loop.
+func streamLoop(f *rtl.Func, g *cfg.Graph, l *cfg.Loop, minTrip int64) bool {
+	ctx := analyzeLoop(f, g, l)
+	if ctx.hasCall || ctx.stream {
+		return false
+	}
+	trip := analyzeTrip(ctx)
+	if trip == nil {
+		// Paper step 1: "If it is impossible to determine, set
+		// loop_count to infinity" — the infinite-stream path.
+		return streamLoopInfinite(f, g, l, ctx)
+	}
+	if trip.known && trip.constCount < minTrip {
+		return false // paper step 1: few iterations, streams not worth it
+	}
+	refs, ok := ctx.collectRefs()
+	if !ok {
+		return false
+	}
+	parts := buildPartitions(refs)
+	postIncr := map[*memRef]bool{}
+
+	// Choose streamable references (paper step 2).
+	type cand struct {
+		ref *memRef
+	}
+	var candidates []*memRef
+	streamedLoads := map[rtl.Class]int{}
+	streamedStores := map[rtl.Class]int{}
+	totalLoads := map[rtl.Class]int{}
+	totalStores := map[rtl.Class]int{}
+	for _, r := range refs {
+		if r.write {
+			totalStores[r.class]++
+		} else {
+			totalLoads[r.class]++
+		}
+	}
+	for _, p := range parts {
+		if p.unsafe {
+			continue
+		}
+		hasRead, hasWrite := false, false
+		for _, r := range p.refs {
+			if r.write {
+				hasWrite = true
+			} else {
+				hasRead = true
+			}
+		}
+		if hasRead && hasWrite {
+			continue // step 2a: memory recurrence remains; do not stream
+		}
+		for _, r := range p.refs {
+			if !r.every {
+				continue // step 2c: not executed every iteration
+			}
+			if !r.lin.hasIV() || r.lin.iv != trip.iv {
+				continue
+			}
+			// A reference after the increment sees the stepped value;
+			// its stream base shifts by one stride.  Ambiguous ordering
+			// disqualifies the reference.
+			inc := ctx.ivs[trip.iv].defIdx
+			switch {
+			case precedes(ctx, r.accIdx, inc):
+			case precedes(ctx, inc, r.accIdx):
+				postIncr[r] = true
+			default:
+				continue
+			}
+			if !trip.regStep && r.lin.cee*trip.step == 0 {
+				continue
+			}
+			candidates = append(candidates, r)
+			if r.write {
+				streamedStores[r.class]++
+			} else {
+				streamedLoads[r.class]++
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return false
+	}
+
+	// Step 2e: allocate FIFOs.  Each class has two FIFOs per direction,
+	// but FIFO0 doubles as the path for ordinary scalar loads/stores,
+	// so it can only carry a stream when *no* scalar access of the same
+	// class and direction remains in the loop afterwards.  With C
+	// streamable candidates out of T total references: if C == T and
+	// C <= 2, all stream (FIFO0 + FIFO1); otherwise scalar traffic
+	// keeps FIFO0 and exactly one candidate streams on FIFO1.
+	type dirClass struct {
+		write bool
+		class rtl.Class
+	}
+	byDC := map[dirClass][]*memRef{}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].accIdx < candidates[j].accIdx })
+	for _, r := range candidates {
+		key := dirClass{r.write, r.class}
+		byDC[key] = append(byDC[key], r)
+	}
+	alloc := map[*memRef]int{}
+	for key, cands := range byDC {
+		total := totalLoads[key.class]
+		if key.write {
+			total = totalStores[key.class]
+		}
+		if len(cands) == total && len(cands) <= 2 {
+			for n, r := range cands {
+				alloc[r] = rtl.FIFO0 + n
+			}
+			continue
+		}
+		// Scalar traffic (or overflow candidates) keeps FIFO0.
+		alloc[cands[0]] = rtl.FIFO1
+	}
+	if len(alloc) == 0 {
+		return false
+	}
+
+	// All streamed references share the loop's iteration count, so the
+	// loop test can be replaced only if every streamed ref has the
+	// count.  (They do by construction: r.every and same iv.)
+
+	// --- apply the transformation -----------------------------------
+
+	hdrLabel := ctx.loopLabel()
+	if hdrLabel == "" {
+		return false
+	}
+
+	// Rewrite the body.  Collect deletions, apply descending.  The jnd
+	// branch tests the first allocated stream (inputs preferred),
+	// chosen deterministically by body position.
+	var deletions []int
+	var jndFIFO rtl.Reg
+	jndSet, jndIsInput := false, false
+	var allocOrder []*memRef
+	for r := range alloc {
+		allocOrder = append(allocOrder, r)
+	}
+	sort.Slice(allocOrder, func(i, j int) bool { return allocOrder[i].accIdx < allocOrder[j].accIdx })
+	for _, r := range allocOrder {
+		fifoN := alloc[r]
+		newFifo := rtl.Reg{Class: r.class, N: fifoN}
+		oldFifo := rtl.Reg{Class: r.class, N: rtl.FIFO0}
+		if r.write {
+			enq := f.Code[r.dataIdx]
+			enq.Dst = newFifo
+			deletions = append(deletions, r.accIdx)
+			if !jndSet {
+				jndFIFO, jndSet = newFifo, true
+			}
+		} else {
+			deq := f.Code[r.dataIdx]
+			deq.MapExprs(func(e rtl.Expr) rtl.Expr {
+				return rtl.SubstReg(e, oldFifo, rtl.RX(newFifo))
+			})
+			deletions = append(deletions, r.accIdx)
+			if !jndIsInput {
+				jndFIFO, jndSet, jndIsInput = newFifo, true, true
+			}
+		}
+	}
+
+	// Step 2i: replace the latch compare + conditional jump with jnd.
+	f.Code[trip.jmpIdx] = &rtl.Instr{Kind: rtl.KJumpNotDone, FIFO: jndFIFO, Target: hdrLabel}
+	deletions = append(deletions, trip.cmpIdx)
+
+	sort.Sort(sort.Reverse(sort.IntSlice(deletions)))
+	for _, d := range deletions {
+		f.Remove(d)
+	}
+
+	// Preheader code: count computation and the stream instructions.
+	hdr := f.FindLabel(hdrLabel)
+	if hdr < 0 {
+		return false
+	}
+	var seq []*rtl.Instr
+	countExpr := buildCount(f, &seq, trip)
+	// Clamp to >= 1 (bottom-tested loops execute at least once even
+	// when the guard is absent, e.g. do-while).
+	countExpr = clampCount(f, &seq, countExpr, trip)
+
+	// Sort stream emissions by original instruction order for stable
+	// output.
+	type emission struct {
+		ref   *memRef
+		fifoN int
+	}
+	var ems []emission
+	for r, n := range alloc {
+		ems = append(ems, emission{r, n})
+	}
+	sort.Slice(ems, func(i, j int) bool { return ems[i].ref.accIdx < ems[j].ref.accIdx })
+	for _, em := range ems {
+		r := em.ref
+		strideExpr := buildStride(f, &seq, r.lin.cee, trip)
+		addr := buildLinExpr(f, &seq, r.lin, trip.iv, r.lin.off, r.class)
+		if postIncr[r] {
+			addr = rtl.B(rtl.Add, addr, strideExpr)
+		}
+		baseReg := f.NewVirt(rtl.Int)
+		ba := rtl.NewAssign(baseReg, addr)
+		ba.Note = "stream base"
+		seq = append(seq, ba)
+		kind := rtl.KStreamIn
+		note := "stream in"
+		if r.write {
+			kind = rtl.KStreamOut
+			note = "stream out"
+		}
+		si := &rtl.Instr{
+			Kind:     kind,
+			FIFO:     rtl.Reg{Class: r.class, N: em.fifoN},
+			Base:     rtl.RX(baseReg),
+			Count:    countExpr,
+			Stride:   strideExpr,
+			MemSize:  r.size,
+			MemClass: r.class,
+			Note:     note,
+		}
+		seq = append(seq, si)
+	}
+	f.Insert(hdr, seq...)
+	return true
+}
+
+// buildCount emits preheader code computing the iteration count and
+// returns the expression (a register or constant) to use as the stream
+// count.
+func buildCount(f *rtl.Func, seq *[]*rtl.Instr, trip *tripInfo) rtl.Expr {
+	if trip.known {
+		return rtl.I(trip.constCount)
+	}
+	// diff = limit - iv  (or iv - limit for downward loops)
+	t := f.NewVirt(rtl.Int)
+	var diff rtl.Expr
+	up := trip.regStep || trip.step > 0
+	if up {
+		diff = rtl.B(rtl.Sub, trip.limit, rtl.RX(trip.iv))
+	} else {
+		diff = rtl.B(rtl.Sub, rtl.RX(trip.iv), trip.limit)
+	}
+	switch trip.op {
+	case rtl.Le, rtl.Ge:
+		diff = rtl.B(rtl.Add, diff, rtl.I(1))
+	}
+	if trip.regStep {
+		// ceil(diff / step) with a run-time step: one divide in the
+		// preheader.
+		d := f.NewVirt(rtl.Int)
+		di := rtl.NewAssign(d, diff)
+		di.Note = "stream span"
+		*seq = append(*seq, di)
+		num := f.NewVirt(rtl.Int)
+		ni := rtl.NewAssign(num, rtl.B(rtl.Sub, rtl.B(rtl.Add, rtl.RX(d), rtl.RX(trip.stepReg)), rtl.I(1)))
+		ni.Note = "stream count numerator"
+		*seq = append(*seq, ni)
+		ins := rtl.NewAssign(t, rtl.B(rtl.Div, rtl.RX(num), rtl.RX(trip.stepReg)))
+		ins.Note = "stream count"
+		*seq = append(*seq, ins)
+		return rtl.RX(t)
+	}
+	step := trip.step
+	if step < 0 {
+		step = -step
+	}
+	if step != 1 {
+		diff = rtl.B(rtl.Div, rtl.B(rtl.Add, diff, rtl.I(step-1)), rtl.I(step))
+	}
+	ins := rtl.NewAssign(t, diff)
+	ins.Note = "stream count"
+	*seq = append(*seq, ins)
+	return rtl.RX(t)
+}
+
+// buildStride returns the byte stride of one reference as an
+// expression: cee times the loop step, emitting a scaling instruction
+// into the preheader when the step is a run-time register.
+func buildStride(f *rtl.Func, seq *[]*rtl.Instr, cee int64, trip *tripInfo) rtl.Expr {
+	if !trip.regStep {
+		return rtl.I(cee * trip.step)
+	}
+	if cee == 1 {
+		return rtl.RX(trip.stepReg)
+	}
+	t := f.NewVirt(rtl.Int)
+	var e rtl.Expr
+	if sh := log2i64(cee); sh >= 0 {
+		e = rtl.B(rtl.Shl, rtl.RX(trip.stepReg), rtl.I(int64(sh)))
+	} else {
+		e = rtl.B(rtl.Mul, rtl.RX(trip.stepReg), rtl.I(cee))
+	}
+	ins := rtl.NewAssign(t, e)
+	ins.Note = "stream stride"
+	*seq = append(*seq, ins)
+	return rtl.RX(t)
+}
+
+// clampCount emits branch-free code forcing the count to at least one:
+// cnt += (1 - cnt) & ((cnt - 1) >> 63).
+func clampCount(f *rtl.Func, seq *[]*rtl.Instr, count rtl.Expr, trip *tripInfo) rtl.Expr {
+	if trip.known {
+		return count // already >= 1 by countIterations
+	}
+	mask := f.NewVirt(rtl.Int)
+	m := rtl.NewAssign(mask, rtl.B(rtl.Shr, rtl.B(rtl.Sub, count, rtl.I(1)), rtl.I(63)))
+	m.Note = "count clamp mask"
+	*seq = append(*seq, m)
+	out := f.NewVirt(rtl.Int)
+	o := rtl.NewAssign(out, rtl.B(rtl.Add, count,
+		rtl.B(rtl.And, rtl.B(rtl.Sub, rtl.I(1), count), rtl.RX(mask))))
+	o.Note = "clamp count to >= 1"
+	*seq = append(*seq, o)
+	return rtl.RX(out)
+}
+
+// streamLoopInfinite implements the paper's unknown-trip-count branch
+// of step 2i: read references stream with an infinite count, the
+// original loop test remains, and stream-stop instructions are placed
+// at every loop exit.  Only input streams are generated — an infinite
+// output stream stopped at the exit could lose enqueued data still in
+// flight.
+func streamLoopInfinite(f *rtl.Func, g *cfg.Graph, l *cfg.Loop, ctx *loopCtx) bool {
+	refs, ok := ctx.collectRefs()
+	if !ok {
+		return false
+	}
+	// Stream stops go at the start of each exit target.  Paths that
+	// reach an exit label without entering the loop execute the stop on
+	// an inactive stream, which the hardware treats as a no-op (scalar
+	// FIFO traffic is unaffected), so shared exit labels are fine.
+	var exitLabels []string
+	for _, t := range l.ExitTargets {
+		idx := -1
+		for n := t.Start; n < t.End; n++ {
+			if f.Code[n].Kind == rtl.KLabel {
+				idx = n
+				break
+			}
+		}
+		if idx == -1 || idx != t.Start {
+			return false // exit entered by fall-through: no safe stop point
+		}
+		exitLabels = append(exitLabels, f.Code[idx].Name)
+	}
+	if len(exitLabels) == 0 {
+		return false
+	}
+
+	totalLoads := map[rtl.Class]int{}
+	for _, r := range refs {
+		if !r.write {
+			totalLoads[r.class]++
+		}
+	}
+	type cand struct {
+		ref  *memRef
+		ivi  ivInfo
+		post bool
+	}
+	var cands []cand
+	for _, p := range buildPartitions(refs) {
+		if p.unsafe {
+			continue
+		}
+		hasWrite := false
+		for _, r := range p.refs {
+			if r.write {
+				hasWrite = true
+			}
+		}
+		if hasWrite {
+			continue // writes never stream on the infinite path
+		}
+		for _, r := range p.refs {
+			if !r.every || !r.lin.hasIV() {
+				continue
+			}
+			ivi, ok := ctx.ivs[r.lin.iv]
+			if !ok {
+				continue
+			}
+			c := cand{ref: r, ivi: ivi}
+			switch {
+			case precedes(ctx, r.accIdx, ivi.defIdx):
+			case precedes(ctx, ivi.defIdx, r.accIdx):
+				c.post = true
+			default:
+				continue
+			}
+			if !ivi.regStep && r.lin.cee*ivi.step == 0 {
+				continue
+			}
+			cands = append(cands, c)
+		}
+	}
+	if len(cands) == 0 {
+		return false
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].ref.accIdx < cands[j].ref.accIdx })
+
+	// FIFO allocation (inputs only), same discipline as the finite path.
+	byClass := map[rtl.Class][]cand{}
+	for _, c := range cands {
+		byClass[c.ref.class] = append(byClass[c.ref.class], c)
+	}
+	type alloc struct {
+		cand
+		fifoN int
+	}
+	var allocs []alloc
+	for cl, cs := range byClass {
+		if len(cs) == totalLoads[cl] && len(cs) <= 2 {
+			for n, c := range cs {
+				allocs = append(allocs, alloc{c, rtl.FIFO0 + n})
+			}
+		} else {
+			allocs = append(allocs, alloc{cs[0], rtl.FIFO1})
+		}
+	}
+	if len(allocs) == 0 {
+		return false
+	}
+	sort.Slice(allocs, func(i, j int) bool { return allocs[i].ref.accIdx < allocs[j].ref.accIdx })
+
+	hdrLabel := ctx.loopLabel()
+	if hdrLabel == "" {
+		return false
+	}
+
+	// Rewrite the body: delete loads, retarget dequeues.
+	var deletions []int
+	for _, a := range allocs {
+		newFifo := rtl.Reg{Class: a.ref.class, N: a.fifoN}
+		oldFifo := rtl.Reg{Class: a.ref.class, N: rtl.FIFO0}
+		deq := f.Code[a.ref.dataIdx]
+		deq.MapExprs(func(e rtl.Expr) rtl.Expr {
+			return rtl.SubstReg(e, oldFifo, rtl.RX(newFifo))
+		})
+		deletions = append(deletions, a.ref.accIdx)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(deletions)))
+	for _, d := range deletions {
+		f.Remove(d)
+	}
+
+	// Preheader: infinite stream-ins.
+	hdr := f.FindLabel(hdrLabel)
+	if hdr < 0 {
+		return false
+	}
+	var seq []*rtl.Instr
+	for _, a := range allocs {
+		trip := &tripInfo{
+			iv: a.ref.lin.iv, step: a.ivi.step, stepReg: a.ivi.stepReg,
+			regStep: a.ivi.regStep, stepX: a.ivi.stepExpr(),
+		}
+		strideExpr := buildStride(f, &seq, a.ref.lin.cee, trip)
+		addr := buildLinExpr(f, &seq, a.ref.lin, a.ref.lin.iv, a.ref.lin.off, a.ref.class)
+		if a.post {
+			addr = rtl.B(rtl.Add, addr, strideExpr)
+		}
+		baseReg := f.NewVirt(rtl.Int)
+		ba := rtl.NewAssign(baseReg, addr)
+		ba.Note = "stream base"
+		seq = append(seq, ba)
+		seq = append(seq, &rtl.Instr{
+			Kind:     rtl.KStreamIn,
+			FIFO:     rtl.Reg{Class: a.ref.class, N: a.fifoN},
+			Base:     rtl.RX(baseReg),
+			Count:    rtl.I(-1),
+			Stride:   strideExpr,
+			MemSize:  a.ref.size,
+			MemClass: a.ref.class,
+			Note:     "stream in (infinite)",
+		})
+	}
+	f.Insert(hdr, seq...)
+
+	// Stream stops at every exit (paper step 2i).
+	for _, lbl := range exitLabels {
+		at := f.FindLabel(lbl)
+		if at < 0 {
+			continue
+		}
+		var stops []*rtl.Instr
+		for _, a := range allocs {
+			stops = append(stops, &rtl.Instr{
+				Kind: rtl.KStreamStop,
+				FIFO: rtl.Reg{Class: a.ref.class, N: a.fifoN},
+				Note: "stop infinite stream",
+			})
+		}
+		f.Insert(at+1, stops...)
+	}
+	return true
+}

@@ -1,0 +1,173 @@
+package opt
+
+import (
+	"fmt"
+
+	"wmstream/internal/cfg"
+	"wmstream/internal/rtl"
+)
+
+// StrengthReduce replaces induction-variable address arithmetic with
+// derived pointers stepped once per iteration — the paper's streaming
+// step 3, and the transformation that yields the auto-increment
+// addressing of the Motorola 68020 code in Figure 6.
+//
+// On WM an address of the form (iv << k) + base is free (it fits the
+// dual-operation load), so only references whose address needs extra
+// in-body helper instructions are reduced.  The scalar backend
+// (package scalar) reuses the same analysis with a stricter notion of
+// what an addressing mode can absorb.
+func StrengthReduce(f *rtl.Func) bool {
+	changed := false
+	for round := 0; round < 128; round++ {
+		if !strengthOnce(f, wmAddrNeedsHelp) {
+			return changed
+		}
+		changed = true
+	}
+	return changed
+}
+
+// StrengthReduceWith runs the pass with a custom "address needs help"
+// predicate (used by the scalar backend).
+func StrengthReduceWith(f *rtl.Func, needsHelp func(lin linform) bool) bool {
+	changed := false
+	for round := 0; round < 128; round++ {
+		if !strengthOnce(f, needsHelp) {
+			return changed
+		}
+		changed = true
+	}
+	return changed
+}
+
+// wmAddrNeedsHelp: only addresses that required expanding in-loop
+// helper definitions cost extra instructions on WM.
+func wmAddrNeedsHelp(lin linform) bool { return lin.expanded }
+
+func strengthOnce(f *rtl.Func, needsHelp func(linform) bool) bool {
+	g := cfg.Build(f)
+	g.Dominators()
+	for _, l := range g.NaturalLoops() {
+		if pre := EnsurePreheader(f, g, l); pre < 0 {
+			continue
+		} else if l.Preheader == nil {
+			return true
+		}
+		ctx := analyzeLoop(f, g, l)
+		if ctx.hasCall {
+			continue
+		}
+		refs, ok := ctx.collectRefs()
+		if !ok {
+			continue
+		}
+		// Group reducible references by (iv, cee, region) so that
+		// references differing only by a constant offset share one
+		// derived pointer and one step per iteration — x[i] and x[i-1]
+		// become p@0 and p@-8 off a single pointer.
+		groups := map[string][]*memRef{}
+		var order []string
+		for _, r := range refs {
+			if r.unknown || !r.lin.hasIV() || !needsHelp(r.lin) {
+				continue
+			}
+			if alreadyReduced(ctx, f.Code[r.accIdx].Addr) {
+				continue // address is a derived pointer (+ offset) already
+			}
+			ivi, ok := ctx.ivs[r.lin.iv]
+			if !ok || ivi.regStep {
+				continue
+			}
+			if !precedes(ctx, r.accIdx, ivi.defIdx) {
+				continue // address read after the increment: lin form shifts
+			}
+			key := r.lin.iv.String() + "/" + fmt.Sprint(r.lin.cee) + "/" + r.lin.baseKey()
+			if groups[key] == nil {
+				order = append(order, key)
+			}
+			groups[key] = append(groups[key], r)
+		}
+		for _, key := range order {
+			grp := groups[key]
+			if reduceGroup(ctx, grp, ctx.ivs[grp[0].lin.iv]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// alreadyReduced reports whether an address is already in the form a
+// derived pointer produces — a stepped induction variable or invariant
+// register, plus at most a constant — which every machine's addressing
+// modes absorb.  A bare register that is merely an in-loop helper
+// (recomputed from the induction variable each iteration) does NOT
+// count: that is exactly what this pass eliminates.
+func alreadyReduced(ctx *loopCtx, addr rtl.Expr) bool {
+	var base rtl.Reg
+	switch x := addr.(type) {
+	case rtl.RegX:
+		base = x.Reg
+	case rtl.Bin:
+		if x.Op != rtl.Add {
+			return false
+		}
+		rx, lReg := x.L.(rtl.RegX)
+		_, rImm := x.R.(rtl.Imm)
+		if !lReg || !rImm {
+			return false
+		}
+		base = rx.Reg
+	default:
+		return false
+	}
+	if _, isIV := ctx.ivs[base]; isIV {
+		return true
+	}
+	return ctx.invariant(base)
+}
+
+// reduceGroup rewrites a group of same-region references through one
+// shared derived pointer.
+func reduceGroup(ctx *loopCtx, grp []*memRef, ivi ivInfo) bool {
+	f := ctx.f
+	hdrLabel := ctx.loopLabel()
+	if hdrLabel == "" {
+		return false
+	}
+	base := grp[0]
+	stride := base.lin.cee * ivi.step
+	p := f.NewVirt(rtl.Int)
+
+	// Body: replace every address with p (+ constant delta), then bump
+	// the pointer once, right after the induction variable's own
+	// increment.
+	for _, r := range grp {
+		acc := f.Code[r.accIdx]
+		delta := r.lin.off - base.lin.off
+		if delta == 0 {
+			acc.Addr = rtl.RX(p)
+		} else {
+			acc.Addr = rtl.B(rtl.Add, rtl.RX(p), rtl.I(delta))
+		}
+	}
+	bump := rtl.NewAssign(p, rtl.B(rtl.Add, rtl.RX(p), rtl.I(stride)))
+	bump.Note = "derived pointer step"
+	f.Insert(ivi.defIdx+1, bump)
+
+	// Preheader: initialize the pointer.
+	hdr := f.FindLabel(hdrLabel)
+	if hdr < 0 {
+		return false
+	}
+	var seq []*rtl.Instr
+	addr := buildLinExpr(f, &seq, base.lin, base.lin.iv, base.lin.off, base.class)
+	init := rtl.NewAssign(p, addr)
+	init.Note = "derived pointer"
+	seq = append(seq, init)
+	f.Insert(hdr, seq...)
+	return true
+}
+
+var _ = cfg.Build

@@ -1,0 +1,48 @@
+// Package rtl defines the register transfer list (RTL) intermediate
+// representation used throughout the compiler and consumed by the WM
+// simulator.
+//
+// An RTL describes the effect of a single machine instruction as an
+// assignment (or control transfer) over the hardware's storage cells, in
+// the style of the vpo optimizer the paper is built on.  Any particular
+// RTL is machine specific, but the *form* of an RTL is machine
+// independent, which is what lets the optimization passes in package opt
+// remain machine independent while transforming machine-level code.
+//
+// # Register model
+//
+// The WM machine has 32 integer registers (r0..r31) and 32 floating-point
+// registers (f0..f31).  Registers with special architectural meaning:
+//
+//	r31, f31   always zero; writes are discarded
+//	r0,  f0    FIFO registers: reading dequeues from the unit's input
+//	           (load) FIFO, writing enqueues to the output (store) FIFO
+//	r1,  f1    second FIFO pair, available in streaming mode
+//	r29        stack pointer (ABI, grows down from 1 MiB)
+//	r30        link register (ABI)
+//
+// Registers with numbers >= VirtualBase are virtual registers created by
+// the code expander; the register assignment pass in package opt maps
+// them onto r2..r27 / f2..f27.
+//
+// # Invented ABI
+//
+// The paper does not specify a calling convention, so this reproduction
+// defines one: integer arguments in r2..r9, float arguments in f2..f9,
+// integer results in r2, float results in f2, r30 holds the return
+// address, r29 is the stack pointer, and all allocatable registers are
+// caller-saved (the optimizer never keeps values live across calls).
+// Globals are laid out from address 0x1000 upward.
+//
+// # Instruction forms
+//
+// The central WM instruction form is the dual-operation RTL
+//
+//	dst := (a op1 b) op2 c
+//
+// executed by a two-stage ALU pipeline; loads compute only an address
+// (data arrives in the input FIFO), and stores pair an address with a
+// value enqueued in the output FIFO.  Stream instructions direct a
+// stream control unit to perform an entire strided access sequence.
+// See the Instr type for the complete kind list.
+package rtl

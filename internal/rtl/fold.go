@@ -1,0 +1,291 @@
+package rtl
+
+import "math"
+
+// EvalIntOp applies an integer binary operator to constants.  ok is
+// false for division by zero or a non-integer operator.
+func EvalIntOp(op Op, a, b int64) (v int64, ok bool) {
+	switch op {
+	case Add:
+		return a + b, true
+	case Sub:
+		return a - b, true
+	case Mul:
+		return a * b, true
+	case Div:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case Rem:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case Shl:
+		if b < 0 || b >= 64 {
+			return 0, false
+		}
+		return a << uint(b), true
+	case Shr:
+		if b < 0 || b >= 64 {
+			return 0, false
+		}
+		return a >> uint(b), true
+	case And:
+		return a & b, true
+	case Or:
+		return a | b, true
+	case Xor:
+		return a ^ b, true
+	case Eq:
+		return b2i(a == b), true
+	case Ne:
+		return b2i(a != b), true
+	case Lt:
+		return b2i(a < b), true
+	case Le:
+		return b2i(a <= b), true
+	case Gt:
+		return b2i(a > b), true
+	case Ge:
+		return b2i(a >= b), true
+	}
+	return 0, false
+}
+
+// EvalFloatOp applies a floating binary operator to constants.
+// Relational operators yield 0/1 (as a float, callers convert).
+func EvalFloatOp(op Op, a, b float64) (v float64, ok bool) {
+	switch op {
+	case Add:
+		return a + b, true
+	case Sub:
+		return a - b, true
+	case Mul:
+		return a * b, true
+	case Div:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case Eq:
+		return f2i(a == b), true
+	case Ne:
+		return f2i(a != b), true
+	case Lt:
+		return f2i(a < b), true
+	case Le:
+		return f2i(a <= b), true
+	case Gt:
+		return f2i(a > b), true
+	case Ge:
+		return f2i(a >= b), true
+	}
+	return 0, false
+}
+
+// EvalUnInt applies a unary operator in the integer domain.
+func EvalUnInt(op Op, a int64) (int64, bool) {
+	switch op {
+	case Neg:
+		return -a, true
+	case Not:
+		return ^a, true
+	}
+	return 0, false
+}
+
+// EvalUnFloat applies a unary operator in the floating domain,
+// including the FEU math builtins.
+func EvalUnFloat(op Op, a float64) (float64, bool) {
+	switch op {
+	case Neg:
+		return -a, true
+	case Sqrt:
+		return math.Sqrt(a), true
+	case Sin:
+		return math.Sin(a), true
+	case Cos:
+		return math.Cos(a), true
+	case Exp:
+		return math.Exp(a), true
+	case Log:
+		return math.Log(a), true
+	case Atan:
+		return math.Atan(a), true
+	case Fabs:
+		return math.Abs(a), true
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func f2i(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// FoldExpr simplifies an expression tree bottom-up: constant
+// subexpressions are evaluated, algebraic identities involving 0, 1 and
+// the zero registers are applied, and Sym offsets absorb added
+// constants.  The result is semantically equal to the input.
+func FoldExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case Bin:
+		l := FoldExpr(x.L)
+		r := FoldExpr(x.R)
+		return foldBin(x.Op, l, r)
+	case Un:
+		inner := FoldExpr(x.X)
+		if c, ok := inner.(Imm); ok {
+			if v, ok := EvalUnInt(x.Op, c.V); ok {
+				return Imm{v}
+			}
+		}
+		if c, ok := inner.(FImm); ok {
+			if v, ok := EvalUnFloat(x.Op, c.V); ok {
+				return FImm{v}
+			}
+		}
+		return Un{x.Op, inner}
+	case Cvt:
+		inner := FoldExpr(x.X)
+		if c, ok := inner.(Imm); ok && x.To == Float {
+			return FImm{float64(c.V)}
+		}
+		if c, ok := inner.(FImm); ok && x.To == Int {
+			return Imm{int64(c.V)}
+		}
+		if inner.Class() == x.To {
+			return inner
+		}
+		return Cvt{x.To, inner}
+	case Mem:
+		return Mem{FoldExpr(x.Addr), x.Size, x.Cl}
+	case RegX:
+		// The zero registers read as constants.
+		if x.Reg.IsZero() {
+			if x.Reg.Class == Int {
+				return Imm{0}
+			}
+			return FImm{0}
+		}
+		return x
+	default:
+		return e
+	}
+}
+
+func foldBin(op Op, l, r Expr) Expr {
+	// Constant-constant.
+	if a, ok := l.(Imm); ok {
+		if b, ok := r.(Imm); ok {
+			if v, ok := EvalIntOp(op, a.V, b.V); ok {
+				return Imm{v}
+			}
+		}
+	}
+	if a, ok := l.(FImm); ok {
+		if b, ok := r.(FImm); ok {
+			if v, ok := EvalFloatOp(op, a.V, b.V); ok {
+				if op.IsRelational() {
+					return Imm{int64(v)}
+				}
+				return FImm{v}
+			}
+		}
+	}
+	// Symbol arithmetic: _s + c, _s - c, c + _s.
+	if s, ok := l.(Sym); ok {
+		if c, ok := r.(Imm); ok {
+			switch op {
+			case Add:
+				return Sym{s.Name, s.Off + c.V}
+			case Sub:
+				return Sym{s.Name, s.Off - c.V}
+			}
+		}
+	}
+	if c, ok := l.(Imm); ok {
+		if s, ok := r.(Sym); ok && op == Add {
+			return Sym{s.Name, s.Off + c.V}
+		}
+	}
+	// Reassociate (x + c1) + c2 -> x + (c1+c2), and (x + c1) - c2
+	// likewise, so chained constant offsets collapse.
+	if c2, ok := r.(Imm); ok && (op == Add || op == Sub) {
+		if lb, ok := l.(Bin); ok && lb.Op == Add {
+			if c1, ok := lb.R.(Imm); ok {
+				v := c1.V + c2.V
+				if op == Sub {
+					v = c1.V - c2.V
+				}
+				return foldBin(Add, lb.L, Imm{v})
+			}
+		}
+	}
+	// Canonicalize constant to the left operand's side early so the
+	// identity checks below only need to consider constants on the
+	// right, and later pattern matches (and CSE) see one form.
+	if op.IsCommutative() {
+		if _, ok := l.(Imm); ok {
+			if _, isImm := r.(Imm); !isImm {
+				l, r = r, l
+			}
+		}
+		if _, ok := l.(FImm); ok {
+			if _, isImm := r.(FImm); !isImm {
+				l, r = r, l
+			}
+		}
+	}
+	// Identities.
+	if isIntConst(r, 0) {
+		switch op {
+		case Add, Sub, Shl, Shr, Or, Xor:
+			return l
+		case Mul, And:
+			if l.Class() == Int {
+				return Imm{0}
+			}
+		}
+	}
+	if isIntConst(l, 0) && op == Add {
+		return r
+	}
+	if isFloatConst(r, 0) && (op == Add || op == Sub) && l.Class() == Float {
+		return l
+	}
+	if isFloatConst(l, 0) && op == Add && r.Class() == Float {
+		return r
+	}
+	if isIntConst(r, 1) && (op == Mul || op == Div) {
+		return l
+	}
+	if isIntConst(l, 1) && op == Mul {
+		return r
+	}
+	if isFloatConst(r, 1) && (op == Mul || op == Div) {
+		return l
+	}
+	return Bin{op, l, r}
+}
+
+func isIntConst(e Expr, v int64) bool {
+	c, ok := e.(Imm)
+	return ok && c.V == v
+}
+
+func isFloatConst(e Expr, v float64) bool {
+	c, ok := e.(FImm)
+	return ok && c.V == v
+}

@@ -1,0 +1,613 @@
+package rtl
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a program in the assembler syntax produced by
+// Program.String / Func.Listing.  The format is line oriented:
+//
+//	.entry main
+//	.data x 800000 align=8 [init=<hex>]
+//	.func main frame=16
+//	  3.     r22 := 2            -- optional comment
+//	  4. L20:
+//	  5.     l64f f0, ((r22 << 3) + r24)
+//	.end
+//
+// Leading line numbers ("3.") are optional, as are comments introduced
+// by "--" or ";".
+func Parse(src string) (*Program, error) {
+	p := &Program{}
+	var cur *Func
+	for ln, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...interface{}) error {
+			return fmt.Errorf("line %d: %s", ln+1, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case strings.HasPrefix(line, ".entry"):
+			p.Entry = strings.TrimSpace(strings.TrimPrefix(line, ".entry"))
+		case strings.HasPrefix(line, ".data"):
+			g, err := parseData(strings.TrimPrefix(line, ".data"))
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			p.AddGlobal(g)
+		case strings.HasPrefix(line, ".func"):
+			if cur != nil {
+				return nil, fail("nested .func")
+			}
+			fields := strings.Fields(strings.TrimPrefix(line, ".func"))
+			if len(fields) == 0 {
+				return nil, fail(".func needs a name")
+			}
+			cur = NewFunc(fields[0])
+			for _, f := range fields[1:] {
+				if v, ok := strings.CutPrefix(f, "frame="); ok {
+					n, err := strconv.Atoi(v)
+					if err != nil {
+						return nil, fail("bad frame: %v", err)
+					}
+					cur.Frame = n
+				}
+			}
+		case line == ".end":
+			if cur == nil {
+				return nil, fail(".end without .func")
+			}
+			cur.Renumber()
+			p.Funcs = append(p.Funcs, cur)
+			cur = nil
+		default:
+			if cur == nil {
+				return nil, fail("instruction outside .func: %q", line)
+			}
+			instr, err := ParseInstr(line)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			// Track virtual register high-water marks.
+			noteVirts(cur, instr)
+			cur.Code = append(cur.Code, instr)
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("missing .end for function %s", cur.Name)
+	}
+	return p, nil
+}
+
+func noteVirts(f *Func, i *Instr) {
+	seen := func(r Reg) {
+		if r.IsVirtual() {
+			f.SetNumVirt(r.Class, r.N-VirtualBase+1)
+		}
+	}
+	if d, ok := i.Def(); ok {
+		seen(d)
+	}
+	for _, r := range i.Uses(nil) {
+		seen(r)
+	}
+}
+
+func stripComment(line string) string {
+	if idx := strings.Index(line, "--"); idx >= 0 {
+		line = line[:idx]
+	}
+	if idx := strings.Index(line, ";"); idx >= 0 {
+		line = line[:idx]
+	}
+	return line
+}
+
+func parseData(rest string) (*DataItem, error) {
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return nil, fmt.Errorf(".data needs name and size")
+	}
+	size, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil, fmt.Errorf("bad size: %v", err)
+	}
+	g := &DataItem{Name: fields[0], Size: size, Align: 8}
+	for _, f := range fields[2:] {
+		if v, ok := strings.CutPrefix(f, "align="); ok {
+			a, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("bad align: %v", err)
+			}
+			g.Align = a
+		}
+		if v, ok := strings.CutPrefix(f, "init="); ok {
+			b, err := hex.DecodeString(v)
+			if err != nil {
+				return nil, fmt.Errorf("bad init: %v", err)
+			}
+			g.Init = b
+		}
+	}
+	return g, nil
+}
+
+// ParseInstr parses a single instruction line (without comments).
+// Optional leading line numbers of the form "12." are skipped.
+func ParseInstr(line string) (*Instr, error) {
+	line = strings.TrimSpace(line)
+	// Strip "NN." line number prefix.
+	if dot := strings.Index(line, "."); dot > 0 {
+		num := line[:dot]
+		if _, err := strconv.Atoi(strings.TrimSpace(num)); err == nil {
+			line = strings.TrimSpace(line[dot+1:])
+		}
+	}
+	if line == "" {
+		return nil, fmt.Errorf("empty instruction")
+	}
+	// Label?
+	if strings.HasSuffix(line, ":") && !strings.Contains(line, " ") {
+		return NewLabel(strings.TrimSuffix(line, ":")), nil
+	}
+	// Assignment?
+	if idx := strings.Index(line, ":="); idx >= 0 {
+		dst, ok := ParseReg(strings.TrimSpace(line[:idx]))
+		if !ok {
+			return nil, fmt.Errorf("bad destination register %q", line[:idx])
+		}
+		src, err := parseExpr(strings.TrimSpace(line[idx+2:]))
+		if err != nil {
+			return nil, err
+		}
+		return NewAssign(dst, src), nil
+	}
+	// Mnemonic form.
+	mnem, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch {
+	case mnem == "jump":
+		return NewJump(rest), nil
+	case mnem == "ret":
+		return &Instr{Kind: KRet}, nil
+	case mnem == "halt":
+		return &Instr{Kind: KHalt}, nil
+	case mnem == "call":
+		return &Instr{Kind: KCall, Name: rest}, nil
+	case len(mnem) == 4 && strings.HasPrefix(mnem, "put"):
+		src, err := parseExpr(rest)
+		if err != nil {
+			return nil, err
+		}
+		return &Instr{Kind: KPut, Fmt: mnem[3], Src: src}, nil
+	case mnem == "sstop":
+		r, ok := ParseReg(rest)
+		if !ok {
+			return nil, fmt.Errorf("bad sstop register %q", rest)
+		}
+		return &Instr{Kind: KStreamStop, FIFO: r}, nil
+	case mnem == "jnd":
+		parts := splitArgs(rest)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("jnd wants FIFO, label")
+		}
+		r, ok := ParseReg(parts[0])
+		if !ok {
+			return nil, fmt.Errorf("bad jnd register %q", parts[0])
+		}
+		return &Instr{Kind: KJumpNotDone, FIFO: r, Target: parts[1]}, nil
+	case strings.HasPrefix(mnem, "jumpT") || strings.HasPrefix(mnem, "jumpF"):
+		sense := mnem[4] == 'T'
+		cc := Int
+		if strings.HasSuffix(mnem, "f") {
+			cc = Float
+		}
+		return NewCondJump(rest, sense, cc), nil
+	case strings.HasPrefix(mnem, "l") || strings.HasPrefix(mnem, "s"):
+		return parseMemOrStream(mnem, rest)
+	}
+	return nil, fmt.Errorf("unknown instruction %q", line)
+}
+
+// parseMemOrStream handles l<bits><r|f>, s<bits><r|f>, sin<bits><r|f>,
+// sout<bits><r|f>.
+func parseMemOrStream(mnem, rest string) (*Instr, error) {
+	kind := KLoad
+	body := ""
+	switch {
+	case strings.HasPrefix(mnem, "sin"):
+		kind = KStreamIn
+		body = mnem[3:]
+	case strings.HasPrefix(mnem, "sout"):
+		kind = KStreamOut
+		body = mnem[4:]
+	case mnem[0] == 'l':
+		kind = KLoad
+		body = mnem[1:]
+	case mnem[0] == 's':
+		kind = KStore
+		body = mnem[1:]
+	}
+	if len(body) < 2 {
+		return nil, fmt.Errorf("bad memory mnemonic %q", mnem)
+	}
+	clLetter := body[len(body)-1]
+	bits, err := strconv.Atoi(body[:len(body)-1])
+	if err != nil {
+		return nil, fmt.Errorf("bad memory mnemonic %q", mnem)
+	}
+	cl := Int
+	if clLetter == 'f' {
+		cl = Float
+	}
+	size := bits / 8
+	args := splitArgs(rest)
+	switch kind {
+	case KLoad, KStore:
+		if len(args) != 2 {
+			return nil, fmt.Errorf("%s wants FIFO, addr", mnem)
+		}
+		fifo, ok := ParseReg(args[0])
+		if !ok {
+			return nil, fmt.Errorf("bad FIFO register %q", args[0])
+		}
+		addr, err := parseExpr(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return &Instr{Kind: kind, FIFO: fifo, Addr: addr, MemSize: size, MemClass: cl}, nil
+	default:
+		if len(args) != 4 {
+			return nil, fmt.Errorf("%s wants FIFO, base, count, stride", mnem)
+		}
+		fifo, ok := ParseReg(args[0])
+		if !ok {
+			return nil, fmt.Errorf("bad FIFO register %q", args[0])
+		}
+		base, err := parseExpr(args[1])
+		if err != nil {
+			return nil, err
+		}
+		count, err := parseExpr(args[2])
+		if err != nil {
+			return nil, err
+		}
+		stride, err := parseExpr(args[3])
+		if err != nil {
+			return nil, fmt.Errorf("bad stride %q: %v", args[3], err)
+		}
+		return &Instr{Kind: kind, FIFO: fifo, Base: base, Count: count,
+			Stride: stride, MemSize: size, MemClass: cl}, nil
+	}
+}
+
+// splitArgs splits on top-level commas (commas inside parentheses or
+// brackets do not split).
+func splitArgs(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	last := strings.TrimSpace(s[start:])
+	if last != "" {
+		out = append(out, last)
+	}
+	return out
+}
+
+// --- expression parser -------------------------------------------------
+
+type exprParser struct {
+	s   string
+	pos int
+}
+
+func parseExpr(s string) (Expr, error) {
+	p := &exprParser{s: s}
+	e, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.s) {
+		return nil, fmt.Errorf("trailing input in expression %q at %d", s, p.pos)
+	}
+	return e, nil
+}
+
+// binOps in precedence order (lowest first), matching the printer's
+// fully parenthesized output but tolerant of hand-written input.
+var precLevels = [][]Op{
+	{Eq, Ne, Lt, Le, Gt, Ge},
+	{Or},
+	{Xor},
+	{And},
+	{Shl, Shr},
+	{Add, Sub},
+	{Mul, Div, Rem},
+}
+
+func (p *exprParser) parseBinary(level int) (Expr, error) {
+	if level >= len(precLevels) {
+		return p.parseUnary()
+	}
+	left, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		op, ok := p.peekOp(precLevels[level])
+		if !ok {
+			return left, nil
+		}
+		right, err := p.parseBinary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = Bin{op, left, right}
+	}
+}
+
+var opTokens = []struct {
+	tok string
+	op  Op
+}{
+	{"<<", Shl}, {">>", Shr}, {"==", Eq}, {"!=", Ne}, {"<=", Le},
+	{">=", Ge}, {"<", Lt}, {">", Gt}, {"+", Add}, {"-", Sub},
+	{"*", Mul}, {"/", Div}, {"%", Rem}, {"&", And}, {"|", Or}, {"^", Xor},
+}
+
+func (p *exprParser) peekOp(allowed []Op) (Op, bool) {
+	for _, cand := range opTokens {
+		if strings.HasPrefix(p.s[p.pos:], cand.tok) {
+			for _, a := range allowed {
+				if a == cand.op {
+					p.pos += len(cand.tok)
+					return cand.op, true
+				}
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+var unaryFuncs = map[string]Op{
+	"neg": Neg, "not": Not, "sqrt": Sqrt, "sin": Sin, "cos": Cos,
+	"exp": Exp, "log": Log, "atan": Atan, "fabs": Fabs,
+}
+
+func (p *exprParser) parseUnary() (Expr, error) {
+	p.skipSpace()
+	if p.pos >= len(p.s) {
+		return nil, fmt.Errorf("unexpected end of expression %q", p.s)
+	}
+	c := p.s[p.pos]
+	switch {
+	case c == '(':
+		p.pos++
+		e, err := p.parseBinary(0)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case c == '-':
+		p.pos++
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if im, ok := e.(Imm); ok {
+			return Imm{-im.V}, nil
+		}
+		if fm, ok := e.(FImm); ok {
+			return FImm{-fm.V}, nil
+		}
+		return Un{Neg, e}, nil
+	case c == '_':
+		return p.parseSym()
+	case c == 'M':
+		return p.parseMem()
+	case c >= '0' && c <= '9':
+		return p.parseNumber()
+	default:
+		return p.parseIdent()
+	}
+}
+
+func (p *exprParser) parseIdent() (Expr, error) {
+	start := p.pos
+	for p.pos < len(p.s) && (isAlnum(p.s[p.pos])) {
+		p.pos++
+	}
+	word := p.s[start:p.pos]
+	if word == "" {
+		return nil, fmt.Errorf("cannot parse expression %q at %d", p.s, start)
+	}
+	// cvtr(x) / cvtf(x)
+	if word == "cvtr" || word == "cvtf" {
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		x, err := p.parseBinary(0)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		to := Int
+		if word == "cvtf" {
+			to = Float
+		}
+		return Cvt{to, x}, nil
+	}
+	if op, ok := unaryFuncs[word]; ok && p.pos < len(p.s) && p.s[p.pos] == '(' {
+		p.pos++
+		x, err := p.parseBinary(0)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return Un{op, x}, nil
+	}
+	if r, ok := ParseReg(word); ok {
+		return RegX{r}, nil
+	}
+	return nil, fmt.Errorf("unknown identifier %q in expression", word)
+}
+
+func (p *exprParser) parseSym() (Expr, error) {
+	p.pos++ // skip _
+	start := p.pos
+	for p.pos < len(p.s) && isAlnum(p.s[p.pos]) {
+		p.pos++
+	}
+	name := p.s[start:p.pos]
+	off := int64(0)
+	// Tight +N / -N offsets belong to the symbol only when the printer
+	// produced them; we absorb them here and rely on folding otherwise.
+	if p.pos < len(p.s) && (p.s[p.pos] == '+' || p.s[p.pos] == '-') &&
+		p.pos+1 < len(p.s) && p.s[p.pos+1] >= '0' && p.s[p.pos+1] <= '9' {
+		sign := int64(1)
+		if p.s[p.pos] == '-' {
+			sign = -1
+		}
+		p.pos++
+		n, err := p.parseRawInt()
+		if err != nil {
+			return nil, err
+		}
+		off = sign * n
+	}
+	return Sym{name, off}, nil
+}
+
+func (p *exprParser) parseMem() (Expr, error) {
+	// M<size-in-bytes><r|f>[addr]
+	p.pos++ // skip M
+	n, err := p.parseRawInt()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos >= len(p.s) {
+		return nil, fmt.Errorf("truncated memory operand")
+	}
+	cl := Int
+	if p.s[p.pos] == 'f' {
+		cl = Float
+	}
+	p.pos++
+	if err := p.expect('['); err != nil {
+		return nil, err
+	}
+	addr, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(']'); err != nil {
+		return nil, err
+	}
+	return Mem{addr, int(n), cl}, nil
+}
+
+func (p *exprParser) parseNumber() (Expr, error) {
+	start := p.pos
+	seenDot := false
+	for p.pos < len(p.s) {
+		c := p.s[p.pos]
+		if c == '.' {
+			seenDot = true
+			p.pos++
+			continue
+		}
+		if c == 'e' || c == 'E' {
+			seenDot = true
+			p.pos++
+			if p.pos < len(p.s) && (p.s[p.pos] == '+' || p.s[p.pos] == '-') {
+				p.pos++
+			}
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		p.pos++
+	}
+	text := p.s[start:p.pos]
+	// Trailing 'f' marks a float immediate.
+	if p.pos < len(p.s) && p.s[p.pos] == 'f' {
+		p.pos++
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, err
+		}
+		return FImm{v}, nil
+	}
+	if seenDot {
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, err
+		}
+		return FImm{v}, nil
+	}
+	v, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return nil, err
+	}
+	return Imm{v}, nil
+}
+
+func (p *exprParser) parseRawInt() (int64, error) {
+	start := p.pos
+	for p.pos < len(p.s) && p.s[p.pos] >= '0' && p.s[p.pos] <= '9' {
+		p.pos++
+	}
+	if start == p.pos {
+		return 0, fmt.Errorf("expected number at %d in %q", start, p.s)
+	}
+	return strconv.ParseInt(p.s[start:p.pos], 10, 64)
+}
+
+func (p *exprParser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.s) || p.s[p.pos] != c {
+		return fmt.Errorf("expected %q at %d in %q", string(c), p.pos, p.s)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func isAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}

@@ -1,0 +1,178 @@
+package rtl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DataItem is a global datum: a named, aligned region of memory with
+// optional initial contents.
+type DataItem struct {
+	Name  string
+	Size  int // bytes
+	Align int // byte alignment (power of two)
+	Init  []byte
+}
+
+// Func is a linear sequence of RTLs for one function, plus the metadata
+// the optimizer and register assigner need.
+type Func struct {
+	Name  string
+	Code  []*Instr
+	Frame int // stack frame size in bytes
+
+	// nextVirt counts allocated virtual registers per class.
+	nextVirt [NumClasses]int
+
+	// NumFloatParams and NumIntParams record the ABI registers holding
+	// live-in arguments.
+	NumIntParams   int
+	NumFloatParams int
+
+	// UsesFloatResult marks functions returning in f2 rather than r2.
+	UsesFloatResult bool
+}
+
+// NewFunc returns an empty function.
+func NewFunc(name string) *Func { return &Func{Name: name} }
+
+// NewVirt allocates a fresh virtual register of the class.
+func (f *Func) NewVirt(c Class) Reg {
+	r := Reg{c, VirtualBase + f.nextVirt[c]}
+	f.nextVirt[c]++
+	return r
+}
+
+// NumVirt returns how many virtual registers of the class have been
+// allocated.
+func (f *Func) NumVirt(c Class) int { return f.nextVirt[c] }
+
+// SetNumVirt primes the virtual counter (used when reconstructing a
+// function from parsed text).
+func (f *Func) SetNumVirt(c Class, n int) {
+	if n > f.nextVirt[c] {
+		f.nextVirt[c] = n
+	}
+}
+
+// Renumber assigns fresh sequential IDs to every instruction.  Listings
+// use IDs as line numbers, mirroring the paper's figures.
+func (f *Func) Renumber() {
+	for n, i := range f.Code {
+		i.ID = n + 1
+	}
+}
+
+// Append adds an instruction at the end and returns it.
+func (f *Func) Append(i *Instr) *Instr {
+	f.Code = append(f.Code, i)
+	return i
+}
+
+// Insert places instr before index pos.
+func (f *Func) Insert(pos int, instrs ...*Instr) {
+	f.Code = append(f.Code[:pos], append(append([]*Instr{}, instrs...), f.Code[pos:]...)...)
+}
+
+// Remove deletes the instruction at index pos.
+func (f *Func) Remove(pos int) {
+	f.Code = append(f.Code[:pos], f.Code[pos+1:]...)
+}
+
+// FindLabel returns the index of the label pseudo-instruction with the
+// name, or -1.
+func (f *Func) FindLabel(name string) int {
+	for n, i := range f.Code {
+		if i.Kind == KLabel && i.Name == name {
+			return n
+		}
+	}
+	return -1
+}
+
+// Listing renders the function in the paper's figure style: numbered
+// lines, mnemonic column, RTL column, comment column.
+func (f *Func) Listing() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".func %s frame=%d\n", f.Name, f.Frame)
+	f.Renumber()
+	for _, i := range f.Code {
+		if i.Kind == KLabel {
+			fmt.Fprintf(&b, "%3d. %s:\n", i.ID, i.Name)
+			continue
+		}
+		line := fmt.Sprintf("%3d.     %s", i.ID, formatInstr(i))
+		if i.Note != "" {
+			if pad := 52 - len(line); pad > 0 {
+				line += strings.Repeat(" ", pad)
+			}
+			line += " -- " + i.Note
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	b.WriteString(".end\n")
+	return b.String()
+}
+
+// Program is a complete compilation unit: global data plus functions.
+type Program struct {
+	Globals []*DataItem
+	Funcs   []*Func
+	Entry   string // name of the function where execution starts
+}
+
+// Global returns the data item with the name, or nil.
+func (p *Program) Global(name string) *DataItem {
+	for _, g := range p.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// Func returns the function with the name, or nil.
+func (p *Program) Func(name string) *Func {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// AddGlobal appends a data item, replacing any existing item with the
+// same name.
+func (p *Program) AddGlobal(g *DataItem) {
+	for n, old := range p.Globals {
+		if old.Name == g.Name {
+			p.Globals[n] = g
+			return
+		}
+	}
+	p.Globals = append(p.Globals, g)
+}
+
+// String renders the whole program in assembler syntax accepted by
+// Parse.
+func (p *Program) String() string {
+	var b strings.Builder
+	if p.Entry != "" {
+		fmt.Fprintf(&b, ".entry %s\n", p.Entry)
+	}
+	for _, g := range p.Globals {
+		fmt.Fprintf(&b, ".data %s %d align=%d", g.Name, g.Size, g.Align)
+		if len(g.Init) > 0 {
+			b.WriteString(" init=")
+			for _, byt := range g.Init {
+				fmt.Fprintf(&b, "%02x", byt)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, f := range p.Funcs {
+		b.WriteString(f.Listing())
+	}
+	return b.String()
+}

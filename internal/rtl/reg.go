@@ -1,0 +1,135 @@
+package rtl
+
+import "fmt"
+
+// Class distinguishes the two scalar register files (and execution units)
+// of the WM architecture: the integer unit (IEU) and the floating-point
+// unit (FEU).
+type Class uint8
+
+const (
+	// Int selects the integer register file / execution unit.
+	Int Class = iota
+	// Float selects the floating-point register file / execution unit.
+	Float
+)
+
+// NumClasses is the number of register classes.
+const NumClasses = 2
+
+func (c Class) String() string {
+	if c == Int {
+		return "int"
+	}
+	return "float"
+}
+
+// Letter returns the register-name prefix for the class: "r" or "f".
+func (c Class) Letter() string {
+	if c == Int {
+		return "r"
+	}
+	return "f"
+}
+
+// Architectural register numbers with special meaning.  Numbers at or
+// above VirtualBase denote compiler-created virtual registers that exist
+// only before register assignment.
+const (
+	// FIFO0 is register 0: the primary load/store FIFO pair of a unit.
+	FIFO0 = 0
+	// FIFO1 is register 1: the secondary FIFO pair, used in streaming mode.
+	FIFO1 = 1
+	// SP is the stack pointer (integer class only, by ABI).
+	SP = 29
+	// LR is the link register (integer class only, by ABI).
+	LR = 30
+	// ZeroReg is register 31: always zero, writes discarded.
+	ZeroReg = 31
+	// NumArchRegs is the number of architectural registers per class.
+	NumArchRegs = 32
+	// VirtualBase is the first virtual register number.
+	VirtualBase = 32
+)
+
+// Reg names a single storage cell: a register of one of the two classes.
+type Reg struct {
+	Class Class
+	N     int
+}
+
+// Convenience constructors for commonly used registers.
+var (
+	R0    = Reg{Int, FIFO0}
+	R1    = Reg{Int, FIFO1}
+	R31   = Reg{Int, ZeroReg}
+	RegSP = Reg{Int, SP}
+	RegLR = Reg{Int, LR}
+	F0    = Reg{Float, FIFO0}
+	F1    = Reg{Float, FIFO1}
+	F31   = Reg{Float, ZeroReg}
+)
+
+// R returns the integer register rN.
+func R(n int) Reg { return Reg{Int, n} }
+
+// F returns the floating-point register fN.
+func F(n int) Reg { return Reg{Float, n} }
+
+// IsVirtual reports whether the register is a compiler-created virtual
+// register (not yet assigned to hardware).
+func (r Reg) IsVirtual() bool { return r.N >= VirtualBase }
+
+// IsZero reports whether the register is the hardwired zero register of
+// its class.
+func (r Reg) IsZero() bool { return r.N == ZeroReg }
+
+// IsFIFO reports whether the register is one of the architectural FIFO
+// registers (r0/r1/f0/f1).  Reads and writes of FIFO registers have
+// queue side effects and constrain the optimizer.
+func (r Reg) IsFIFO() bool { return r.N == FIFO0 || r.N == FIFO1 }
+
+func (r Reg) String() string {
+	if r.IsVirtual() {
+		return fmt.Sprintf("%sv%d", r.Class.Letter(), r.N-VirtualBase)
+	}
+	return fmt.Sprintf("%s%d", r.Class.Letter(), r.N)
+}
+
+// ParseReg parses a register name of the form r12, f3, rv7, fv0.
+func ParseReg(s string) (Reg, bool) {
+	if len(s) < 2 {
+		return Reg{}, false
+	}
+	var c Class
+	switch s[0] {
+	case 'r':
+		c = Int
+	case 'f':
+		c = Float
+	default:
+		return Reg{}, false
+	}
+	rest := s[1:]
+	virtual := false
+	if rest[0] == 'v' {
+		virtual = true
+		rest = rest[1:]
+	}
+	n := 0
+	if rest == "" {
+		return Reg{}, false
+	}
+	for _, ch := range rest {
+		if ch < '0' || ch > '9' {
+			return Reg{}, false
+		}
+		n = n*10 + int(ch-'0')
+	}
+	if virtual {
+		n += VirtualBase
+	} else if n >= NumArchRegs {
+		return Reg{}, false
+	}
+	return Reg{c, n}, true
+}

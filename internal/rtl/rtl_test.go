@@ -1,0 +1,543 @@
+package rtl
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{R(0), "r0"},
+		{R(31), "r31"},
+		{F(2), "f2"},
+		{Reg{Int, VirtualBase}, "rv0"},
+		{Reg{Float, VirtualBase + 7}, "fv7"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestParseRegRoundTrip(t *testing.T) {
+	regs := []Reg{R(0), R(1), R(29), R(31), F(0), F(31),
+		{Int, VirtualBase}, {Float, VirtualBase + 123}}
+	for _, r := range regs {
+		got, ok := ParseReg(r.String())
+		if !ok || got != r {
+			t.Errorf("ParseReg(%q) = %v,%v want %v", r.String(), got, ok, r)
+		}
+	}
+}
+
+func TestParseRegRejects(t *testing.T) {
+	for _, s := range []string{"", "r", "x3", "r32", "f99", "r-1", "rv", "r3x"} {
+		if _, ok := ParseReg(s); ok {
+			t.Errorf("ParseReg(%q) accepted, want reject", s)
+		}
+	}
+}
+
+func TestRegPredicates(t *testing.T) {
+	if !R(31).IsZero() || R(30).IsZero() {
+		t.Error("IsZero wrong")
+	}
+	if !R(0).IsFIFO() || !F(1).IsFIFO() || R(2).IsFIFO() {
+		t.Error("IsFIFO wrong")
+	}
+	if !(Reg{Int, VirtualBase}).IsVirtual() || R(31).IsVirtual() {
+		t.Error("IsVirtual wrong")
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !Lt.IsRelational() || Add.IsRelational() {
+		t.Error("IsRelational wrong")
+	}
+	if !Add.IsCommutative() || Sub.IsCommutative() || !Eq.IsCommutative() {
+		t.Error("IsCommutative wrong")
+	}
+	if Lt.Negate() != Ge || Eq.Negate() != Ne || Le.Negate() != Gt {
+		t.Error("Negate wrong")
+	}
+	if Lt.Swap() != Gt || Le.Swap() != Ge || Eq.Swap() != Eq {
+		t.Error("Swap wrong")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := B(Add, B(Shl, RX(R(22)), I(3)), RX(R(24)))
+	if got := e.String(); got != "((r22 << 3) + r24)" {
+		t.Errorf("String = %q", got)
+	}
+	m := Mem{B(Add, RX(R(2)), I(8)), 8, Float}
+	if got := m.String(); got != "M8f[(r2 + 8)]" {
+		t.Errorf("Mem String = %q", got)
+	}
+	s := Sym{"x", -8}
+	if got := s.String(); got != "_x-8" {
+		t.Errorf("Sym String = %q", got)
+	}
+}
+
+func TestEqualExpr(t *testing.T) {
+	a := B(Add, RX(R(1)), I(4))
+	b := B(Add, RX(R(1)), I(4))
+	c := B(Add, RX(R(2)), I(4))
+	if !EqualExpr(a, b) {
+		t.Error("equal exprs not equal")
+	}
+	if EqualExpr(a, c) {
+		t.Error("different exprs equal")
+	}
+	if EqualExpr(a, I(4)) {
+		t.Error("different kinds equal")
+	}
+}
+
+func TestSubstReg(t *testing.T) {
+	e := B(Add, RX(R(1)), B(Mul, RX(R(1)), RX(R(2))))
+	got := SubstReg(e, R(1), I(7))
+	want := B(Add, I(7), B(Mul, I(7), RX(R(2))))
+	if !EqualExpr(got, want) {
+		t.Errorf("SubstReg = %v, want %v", got, want)
+	}
+	// Original untouched.
+	if !ExprUsesReg(e, R(1)) {
+		t.Error("SubstReg mutated input")
+	}
+}
+
+func TestExprSize(t *testing.T) {
+	if n := ExprSize(RX(R(1))); n != 0 {
+		t.Errorf("reg size = %d", n)
+	}
+	if n := ExprSize(B(Add, B(Shl, RX(R(1)), I(3)), RX(R(2)))); n != 2 {
+		t.Errorf("two-op size = %d", n)
+	}
+	if n := ExprSize(Un{Neg, B(Add, RX(R(1)), I(1))}); n != 2 {
+		t.Errorf("un+bin size = %d", n)
+	}
+}
+
+func TestFoldConstants(t *testing.T) {
+	cases := []struct {
+		in   Expr
+		want Expr
+	}{
+		{B(Add, I(2), I(3)), I(5)},
+		{B(Mul, I(4), I(8)), I(32)},
+		{B(Shl, I(1), I(3)), I(8)},
+		{B(Lt, I(2), I(3)), I(1)},
+		{B(Add, RX(R(5)), I(0)), RX(R(5))},
+		{B(Mul, RX(R(5)), I(1)), RX(R(5))},
+		{B(Add, I(0), RX(R(5))), RX(R(5))},
+		{B(Add, Sym{"x", 0}, I(8)), Sym{"x", 8}},
+		{B(Sub, Sym{"x", 0}, I(8)), Sym{"x", -8}},
+		{RX(R31), I(0)},
+		{RX(F31), FImm{0}},
+		{B(Add, FImm{1.5}, FImm{2.5}), FImm{4}},
+		{Cvt{Float, I(3)}, FImm{3}},
+		{Cvt{Int, FImm{3.7}}, I(3)},
+		{Un{Neg, I(4)}, I(-4)},
+	}
+	for _, c := range cases {
+		if got := FoldExpr(c.in); !EqualExpr(got, c.want) {
+			t.Errorf("FoldExpr(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFoldDivByZeroPreserved(t *testing.T) {
+	e := B(Div, I(4), I(0))
+	got := FoldExpr(e)
+	if _, ok := got.(Imm); ok {
+		t.Errorf("div by zero folded to %v", got)
+	}
+}
+
+func TestFoldCanonicalizesCommutative(t *testing.T) {
+	got := FoldExpr(B(Add, I(4), RX(R(3))))
+	want := B(Add, RX(R(3)), I(4))
+	if !EqualExpr(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+// Property: folding is idempotent and preserves the set of registers
+// that can appear (it may only remove references, never invent them).
+func TestFoldIdempotentProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		e := randomExpr(rng, 4)
+		f1 := FoldExpr(e)
+		f2 := FoldExpr(f1)
+		if !EqualExpr(f1, f2) {
+			t.Fatalf("fold not idempotent: %v -> %v -> %v", e, f1, f2)
+		}
+	}
+}
+
+// Property: folding preserves the value of constant integer expressions
+// under evaluation.
+func TestFoldPreservesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 1000; trial++ {
+		e := randomConstExpr(rng, 4)
+		v1, ok1 := evalConst(e)
+		f := FoldExpr(e)
+		v2, ok2 := evalConst(f)
+		if ok1 && ok2 && v1 != v2 {
+			t.Fatalf("fold changed value of %v: %d -> %v=%d", e, v1, f, v2)
+		}
+	}
+}
+
+func evalConst(e Expr) (int64, bool) {
+	switch x := e.(type) {
+	case Imm:
+		return x.V, true
+	case Bin:
+		l, ok := evalConst(x.L)
+		if !ok {
+			return 0, false
+		}
+		r, ok := evalConst(x.R)
+		if !ok {
+			return 0, false
+		}
+		return EvalIntOp(x.Op, l, r)
+	case Un:
+		v, ok := evalConst(x.X)
+		if !ok {
+			return 0, false
+		}
+		return EvalUnInt(x.Op, v)
+	}
+	return 0, false
+}
+
+func randomExpr(rng *rand.Rand, depth int) Expr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return I(int64(rng.Intn(64) - 16))
+		case 1:
+			return RX(R(rng.Intn(32)))
+		default:
+			return Sym{"g", int64(rng.Intn(16) * 8)}
+		}
+	}
+	ops := []Op{Add, Sub, Mul, Shl, Shr, And, Or, Xor, Lt, Ge}
+	return B(ops[rng.Intn(len(ops))], randomExpr(rng, depth-1), randomExpr(rng, depth-1))
+}
+
+func randomConstExpr(rng *rand.Rand, depth int) Expr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		return I(int64(rng.Intn(64) - 16))
+	}
+	ops := []Op{Add, Sub, Mul, Shl, And, Or, Xor, Lt, Ge, Eq}
+	return B(ops[rng.Intn(len(ops))], randomConstExpr(rng, depth-1), randomConstExpr(rng, depth-1))
+}
+
+func TestEvalIntOpQuick(t *testing.T) {
+	// a+b then -b round trips (wrapping arithmetic).
+	f := func(a, b int64) bool {
+		s, ok := EvalIntOp(Add, a, b)
+		if !ok {
+			return false
+		}
+		d, ok := EvalIntOp(Sub, s, b)
+		return ok && d == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalFloatMath(t *testing.T) {
+	if v, ok := EvalUnFloat(Sqrt, 9); !ok || v != 3 {
+		t.Errorf("sqrt(9) = %v, %v", v, ok)
+	}
+	if v, ok := EvalUnFloat(Sin, 0); !ok || v != 0 {
+		t.Errorf("sin(0) = %v, %v", v, ok)
+	}
+	if v, ok := EvalUnFloat(Exp, 1); !ok || math.Abs(v-math.E) > 1e-12 {
+		t.Errorf("exp(1) = %v, %v", v, ok)
+	}
+}
+
+func TestInstrPredicates(t *testing.T) {
+	cmp := NewAssign(R31, B(Ge, I(2), RX(R(23))))
+	if !cmp.IsCompare() {
+		t.Error("compare not detected")
+	}
+	if !cmp.HasSideEffects() {
+		t.Error("compare must have side effects (CC enqueue)")
+	}
+	plain := NewAssign(R(5), B(Add, RX(R(6)), I(1)))
+	if plain.IsCompare() || plain.HasSideEffects() {
+		t.Error("plain assign misclassified")
+	}
+	deq := NewAssign(F(20), RX(F0))
+	if !deq.HasFIFORead() || !deq.HasSideEffects() {
+		t.Error("FIFO dequeue misclassified")
+	}
+	enq := NewAssign(F0, RX(F(22)))
+	if !enq.HasFIFOWrite() || !enq.HasSideEffects() {
+		t.Error("FIFO enqueue misclassified")
+	}
+	if !NewJump("L1").IsBranch() || NewLabel("L1").IsBranch() {
+		t.Error("IsBranch wrong")
+	}
+	if !NewCondJump("L1", true, Int).IsConditionalBranch() {
+		t.Error("IsConditionalBranch wrong")
+	}
+}
+
+func TestInstrWords(t *testing.T) {
+	if n := NewAssign(R(2), Sym{"x", 0}).Words(); n != 2 {
+		t.Errorf("sym assign words = %d, want 2", n)
+	}
+	if n := NewAssign(R(2), I(5)).Words(); n != 1 {
+		t.Errorf("imm assign words = %d, want 1", n)
+	}
+}
+
+func TestUsesAndDef(t *testing.T) {
+	i := NewAssign(R(5), B(Add, RX(R(6)), RX(R(7))))
+	uses := i.Uses(nil)
+	if len(uses) != 2 || uses[0] != R(6) || uses[1] != R(7) {
+		t.Errorf("Uses = %v", uses)
+	}
+	d, ok := i.Def()
+	if !ok || d != R(5) {
+		t.Errorf("Def = %v, %v", d, ok)
+	}
+	ld := NewLoad(F0, B(Add, RX(R(2)), I(8)), 8)
+	if _, ok := ld.Def(); ok {
+		t.Error("load should not def")
+	}
+	if u := ld.Uses(nil); len(u) != 1 || u[0] != R(2) {
+		t.Errorf("load uses = %v", u)
+	}
+}
+
+func TestFuncVirtAllocation(t *testing.T) {
+	f := NewFunc("t")
+	a := f.NewVirt(Int)
+	b := f.NewVirt(Int)
+	c := f.NewVirt(Float)
+	if a == b {
+		t.Error("virtual registers not unique")
+	}
+	if a.Class != Int || c.Class != Float {
+		t.Error("wrong class")
+	}
+	if f.NumVirt(Int) != 2 || f.NumVirt(Float) != 1 {
+		t.Error("NumVirt wrong")
+	}
+}
+
+func TestFuncInsertRemove(t *testing.T) {
+	f := NewFunc("t")
+	f.Append(NewLabel("L1"))
+	f.Append(NewAssign(R(2), I(1)))
+	f.Append(&Instr{Kind: KRet})
+	f.Insert(1, NewAssign(R(3), I(2)), NewAssign(R(4), I(3)))
+	if len(f.Code) != 5 {
+		t.Fatalf("len = %d", len(f.Code))
+	}
+	if f.Code[1].Dst != R(3) || f.Code[2].Dst != R(4) {
+		t.Error("insert order wrong")
+	}
+	f.Remove(1)
+	if len(f.Code) != 4 || f.Code[1].Dst != R(4) {
+		t.Error("remove wrong")
+	}
+}
+
+func TestFindLabel(t *testing.T) {
+	f := NewFunc("t")
+	f.Append(NewAssign(R(2), I(1)))
+	f.Append(NewLabel("L7"))
+	if got := f.FindLabel("L7"); got != 1 {
+		t.Errorf("FindLabel = %d", got)
+	}
+	if got := f.FindLabel("nope"); got != -1 {
+		t.Errorf("FindLabel missing = %d", got)
+	}
+}
+
+func TestParseInstrForms(t *testing.T) {
+	cases := []string{
+		"r22 := 2",
+		"r31 := (2 >= r23)",
+		"r20 := ((r22 - 1) << 3)",
+		"f22 := ((f0 - f23) * f20)",
+		"l64f f0, ((r22 << 3) + r24)",
+		"s64f f0, ((r22 << 3) + r21)",
+		"jump L16",
+		"jumpTr L16",
+		"jumpFf L20",
+		"sin64f f1, r19, r24, 8",
+		"sout64f f0, r19, r24, 8",
+		"sin8r r0, r19, -1, r5",
+		"sout32r r1, r19, r24, r5",
+		"sstop f1",
+		"jnd f1, L20",
+		"call putchar",
+		"ret",
+		"halt",
+		"L20:",
+		"r2 := _x-8",
+		"f2 := cvtf(r3)",
+		"r2 := cvtr(f3)",
+		"f3 := sqrt(f4)",
+		"r2 := M4r[(r29 + 4)]",
+		"f2 := 1.5f",
+	}
+	for _, src := range cases {
+		i, err := ParseInstr(src)
+		if err != nil {
+			t.Errorf("ParseInstr(%q): %v", src, err)
+			continue
+		}
+		// Round trip: print then reparse, compare structurally.
+		printed := formatInstr(i)
+		j, err := ParseInstr(printed)
+		if err != nil {
+			t.Errorf("reparse of %q (from %q): %v", printed, src, err)
+			continue
+		}
+		if !reflect.DeepEqual(normInstr(i), normInstr(j)) {
+			t.Errorf("round trip mismatch: %q -> %q -> %q", src, printed, formatInstr(j))
+		}
+	}
+}
+
+func normInstr(i *Instr) Instr {
+	c := *i
+	c.ID = 0
+	c.Note = ""
+	return c
+}
+
+func TestParseInstrLineNumberPrefix(t *testing.T) {
+	i, err := ParseInstr(" 14.     r22 := (r22 + 1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i.Kind != KAssign || i.Dst != R(22) {
+		t.Errorf("got %v", i)
+	}
+}
+
+func TestParseInstrErrors(t *testing.T) {
+	bad := []string{
+		"", "xyzzy L1", "r99 := 2", "jnd f1", "sin64f f1, r1, r2",
+		"r2 := (r3 +", "r2 := bogus",
+	}
+	for _, src := range bad {
+		if _, err := ParseInstr(src); err == nil {
+			t.Errorf("ParseInstr(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	f := NewFunc("main")
+	f.Frame = 16
+	f.Append(NewAssign(R(22), I(2)))
+	f.Append(NewLabel("L20"))
+	f.Append(NewLoad(F0, B(Add, B(Shl, RX(R(22)), I(3)), RX(R(24))), 8))
+	f.Append(NewAssign(F(20), RX(F0)))
+	f.Append(NewAssign(R(22), B(Add, RX(R(22)), I(1))))
+	f.Append(NewAssign(R31, B(Le, RX(R(23)), RX(R(22)))))
+	f.Append(NewCondJump("L20", false, Int))
+	f.Append(&Instr{Kind: KHalt})
+	p := &Program{
+		Entry:   "main",
+		Globals: []*DataItem{{Name: "x", Size: 800, Align: 8, Init: []byte{1, 2, 3}}},
+		Funcs:   []*Func{f},
+	}
+	text := p.String()
+	q, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, text)
+	}
+	if q.Entry != "main" {
+		t.Errorf("entry = %q", q.Entry)
+	}
+	g := q.Global("x")
+	if g == nil || g.Size != 800 || g.Align != 8 || len(g.Init) != 3 || g.Init[2] != 3 {
+		t.Errorf("global = %+v", g)
+	}
+	qf := q.Func("main")
+	if qf == nil {
+		t.Fatal("func main missing")
+	}
+	if qf.Frame != 16 {
+		t.Errorf("frame = %d", qf.Frame)
+	}
+	if len(qf.Code) != len(f.Code) {
+		t.Fatalf("code len = %d want %d\n%s", len(qf.Code), len(f.Code), text)
+	}
+	for n := range f.Code {
+		if formatInstr(qf.Code[n]) != formatInstr(f.Code[n]) {
+			t.Errorf("instr %d: %q != %q", n, formatInstr(qf.Code[n]), formatInstr(f.Code[n]))
+		}
+	}
+}
+
+func TestParseVirtualHighWater(t *testing.T) {
+	src := ".func t\nrv5 := 1\nfv2 := 0f\nret\n.end\n"
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.Func("t")
+	if f.NumVirt(Int) != 6 || f.NumVirt(Float) != 3 {
+		t.Errorf("virts = %d/%d", f.NumVirt(Int), f.NumVirt(Float))
+	}
+}
+
+func TestListingFormat(t *testing.T) {
+	f := NewFunc("main")
+	i := f.Append(NewAssign(R(22), I(2)))
+	i.Note = "initialize i"
+	f.Append(NewLabel("L20"))
+	out := f.Listing()
+	if !strings.Contains(out, "-- initialize i") {
+		t.Errorf("note missing from listing:\n%s", out)
+	}
+	if !strings.Contains(out, "L20:") {
+		t.Errorf("label missing from listing:\n%s", out)
+	}
+	if !strings.Contains(out, "  1.") || !strings.Contains(out, "  2.") {
+		t.Errorf("line numbers missing:\n%s", out)
+	}
+}
+
+func TestParseErrorsProgram(t *testing.T) {
+	bad := []string{
+		".func a\n.func b\n.end\n",
+		".end\n",
+		"r2 := 1\n",
+		".func a\nr2 := 1\n", // missing .end
+		".data x\n",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package scalarsim
+
+import (
+	"fmt"
+	"math"
+
+	"wmstream/internal/rtl"
+)
+
+// eval computes raw bits sequentially; FIFO register reads pop pending
+// load data immediately.
+func (in *interp) eval(e rtl.Expr) (uint64, error) {
+	switch x := e.(type) {
+	case rtl.RegX:
+		r := x.Reg
+		if r.IsZero() {
+			return 0, nil
+		}
+		if r.IsFIFO() {
+			q := in.fifo[r.Class][r.N]
+			if len(q) == 0 {
+				return 0, fmt.Errorf("scalarsim: FIFO %s read with no pending load", r)
+			}
+			in.fifo[r.Class][r.N] = q[1:]
+			return q[0], nil
+		}
+		return in.regs[r.Class][r.N], nil
+	case rtl.Imm:
+		return uint64(x.V), nil
+	case rtl.FImm:
+		return math.Float64bits(x.V), nil
+	case rtl.Sym:
+		addr, ok := in.img.Globals[x.Name]
+		if !ok {
+			return 0, fmt.Errorf("scalarsim: unknown symbol %q", x.Name)
+		}
+		return uint64(addr + x.Off), nil
+	case rtl.Bin:
+		l, err := in.eval(x.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := in.eval(x.R)
+		if err != nil {
+			return 0, err
+		}
+		if x.L.Class() == rtl.Float {
+			fv, ok := rtl.EvalFloatOp(x.Op, math.Float64frombits(l), math.Float64frombits(r))
+			if !ok {
+				return 0, fmt.Errorf("scalarsim: float op %s failed", x.Op)
+			}
+			if x.Op.IsRelational() {
+				return uint64(int64(fv)), nil
+			}
+			return math.Float64bits(fv), nil
+		}
+		iv, ok := rtl.EvalIntOp(x.Op, int64(l), int64(r))
+		if !ok {
+			return 0, fmt.Errorf("scalarsim: int op %s failed", x.Op)
+		}
+		return uint64(iv), nil
+	case rtl.Un:
+		v, err := in.eval(x.X)
+		if err != nil {
+			return 0, err
+		}
+		if x.X.Class() == rtl.Float {
+			f, ok := rtl.EvalUnFloat(x.Op, math.Float64frombits(v))
+			if !ok {
+				return 0, fmt.Errorf("scalarsim: bad float unary %s", x.Op)
+			}
+			return math.Float64bits(f), nil
+		}
+		iv, ok := rtl.EvalUnInt(x.Op, int64(v))
+		if !ok {
+			return 0, fmt.Errorf("scalarsim: bad int unary %s", x.Op)
+		}
+		return uint64(iv), nil
+	case rtl.Cvt:
+		v, err := in.eval(x.X)
+		if err != nil {
+			return 0, err
+		}
+		if x.To == rtl.Float && x.X.Class() == rtl.Int {
+			return math.Float64bits(float64(int64(v))), nil
+		}
+		if x.To == rtl.Int && x.X.Class() == rtl.Float {
+			return uint64(int64(math.Float64frombits(v))), nil
+		}
+		return v, nil
+	case rtl.Mem:
+		addr, err := in.eval(x.Addr)
+		if err != nil {
+			return 0, err
+		}
+		return in.readChecked(int64(addr), x.Size, x.Cl)
+	}
+	return 0, fmt.Errorf("scalarsim: cannot evaluate %T", e)
+}
+
+func (in *interp) readChecked(addr int64, size int, c rtl.Class) (uint64, error) {
+	return in.read(addr, size, c)
+}
+
+func (in *interp) read(addr int64, size int, c rtl.Class) (uint64, error) {
+	if addr < 0 || addr+int64(size) > int64(len(in.mem)) {
+		return 0, fmt.Errorf("scalarsim: read out of range: %d", addr)
+	}
+	var raw uint64
+	for k := size - 1; k >= 0; k-- {
+		raw = raw<<8 | uint64(in.mem[addr+int64(k)])
+	}
+	if c == rtl.Float {
+		return raw, nil
+	}
+	switch size {
+	case 1:
+		return uint64(int64(int8(raw))), nil
+	case 4:
+		return uint64(int64(int32(raw))), nil
+	default:
+		return raw, nil
+	}
+}
+
+func (in *interp) write(addr int64, size int, val uint64) error {
+	if addr < 0 || addr+int64(size) > int64(len(in.mem)) {
+		return fmt.Errorf("scalarsim: write out of range: %d", addr)
+	}
+	for k := 0; k < size; k++ {
+		in.mem[addr+int64(k)] = byte(val >> (8 * k))
+	}
+	return nil
+}
+
+// addrCost charges for address arithmetic the machine's addressing
+// modes cannot absorb: register and register+constant (and scaled-index
+// base+reg forms common on CISC) are free; anything deeper costs AddrOp
+// per operator.
+func (in *interp) addrCost(addr rtl.Expr) int64 {
+	ops := rtl.ExprSize(addr)
+	free := freeAddrOps(addr)
+	extra := int64(ops - free)
+	if extra <= 0 {
+		return 0
+	}
+	return extra * in.cm.AddrOp
+}
+
+// freeAddrOps returns how many operators of the address expression the
+// addressing mode absorbs: one + with a constant or register index, and
+// a << scale on the index.
+func freeAddrOps(e rtl.Expr) int {
+	b, ok := e.(rtl.Bin)
+	if !ok || b.Op != rtl.Add {
+		return 0
+	}
+	free := 1
+	if sh, ok := b.L.(rtl.Bin); ok && sh.Op == rtl.Shl {
+		if _, isImm := sh.R.(rtl.Imm); isImm {
+			free++
+		}
+	}
+	if sh, ok := b.R.(rtl.Bin); ok && sh.Op == rtl.Shl {
+		if _, isImm := sh.R.(rtl.Imm); isImm {
+			free++
+		}
+	}
+	return free
+}
+
+// costOfAssign charges an arithmetic instruction by its deepest
+// operation.  Pure FIFO moves are free: on a conventional machine the
+// dequeue "r2 := r0" is the register-write half of the load, and the
+// enqueue "r0 := r2" the data half of the store — neither is a separate
+// instruction.
+func costOfAssign(cm CostModel, i *rtl.Instr) int64 {
+	if rx, ok := i.Src.(rtl.RegX); ok && (rx.Reg.IsFIFO() || i.Dst.IsFIFO()) {
+		return 0
+	}
+	cost := cm.Issue
+	isMove := true
+	rtl.WalkExpr(i.Src, func(e rtl.Expr) {
+		switch x := e.(type) {
+		case rtl.Bin:
+			isMove = false
+			if x.L.Class() == rtl.Float {
+				switch x.Op {
+				case rtl.Mul:
+					cost += cm.FpMul
+				case rtl.Div:
+					cost += cm.FpDiv
+				default:
+					cost += cm.FpAdd
+				}
+			} else {
+				switch x.Op {
+				case rtl.Mul:
+					cost += cm.IntMul
+				case rtl.Div, rtl.Rem:
+					cost += cm.IntDiv
+				default:
+					cost += cm.IntOp
+				}
+			}
+		case rtl.Un:
+			isMove = false
+			if x.Op >= rtl.Sqrt {
+				cost += cm.MathOp
+			} else if x.X.Class() == rtl.Float {
+				cost += cm.FpAdd
+			} else {
+				cost += cm.IntOp
+			}
+		case rtl.Cvt:
+			isMove = false
+			cost += cm.Cvt
+		case rtl.Mem:
+			if x.Cl == rtl.Float {
+				cost += cm.FLoad
+			} else {
+				cost += cm.Load
+			}
+		}
+	})
+	if isMove {
+		cost += cm.MoveReg
+	}
+	return cost
+}

@@ -1,0 +1,211 @@
+// Package scalarsim executes RTL programs as a conventional
+// single-pipeline processor would: strictly sequentially, charging each
+// instruction a machine-specific cost.  It is the substrate for the
+// paper's Table I, which measured the effect of recurrence optimization
+// on five machines (Sun 3/280, HP 9000/345, VAX 8600, Motorola 88100
+// and WM).  The four stock machines of 1991 cannot be rerun, so their
+// per-operation latencies are modeled from period documentation (see
+// package machine); the *fraction of loop time spent in the eliminated
+// memory reference* — which is what Table I reports — depends only on
+// those relative costs.
+//
+// The interpreter accepts the same RTL as the WM simulator.  FIFO
+// register reads/writes behave as ordinary scalar moves executed in
+// order (the load's datum is available immediately at the dequeue),
+// which is exactly how the equivalent load-to-register instruction
+// behaves on a conventional machine.
+package scalarsim
+
+import (
+	"fmt"
+	"math"
+
+	"wmstream/internal/rtl"
+	"wmstream/internal/sim"
+)
+
+// CostModel gives per-operation cycle costs for one machine.
+type CostModel struct {
+	Name string
+
+	Issue   int64 // per-instruction decode/issue overhead
+	IntOp   int64 // integer ALU operation
+	IntMul  int64
+	IntDiv  int64
+	FpAdd   int64 // also fp subtract and compares
+	FpMul   int64
+	FpDiv   int64
+	Load    int64 // integer load (beyond Issue)
+	FLoad   int64 // floating load
+	Store   int64
+	FStore  int64
+	Branch  int64 // taken conditional branch
+	Jump    int64 // unconditional branch
+	Cvt     int64
+	MathOp  int64 // sqrt/sin/... library call cost
+	AddrOp  int64 // each address-expression operator beyond reg+const
+	MoveReg int64 // register-to-register move
+}
+
+// Stats reports an execution.
+type Stats struct {
+	Cycles       int64
+	Instructions int64
+	MemReads     int64
+	MemWrites    int64
+	Output       string
+}
+
+// Run executes the program sequentially under the cost model.
+// Programs containing stream instructions are rejected: conventional
+// machines have no SCUs (the compiler's scalar pipeline never emits
+// them).
+func Run(p *rtl.Program, cm CostModel, maxInstr int64) (Stats, error) {
+	img, err := sim.Link(p)
+	if err != nil {
+		return Stats{}, err
+	}
+	stackTop := int64(1 << 20)
+	if img.DataEnd+65536 > stackTop {
+		stackTop = ((img.DataEnd + 65536 + 4095) &^ 4095) + 1<<20
+	}
+	in := &interp{img: img, cm: cm, mem: make([]byte, stackTop+4096)}
+	for _, c := range img.InitChunks() {
+		copy(in.mem[c.Addr:], c.Data)
+	}
+	in.regs[rtl.Int][rtl.SP] = uint64(stackTop)
+	return in.run(maxInstr)
+}
+
+type interp struct {
+	img  *sim.Image
+	cm   CostModel
+	mem  []byte
+	regs [2][rtl.NumArchRegs]uint64
+	// fifoVal holds pending load data per (class, fifo): sequential
+	// execution means these behave like hidden scalar registers.
+	fifo   [2][2][]uint64
+	outVal [2][2][]uint64
+	out    []byte
+	stats  Stats
+	cc     bool
+	cycles int64
+}
+
+func (in *interp) charge(c int64) { in.cycles += c }
+
+func (in *interp) run(maxInstr int64) (Stats, error) {
+	pc := in.img.Entry
+	for {
+		if in.stats.Instructions > maxInstr {
+			return in.stats, fmt.Errorf("scalarsim: exceeded %d instructions", maxInstr)
+		}
+		if pc < 0 || pc >= len(in.img.Code) {
+			return in.stats, fmt.Errorf("scalarsim: pc out of range: %d", pc)
+		}
+		i := in.img.Code[pc]
+		target := in.img.Target[pc]
+		in.stats.Instructions++
+		next := pc + 1
+		switch i.Kind {
+		case rtl.KAssign:
+			v, err := in.eval(i.Src)
+			if err != nil {
+				return in.stats, err
+			}
+			in.charge(costOfAssign(in.cm, i))
+			d := i.Dst
+			switch {
+			case d.IsZero():
+				if i.IsCompare() {
+					in.cc = v != 0
+				}
+			case d.IsFIFO():
+				in.outVal[d.Class][d.N] = append(in.outVal[d.Class][d.N], v)
+			default:
+				in.regs[d.Class][d.N] = v
+			}
+		case rtl.KLoad:
+			addr, err := in.eval(i.Addr)
+			if err != nil {
+				return in.stats, err
+			}
+			v, err := in.read(int64(addr), i.MemSize, i.MemClass)
+			if err != nil {
+				return in.stats, err
+			}
+			in.fifo[i.MemClass][i.FIFO.N] = append(in.fifo[i.MemClass][i.FIFO.N], v)
+			if i.MemClass == rtl.Float {
+				in.charge(in.cm.Issue + in.cm.FLoad + in.addrCost(i.Addr))
+			} else {
+				in.charge(in.cm.Issue + in.cm.Load + in.addrCost(i.Addr))
+			}
+			in.stats.MemReads++
+		case rtl.KStore:
+			addr, err := in.eval(i.Addr)
+			if err != nil {
+				return in.stats, err
+			}
+			q := in.outVal[i.MemClass][i.FIFO.N]
+			if len(q) == 0 {
+				return in.stats, fmt.Errorf("scalarsim: store with empty output queue at %d", pc)
+			}
+			in.outVal[i.MemClass][i.FIFO.N] = q[1:]
+			if err := in.write(int64(addr), i.MemSize, q[0]); err != nil {
+				return in.stats, err
+			}
+			if i.MemClass == rtl.Float {
+				in.charge(in.cm.Issue + in.cm.FStore + in.addrCost(i.Addr))
+			} else {
+				in.charge(in.cm.Issue + in.cm.Store + in.addrCost(i.Addr))
+			}
+			in.stats.MemWrites++
+		case rtl.KJump:
+			in.charge(in.cm.Issue + in.cm.Jump)
+			next = target
+		case rtl.KCondJump:
+			in.charge(in.cm.Issue + in.cm.Branch)
+			if in.cc == i.Sense {
+				next = target
+			}
+		case rtl.KCall:
+			in.charge(in.cm.Issue + in.cm.Branch)
+			in.regs[rtl.Int][rtl.LR] = uint64(pc + 1)
+			next = target
+		case rtl.KRet:
+			in.charge(in.cm.Issue + in.cm.Branch)
+			next = int(in.regs[rtl.Int][rtl.LR])
+		case rtl.KHalt:
+			in.stats.Cycles = in.cycles
+			in.stats.Output = string(in.out)
+			return in.stats, nil
+		case rtl.KPut:
+			v, err := in.eval(i.Src)
+			if err != nil {
+				return in.stats, err
+			}
+			in.charge(in.cm.Issue + in.cm.IntOp)
+			in.put(i.Fmt, v, i.Src.Class())
+		case rtl.KStreamIn, rtl.KStreamOut, rtl.KStreamStop, rtl.KJumpNotDone:
+			return in.stats, fmt.Errorf("scalarsim: stream instruction %q on a conventional machine", i)
+		default:
+			return in.stats, fmt.Errorf("scalarsim: cannot execute %q", i)
+		}
+		pc = next
+	}
+}
+
+func (in *interp) put(format byte, v uint64, c rtl.Class) {
+	switch format {
+	case 'c':
+		in.out = append(in.out, byte(v))
+	case 'i':
+		in.out = append(in.out, []byte(fmt.Sprintf("%d", int64(v)))...)
+	case 'd':
+		f := math.Float64frombits(v)
+		if c == rtl.Int {
+			f = float64(int64(v))
+		}
+		in.out = append(in.out, []byte(fmt.Sprintf("%g", f))...)
+	}
+}

@@ -1,0 +1,165 @@
+package scalarsim
+
+import (
+	"strings"
+	"testing"
+
+	"wmstream/internal/rtl"
+)
+
+func model() CostModel {
+	return CostModel{
+		Name:  "test",
+		Issue: 1, IntOp: 1, IntMul: 3, IntDiv: 10,
+		FpAdd: 2, FpMul: 3, FpDiv: 8,
+		Load: 2, FLoad: 4, Store: 2, FStore: 4,
+		Branch: 2, Jump: 1, Cvt: 2, MathOp: 20,
+		AddrOp: 1, MoveReg: 1,
+	}
+}
+
+func run(t *testing.T, src string, cm CostModel) Stats {
+	t.Helper()
+	p, err := rtl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	stats, err := Run(p, cm, 1_000_000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return stats
+}
+
+func TestSequentialSemantics(t *testing.T) {
+	stats := run(t, `
+.entry main
+.data g 8 align=8
+.func main
+r2 := 6
+r3 := (r2 * 7)
+r0 := r3
+s32r r0, _g
+l32r r0, _g
+r4 := r0
+puti r4
+halt
+.end
+`, model())
+	if stats.Output != "42" {
+		t.Errorf("output = %q", stats.Output)
+	}
+	if stats.MemReads != 1 || stats.MemWrites != 1 {
+		t.Errorf("mem = %d/%d", stats.MemReads, stats.MemWrites)
+	}
+}
+
+func TestLoopAndBranches(t *testing.T) {
+	stats := run(t, `
+.entry main
+.func main
+r2 := 0
+r3 := 1
+L1:
+r2 := (r2 + r3)
+r3 := (r3 + 1)
+r31 := (r3 <= 10)
+jumpTr L1
+puti r2
+halt
+.end
+`, model())
+	if stats.Output != "55" {
+		t.Errorf("output = %q", stats.Output)
+	}
+}
+
+func TestCostAccounting(t *testing.T) {
+	cm := model()
+	// One int op (issue 1 + op 1) then halt (free): 2 cycles.
+	s := run(t, ".entry main\n.func main\nr2 := (r3 + r4)\nhalt\n.end\n", cm)
+	if s.Cycles != cm.Issue+cm.IntOp {
+		t.Errorf("int op cycles = %d, want %d", s.Cycles, cm.Issue+cm.IntOp)
+	}
+	// Float multiply costs more than add.
+	sAdd := run(t, ".entry main\n.func main\nf2 := (f3 + f4)\nhalt\n.end\n", cm)
+	sMul := run(t, ".entry main\n.func main\nf2 := (f3 * f4)\nhalt\n.end\n", cm)
+	if sMul.Cycles-sAdd.Cycles != cm.FpMul-cm.FpAdd {
+		t.Errorf("fp mul/add delta = %d", sMul.Cycles-sAdd.Cycles)
+	}
+	// A float load is dearer than an int load.
+	sIL := run(t, ".entry main\n.data g 8 align=8\n.func main\nl32r r0, _g\nr2 := r0\nhalt\n.end\n", cm)
+	sFL := run(t, ".entry main\n.data g 8 align=8\n.func main\nl64f f0, _g\nf2 := f0\nhalt\n.end\n", cm)
+	if sFL.Cycles-sIL.Cycles != cm.FLoad-cm.Load {
+		t.Errorf("fload/load delta = %d, want %d", sFL.Cycles-sIL.Cycles, cm.FLoad-cm.Load)
+	}
+}
+
+func TestFIFOMovesAreFree(t *testing.T) {
+	cm := model()
+	// The dequeue "r2 := r0" is the register-write half of the load on a
+	// conventional machine: it must not be charged a second issue.
+	s1 := run(t, ".entry main\n.data g 8 align=8\n.func main\nl32r r0, _g\nr2 := r0\nhalt\n.end\n", cm)
+	want := cm.Issue + cm.Load
+	if s1.Cycles != want {
+		t.Errorf("load+dequeue cycles = %d, want %d", s1.Cycles, want)
+	}
+}
+
+func TestAddressingModeCosts(t *testing.T) {
+	cm := model()
+	// reg+const and scaled-index addressing are free; deeper expressions
+	// pay AddrOp.
+	free := run(t, ".entry main\n.data g 64 align=8\n.func main\nr3 := _g\nl32r r0, (r3 + 8)\nr2 := r0\nhalt\n.end\n", cm)
+	scaled := run(t, ".entry main\n.data g 64 align=8\n.func main\nr3 := _g\nr4 := 2\nl32r r0, ((r4 << 2) + r3)\nr2 := r0\nhalt\n.end\n", cm)
+	if scaled.Cycles-free.Cycles != cm.Issue+cm.MoveReg { // the extra r4 := 2 only
+		t.Errorf("scaled addressing charged extra: %d vs %d", scaled.Cycles, free.Cycles)
+	}
+}
+
+func TestStreamInstructionsRejected(t *testing.T) {
+	p, err := rtl.Parse(`
+.entry main
+.func main
+r2 := 4
+sin32r r0, r2, 4, 4
+halt
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(p, model(), 1000)
+	if err == nil || !strings.Contains(err.Error(), "stream") {
+		t.Fatalf("stream instruction accepted by scalar machine: %v", err)
+	}
+}
+
+func TestCallReturnSequential(t *testing.T) {
+	stats := run(t, `
+.entry main
+.func main
+r2 := 5
+call dbl
+puti r2
+halt
+.end
+.func dbl
+r2 := (r2 + r2)
+ret
+.end
+`, model())
+	if stats.Output != "10" {
+		t.Errorf("output = %q", stats.Output)
+	}
+}
+
+func TestInstructionLimit(t *testing.T) {
+	p, err := rtl.Parse(".entry main\n.func main\nL1:\njump L1\n.end\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(p, model(), 100); err == nil {
+		t.Fatal("infinite loop not caught by instruction limit")
+	}
+}

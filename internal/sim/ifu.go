@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"wmstream/internal/rtl"
+)
+
+// maxZeroCostOps bounds the number of zero-cost control transfers the
+// IFU performs per cycle (a self-jump would otherwise spin forever in
+// simulated zero time).
+const maxZeroCostOps = 64
+
+// stepIFU advances the instruction fetch unit: it executes control
+// transfers itself (unconditional branches free, conditional branches
+// consuming condition codes, stream-count branches, calls and returns)
+// and dispatches at most one instruction per cycle into a unit queue.
+func (m *Machine) stepIFU() {
+	if m.halted {
+		return
+	}
+	if m.ifuWait > 0 {
+		m.ifuWait--
+		m.progress()
+		return
+	}
+	for zc := 0; zc < maxZeroCostOps; zc++ {
+		if m.pc < 0 || m.pc >= len(m.img.Code) {
+			m.fail("pc out of range: %d", m.pc)
+			return
+		}
+		i := m.img.Code[m.pc]
+		target := m.img.Target[m.pc]
+		switch i.Kind {
+		case rtl.KJump:
+			m.pc = target
+			m.stats.Branches++
+			m.progress()
+			continue
+
+		case rtl.KCondJump:
+			q := m.ccFIFO[i.CCClass]
+			if len(q) == 0 || q[0].ready > m.now {
+				m.stats.BranchStalls++
+				return
+			}
+			m.ccFIFO[i.CCClass] = q[1:]
+			if q[0].val == i.Sense {
+				m.pc = target
+			} else {
+				m.pc++
+			}
+			m.stats.Branches++
+			m.progress()
+			continue
+
+		case rtl.KJumpNotDone:
+			cnt := m.streamIter[i.FIFO.Class][i.FIFO.N]
+			if cnt < 0 { // infinite stream: always taken
+				m.pc = target
+			} else if cnt > 1 {
+				m.streamIter[i.FIFO.Class][i.FIFO.N] = cnt - 1
+				m.pc = target
+			} else {
+				m.streamIter[i.FIFO.Class][i.FIFO.N] = 0
+				m.pc++
+			}
+			m.stats.Branches++
+			m.progress()
+			continue
+
+		case rtl.KCall:
+			// The IFU writes the link register; wait out any in-flight
+			// access to it.
+			if len(m.pend[rtl.RegLR]) > 0 {
+				return
+			}
+			m.regs[rtl.Int][rtl.LR] = uint64(m.pc + 1)
+			m.readyAt[rtl.Int][rtl.LR] = m.now
+			m.pc = target
+			m.progress()
+			continue
+
+		case rtl.KRet:
+			if len(m.pend[rtl.RegLR]) > 0 || m.readyAt[rtl.Int][rtl.LR] > m.now {
+				return
+			}
+			ret := int(m.regs[rtl.Int][rtl.LR])
+			if ret < 0 || ret >= len(m.img.Code) {
+				m.fail("return to bad address %d", ret)
+				return
+			}
+			m.pc = ret
+			m.progress()
+			continue
+
+		case rtl.KHalt:
+			m.halted = true
+			m.progress()
+			return
+
+		case rtl.KPut:
+			if !m.regsQuiet(i.Src) {
+				return
+			}
+			val, ok := m.eval(i.Src)
+			if !ok {
+				return
+			}
+			m.put(i.Fmt, val, i.Src.Class())
+			m.pc++
+			m.stats.Dispatched++
+			m.stats.Instructions++
+			m.progress()
+			return // consumes the dispatch slot
+
+		case rtl.KStreamIn, rtl.KStreamOut, rtl.KStreamStop:
+			if !m.startStream(i) {
+				return
+			}
+			m.pc++
+			m.stats.Dispatched++
+			m.stats.Instructions++
+			m.progress()
+			return
+
+		default:
+			// Dispatch into a unit queue.
+			c := unitOf(i)
+			if len(m.queues[c]) >= m.cfg.QueueDepth {
+				m.stats.IFUStallFull++
+				return
+			}
+			m.seq++
+			d := &dispatched{idx: m.pc, i: i, seq: m.seq}
+			m.queues[c] = append(m.queues[c], d)
+			m.addPend(d)
+			m.pc++
+			m.stats.Dispatched++
+			m.ifuWait = i.Words() - 1
+			m.progress()
+			return
+		}
+	}
+}
+
+// regsQuiet reports whether every register in the expression is free of
+// in-flight accesses and ready (the IFU synchronizes on its operands).
+func (m *Machine) regsQuiet(e rtl.Expr) bool {
+	ok := true
+	rtl.ExprRegs(e, func(r rtl.Reg) {
+		if r.IsZero() {
+			return
+		}
+		if r.IsFIFO() {
+			q := m.inFIFO[r.Class][r.N]
+			if len(q) == 0 || !q[0].served || q[0].ready > m.now {
+				ok = false
+			}
+			return
+		}
+		if len(m.pend[r]) > 0 || m.readyAt[r.Class][r.N] > m.now {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// startStream activates an SCU for a stream instruction (or stops one).
+// Returns false when the IFU must stall (operands not ready or no SCU
+// free).
+func (m *Machine) startStream(i *rtl.Instr) bool {
+	if i.Kind == rtl.KStreamStop {
+		for _, s := range m.scus {
+			if s.active && s.class == i.FIFO.Class && s.fifoN == i.FIFO.N {
+				s.active = false
+			}
+		}
+		// Discard prefetched stream data the loop never consumed.
+		// Scalar entries (seq != 0) belong to in-flight load/dequeue
+		// pairs and survive, which makes a stop on an inactive stream
+		// harmless — the compiler may place stops on exit paths that
+		// can also be reached without ever starting the stream.
+		q := m.inFIFO[i.FIFO.Class][i.FIFO.N]
+		kept := q[:0]
+		for _, e := range q {
+			if e.seq != 0 {
+				kept = append(kept, e)
+			}
+		}
+		m.inFIFO[i.FIFO.Class][i.FIFO.N] = kept
+		m.streamIter[i.FIFO.Class][i.FIFO.N] = 0
+		return true
+	}
+	if !m.regsQuiet(i.Base) || !m.regsQuiet(i.Count) || !m.regsQuiet(i.Stride) {
+		return false
+	}
+	// Program-order discipline: instructions dispatched before this
+	// stream may still sit unexecuted in the unit queues; activating the
+	// stream while an earlier same-FIFO access is pending would
+	// interleave stream data with scalar data, and activating before
+	// earlier loads have been sequenced breaks the load-vs-stream-store
+	// ordering.  Hold the stream until both queues drain (a few cycles
+	// at loop entry) and the FIFO has no leftover scalar traffic.
+	if len(m.queues[0]) > 0 || len(m.queues[1]) > 0 {
+		return false
+	}
+	if m.fifoBusy(i.MemClass, i.FIFO.N) {
+		return false
+	}
+	var unit *scu
+	for _, s := range m.scus {
+		if !s.active {
+			unit = s
+			break
+		}
+	}
+	if unit == nil {
+		return false
+	}
+	base, ok := m.eval(i.Base)
+	if !ok {
+		return false
+	}
+	count, ok := m.eval(i.Count)
+	if !ok {
+		return false
+	}
+	stride, ok := m.eval(i.Stride)
+	if !ok {
+		return false
+	}
+	unit.active = true
+	unit.input = i.Kind == rtl.KStreamIn
+	unit.class = i.MemClass
+	unit.fifoN = i.FIFO.N
+	unit.base = int64(base)
+	unit.stride = int64(stride)
+	unit.size = i.MemSize
+	unit.remaining = int64(count)
+	m.streamIter[i.MemClass][i.FIFO.N] = int64(count)
+	m.stats.StreamsOpened++
+	return true
+}
+
+// fifoBusy reports whether any queued (dispatched, unexecuted)
+// instruction references FIFO (c, n) — as a load/store channel or as a
+// register operand/destination.
+func (m *Machine) fifoBusy(c rtl.Class, n int) bool {
+	fifo := rtl.Reg{Class: c, N: n}
+	for u := 0; u < 2; u++ {
+		for _, d := range m.queues[u] {
+			i := d.i
+			switch i.Kind {
+			case rtl.KLoad, rtl.KStore:
+				if i.MemClass == c && i.FIFO.N == n {
+					return true
+				}
+			}
+			if i.Kind == rtl.KAssign && i.Dst == fifo {
+				return true
+			}
+			for _, r := range i.Uses(nil) {
+				if r == fifo {
+					return true
+				}
+			}
+		}
+	}
+	// Unserved or unconsumed scalar entries already in the input FIFO
+	// also belong to earlier instructions; wait for them too.
+	for _, e := range m.inFIFO[c][n] {
+		if e.seq != 0 {
+			return true
+		}
+	}
+	return len(m.unmatchedStores[c][n]) > 0
+}
+
+func (m *Machine) put(format byte, val uint64, c rtl.Class) {
+	if m.cfg.Output == nil {
+		return
+	}
+	switch format {
+	case 'c':
+		fmt.Fprintf(m.cfg.Output, "%c", byte(val))
+	case 'i':
+		fmt.Fprintf(m.cfg.Output, "%d", int64(val))
+	case 'd':
+		f := math.Float64frombits(val)
+		if c == rtl.Int {
+			f = float64(int64(val))
+		}
+		fmt.Fprintf(m.cfg.Output, "%g", f)
+	}
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"fmt"
+
+	"wmstream/internal/rtl"
+)
+
+// GlobalBase is the address where global data begins.
+const GlobalBase = 0x1000
+
+// Image is a linked program: all functions flattened into one code
+// array with labels and calls resolved to instruction indices, and
+// global data laid out at fixed addresses.
+type Image struct {
+	Code    []*rtl.Instr
+	Target  []int // resolved branch target per instruction (-1 if none)
+	Entry   int   // index of the first instruction
+	Globals map[string]int64
+	DataEnd int64
+	Init    []initChunk
+	// FuncOf maps an instruction index to its function name (for
+	// diagnostics).
+	FuncOf []string
+}
+
+type initChunk struct {
+	addr int64
+	data []byte
+}
+
+// Link flattens and resolves a program.  Virtual registers must have
+// been eliminated (register assignment is mandatory before simulation).
+func Link(p *rtl.Program) (*Image, error) {
+	img := &Image{Globals: map[string]int64{}}
+	// Lay out globals.
+	addr := int64(GlobalBase)
+	for _, g := range p.Globals {
+		a := int64(g.Align)
+		if a <= 0 {
+			a = 1
+		}
+		addr = (addr + a - 1) &^ (a - 1)
+		img.Globals[g.Name] = addr
+		if len(g.Init) > 0 {
+			img.Init = append(img.Init, initChunk{addr, g.Init})
+		}
+		addr += int64(g.Size)
+	}
+	img.DataEnd = addr
+
+	// Flatten code.
+	funcEntry := map[string]int{}
+	type pendingLabel struct {
+		fn    string
+		insAt int
+	}
+	labelAt := map[string]int{} // "fn.label" -> index
+	for _, f := range p.Funcs {
+		funcEntry[f.Name] = len(img.Code)
+		for _, i := range f.Code {
+			if err := checkNoVirtual(i, f.Name); err != nil {
+				return nil, err
+			}
+			if i.Kind == rtl.KLabel {
+				labelAt[f.Name+"."+i.Name] = len(img.Code)
+				// Labels occupy no slot; record position of next
+				// instruction.
+				continue
+			}
+			img.Code = append(img.Code, i)
+			img.FuncOf = append(img.FuncOf, f.Name)
+		}
+		// A label at the very end of a function points past the code;
+		// ensure something is there.
+		img.Code = append(img.Code, &rtl.Instr{Kind: rtl.KRet})
+		img.FuncOf = append(img.FuncOf, f.Name)
+	}
+
+	// Resolve branch targets and calls.
+	img.Target = make([]int, len(img.Code))
+	for n, i := range img.Code {
+		img.Target[n] = -1
+		switch i.Kind {
+		case rtl.KJump, rtl.KCondJump, rtl.KJumpNotDone:
+			key := img.FuncOf[n] + "." + i.Target
+			t, ok := labelAt[key]
+			if !ok {
+				return nil, fmt.Errorf("sim: unresolved label %q in %s", i.Target, img.FuncOf[n])
+			}
+			img.Target[n] = t
+		case rtl.KCall:
+			t, ok := funcEntry[i.Name]
+			if !ok {
+				return nil, fmt.Errorf("sim: call to unknown function %q", i.Name)
+			}
+			img.Target[n] = t
+		}
+	}
+
+	entryFn := p.Entry
+	if entryFn == "" {
+		entryFn = "main"
+	}
+	e, ok := funcEntry[entryFn]
+	if !ok {
+		return nil, fmt.Errorf("sim: entry function %q not found", entryFn)
+	}
+	img.Entry = e
+	return img, nil
+}
+
+func checkNoVirtual(i *rtl.Instr, fn string) error {
+	bad := false
+	check := func(r rtl.Reg) {
+		if r.IsVirtual() {
+			bad = true
+		}
+	}
+	if d, ok := i.Def(); ok {
+		check(d)
+	}
+	for _, r := range i.Uses(nil) {
+		check(r)
+	}
+	if bad {
+		return fmt.Errorf("sim: %s contains unallocated virtual register in %q", fn, i)
+	}
+	return nil
+}
+
+// InitChunk is an initialized data region (exported for the scalar
+// interpreter, which shares the linker).
+type InitChunk struct {
+	Addr int64
+	Data []byte
+}
+
+// InitChunks returns the initialized data regions.
+func (img *Image) InitChunks() []InitChunk {
+	out := make([]InitChunk, len(img.Init))
+	for n, c := range img.Init {
+		out[n] = InitChunk{c.addr, c.data}
+	}
+	return out
+}

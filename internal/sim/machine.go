@@ -1,0 +1,481 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"wmstream/internal/rtl"
+)
+
+// pendAccess records an in-flight (dispatched, not yet executed)
+// register access, used for cross-unit hazard checks.
+type pendAccess struct {
+	seq   int64
+	write bool
+}
+
+// dispatched is an instruction sitting in an execution unit's queue.
+type dispatched struct {
+	idx int
+	i   *rtl.Instr
+	seq int64
+}
+
+// fifoEntry is one datum in (or on its way to) an input FIFO.
+type fifoEntry struct {
+	val    uint64
+	ready  int64
+	served bool
+	addr   int64
+	size   int
+	seq    int64 // memory program order; 0 for stream prefetches
+}
+
+// ccEntry is one condition code.
+type ccEntry struct {
+	val   bool
+	ready int64
+}
+
+// storeReq is a store whose address is known but whose datum has not
+// yet been matched with an output-FIFO entry.
+type storeReq struct {
+	addr int64
+	size int
+	seq  int64
+}
+
+// writeReq is a fully formed memory write awaiting a memory port.
+type writeReq struct {
+	addr int64
+	size int
+	val  uint64
+	seq  int64
+}
+
+// scu is one stream control unit.
+type scu struct {
+	active    bool
+	input     bool
+	class     rtl.Class
+	fifoN     int
+	base      int64
+	stride    int64
+	size      int
+	remaining int64
+}
+
+// Machine is a WM processor instance.
+type Machine struct {
+	cfg Config
+	img *Image
+	mem []byte
+
+	now     int64
+	pc      int
+	halted  bool
+	ifuWait int // extra fetch cycles owed for multi-word instructions
+
+	regs    [2][rtl.NumArchRegs]uint64
+	readyAt [2][rtl.NumArchRegs]int64
+	pend    map[rtl.Reg][]pendAccess
+	seq     int64
+
+	queues  [2][]*dispatched
+	inFIFO  [2][2][]*fifoEntry
+	outFIFO [2][2][]uint64
+	ccFIFO  [2][]ccEntry
+
+	// streamIter tracks the per-FIFO iteration counter that the
+	// jump-on-stream-not-exhausted instruction consumes; -1 denotes an
+	// infinite stream.
+	streamIter [2][2]int64
+
+	scus []*scu
+
+	unmatchedStores [2][2][]storeReq
+	writeQueue      []writeReq
+	portsLeft       int
+	memSeq          int64 // orders scalar memory operations (IEU program order)
+
+	lastProgress int64
+	stats        Stats
+	err          error
+}
+
+// New builds a machine for the linked image.  When the image's global
+// data would collide with the configured stack, the stack is relocated
+// above the data and memory grows to fit.
+func New(img *Image, cfg Config) *Machine {
+	if img.DataEnd+65536 > cfg.StackTop {
+		cfg.StackTop = ((img.DataEnd + 65536 + 4095) &^ 4095) + 1<<20
+	}
+	if int64(cfg.MemSize) < cfg.StackTop+4096 {
+		cfg.MemSize = int(cfg.StackTop + 4096)
+	}
+	m := &Machine{cfg: cfg, img: img, pend: map[rtl.Reg][]pendAccess{}}
+	m.mem = make([]byte, cfg.MemSize)
+	for _, c := range img.Init {
+		copy(m.mem[c.addr:], c.data)
+	}
+	m.regs[rtl.Int][rtl.SP] = uint64(cfg.StackTop)
+	m.pc = img.Entry
+	m.scus = make([]*scu, cfg.NumSCU)
+	for n := range m.scus {
+		m.scus[n] = &scu{}
+	}
+	return m
+}
+
+// Run simulates to completion and returns the statistics.
+func (m *Machine) Run() (Stats, error) {
+	for !m.done() {
+		m.now++
+		if m.now > m.cfg.MaxCycles {
+			return m.stats, fmt.Errorf("sim: exceeded %d cycles", m.cfg.MaxCycles)
+		}
+		m.portsLeft = m.cfg.MemPorts
+		m.matchStores()
+		m.stepSCUs()
+		m.serveMemory()
+		m.stepUnit(rtl.Int)
+		m.stepUnit(rtl.Float)
+		m.stepIFU()
+		if m.err != nil {
+			return m.stats, m.err
+		}
+		if m.now-m.lastProgress > int64(m.cfg.MemLatency)+10000 {
+			return m.stats, fmt.Errorf("sim: deadlock at cycle %d: %s", m.now, m.state())
+		}
+	}
+	m.stats.Cycles = m.now
+	return m.stats, nil
+}
+
+// Mem returns the memory image (for tests to inspect results).
+func (m *Machine) Mem() []byte { return m.mem }
+
+// GlobalAddr returns the address of a global, or -1.
+func (m *Machine) GlobalAddr(name string) int64 {
+	if a, ok := m.img.Globals[name]; ok {
+		return a
+	}
+	return -1
+}
+
+// Reg returns the raw bits of a register (for tests).
+func (m *Machine) Reg(r rtl.Reg) uint64 { return m.regs[r.Class][r.N] }
+
+func (m *Machine) done() bool {
+	if !m.halted {
+		return false
+	}
+	if len(m.queues[0]) > 0 || len(m.queues[1]) > 0 || len(m.writeQueue) > 0 {
+		return false
+	}
+	for c := 0; c < 2; c++ {
+		for n := 0; n < 2; n++ {
+			if len(m.unmatchedStores[c][n]) > 0 {
+				return false
+			}
+		}
+	}
+	for _, s := range m.scus {
+		if s.active && (!s.input || s.remaining > 0) {
+			// An unconsumed input stream may be abandoned; an output
+			// stream must finish its writes.
+			if !s.input {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (m *Machine) progress() { m.lastProgress = m.now }
+
+func (m *Machine) fail(format string, args ...interface{}) {
+	if m.err == nil {
+		m.err = fmt.Errorf("sim: cycle %d: %s", m.now, fmt.Sprintf(format, args...))
+	}
+}
+
+func (m *Machine) state() string {
+	s := fmt.Sprintf("pc=%d halted=%v ieuQ=%d feuQ=%d", m.pc, m.halted, len(m.queues[0]), len(m.queues[1]))
+	if len(m.queues[0]) > 0 {
+		s += fmt.Sprintf(" ieuHead=%q", m.queues[0][0].i.String())
+	}
+	if len(m.queues[1]) > 0 {
+		s += fmt.Sprintf(" feuHead=%q", m.queues[1][0].i.String())
+	}
+	if !m.halted && m.pc < len(m.img.Code) {
+		s += fmt.Sprintf(" ifuNext=%q(%s)", m.img.Code[m.pc].String(), m.img.FuncOf[m.pc])
+	}
+	for c := 0; c < 2; c++ {
+		for n := 0; n < 2; n++ {
+			s += fmt.Sprintf(" in%d%d=%d out%d%d=%d usm%d%d=%d", c, n, len(m.inFIFO[c][n]), c, n, len(m.outFIFO[c][n]), c, n, len(m.unmatchedStores[c][n]))
+			for k, e := range m.inFIFO[c][n] {
+				if !e.served {
+					s += fmt.Sprintf(" firstUnserved[%d%d][%d]={addr=%d conflict=%v}", c, n, k, e.addr, m.storeConflict(e.addr, e.size, e.seq))
+					break
+				}
+			}
+			if len(m.unmatchedStores[c][n]) > 0 {
+				s += fmt.Sprintf(" firstStore[%d%d]=%d", c, n, m.unmatchedStores[c][n][0].addr)
+			}
+		}
+	}
+	s += fmt.Sprintf(" writeQ=%d", len(m.writeQueue))
+	return s
+}
+
+// --- store matching and memory service ----------------------------------
+
+func (m *Machine) matchStores() {
+	for c := 0; c < 2; c++ {
+		for n := 0; n < 2; n++ {
+			// Output FIFOs feeding an active output stream belong to the
+			// SCU, not to the store matcher.
+			if m.outputStreamActive(rtl.Class(c), n) {
+				continue
+			}
+			for len(m.unmatchedStores[c][n]) > 0 && len(m.outFIFO[c][n]) > 0 {
+				st := m.unmatchedStores[c][n][0]
+				m.unmatchedStores[c][n] = m.unmatchedStores[c][n][1:]
+				val := m.outFIFO[c][n][0]
+				m.outFIFO[c][n] = m.outFIFO[c][n][1:]
+				m.writeQueue = append(m.writeQueue, writeReq{st.addr, st.size, val, st.seq})
+				m.progress()
+			}
+		}
+	}
+}
+
+func (m *Machine) outputStreamActive(c rtl.Class, n int) bool {
+	for _, s := range m.scus {
+		if s.active && !s.input && s.class == c && s.fifoN == n {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Machine) stepSCUs() {
+	for _, s := range m.scus {
+		if !s.active || s.remaining == 0 {
+			continue
+		}
+		if m.portsLeft == 0 {
+			return
+		}
+		if s.input {
+			q := m.inFIFO[s.class][s.fifoN]
+			if len(q) >= m.cfg.FIFODepth {
+				continue
+			}
+			// Stream reads bypass the store-conflict interlock: this is
+			// precisely the hazard that forbids streaming loops with
+			// unresolved memory recurrences (paper step 2a).  An
+			// infinite stream may also prefetch past mapped memory
+			// before the loop exits and stops it; such reads deliver
+			// zero rather than faulting (the hardware would fault
+			// lazily, on consumption).
+			var val uint64
+			if s.base >= 0 && s.base+int64(s.size) <= int64(len(m.mem)) {
+				v, ok := m.readMem(s.base, s.size, s.class)
+				if !ok {
+					return
+				}
+				val = v
+			}
+			m.inFIFO[s.class][s.fifoN] = append(q, &fifoEntry{
+				val: val, ready: m.now + int64(m.cfg.MemLatency), served: true,
+				addr: s.base, size: s.size,
+			})
+			m.stats.MemReads++
+		} else {
+			q := m.outFIFO[s.class][s.fifoN]
+			if len(q) == 0 {
+				continue
+			}
+			val := q[0]
+			m.outFIFO[s.class][s.fifoN] = q[1:]
+			if !m.writeMem(s.base, s.size, val) {
+				return
+			}
+			m.stats.MemWrites++
+		}
+		m.portsLeft--
+		s.base += s.stride
+		if s.remaining > 0 { // negative count = infinite stream
+			s.remaining--
+			if s.remaining == 0 {
+				s.active = false
+			}
+		}
+		m.stats.StreamElems++
+		m.progress()
+	}
+}
+
+func (m *Machine) serveMemory() {
+	// Writes drain first (they unblock conflicting loads), but a write
+	// must not overtake an older unserved load to the same address.
+	for m.portsLeft > 0 && len(m.writeQueue) > 0 {
+		w := m.writeQueue[0]
+		if m.loadConflict(w) {
+			break // keep write order; retry next cycle
+		}
+		m.writeQueue = m.writeQueue[1:]
+		if !m.writeMem(w.addr, w.size, w.val) {
+			return
+		}
+		m.portsLeft--
+		m.stats.MemWrites++
+		m.progress()
+	}
+	// Scalar loads, in per-FIFO order, with store-conflict interlock
+	// against *older* stores only.
+	for c := 0; c < 2 && m.portsLeft > 0; c++ {
+		for n := 0; n < 2 && m.portsLeft > 0; n++ {
+			for _, e := range m.inFIFO[c][n] {
+				if e.served {
+					continue
+				}
+				if m.portsLeft == 0 {
+					break
+				}
+				if m.storeConflict(e.addr, e.size, e.seq) {
+					break // preserve per-FIFO order
+				}
+				if m.outputStreamConflict(e.addr, e.size) {
+					break // an active output stream covers this range
+				}
+				val, ok := m.readMem(e.addr, e.size, rtl.Class(c))
+				if !ok {
+					return
+				}
+				e.val = val
+				e.served = true
+				e.ready = m.now + int64(m.cfg.MemLatency)
+				m.portsLeft--
+				m.stats.MemReads++
+				m.progress()
+			}
+		}
+	}
+}
+
+// storeConflict reports whether [addr, addr+size) overlaps any store
+// older than seq that has been issued but not yet applied to memory.
+// seq < 0 checks against all pending stores.
+func (m *Machine) storeConflict(addr int64, size int, seq int64) bool {
+	overlap := func(a int64, asz int) bool {
+		return addr < a+int64(asz) && a < addr+int64(size)
+	}
+	older := func(s int64) bool { return seq < 0 || s < seq }
+	for _, w := range m.writeQueue {
+		if older(w.seq) && overlap(w.addr, w.size) {
+			return true
+		}
+	}
+	for c := 0; c < 2; c++ {
+		for n := 0; n < 2; n++ {
+			for _, st := range m.unmatchedStores[c][n] {
+				if older(st.seq) && overlap(st.addr, st.size) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// outputStreamConflict reports whether an active output stream's
+// remaining address range overlaps [addr, addr+size): a scalar load
+// must wait for the stream to pass the address (its data is still in
+// flight through the output FIFO).
+func (m *Machine) outputStreamConflict(addr int64, size int) bool {
+	for _, s := range m.scus {
+		if !s.active || s.input || s.remaining == 0 {
+			continue
+		}
+		span := s.remaining
+		if span < 0 {
+			span = 1 << 30 // infinite stream: treat as unbounded
+		}
+		lo, hi := s.base, s.base+s.stride*span
+		if s.stride < 0 {
+			lo, hi = hi, lo
+		}
+		hi += int64(s.size)
+		if addr < hi && lo < addr+int64(size) {
+			return true
+		}
+	}
+	return false
+}
+
+// loadConflict reports whether the write would overtake an older
+// unserved load to an overlapping address.
+func (m *Machine) loadConflict(w writeReq) bool {
+	for c := 0; c < 2; c++ {
+		for n := 0; n < 2; n++ {
+			for _, e := range m.inFIFO[c][n] {
+				if e.served || e.seq == 0 || e.seq >= w.seq {
+					continue
+				}
+				if w.addr < e.addr+int64(e.size) && e.addr < w.addr+int64(w.size) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (m *Machine) readMem(addr int64, size int, c rtl.Class) (uint64, bool) {
+	if addr < 0 || addr+int64(size) > int64(len(m.mem)) {
+		m.fail("memory read out of range: addr=%d size=%d", addr, size)
+		return 0, false
+	}
+	var raw uint64
+	for k := size - 1; k >= 0; k-- {
+		raw = raw<<8 | uint64(m.mem[addr+int64(k)])
+	}
+	if c == rtl.Float {
+		if size == 8 {
+			return raw, true
+		}
+		// 32-bit float loads are unused by the compiler but defined.
+		f := math.Float32frombits(uint32(raw))
+		return math.Float64bits(float64(f)), true
+	}
+	// Sign extend integer loads.
+	switch size {
+	case 1:
+		return uint64(int64(int8(raw))), true
+	case 4:
+		return uint64(int64(int32(raw))), true
+	default:
+		return raw, true
+	}
+}
+
+func (m *Machine) writeMem(addr int64, size int, val uint64) bool {
+	if addr < 0 || addr+int64(size) > int64(len(m.mem)) {
+		m.fail("memory write out of range: addr=%d size=%d", addr, size)
+		return false
+	}
+	if size == 8 {
+		for k := 0; k < 8; k++ {
+			m.mem[addr+int64(k)] = byte(val >> (8 * k))
+		}
+		return true
+	}
+	// Integer truncation (and 32-bit float narrowing, unused).
+	for k := 0; k < size; k++ {
+		m.mem[addr+int64(k)] = byte(val >> (8 * k))
+	}
+	return true
+}

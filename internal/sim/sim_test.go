@@ -1,0 +1,623 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"wmstream/internal/rtl"
+)
+
+// run assembles and executes a program, returning the machine, stats
+// and output text.
+func run(t *testing.T, cfg Config, src string) (*Machine, Stats, string) {
+	t.Helper()
+	p, err := rtl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	img, err := Link(p)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	var out bytes.Buffer
+	cfg.Output = &out
+	m := New(img, cfg)
+	stats, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, src)
+	}
+	return m, stats, out.String()
+}
+
+func TestArithmetic(t *testing.T) {
+	m, _, _ := run(t, DefaultConfig(), `
+.entry main
+.func main
+r2 := 6
+r3 := 7
+r4 := (r2 * r3)
+r5 := ((r2 << 2) + r3)
+halt
+.end
+`)
+	if got := int64(m.Reg(rtl.R(4))); got != 42 {
+		t.Errorf("r4 = %d", got)
+	}
+	if got := int64(m.Reg(rtl.R(5))); got != 31 {
+		t.Errorf("r5 = %d", got)
+	}
+}
+
+func TestFloatArithmetic(t *testing.T) {
+	m, _, _ := run(t, DefaultConfig(), `
+.entry main
+.func main
+f2 := 1.5f
+f3 := 2.5f
+f4 := (f2 * f3)
+f5 := sqrt(f4)
+r2 := cvtr(f4)
+f6 := cvtf(r2)
+halt
+.end
+`)
+	if got := math.Float64frombits(m.Reg(rtl.F(4))); got != 3.75 {
+		t.Errorf("f4 = %g", got)
+	}
+	if got := math.Float64frombits(m.Reg(rtl.F(5))); math.Abs(got-math.Sqrt(3.75)) > 1e-12 {
+		t.Errorf("f5 = %g", got)
+	}
+	if got := int64(m.Reg(rtl.R(2))); got != 3 {
+		t.Errorf("r2 = %d", got)
+	}
+	if got := math.Float64frombits(m.Reg(rtl.F(6))); got != 3 {
+		t.Errorf("f6 = %g", got)
+	}
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	m, _, _ := run(t, DefaultConfig(), `
+.entry main
+.data g 16 align=8
+.func main
+r2 := _g
+r0 := 12345
+s32r r0, r2
+l32r r0, r2
+r3 := r0
+r0 := -7
+s8r r0, (r2 + 8)
+l8r r0, (r2 + 8)
+r4 := r0
+halt
+.end
+`)
+	if got := int64(m.Reg(rtl.R(3))); got != 12345 {
+		t.Errorf("r3 = %d (store/load conflict interlock broken?)", got)
+	}
+	if got := int64(m.Reg(rtl.R(4))); got != -7 {
+		t.Errorf("r4 = %d (sign extension broken?)", got)
+	}
+}
+
+func TestFloatMemory(t *testing.T) {
+	m, _, _ := run(t, DefaultConfig(), `
+.entry main
+.data g 8 align=8
+.func main
+r2 := _g
+f0 := 2.25f
+s64f f0, r2
+l64f f0, r2
+f3 := f0
+halt
+.end
+`)
+	if got := math.Float64frombits(m.Reg(rtl.F(3))); got != 2.25 {
+		t.Errorf("f3 = %g", got)
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	m, stats, _ := run(t, DefaultConfig(), `
+.entry main
+.func main
+r2 := 0
+r3 := 1
+L1:
+r2 := (r2 + r3)
+r3 := (r3 + 1)
+r31 := (r3 <= 10)
+jumpTr L1
+halt
+.end
+`)
+	if got := int64(m.Reg(rtl.R(2))); got != 55 {
+		t.Errorf("sum = %d", got)
+	}
+	if stats.Branches < 10 {
+		t.Errorf("branches = %d", stats.Branches)
+	}
+}
+
+func TestConditionalBothSenses(t *testing.T) {
+	m, _, _ := run(t, DefaultConfig(), `
+.entry main
+.func main
+r2 := 0
+r31 := (1 < 2)
+jumpFr L1
+r2 := (r2 + 1)
+L1:
+r31 := (1 > 2)
+jumpTr L2
+r2 := (r2 + 10)
+L2:
+halt
+.end
+`)
+	if got := int64(m.Reg(rtl.R(2))); got != 11 {
+		t.Errorf("r2 = %d", got)
+	}
+}
+
+func TestGlobalInitData(t *testing.T) {
+	init := make([]byte, 8)
+	binary.LittleEndian.PutUint32(init, 99)
+	binary.LittleEndian.PutUint32(init[4:], uint32(0xfffffffe)) // -2
+	src := `
+.entry main
+.data tab 8 align=4 init=` + hexOf(init) + `
+.func main
+r2 := _tab
+l32r r0, r2
+r3 := r0
+l32r r0, (r2 + 4)
+r4 := r0
+halt
+.end
+`
+	m, _, _ := run(t, DefaultConfig(), src)
+	if got := int64(m.Reg(rtl.R(3))); got != 99 {
+		t.Errorf("r3 = %d", got)
+	}
+	if got := int64(m.Reg(rtl.R(4))); got != -2 {
+		t.Errorf("r4 = %d", got)
+	}
+}
+
+func hexOf(b []byte) string {
+	const digits = "0123456789abcdef"
+	var sb strings.Builder
+	for _, x := range b {
+		sb.WriteByte(digits[x>>4])
+		sb.WriteByte(digits[x&15])
+	}
+	return sb.String()
+}
+
+// TestDotProductStream reproduces the paper's headline claim: the
+// streamed dot-product loop is two instructions (one FEU op plus a
+// zero-cost IFU branch) and runs in Θ(N) cycles.
+func TestDotProductStream(t *testing.T) {
+	const n = 1024
+	a := make([]byte, n*8)
+	b := make([]byte, n*8)
+	var want float64
+	for k := 0; k < n; k++ {
+		av := float64(k%10) + 0.5
+		bv := float64(k%7) + 0.25
+		binary.LittleEndian.PutUint64(a[k*8:], math.Float64bits(av))
+		binary.LittleEndian.PutUint64(b[k*8:], math.Float64bits(bv))
+		want += av * bv
+	}
+	src := `
+.entry main
+.data a 8192 align=8 init=` + hexOf(a) + `
+.data b 8192 align=8 init=` + hexOf(b) + `
+.func main
+r5 := 1024
+r6 := _a
+r7 := _b
+f4 := f31
+sin64f f0, r6, r5, 8
+sin64f f1, r7, r5, 8
+L1:
+f4 := ((f0 * f1) + f4)
+jnd f0, L1
+halt
+.end
+`
+	m, stats, _ := run(t, DefaultConfig(), src)
+	if got := math.Float64frombits(m.Reg(rtl.F(4))); math.Abs(got-want) > 1e-9 {
+		t.Errorf("dot = %g, want %g", got, want)
+	}
+	// Θ(N): one FEU instruction per element plus pipeline fill.
+	if stats.Cycles > n+100 {
+		t.Errorf("cycles = %d, want ≈%d (stream loop not at one element/cycle)", stats.Cycles, n)
+	}
+	if stats.Cycles < n {
+		t.Errorf("cycles = %d < N, impossible", stats.Cycles)
+	}
+	if stats.StreamElems != 2*n {
+		t.Errorf("stream elements = %d, want %d", stats.StreamElems, 2*n)
+	}
+}
+
+// TestOuterOperandForwarding verifies the Figure 2 pipeline rule: a
+// dependent chain through outer operands runs at one cycle per
+// instruction, while a chain through inner operands needs two.
+func TestOuterOperandForwarding(t *testing.T) {
+	mkChain := func(inner bool) string {
+		var sb strings.Builder
+		sb.WriteString(".entry main\n.func main\nr2 := 1\n")
+		for k := 0; k < 64; k++ {
+			if inner {
+				sb.WriteString("r2 := ((r2 + 1) + r31)\n") // r2 inner
+			} else {
+				sb.WriteString("r2 := ((1 + 1) + r2)\n") // r2 outer
+			}
+		}
+		sb.WriteString("halt\n.end\n")
+		return sb.String()
+	}
+	_, fastStats, _ := run(t, DefaultConfig(), mkChain(false))
+	_, slowStats, _ := run(t, DefaultConfig(), mkChain(true))
+	if slowStats.Cycles <= fastStats.Cycles+32 {
+		t.Errorf("inner chain %d cycles, outer chain %d cycles; expected ~2x",
+			slowStats.Cycles, fastStats.Cycles)
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	m, _, _ := run(t, DefaultConfig(), `
+.entry main
+.func main
+r2 := 5
+call double_it
+r4 := r2
+halt
+.end
+.func double_it
+r2 := (r2 + r2)
+ret
+.end
+`)
+	if got := int64(m.Reg(rtl.R(4))); got != 10 {
+		t.Errorf("r4 = %d", got)
+	}
+}
+
+func TestCallSavesLR(t *testing.T) {
+	// Nested calls with explicit LR save/restore through memory.
+	m, _, _ := run(t, DefaultConfig(), `
+.entry main
+.func main
+r2 := 3
+call outer
+r5 := r2
+halt
+.end
+.func outer
+r29 := (r29 - 8)
+r0 := r30
+s64r r0, r29
+call inner
+r2 := (r2 + 1)
+l64r r0, r29
+r30 := r0
+r29 := (r29 + 8)
+ret
+.end
+.func inner
+r2 := (r2 * 10)
+ret
+.end
+`)
+	if got := int64(m.Reg(rtl.R(5))); got != 31 {
+		t.Errorf("r5 = %d", got)
+	}
+}
+
+func TestPutOutput(t *testing.T) {
+	_, _, out := run(t, DefaultConfig(), `
+.entry main
+.func main
+r2 := 72
+putc r2
+r3 := 105
+putc r3
+r4 := -42
+puti r4
+f2 := 2.5f
+putd f2
+halt
+.end
+`)
+	if out != "Hi-422.5" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestStreamOut(t *testing.T) {
+	// Fill an 8-element array with a constant via an output stream.
+	m, _, _ := run(t, DefaultConfig(), `
+.entry main
+.data v 64 align=8
+.func main
+r5 := 8
+r6 := _v
+sout64f f0, r6, r5, 8
+r7 := 0
+L1:
+f0 := 3.25f
+r7 := (r7 + 1)
+r31 := (r7 < 8)
+jumpTr L1
+halt
+.end
+`)
+	addr := m.GlobalAddr("v")
+	for k := 0; k < 8; k++ {
+		bits := binary.LittleEndian.Uint64(m.Mem()[addr+int64(k*8):])
+		if got := math.Float64frombits(bits); got != 3.25 {
+			t.Fatalf("v[%d] = %g", k, got)
+		}
+	}
+}
+
+func TestStreamInIntegers(t *testing.T) {
+	data := make([]byte, 6*4)
+	for k := 0; k < 6; k++ {
+		binary.LittleEndian.PutUint32(data[k*4:], uint32(k+1))
+	}
+	src := `
+.entry main
+.data w 24 align=4 init=` + hexOf(data) + `
+.func main
+r5 := 6
+r6 := _w
+sin32r r0, r6, r5, 4
+r2 := 0
+L1:
+r2 := (r2 + r0)
+jnd r0, L1
+halt
+.end
+`
+	m, _, _ := run(t, DefaultConfig(), src)
+	if got := int64(m.Reg(rtl.R(2))); got != 21 {
+		t.Errorf("sum = %d", got)
+	}
+}
+
+func TestStridedStream(t *testing.T) {
+	// Read every second element.
+	data := make([]byte, 8*4)
+	for k := 0; k < 8; k++ {
+		binary.LittleEndian.PutUint32(data[k*4:], uint32(k))
+	}
+	src := `
+.entry main
+.data w 32 align=4 init=` + hexOf(data) + `
+.func main
+r5 := 4
+r6 := _w
+sin32r r0, r6, r5, 8
+r2 := 0
+L1:
+r2 := (r2 + r0)
+jnd r0, L1
+halt
+.end
+`
+	m, _, _ := run(t, DefaultConfig(), src)
+	if got := int64(m.Reg(rtl.R(2))); got != 0+2+4+6 {
+		t.Errorf("sum = %d", got)
+	}
+}
+
+func TestInfiniteStreamWithStop(t *testing.T) {
+	data := make([]byte, 16*4)
+	for k := 0; k < 16; k++ {
+		binary.LittleEndian.PutUint32(data[k*4:], uint32(k+1))
+	}
+	// Sum until the value 5 appears, using an infinite stream plus
+	// sstop at the exit.
+	src := `
+.entry main
+.data w 64 align=4 init=` + hexOf(data) + `
+.func main
+r5 := -1
+r6 := _w
+sin32r r0, r6, r5, 4
+r2 := 0
+L1:
+r3 := r0
+r31 := (r3 == 5)
+jumpTr L2
+r2 := (r2 + r3)
+jump L1
+L2:
+sstop r0
+halt
+.end
+`
+	m, _, _ := run(t, DefaultConfig(), src)
+	if got := int64(m.Reg(rtl.R(2))); got != 1+2+3+4 {
+		t.Errorf("sum = %d", got)
+	}
+}
+
+func TestMemoryLatencyMatters(t *testing.T) {
+	prog := `
+.entry main
+.data g 8 align=8
+.func main
+r2 := _g
+r0 := 1
+s64r r0, r2
+l64r r0, r2
+r3 := r0
+l64r r0, r2
+r4 := r0
+l64r r0, r2
+r5 := r0
+halt
+.end
+`
+	fast := DefaultConfig()
+	fast.MemLatency = 1
+	slow := DefaultConfig()
+	slow.MemLatency = 40
+	_, fs, _ := run(t, fast, prog)
+	_, ss, _ := run(t, slow, prog)
+	if ss.Cycles <= fs.Cycles {
+		t.Errorf("latency 40 (%d cycles) not slower than latency 1 (%d cycles)", ss.Cycles, fs.Cycles)
+	}
+}
+
+// TestDecoupledLoadsHideLatency shows the access/execute benefit: many
+// independent loads issued ahead of consumption overlap their
+// latencies, so doubling memory latency costs far less than double.
+func TestDecoupledLoadsHideLatency(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString(".entry main\n.data g 256 align=8\n.func main\nr2 := _g\n")
+	for k := 0; k < 16; k++ {
+		sb.WriteString("l64r r0, (r2 + " + itoa(k*8) + ")\n")
+	}
+	for k := 0; k < 16; k++ {
+		sb.WriteString("r3 := (r3 + r0)\n")
+	}
+	sb.WriteString("halt\n.end\n")
+	cfg := DefaultConfig()
+	cfg.MemLatency = 2
+	cfg.FIFODepth = 32
+	_, s2, _ := run(t, cfg, sb.String())
+	cfg.MemLatency = 12
+	_, s12, _ := run(t, cfg, sb.String())
+	if s12.Cycles-s2.Cycles > 20 {
+		t.Errorf("pipelined loads should hide most latency: %d vs %d cycles", s12.Cycles, s2.Cycles)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	p, err := rtl.Parse(`
+.entry main
+.func main
+r2 := r0
+halt
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := Link(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(img, DefaultConfig())
+	if _, err := m.Run(); err == nil {
+		t.Fatal("expected deadlock error for FIFO read with no data")
+	}
+}
+
+func TestVirtualRegistersRejected(t *testing.T) {
+	p, err := rtl.Parse(`
+.entry main
+.func main
+rv0 := 1
+halt
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Link(p); err == nil {
+		t.Fatal("expected link error for virtual registers")
+	}
+}
+
+func TestDivisionByZeroFails(t *testing.T) {
+	p, _ := rtl.Parse(`
+.entry main
+.func main
+r2 := 0
+r3 := (4 / r2)
+halt
+.end
+`)
+	img, err := Link(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(img, DefaultConfig())
+	if _, err := m.Run(); err == nil {
+		t.Fatal("expected division-by-zero error")
+	}
+}
+
+func TestCompareCCOrder(t *testing.T) {
+	// Two compares enqueued before their branches are consumed in FIFO
+	// order.
+	m, _, _ := run(t, DefaultConfig(), `
+.entry main
+.func main
+r31 := (1 < 2)
+r31 := (2 < 1)
+jumpTr L1
+r2 := 100
+jump L2
+L1:
+r2 := 1
+jumpFr L3
+r2 := (r2 + 200)
+jump L2
+L3:
+r2 := (r2 + 10)
+L2:
+halt
+.end
+`)
+	if got := int64(m.Reg(rtl.R(2))); got != 11 {
+		t.Errorf("r2 = %d", got)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	_, stats, _ := run(t, DefaultConfig(), `
+.entry main
+.data g 8 align=8
+.func main
+r2 := _g
+r0 := 1
+s64r r0, r2
+l64r r0, r2
+r3 := r0
+halt
+.end
+`)
+	if stats.MemReads != 1 || stats.MemWrites != 1 {
+		t.Errorf("mem reads/writes = %d/%d", stats.MemReads, stats.MemWrites)
+	}
+	if stats.Dispatched == 0 || stats.Instructions == 0 || stats.Cycles == 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}

@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"wmstream/internal/rtl"
+)
+
+// operand is a register use together with its pipeline stage: outer
+// operands (consumed by ALU2) forward one cycle earlier than inner
+// operands (consumed by ALU1), per the dual-pipeline of Figure 2.
+type operand struct {
+	reg   rtl.Reg
+	outer bool
+}
+
+// operandsOf classifies every register read by the instruction.
+func operandsOf(i *rtl.Instr) []operand {
+	var ops []operand
+	add := func(e rtl.Expr, outer bool) {
+		rtl.ExprRegs(e, func(r rtl.Reg) { ops = append(ops, operand{r, outer}) })
+	}
+	classify := func(e rtl.Expr) {
+		switch x := e.(type) {
+		case rtl.Bin:
+			if l, ok := x.L.(rtl.Bin); ok {
+				// (a op1 b) op2 c: a, b inner; c outer.
+				add(l, false)
+				add(x.R, true)
+				return
+			}
+			if r, ok := x.R.(rtl.Bin); ok {
+				add(x.L, true)
+				add(r, false)
+				return
+			}
+			// Single operation: routed through ALU2, operands outer.
+			add(x.L, true)
+			add(x.R, true)
+		case rtl.Un:
+			if _, ok := x.X.(rtl.RegX); ok {
+				add(x.X, true)
+			} else {
+				add(x.X, false)
+			}
+		default:
+			add(e, true)
+		}
+	}
+	i.EachUseExpr(classify)
+	return ops
+}
+
+// fifoReads counts the FIFO register reads of the instruction per
+// (class, fifo number).
+func fifoReads(i *rtl.Instr) [2][2]int {
+	var counts [2][2]int
+	i.EachUseExpr(func(e rtl.Expr) {
+		rtl.ExprRegs(e, func(r rtl.Reg) {
+			if r.IsFIFO() {
+				counts[r.Class][r.N]++
+			}
+		})
+	})
+	return counts
+}
+
+func unitOf(i *rtl.Instr) rtl.Class {
+	switch i.Kind {
+	case rtl.KAssign:
+		return i.Dst.Class
+	case rtl.KLoad, rtl.KStore:
+		// All loads and stores execute on the IEU (addresses are
+		// integers); the datum travels through MemClass's FIFO.
+		return rtl.Int
+	}
+	return rtl.Int
+}
+
+// latencyOf returns the cycles after issue at which the result becomes
+// available to inner operands of later instructions.
+func (m *Machine) latencyOf(i *rtl.Instr) int64 {
+	base := int64(2)
+	extra := int64(0)
+	rtl.WalkExpr(i.Src, func(e rtl.Expr) {
+		switch x := e.(type) {
+		case rtl.Bin:
+			if x.Op == rtl.Div || x.Op == rtl.Rem {
+				extra = maxI64(extra, int64(m.cfg.DivLatency))
+			}
+		case rtl.Un:
+			if x.Op >= rtl.Sqrt {
+				extra = maxI64(extra, int64(m.cfg.MathLatency))
+			}
+		case rtl.Cvt:
+			extra = maxI64(extra, int64(m.cfg.CvtLatency))
+		}
+	})
+	return base + extra
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (m *Machine) stepUnit(c rtl.Class) {
+	q := m.queues[c]
+	if len(q) == 0 {
+		return
+	}
+	d := q[0]
+	if !m.canIssue(d) {
+		return
+	}
+	m.queues[c] = q[1:]
+	m.removePend(d)
+	m.execute(d, c)
+	m.progress()
+}
+
+// canIssue applies the hazard checks: cross-unit pending writes, the
+// inner/outer forwarding distances, FIFO data availability, and space
+// in any queue the instruction will push into.
+func (m *Machine) canIssue(d *dispatched) bool {
+	i := d.i
+	// Register operands.
+	for _, op := range operandsOf(i) {
+		r := op.reg
+		if r.IsZero() || r.IsFIFO() {
+			continue
+		}
+		if m.pendingWriterBefore(r, d.seq) {
+			return false
+		}
+		limit := m.now
+		if op.outer {
+			limit = m.now + 1
+		}
+		if m.readyAt[r.Class][r.N] > limit {
+			return false
+		}
+	}
+	// Destination hazards (WAW and WAR against earlier accesses).
+	if def, ok := i.Def(); ok && !def.IsZero() && !def.IsFIFO() {
+		if m.pendingAccessBefore(def, d.seq) {
+			return false
+		}
+	}
+	// FIFO reads: enough arrived data at the head of each input FIFO.
+	reads := fifoReads(i)
+	for c := 0; c < 2; c++ {
+		for n := 0; n < 2; n++ {
+			need := reads[c][n]
+			if need == 0 {
+				continue
+			}
+			q := m.inFIFO[c][n]
+			if len(q) < need {
+				m.stats.LoadStalls++
+				return false
+			}
+			for k := 0; k < need; k++ {
+				if !q[k].served || q[k].ready > m.now {
+					m.stats.LoadStalls++
+					return false
+				}
+			}
+		}
+	}
+	// Space checks.
+	if i.IsCompare() && len(m.ccFIFO[i.Dst.Class]) >= m.cfg.CCDepth {
+		return false
+	}
+	if i.HasFIFOWrite() && len(m.outFIFO[i.Dst.Class][i.Dst.N]) >= m.cfg.FIFODepth {
+		return false
+	}
+	if i.Kind == rtl.KLoad {
+		if len(m.inFIFO[i.MemClass][i.FIFO.N]) >= m.cfg.FIFODepth {
+			return false
+		}
+		// A scalar load request must not interleave with an input
+		// stream still issuing into the same FIFO: its datum would land
+		// between stream elements and corrupt the queue order.  The
+		// hardware holds the load until the SCU has issued its last
+		// element.
+		if m.inputStreamIssuing(i.MemClass, i.FIFO.N) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Machine) inputStreamIssuing(c rtl.Class, n int) bool {
+	for _, s := range m.scus {
+		if s.active && s.input && s.class == c && s.fifoN == n && s.remaining != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Machine) pendingWriterBefore(r rtl.Reg, seq int64) bool {
+	for _, p := range m.pend[r] {
+		if p.write && p.seq < seq {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Machine) pendingAccessBefore(r rtl.Reg, seq int64) bool {
+	for _, p := range m.pend[r] {
+		if p.seq < seq {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Machine) addPend(d *dispatched) {
+	i := d.i
+	for _, op := range operandsOf(i) {
+		if op.reg.IsZero() || op.reg.IsFIFO() {
+			continue
+		}
+		m.pend[op.reg] = append(m.pend[op.reg], pendAccess{d.seq, false})
+	}
+	if def, ok := i.Def(); ok && !def.IsZero() && !def.IsFIFO() {
+		m.pend[def] = append(m.pend[def], pendAccess{d.seq, true})
+	}
+}
+
+func (m *Machine) removePend(d *dispatched) {
+	remove := func(r rtl.Reg) {
+		list := m.pend[r]
+		out := list[:0]
+		for _, p := range list {
+			if p.seq != d.seq {
+				out = append(out, p)
+			}
+		}
+		if len(out) == 0 {
+			delete(m.pend, r)
+		} else {
+			m.pend[r] = out
+		}
+	}
+	for _, op := range operandsOf(d.i) {
+		if !op.reg.IsZero() && !op.reg.IsFIFO() {
+			remove(op.reg)
+		}
+	}
+	if def, ok := d.i.Def(); ok && !def.IsZero() && !def.IsFIFO() {
+		remove(def)
+	}
+}
+
+// execute performs the instruction's effect at issue time.
+func (m *Machine) execute(d *dispatched, c rtl.Class) {
+	i := d.i
+	m.stats.Instructions++
+	if c == rtl.Int {
+		m.stats.IntIssued++
+	} else {
+		m.stats.FloatIssued++
+	}
+	if m.cfg.Trace != nil {
+		writeTrace(m.cfg.Trace, m.now, c.String(), i)
+	}
+	switch i.Kind {
+	case rtl.KAssign:
+		val, ok := m.eval(i.Src)
+		if !ok {
+			return
+		}
+		dst := i.Dst
+		switch {
+		case i.IsCompare():
+			m.ccFIFO[dst.Class] = append(m.ccFIFO[dst.Class], ccEntry{val != 0, m.now + 1})
+		case dst.IsZero():
+			// Discarded.
+		case dst.IsFIFO():
+			m.outFIFO[dst.Class][dst.N] = append(m.outFIFO[dst.Class][dst.N], val)
+		default:
+			m.regs[dst.Class][dst.N] = val
+			m.readyAt[dst.Class][dst.N] = m.now + m.latencyOf(i)
+		}
+	case rtl.KLoad:
+		addr, ok := m.eval(i.Addr)
+		if !ok {
+			return
+		}
+		m.memSeq++
+		m.inFIFO[i.MemClass][i.FIFO.N] = append(m.inFIFO[i.MemClass][i.FIFO.N],
+			&fifoEntry{addr: int64(addr), size: i.MemSize, seq: m.memSeq})
+	case rtl.KStore:
+		addr, ok := m.eval(i.Addr)
+		if !ok {
+			return
+		}
+		m.memSeq++
+		m.unmatchedStores[i.MemClass][i.FIFO.N] = append(m.unmatchedStores[i.MemClass][i.FIFO.N],
+			storeReq{int64(addr), i.MemSize, m.memSeq})
+	default:
+		m.fail("unit cannot execute %s", i)
+	}
+}

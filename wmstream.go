@@ -1,0 +1,189 @@
+// Package wmstream reproduces the compiler and architecture described
+// in Benitez & Davidson, "Code Generation for Streaming: an
+// Access/Execute Mechanism" (ASPLOS 1991): an optimizing Mini-C
+// compiler whose recurrence-detection and streaming algorithms target
+// the WM decoupled access/execute architecture, plus a cycle-level WM
+// simulator and the scalar machine models used by the paper's Table I.
+//
+// The high-level flow:
+//
+//	prog, _ := wmstream.Compile(src, wmstream.O3)   // Mini-C -> optimized WM RTL
+//	res, _  := wmstream.Run(prog, wmstream.DefaultMachine())
+//	fmt.Println(res.Cycles, res.Output)
+//
+// Optimization levels: O0 naive code (register assignment only), O1
+// classic scalar optimizations, O2 adds the paper's recurrence
+// optimization, O3 adds streaming (the full pipeline).
+package wmstream
+
+import (
+	"bytes"
+	"fmt"
+
+	"wmstream/internal/acode"
+	"wmstream/internal/minic"
+	"wmstream/internal/opt"
+	"wmstream/internal/rtl"
+	"wmstream/internal/sim"
+)
+
+// Optimization levels.
+const (
+	O0 = 0 // naive code
+	O1 = 1 // standard scalar optimizations
+	O2 = 2 // + recurrence detection and optimization
+	O3 = 3 // + streaming
+)
+
+// Program is a compiled WM program.
+type Program struct {
+	rtl *rtl.Program
+}
+
+// Options gives fine-grained control over the optimizer for ablation
+// studies; most callers use Compile with a level instead.
+type Options struct {
+	Standard       bool  // classic scalar optimizations
+	Recurrence     bool  // the paper's recurrence algorithm
+	Stream         bool  // the paper's streaming algorithm
+	StrengthReduce bool  // induction-variable strength reduction
+	Combine        bool  // dual-operation instruction combining
+	MinTrip        int64 // smallest trip count worth streaming (default 4)
+}
+
+// LevelOptions returns the Options corresponding to an optimization
+// level.
+func LevelOptions(level int) Options {
+	o := opt.Level(level)
+	return Options{
+		Standard:       o.Standard,
+		Recurrence:     o.Recurrence,
+		Stream:         o.Stream,
+		StrengthReduce: o.StrengthReduce,
+		Combine:        o.Combine,
+		MinTrip:        o.MinTrip,
+	}
+}
+
+// Compile translates Mini-C source to an optimized WM program.
+func Compile(src string, level int) (*Program, error) {
+	return CompileOptions(src, LevelOptions(level))
+}
+
+// CompileOptions is Compile with explicit optimizer options.
+func CompileOptions(src string, o Options) (*Program, error) {
+	ast, err := minic.Compile(src)
+	if err != nil {
+		return nil, fmt.Errorf("frontend: %w", err)
+	}
+	p, err := acode.Gen(ast)
+	if err != nil {
+		return nil, fmt.Errorf("expand: %w", err)
+	}
+	iopts := opt.Options{
+		Standard:       o.Standard,
+		Recurrence:     o.Recurrence,
+		Stream:         o.Stream,
+		StrengthReduce: o.StrengthReduce,
+		Combine:        o.Combine,
+		MinTrip:        o.MinTrip,
+	}
+	if err := opt.Optimize(p, iopts); err != nil {
+		return nil, err
+	}
+	return &Program{rtl: p}, nil
+}
+
+// Assemble parses a program in WM assembler syntax (the format Listing
+// emits), for running hand-written code on the simulator.
+func Assemble(asm string) (*Program, error) {
+	p, err := rtl.Parse(asm)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{rtl: p}, nil
+}
+
+// Listing renders the program as annotated assembly in the style of
+// the paper's figures.
+func (p *Program) Listing() string { return p.rtl.String() }
+
+// FuncListing renders one function, or "" if absent.
+func (p *Program) FuncListing(name string) string {
+	f := p.rtl.Func(name)
+	if f == nil {
+		return ""
+	}
+	return f.Listing()
+}
+
+// Machine configures the simulated WM implementation.
+type Machine struct {
+	MemLatency int // cycles from memory request to data arrival
+	MemPorts   int // memory requests accepted per cycle
+	FIFODepth  int // entries per data FIFO
+	QueueDepth int // entries per unit instruction queue
+	NumSCU     int // stream control units
+}
+
+// DefaultMachine returns the configuration used by the reproduction
+// experiments.
+func DefaultMachine() Machine {
+	c := sim.DefaultConfig()
+	return Machine{
+		MemLatency: c.MemLatency,
+		MemPorts:   c.MemPorts,
+		FIFODepth:  c.FIFODepth,
+		QueueDepth: c.QueueDepth,
+		NumSCU:     c.NumSCU,
+	}
+}
+
+// Result reports a simulation run.
+type Result struct {
+	Cycles       int64
+	Instructions int64
+	MemReads     int64
+	MemWrites    int64
+	StreamElems  int64
+	Output       string
+}
+
+// Run executes the program to completion on the simulated WM machine.
+func Run(p *Program, m Machine) (Result, error) {
+	img, err := sim.Link(p.rtl)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := sim.DefaultConfig()
+	if m.MemLatency > 0 {
+		cfg.MemLatency = m.MemLatency
+	}
+	if m.MemPorts > 0 {
+		cfg.MemPorts = m.MemPorts
+	}
+	if m.FIFODepth > 0 {
+		cfg.FIFODepth = m.FIFODepth
+	}
+	if m.QueueDepth > 0 {
+		cfg.QueueDepth = m.QueueDepth
+	}
+	if m.NumSCU > 0 {
+		cfg.NumSCU = m.NumSCU
+	}
+	var out bytes.Buffer
+	cfg.Output = &out
+	machine := sim.New(img, cfg)
+	stats, err := machine.Run()
+	if err != nil {
+		return Result{Output: out.String()}, err
+	}
+	return Result{
+		Cycles:       stats.Cycles,
+		Instructions: stats.Instructions,
+		MemReads:     stats.MemReads,
+		MemWrites:    stats.MemWrites,
+		StreamElems:  stats.StreamElems,
+		Output:       out.String(),
+	}, nil
+}
