@@ -3,17 +3,22 @@
 //
 // Usage:
 //
-//	wmcc [-O level] [-fn name] [-o out.wm] file.mc
+//	wmcc [-O level] [-fn name] [-o out.wm] [-stats] [-debug-passes] file.mc
 //
 // Levels: 0 naive, 1 standard optimizations, 2 +recurrence
 // optimization, 3 +streaming (default).  With -fn only that function's
 // listing is printed (handy for comparing against the paper's
-// figures).
+// figures).  -stats prints a per-pass table (invocations, fires,
+// instruction delta, time) to stderr; -debug-passes additionally dumps
+// each function's RTL before optimization and after every pass that
+// changed it (vpo's -d dumps) and runs the RTL invariant checker at
+// every pass boundary.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"wmstream"
@@ -23,19 +28,36 @@ func main() {
 	level := flag.Int("O", 3, "optimization level 0..3")
 	fn := flag.String("fn", "", "print only this function's listing")
 	out := flag.String("o", "", "output file (default stdout)")
+	stats := flag.Bool("stats", false, "print per-pass statistics to stderr")
+	debugPasses := flag.Bool("debug-passes", false, "dump RTL after every firing pass and verify IR invariants")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: wmcc [-O level] [-fn name] [-o out.wm] file.mc")
+		fmt.Fprintln(os.Stderr, "usage: wmcc [-O level] [-fn name] [-o out.wm] [-stats] [-debug-passes] file.mc")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	p, err := wmstream.Compile(string(src), *level)
+
+	var p *wmstream.Program
+	if *stats || *debugPasses {
+		var debug io.Writer
+		if *debugPasses {
+			debug = os.Stderr
+		}
+		var st *wmstream.CompileStats
+		p, st, err = wmstream.CompileWithStats(string(src), wmstream.LevelOptions(*level), debug)
+		if err == nil && *stats {
+			fmt.Fprint(os.Stderr, st.Table())
+		}
+	} else {
+		p, err = wmstream.Compile(string(src), *level)
+	}
 	if err != nil {
 		fatal(err)
 	}
+
 	text := p.Listing()
 	if *fn != "" {
 		text = p.FuncListing(*fn)

@@ -19,8 +19,10 @@ type Result struct {
 	Output  string
 }
 
-// Compile builds a benchmark at the given optimization level.
-func Compile(p Program, level int) (*rtl.Program, error) {
+// expand runs the front end and the code expander, producing naive RTL
+// with virtual registers — the shared first half of every Compile*
+// variant.
+func expand(p Program) (*rtl.Program, error) {
 	ast, err := minic.Compile(p.Source)
 	if err != nil {
 		return nil, fmt.Errorf("%s: frontend: %w", p.Name, err)
@@ -29,36 +31,24 @@ func Compile(p Program, level int) (*rtl.Program, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: expand: %w", p.Name, err)
 	}
-	if err := opt.Optimize(rp, opt.Level(level)); err != nil {
-		return nil, fmt.Errorf("%s: %w", p.Name, err)
-	}
 	return rp, nil
+}
+
+// Compile builds a benchmark at the given optimization level.
+func Compile(p Program, level int) (*rtl.Program, error) {
+	return CompileOptions(p, opt.Level(level))
 }
 
 // CompileNone runs the front end and code expander only, leaving naive
 // RTL with virtual registers (callers pick their own optimization
-// pipeline, e.g. opt.OptimizeScalar).
-func CompileNone(p Program) (*rtl.Program, error) {
-	ast, err := minic.Compile(p.Source)
-	if err != nil {
-		return nil, fmt.Errorf("%s: frontend: %w", p.Name, err)
-	}
-	rp, err := acode.Gen(ast)
-	if err != nil {
-		return nil, fmt.Errorf("%s: expand: %w", p.Name, err)
-	}
-	return rp, nil
-}
+// pipeline, e.g. opt.OptimizeScalar or a custom opt.Pipeline).
+func CompileNone(p Program) (*rtl.Program, error) { return expand(p) }
 
 // CompileOptions builds with explicit optimizer options (ablations).
 func CompileOptions(p Program, o opt.Options) (*rtl.Program, error) {
-	ast, err := minic.Compile(p.Source)
+	rp, err := expand(p)
 	if err != nil {
-		return nil, fmt.Errorf("%s: frontend: %w", p.Name, err)
-	}
-	rp, err := acode.Gen(ast)
-	if err != nil {
-		return nil, fmt.Errorf("%s: expand: %w", p.Name, err)
+		return nil, err
 	}
 	if err := opt.Optimize(rp, o); err != nil {
 		return nil, fmt.Errorf("%s: %w", p.Name, err)

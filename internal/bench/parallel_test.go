@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"testing"
+
+	"wmstream/internal/opt"
+	"wmstream/internal/sim"
+)
+
+// TestParallelCompilationDeterministic compiles the full benchmark
+// suite with a single worker and with several workers and asserts the
+// optimized programs are byte-identical: per-function optimization is
+// embarrassingly parallel, so scheduling must never leak into the
+// generated code.  Run under -race this also proves the passes share
+// no mutable state across functions.
+func TestParallelCompilationDeterministic(t *testing.T) {
+	progs := append(Programs(), Livermore5(256))
+	for _, prog := range progs {
+		listings := map[int]string{}
+		for _, workers := range []int{1, 8} {
+			rp, err := CompileNone(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := opt.NewContext(opt.Level(3))
+			ctx.Workers = workers
+			if err := opt.WMPipeline(ctx.Opts).Run(rp, ctx); err != nil {
+				t.Fatalf("%s workers=%d: %v", prog.Name, workers, err)
+			}
+			listings[workers] = rp.String()
+		}
+		if listings[1] != listings[8] {
+			t.Errorf("%s: 1-worker and 8-worker listings differ", prog.Name)
+		}
+	}
+}
+
+// TestParallelCompilationRuns sanity-checks that a parallel-optimized
+// program still executes correctly (same output as the sequential
+// build) for one representative benchmark.
+func TestParallelCompilationRuns(t *testing.T) {
+	prog := Livermore5(256)
+	var outputs []string
+	for _, workers := range []int{1, 4} {
+		rp, err := CompileNone(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := opt.NewContext(opt.Level(3))
+		ctx.Workers = workers
+		if err := opt.WMPipeline(ctx.Opts).Run(rp, ctx); err != nil {
+			t.Fatal(err)
+		}
+		_, out, err := Run(rp, sim.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, out)
+	}
+	if outputs[0] != outputs[1] {
+		t.Errorf("parallel build output %q differs from sequential %q", outputs[1], outputs[0])
+	}
+}

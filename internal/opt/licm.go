@@ -50,7 +50,7 @@ func hoistLoop(f *rtl.Func, g *cfg.Graph, l *cfg.Loop) bool {
 	// Registers defined in the loop, and how many times.
 	defs := map[rtl.Reg]int{}
 	hasCall := false
-	for b := range l.Blocks {
+	for _, b := range l.BlockList() {
 		for _, i := range b.Instrs(f) {
 			if d, ok := i.Def(); ok {
 				defs[d]++
@@ -79,7 +79,7 @@ func hoistLoop(f *rtl.Func, g *cfg.Graph, l *cfg.Loop) bool {
 
 	var hoisted []*rtl.Instr
 	preInsert := preheaderInsertPos(f, pre)
-	for b := range l.Blocks {
+	for _, b := range l.BlockList() {
 		if !dominatesAllLatches(g, l, b) {
 			continue
 		}
@@ -136,7 +136,7 @@ func hoistInvariantLoads(f *rtl.Func, g *cfg.Graph, l *cfg.Loop) bool {
 	// Collect the base regions of every store in the loop; an unknown
 	// store blocks all load hoisting.
 	var storeBases []string
-	for b := range l.Blocks {
+	for _, b := range l.BlockList() {
 		for n := b.Start; n < b.End; n++ {
 			i := f.Code[n]
 			if i.Kind == rtl.KStore || i.Kind == rtl.KStreamOut {
@@ -155,7 +155,7 @@ func hoistInvariantLoads(f *rtl.Func, g *cfg.Graph, l *cfg.Loop) bool {
 			}
 		}
 	}
-	for b := range l.Blocks {
+	for _, b := range l.BlockList() {
 		if !dominatesAllLatches(g, l, b) {
 			continue
 		}
@@ -271,7 +271,24 @@ func dominatesAllLatches(g *cfg.Graph, l *cfg.Loop, b *cfg.Block) bool {
 
 // --- preheader management ------------------------------------------------
 
-var preheaderSeq int
+// freshPreheaderLabel picks the lowest unused LP<n> label name in the
+// function.  Numbering is per-function (labels are function-scoped in
+// the linker) and derived only from the function's own code, so
+// optimizing functions concurrently — or in any order — yields
+// identical names.  A package-level counter here would be both a data
+// race and a determinism leak under the parallel engine.
+func freshPreheaderLabel(f *rtl.Func) string {
+	max := 0
+	for _, i := range f.Code {
+		if i.Kind != rtl.KLabel || len(i.Name) < 3 || i.Name[:2] != "LP" {
+			continue
+		}
+		if n, ok := atoi(i.Name[2:]); ok && n > max {
+			max = n
+		}
+	}
+	return "LP" + itoa(max+1)
+}
 
 // EnsurePreheader guarantees the loop has a dedicated preheader block
 // and returns the index of the header's label instruction (from which
@@ -291,11 +308,10 @@ func EnsurePreheader(f *rtl.Func, g *cfg.Graph, l *cfg.Loop) int {
 		return -1
 	}
 	hdrName := f.Code[hdrIdx].Name
-	preheaderSeq++
-	preName := "LP" + itoa(preheaderSeq)
+	preName := freshPreheaderLabel(f)
 	// Retarget outside branches.
 	inLoop := map[int]bool{}
-	for b := range l.Blocks {
+	for _, b := range l.BlockList() {
 		for n := b.Start; n < b.End; n++ {
 			inLoop[n] = true
 		}
@@ -350,6 +366,20 @@ func findLoopByHeaderLabel(g *cfg.Graph, label string) *cfg.Loop {
 		}
 	}
 	return nil
+}
+
+func atoi(s string) (int, bool) {
+	if s == "" {
+		return 0, false
+	}
+	n := 0
+	for _, ch := range s {
+		if ch < '0' || ch > '9' {
+			return 0, false
+		}
+		n = n*10 + int(ch-'0')
+	}
+	return n, true
 }
 
 func itoa(n int) string {

@@ -21,8 +21,6 @@
 package opt
 
 import (
-	"fmt"
-
 	"wmstream/internal/cfg"
 	"wmstream/internal/rtl"
 )
@@ -77,117 +75,29 @@ func Level(n int) Options {
 	return o
 }
 
-// Optimize runs the configured pipeline over every function and then
+// Optimize runs the canonical WM pipeline over every function and then
 // performs register assignment (always required: the expander emits
-// virtual registers).
+// virtual registers).  It is a thin wrapper over the pass-manager
+// engine (pipeline.go): functions are optimized concurrently, and
+// callers that want per-pass statistics, debug dumps, invariant
+// checking or a custom pass order use WMPipeline/Pipeline.Run with
+// their own Context.
 func Optimize(p *rtl.Program, opts Options) error {
-	if opts.MinTrip == 0 {
-		opts.MinTrip = 4
-	}
-	if opts.MaxRecurrenceDegree == 0 {
-		opts.MaxRecurrenceDegree = 4
-	}
-	for _, f := range p.Funcs {
-		if err := optimizeFunc(f, opts); err != nil {
-			return fmt.Errorf("opt: %s: %w", f.Name, err)
-		}
-	}
-	return nil
-}
-
-func optimizeFunc(f *rtl.Func, opts Options) error {
-	if opts.Standard {
-		standardFixpoint(f)
-		LICM(f)
-		standardFixpoint(f)
-	}
-	if opts.Recurrence {
-		if Recurrences(f, opts.MaxRecurrenceDegree) && opts.Standard {
-			standardFixpoint(f)
-		}
-	}
-	if opts.Stream {
-		if Streams(f, opts.MinTrip) && opts.Standard {
-			standardFixpoint(f)
-		}
-	}
-	// Combining first folds address arithmetic into the dual-operation
-	// loads and stores; strength reduction then only rewrites addresses
-	// the instruction format cannot absorb (paper streaming step 3).
-	if opts.Combine {
-		Combine(f)
-		if opts.Standard {
-			standardFixpoint(f)
-		}
-	}
-	if opts.StrengthReduce {
-		if StrengthReduce(f) && opts.Standard {
-			standardFixpoint(f)
-			if opts.Combine {
-				Combine(f)
-				standardFixpoint(f)
-			}
-		}
-	}
-	if opts.Stream || opts.StrengthReduce {
-		if DeadIVs(f) && opts.Standard {
-			standardFixpoint(f)
-		}
-	}
-	if opts.Standard {
-		// Schedule loop tests early so conditional jumps are free and
-		// the IFU dispatches the next iteration's accesses while the
-		// current one computes (the paper's CC-scheduling discipline).
-		ScheduleLoopTest(f)
-	}
-	if err := Legalize(f); err != nil {
-		return err
-	}
-	if err := RegAlloc(f); err != nil {
-		return err
-	}
-	CleanBranches(f)
-	f.Renumber()
-	return nil
+	ctx := NewContext(opts)
+	return WMPipeline(ctx.Opts).Run(p, ctx)
 }
 
 // OptimizeScalar runs the compiler pipeline for a conventional target
-// machine (the Table I experiments): the standard optimizations,
-// optionally the recurrence algorithm, and strength reduction of *all*
-// induction-variable addressing (conventional addressing modes cannot
-// absorb it the way WM's dual-operation loads can, and pointer stepping
-// becomes auto-increment addressing — Figure 6).  Streaming and
-// dual-operation combining are never run: the target has no SCUs and
-// no two-operation instructions.
+// machine (the Table I experiments); see ScalarPipeline for the pass
+// order and rationale.
 func OptimizeScalar(p *rtl.Program, recurrence bool) error {
-	for _, f := range p.Funcs {
-		standardFixpoint(f)
-		LICM(f)
-		standardFixpoint(f)
-		if recurrence {
-			if Recurrences(f, 4) {
-				standardFixpoint(f)
-			}
-		}
-		if StrengthReduceWith(f, AllIVAddrs) {
-			standardFixpoint(f)
-			DeadIVs(f)
-			standardFixpoint(f)
-		}
-		if err := Legalize(f); err != nil {
-			return fmt.Errorf("opt: %s: %w", f.Name, err)
-		}
-		if err := RegAlloc(f); err != nil {
-			return fmt.Errorf("opt: %s: %w", f.Name, err)
-		}
-		CleanBranches(f)
-		f.Renumber()
-	}
-	return nil
+	ctx := NewContext(Options{Standard: true, Recurrence: recurrence, StrengthReduce: true})
+	return ScalarPipeline(recurrence).Run(p, ctx)
 }
 
 // standardFixpoint iterates the cheap scalar optimizations until
-// nothing changes (bounded, they converge fast).
+// nothing changes (bounded, they converge fast).  It is the plain-
+// function form of the "[standard]" fixpoint group of the pipelines.
 func standardFixpoint(f *rtl.Func) {
 	for round := 0; round < 20; round++ {
 		changed := Fold(f)

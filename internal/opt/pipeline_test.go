@@ -1,0 +1,247 @@
+package opt
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"wmstream/internal/rtl"
+)
+
+// tracePass records its invocations and reports "changed" a fixed
+// number of times before settling (so fixpoint loops terminate).
+type tracePass struct {
+	name  string
+	fires int
+	log   *[]string
+	calls int
+	err   error
+}
+
+func (p *tracePass) Name() string { return p.name }
+func (p *tracePass) Run(f *rtl.Func, ctx *Context) (bool, error) {
+	p.calls++
+	if p.log != nil {
+		*p.log = append(*p.log, p.name)
+	}
+	if p.err != nil {
+		return false, p.err
+	}
+	if p.calls <= p.fires {
+		return true, nil
+	}
+	return false, nil
+}
+
+func emptyFunc() *rtl.Func {
+	f := rtl.NewFunc("t")
+	f.Append(&rtl.Instr{Kind: rtl.KRet})
+	return f
+}
+
+func TestStepOnChangeRunsOnlyWhenFired(t *testing.T) {
+	var log []string
+	fired := &tracePass{name: "fired", fires: 1, log: &log}
+	follow := &tracePass{name: "follow", log: &log}
+	quiet := &tracePass{name: "quiet", log: &log}
+	follow2 := &tracePass{name: "follow2", log: &log}
+	pl := Pipeline{Name: "test", Steps: []Step{
+		{Pass: fired, OnChange: []Step{{Pass: follow}}},
+		{Pass: quiet, OnChange: []Step{{Pass: follow2}}},
+	}}
+	if err := pl.RunFunc(emptyFunc(), NewContext(Options{})); err != nil {
+		t.Fatal(err)
+	}
+	want := "fired,follow,quiet"
+	if got := strings.Join(log, ","); got != want {
+		t.Errorf("invocation order %q, want %q", got, want)
+	}
+}
+
+func TestFixpointIteratesUntilStable(t *testing.T) {
+	a := &tracePass{name: "a", fires: 3}
+	b := &tracePass{name: "b"}
+	pl := Pipeline{Name: "test", Steps: []Step{{Name: "g", Fixpoint: []Pass{a, b}}}}
+	ctx := NewContext(Options{})
+	if err := pl.RunFunc(emptyFunc(), ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Rounds 1-3 change (a fires), round 4 is the quiet round.
+	if a.calls != 4 || b.calls != 4 {
+		t.Errorf("calls a=%d b=%d, want 4 each", a.calls, b.calls)
+	}
+	g := ctx.Stats().Pass("[g]")
+	if g.Calls != 1 || g.Fires != 1 || g.Rounds != 4 {
+		t.Errorf("group stats %+v, want calls=1 fires=1 rounds=4", g)
+	}
+	st := ctx.Stats().Pass("a")
+	if st.Calls != 4 || st.Fires != 3 {
+		t.Errorf("pass a stats %+v, want calls=4 fires=3", st)
+	}
+}
+
+func TestFixpointRespectsMaxRounds(t *testing.T) {
+	a := &tracePass{name: "a", fires: 1 << 30} // never settles
+	pl := Pipeline{Name: "test", Steps: []Step{{Name: "g", Fixpoint: []Pass{a}, MaxRounds: 5}}}
+	if err := pl.RunFunc(emptyFunc(), NewContext(Options{})); err != nil {
+		t.Fatal(err)
+	}
+	if a.calls != 5 {
+		t.Errorf("pass ran %d times, want 5 (MaxRounds)", a.calls)
+	}
+}
+
+func TestRunAggregatesErrorsInFunctionOrder(t *testing.T) {
+	p := &rtl.Program{}
+	for _, name := range []string{"f1", "f2", "f3", "f4"} {
+		f := rtl.NewFunc(name)
+		f.Append(&rtl.Instr{Kind: rtl.KRet})
+		p.Funcs = append(p.Funcs, f)
+	}
+	boom := NewPass("boom", func(f *rtl.Func, _ *Context) (bool, error) {
+		if f.Name == "f2" || f.Name == "f4" {
+			return false, fmt.Errorf("cannot compile %s", f.Name)
+		}
+		return false, nil
+	})
+	pl := Pipeline{Name: "test", Steps: []Step{{Pass: boom}}}
+	for _, workers := range []int{1, 4} {
+		ctx := NewContext(Options{})
+		ctx.Workers = workers
+		err := pl.Run(p, ctx)
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		msg := err.Error()
+		i2, i4 := strings.Index(msg, "opt: f2:"), strings.Index(msg, "opt: f4:")
+		if i2 < 0 || i4 < 0 || i2 > i4 {
+			t.Errorf("workers=%d: errors not aggregated in function order: %q", workers, msg)
+		}
+	}
+}
+
+func TestParallelRunIsDeterministic(t *testing.T) {
+	// Built from RTL directly to keep this package free of frontend
+	// imports: several copies of the same loop under different names.
+	mk := func() *rtl.Program {
+		p := &rtl.Program{}
+		for n := 0; n < 6; n++ {
+			src := `.func f` + fmt.Sprint(n) + `
+rv0 := 0
+rv1 := 0
+L1:
+rv2 := (rv1 << 2)
+rv0 := (rv0 + rv2)
+rv1 := (rv1 + 1)
+r31 := (rv1 < 64)
+jumpTr L1
+r2 := rv0
+ret
+.end
+`
+			q, err := rtl.Parse(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := q.Funcs[0]
+			f.SetNumVirt(rtl.Int, 16)
+			p.Funcs = append(p.Funcs, f)
+		}
+		return p
+	}
+
+	var want string
+	var wantStats []PassStats
+	for _, workers := range []int{1, 4, 8} {
+		p := mk()
+		ctx := NewContext(Level(3))
+		ctx.Workers = workers
+		ctx.Verify = true
+		if err := WMPipeline(ctx.Opts).Run(p, ctx); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := p.String()
+		stats := ctx.Stats().Passes()
+		if want == "" {
+			want, wantStats = got, stats
+			continue
+		}
+		if got != want {
+			t.Errorf("workers=%d: listing differs from sequential run", workers)
+		}
+		if len(stats) != len(wantStats) {
+			t.Fatalf("workers=%d: %d stat rows, want %d", workers, len(stats), len(wantStats))
+		}
+		for i := range stats {
+			s, w := stats[i], wantStats[i]
+			if s.Name != w.Name || s.Calls != w.Calls || s.Fires != w.Fires || s.InstrDelta != w.InstrDelta || s.Rounds != w.Rounds {
+				t.Errorf("workers=%d: stats row %d = %+v, want %+v (time excluded)", workers, i, s, w)
+			}
+		}
+	}
+}
+
+func TestVerifyCatchesCorruptingPass(t *testing.T) {
+	corrupt := NewPass("corrupt", func(f *rtl.Func, _ *Context) (bool, error) {
+		f.Append(rtl.NewJump("NOPE"))
+		return true, nil
+	})
+	pl := Pipeline{Name: "test", Steps: []Step{{Pass: corrupt}}}
+	ctx := NewContext(Options{})
+	ctx.Verify = true
+	err := pl.RunFunc(emptyFunc(), ctx)
+	if err == nil {
+		t.Fatal("corrupting pass not caught")
+	}
+	if !strings.Contains(err.Error(), "corrupt") || !strings.Contains(err.Error(), "NOPE") {
+		t.Errorf("error does not identify pass and damage: %v", err)
+	}
+}
+
+func TestVerifyRejectsVirtualRegistersAfterRegAlloc(t *testing.T) {
+	leak := NewPass("leak", func(f *rtl.Func, _ *Context) (bool, error) {
+		f.Insert(0, rtl.NewAssign(rtl.R(2), rtl.RegX{Reg: rtl.Reg{Class: rtl.Int, N: rtl.VirtualBase}}))
+		return true, nil
+	})
+	pl := Pipeline{Name: "test", Steps: []Step{{Pass: PassRegAlloc}, {Pass: leak}}}
+	ctx := NewContext(Options{})
+	ctx.Verify = true
+	err := pl.RunFunc(emptyFunc(), ctx)
+	if err == nil || !strings.Contains(err.Error(), "virtual register") {
+		t.Errorf("virtual register leak after RegAlloc not caught: %v", err)
+	}
+}
+
+func TestOptimizeStillSequentialized(t *testing.T) {
+	// Optimize (the classic entry point) must produce a fully
+	// allocated, invariant-clean program.
+	p, err := rtl.Parse(`.func main
+rv0 := 41
+rv0 := (rv0 + 1)
+r2 := rv0
+halt
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Funcs[0].SetNumVirt(rtl.Int, 4)
+	if err := Optimize(p, Level(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rtl.CheckProgram(p, false); err != nil {
+		t.Errorf("optimized program fails invariants: %v", err)
+	}
+}
+
+func TestErrorsJoinUnwraps(t *testing.T) {
+	// A single-function failure is still matchable with errors.Is.
+	sentinel := errors.New("sentinel")
+	boom := NewPass("boom", func(*rtl.Func, *Context) (bool, error) { return false, sentinel })
+	p := &rtl.Program{Funcs: []*rtl.Func{emptyFunc()}}
+	err := Pipeline{Name: "t", Steps: []Step{{Pass: boom}}}.Run(p, NewContext(Options{}))
+	if !errors.Is(err, sentinel) {
+		t.Errorf("errors.Is fails through aggregation: %v", err)
+	}
+}

@@ -54,7 +54,7 @@ func scheduleOnce(f *rtl.Func) bool {
 		}
 		// No other CC traffic inside the loop.
 		ccOps := 0
-		for b := range l.Blocks {
+		for _, b := range l.BlockList() {
 			for n := b.Start; n < b.End; n++ {
 				i := f.Code[n]
 				if i.IsCompare() || i.Kind == rtl.KCondJump {

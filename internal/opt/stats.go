@@ -1,0 +1,132 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// PassStats aggregates the invocations of one pass (or one fixpoint
+// group, whose entries are bracketed, e.g. "[standard]").
+type PassStats struct {
+	Name string
+	// Calls counts invocations; Fires counts invocations that changed
+	// the code.
+	Calls int
+	Fires int
+	// Time is total wall time spent inside the pass.
+	Time time.Duration
+	// InstrDelta is the cumulative change in (non-label) instruction
+	// count caused by the pass; negative means code was removed.
+	InstrDelta int
+	// Rounds is, for fixpoint groups, the total number of iteration
+	// rounds run to reach the fixpoint; zero for plain passes.
+	Rounds int
+}
+
+// Stats accumulates per-pass statistics for one pipeline run.  It is
+// not safe for concurrent use: the parallel engine gives every
+// function its own Stats and merges them in function order, so the
+// aggregate is deterministic regardless of scheduling.
+type Stats struct {
+	order  []string
+	byName map[string]*PassStats
+	// Funcs counts functions optimized; Total is wall time across all
+	// pass invocations (summed over workers, so it can exceed the
+	// elapsed time of a parallel run).
+	Funcs int
+	Total time.Duration
+}
+
+// NewStats returns an empty accumulator.
+func NewStats() *Stats {
+	return &Stats{byName: map[string]*PassStats{}}
+}
+
+func (s *Stats) get(name string) *PassStats {
+	ps := s.byName[name]
+	if ps == nil {
+		ps = &PassStats{Name: name}
+		s.byName[name] = ps
+		s.order = append(s.order, name)
+	}
+	return ps
+}
+
+// record books one pass invocation.
+func (s *Stats) record(name string, changed bool, dt time.Duration, delta int) {
+	ps := s.get(name)
+	ps.Calls++
+	if changed {
+		ps.Fires++
+	}
+	ps.Time += dt
+	ps.InstrDelta += delta
+	s.Total += dt
+}
+
+// recordGroup books one fixpoint-group execution.  Time and instruction
+// deltas are attributed to the member passes, not the group, so Total
+// does not double-count.
+func (s *Stats) recordGroup(name string, changed bool, rounds int) {
+	ps := s.get(name)
+	ps.Calls++
+	if changed {
+		ps.Fires++
+	}
+	ps.Rounds += rounds
+}
+
+// Merge folds other into s, preserving s's first-seen ordering for
+// passes already present and appending new ones in other's order.
+func (s *Stats) Merge(other *Stats) {
+	for _, name := range other.order {
+		o := other.byName[name]
+		ps := s.get(name)
+		ps.Calls += o.Calls
+		ps.Fires += o.Fires
+		ps.Time += o.Time
+		ps.InstrDelta += o.InstrDelta
+		ps.Rounds += o.Rounds
+	}
+	s.Funcs += other.Funcs
+	s.Total += other.Total
+}
+
+// Passes returns the per-pass records in first-invocation order.
+func (s *Stats) Passes() []PassStats {
+	out := make([]PassStats, 0, len(s.order))
+	for _, name := range s.order {
+		out = append(out, *s.byName[name])
+	}
+	return out
+}
+
+// Pass returns the record for one pass (zero value if it never ran).
+func (s *Stats) Pass(name string) PassStats {
+	if ps := s.byName[name]; ps != nil {
+		return *ps
+	}
+	return PassStats{Name: name}
+}
+
+// Table renders the statistics as an aligned per-pass table, slowest
+// pass first.
+func (s *Stats) Table() string {
+	passes := s.Passes()
+	sort.SliceStable(passes, func(i, j int) bool { return passes[i].Time > passes[j].Time })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %7s %7s %8s %7s %12s\n", "pass", "calls", "fires", "Δinstr", "rounds", "time")
+	for _, p := range passes {
+		rounds := ""
+		if p.Rounds > 0 {
+			rounds = fmt.Sprint(p.Rounds)
+		}
+		fmt.Fprintf(&b, "%-20s %7d %7d %+8d %7s %12s\n",
+			p.Name, p.Calls, p.Fires, p.InstrDelta, rounds, p.Time.Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, "%-20s %7s %7s %8s %7s %12s  (%d functions)\n",
+		"total", "", "", "", "", s.Total.Round(time.Microsecond), s.Funcs)
+	return b.String()
+}

@@ -90,7 +90,7 @@ func deadIVOnce(f *rtl.Func) bool {
 			// Uses of iv inside the loop, excluding the increment's
 			// own operand.
 			uses := 0
-			for b := range l.Blocks {
+			for _, b := range l.BlockList() {
 				for n := b.Start; n < b.End; n++ {
 					if n == ivi.defIdx {
 						continue

@@ -1,0 +1,17 @@
+package opt
+
+import (
+	"fmt"
+
+	"wmstream/internal/rtl"
+)
+
+// verifyAfter runs the RTL invariant checker at a pass boundary (the
+// engine calls it after every pass invocation when ctx.Verify is set).
+// Virtual registers are legal until register assignment has run.
+func verifyAfter(p Pass, f *rtl.Func, ctx *Context) error {
+	if err := rtl.CheckFunc(f, !ctx.allocated); err != nil {
+		return fmt.Errorf("invariant violated after %s: %w\n%s", p.Name(), err, f.Listing())
+	}
+	return nil
+}

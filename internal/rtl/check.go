@@ -1,0 +1,156 @@
+package rtl
+
+import "fmt"
+
+// CheckFunc verifies the structural invariants of a function's RTL.
+// It is the optimizer's pass-boundary safety net: a transformation
+// that corrupts the IR is reported here, at the pass that introduced
+// the damage, instead of surfacing later as a simulator fault.
+//
+// Checked invariants:
+//
+//   - every instruction's operands are well-formed for its kind
+//     (assignments have sources, loads/stores have addresses and a
+//     power-of-two access size, streams have base/count/stride, ...);
+//   - every branch target resolves to a label in the function, and
+//     label names are unique;
+//   - every register is representable (valid class, number within the
+//     architectural file or virtual);
+//   - a condition-code consumer (conditional jump) has a compare
+//     producing codes of the same class somewhere in the function —
+//     the observable half of "compares keep their relational
+//     top-level op" (folding a compare's relational operator away
+//     would erase the CC enqueue its branch consumes);
+//   - with allowVirtual false (after register assignment), no virtual
+//     registers remain.
+func CheckFunc(f *Func, allowVirtual bool) error {
+	labels := map[string]bool{}
+	for _, i := range f.Code {
+		if i.Kind == KLabel {
+			if i.Name == "" {
+				return fmt.Errorf("unnamed label")
+			}
+			if labels[i.Name] {
+				return fmt.Errorf("duplicate label %q", i.Name)
+			}
+			labels[i.Name] = true
+		}
+	}
+
+	hasCompare := [NumClasses]bool{}
+	for _, i := range f.Code {
+		if i.IsCompare() {
+			hasCompare[i.Dst.Class] = true
+		}
+	}
+
+	for n, i := range f.Code {
+		if err := checkInstr(f, i, labels, allowVirtual); err != nil {
+			return fmt.Errorf("instr %d (%s): %w", n, i, err)
+		}
+		if i.Kind == KCondJump && !hasCompare[i.CCClass] {
+			return fmt.Errorf("instr %d (%s): conditional jump consumes %s condition codes but no %s compare exists",
+				n, i, i.CCClass, i.CCClass)
+		}
+	}
+	return nil
+}
+
+func checkInstr(f *Func, i *Instr, labels map[string]bool, allowVirtual bool) error {
+	// Operand shape by kind.
+	switch i.Kind {
+	case KLabel:
+		return nil
+	case KAssign:
+		if i.Src == nil {
+			return fmt.Errorf("assignment without source")
+		}
+	case KLoad, KStore:
+		if i.Addr == nil {
+			return fmt.Errorf("memory access without address")
+		}
+		if !validMemSize(i.MemSize) {
+			return fmt.Errorf("bad access size %d", i.MemSize)
+		}
+		if !i.FIFO.IsFIFO() {
+			return fmt.Errorf("memory access data register %s is not a FIFO", i.FIFO)
+		}
+	case KStreamIn, KStreamOut:
+		if i.Base == nil || i.Count == nil || i.Stride == nil {
+			return fmt.Errorf("stream without base/count/stride")
+		}
+		if !validMemSize(i.MemSize) {
+			return fmt.Errorf("bad element size %d", i.MemSize)
+		}
+		if !i.FIFO.IsFIFO() {
+			return fmt.Errorf("stream register %s is not a FIFO", i.FIFO)
+		}
+	case KStreamStop:
+		if !i.FIFO.IsFIFO() {
+			return fmt.Errorf("stream-stop register %s is not a FIFO", i.FIFO)
+		}
+	case KJump, KCondJump:
+		if !labels[i.Target] {
+			return fmt.Errorf("unresolved branch target %q", i.Target)
+		}
+	case KJumpNotDone:
+		if !labels[i.Target] {
+			return fmt.Errorf("unresolved branch target %q", i.Target)
+		}
+		if !i.FIFO.IsFIFO() {
+			return fmt.Errorf("jnd register %s is not a FIFO", i.FIFO)
+		}
+	case KCall:
+		if i.Name == "" {
+			return fmt.Errorf("call without callee")
+		}
+	case KPut:
+		if i.Src == nil {
+			return fmt.Errorf("put without value")
+		}
+		if i.Fmt != 'c' && i.Fmt != 'i' && i.Fmt != 'd' {
+			return fmt.Errorf("bad put format %q", i.Fmt)
+		}
+	case KRet, KHalt:
+	default:
+		return fmt.Errorf("unknown instruction kind %d", i.Kind)
+	}
+
+	// Register validity across all operands.
+	var bad error
+	check := func(r Reg) {
+		if bad != nil {
+			return
+		}
+		if r.Class >= NumClasses {
+			bad = fmt.Errorf("register with invalid class %d", r.Class)
+			return
+		}
+		if r.N < 0 || (r.N >= NumArchRegs && r.N < VirtualBase) {
+			bad = fmt.Errorf("register number %d out of range", r.N)
+			return
+		}
+		if !allowVirtual && r.IsVirtual() {
+			bad = fmt.Errorf("virtual register %s after register assignment", r)
+		}
+	}
+	if d, ok := i.Def(); ok {
+		check(d)
+	}
+	for _, r := range i.Uses(nil) {
+		check(r)
+	}
+	return bad
+}
+
+func validMemSize(n int) bool { return n == 1 || n == 2 || n == 4 || n == 8 }
+
+// CheckProgram runs CheckFunc over every function.
+func CheckProgram(p *Program, allowVirtual bool) error {
+	for _, f := range p.Funcs {
+		if err := CheckFunc(f, allowVirtual); err != nil {
+			return fmt.Errorf("%s: %w", f.Name, err)
+		}
+	}
+	return nil
+}

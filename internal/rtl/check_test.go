@@ -1,0 +1,121 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+)
+
+func checkParse(t *testing.T, body string) *Func {
+	t.Helper()
+	p, err := Parse(".func t\n" + body + "\n.end\n")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p.Func("t")
+}
+
+func TestCheckFuncAcceptsWellFormed(t *testing.T) {
+	f := checkParse(t, `
+rv0 := 2
+r31 := (rv0 < 10)
+jumpTr L1
+L1:
+l32r r0, _x
+r2 := r0
+ret`)
+	if err := CheckFunc(f, true); err != nil {
+		t.Errorf("well-formed function rejected: %v", err)
+	}
+}
+
+func TestCheckFuncRejectsUnresolvedTarget(t *testing.T) {
+	f := checkParse(t, `
+r31 := (1 < 2)
+jumpTr L1
+ret`)
+	err := CheckFunc(f, true)
+	if err == nil || !strings.Contains(err.Error(), "unresolved") {
+		t.Errorf("unresolved target not caught: %v", err)
+	}
+}
+
+func TestCheckFuncRejectsDuplicateLabel(t *testing.T) {
+	f := checkParse(t, `
+L1:
+L1:
+ret`)
+	err := CheckFunc(f, true)
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate label not caught: %v", err)
+	}
+}
+
+func TestCheckFuncRejectsMissingSource(t *testing.T) {
+	f := NewFunc("t")
+	f.Append(&Instr{Kind: KAssign, Dst: R(2)}) // Src nil
+	f.Append(&Instr{Kind: KRet})
+	err := CheckFunc(f, true)
+	if err == nil || !strings.Contains(err.Error(), "without source") {
+		t.Errorf("nil source not caught: %v", err)
+	}
+}
+
+func TestCheckFuncRejectsOrphanCondJump(t *testing.T) {
+	// A conditional jump consuming integer CCs with no integer compare
+	// anywhere: the CC enqueue was erased (e.g. by over-aggressive
+	// folding) and the branch would stall forever.
+	f := checkParse(t, `
+L1:
+jumpTr L1
+ret`)
+	err := CheckFunc(f, true)
+	if err == nil || !strings.Contains(err.Error(), "no int compare") {
+		t.Errorf("orphan conditional jump not caught: %v", err)
+	}
+}
+
+func TestCheckFuncRejectsBadAccessSize(t *testing.T) {
+	f := NewFunc("t")
+	f.Append(&Instr{Kind: KLoad, FIFO: R0, MemClass: Int, MemSize: 3, Addr: Imm{V: 0}})
+	f.Append(&Instr{Kind: KRet})
+	err := CheckFunc(f, true)
+	if err == nil || !strings.Contains(err.Error(), "size") {
+		t.Errorf("bad access size not caught: %v", err)
+	}
+}
+
+func TestCheckFuncRejectsNonFIFOStream(t *testing.T) {
+	f := NewFunc("t")
+	f.Append(&Instr{Kind: KStreamIn, FIFO: R(5), MemClass: Int, MemSize: 4,
+		Base: Imm{V: 0}, Count: Imm{V: 1}, Stride: Imm{V: 4}})
+	f.Append(&Instr{Kind: KRet})
+	err := CheckFunc(f, true)
+	if err == nil || !strings.Contains(err.Error(), "FIFO") {
+		t.Errorf("non-FIFO stream register not caught: %v", err)
+	}
+}
+
+func TestCheckFuncVirtualRegisters(t *testing.T) {
+	f := checkParse(t, `
+rv0 := 1
+r2 := rv0
+ret`)
+	if err := CheckFunc(f, true); err != nil {
+		t.Errorf("virtual registers rejected before allocation: %v", err)
+	}
+	err := CheckFunc(f, false)
+	if err == nil || !strings.Contains(err.Error(), "virtual") {
+		t.Errorf("virtual register after allocation not caught: %v", err)
+	}
+}
+
+func TestCheckProgramNamesFunction(t *testing.T) {
+	p, err := Parse(".func good\nret\n.end\n.func bad\njump NOPE\nret\n.end\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cerr := CheckProgram(p, true)
+	if cerr == nil || !strings.Contains(cerr.Error(), "bad:") {
+		t.Errorf("program check does not name the function: %v", cerr)
+	}
+}

@@ -19,6 +19,8 @@ package wmstream
 import (
 	"bytes"
 	"fmt"
+	"io"
+	"time"
 
 	"wmstream/internal/acode"
 	"wmstream/internal/minic"
@@ -49,6 +51,10 @@ type Options struct {
 	StrengthReduce bool  // induction-variable strength reduction
 	Combine        bool  // dual-operation instruction combining
 	MinTrip        int64 // smallest trip count worth streaming (default 4)
+	// MaxRecurrenceDegree bounds how many registers a recurrence may
+	// consume — the paper: a recurrence of degree d needs d+1 registers
+	// (default 4).
+	MaxRecurrenceDegree int64
 }
 
 // LevelOptions returns the Options corresponding to an optimization
@@ -56,14 +62,53 @@ type Options struct {
 func LevelOptions(level int) Options {
 	o := opt.Level(level)
 	return Options{
-		Standard:       o.Standard,
-		Recurrence:     o.Recurrence,
-		Stream:         o.Stream,
-		StrengthReduce: o.StrengthReduce,
-		Combine:        o.Combine,
-		MinTrip:        o.MinTrip,
+		Standard:            o.Standard,
+		Recurrence:          o.Recurrence,
+		Stream:              o.Stream,
+		StrengthReduce:      o.StrengthReduce,
+		Combine:             o.Combine,
+		MinTrip:             o.MinTrip,
+		MaxRecurrenceDegree: o.MaxRecurrenceDegree,
 	}
 }
+
+func (o Options) optOptions() opt.Options {
+	return opt.Options{
+		Standard:            o.Standard,
+		Recurrence:          o.Recurrence,
+		Stream:              o.Stream,
+		StrengthReduce:      o.StrengthReduce,
+		Combine:             o.Combine,
+		MinTrip:             o.MinTrip,
+		MaxRecurrenceDegree: o.MaxRecurrenceDegree,
+	}
+}
+
+// PassStat is one pass's aggregate over a compilation: how often it
+// ran, how often it changed the code, its wall time, the cumulative
+// instruction-count delta it caused, and (for fixpoint groups, whose
+// names are bracketed) the rounds needed to converge.
+type PassStat struct {
+	Name       string
+	Calls      int
+	Fires      int
+	Time       time.Duration
+	InstrDelta int
+	Rounds     int
+}
+
+// CompileStats reports per-pass instrumentation for one compilation.
+type CompileStats struct {
+	Passes []PassStat    // in first-invocation order
+	Funcs  int           // functions optimized
+	Total  time.Duration // summed pass time (over all workers)
+
+	table string // pre-rendered per-pass table
+}
+
+// Table renders the statistics as an aligned per-pass table (the
+// output of wmcc -stats), slowest pass first.
+func (s *CompileStats) Table() string { return s.table }
 
 // Compile translates Mini-C source to an optimized WM program.
 func Compile(src string, level int) (*Program, error) {
@@ -72,26 +117,49 @@ func Compile(src string, level int) (*Program, error) {
 
 // CompileOptions is Compile with explicit optimizer options.
 func CompileOptions(src string, o Options) (*Program, error) {
+	p, _, err := compile(src, o, nil, false)
+	return p, err
+}
+
+// CompileWithStats is CompileOptions with per-pass instrumentation.
+// When debug is non-nil it receives vpo-style RTL dumps (each
+// function's listing before optimization and after every pass that
+// changed it) and the RTL invariant checker runs after every pass.
+func CompileWithStats(src string, o Options, debug io.Writer) (*Program, *CompileStats, error) {
+	return compile(src, o, debug, true)
+}
+
+func compile(src string, o Options, debug io.Writer, wantStats bool) (*Program, *CompileStats, error) {
 	ast, err := minic.Compile(src)
 	if err != nil {
-		return nil, fmt.Errorf("frontend: %w", err)
+		return nil, nil, fmt.Errorf("frontend: %w", err)
 	}
 	p, err := acode.Gen(ast)
 	if err != nil {
-		return nil, fmt.Errorf("expand: %w", err)
+		return nil, nil, fmt.Errorf("expand: %w", err)
 	}
-	iopts := opt.Options{
-		Standard:       o.Standard,
-		Recurrence:     o.Recurrence,
-		Stream:         o.Stream,
-		StrengthReduce: o.StrengthReduce,
-		Combine:        o.Combine,
-		MinTrip:        o.MinTrip,
+	ctx := opt.NewContext(o.optOptions())
+	ctx.Debug = debug
+	ctx.Verify = debug != nil
+	if err := opt.WMPipeline(ctx.Opts).Run(p, ctx); err != nil {
+		return nil, nil, err
 	}
-	if err := opt.Optimize(p, iopts); err != nil {
-		return nil, err
+	if !wantStats {
+		return &Program{rtl: p}, nil, nil
 	}
-	return &Program{rtl: p}, nil
+	st := ctx.Stats()
+	cs := &CompileStats{Funcs: st.Funcs, Total: st.Total, table: st.Table()}
+	for _, ps := range st.Passes() {
+		cs.Passes = append(cs.Passes, PassStat{
+			Name:       ps.Name,
+			Calls:      ps.Calls,
+			Fires:      ps.Fires,
+			Time:       ps.Time,
+			InstrDelta: ps.InstrDelta,
+			Rounds:     ps.Rounds,
+		})
+	}
+	return &Program{rtl: p}, cs, nil
 }
 
 // Assemble parses a program in WM assembler syntax (the format Listing

@@ -167,6 +167,101 @@ func TestCompileErrors(t *testing.T) {
 	}
 }
 
+// TestMaxRecurrenceDegree verifies the degree bound reaches the
+// recurrence pass: a degree-2 recurrence (x[i] uses x[i-2]) is
+// register-carried under the default bound but left in memory when the
+// caller lowers the bound below 2.
+func TestMaxRecurrenceDegree(t *testing.T) {
+	src := `
+double x[300], y[300];
+int n = 300;
+int main(void) {
+    int i;
+    for (i = 0; i < n; i++) {
+        x[i] = (i % 9) * 0.5;
+        y[i] = (i % 7) * 0.25;
+    }
+    for (i = 2; i < n; i++)
+        x[i] = y[i] - x[i-2];
+    putd(x[n-1]);
+    return 0;
+}`
+	o := LevelOptions(O2)
+	reads := map[int64]int64{}
+	outputs := map[int64]string{}
+	for _, deg := range []int64{1, 4} {
+		o.MaxRecurrenceDegree = deg
+		p, err := CompileOptions(src, o)
+		if err != nil {
+			t.Fatalf("degree %d: %v", deg, err)
+		}
+		res, err := Run(p, DefaultMachine())
+		if err != nil {
+			t.Fatalf("degree %d run: %v", deg, err)
+		}
+		reads[deg] = res.MemReads
+		outputs[deg] = res.Output
+	}
+	if outputs[1] != outputs[4] {
+		t.Fatalf("outputs differ: degree 1 %q, degree 4 %q", outputs[1], outputs[4])
+	}
+	if reads[4] >= reads[1] {
+		t.Errorf("degree bound not plumbed: reads at degree 4 (%d) not below degree 1 (%d)",
+			reads[4], reads[1])
+	}
+}
+
+// TestCompileWithStats exercises the instrumented entry point: the
+// per-pass table must cover the pipeline, and a debug writer must
+// receive vpo-style dumps while the invariant checker stays quiet.
+func TestCompileWithStats(t *testing.T) {
+	src := `
+double x[100];
+int n = 100;
+int main(void) {
+    int i;
+    for (i = 0; i < n; i++) x[i] = i * 0.5;
+    putd(x[n-1]);
+    return 0;
+}`
+	var debug strings.Builder
+	p, stats, err := CompileWithStats(src, LevelOptions(O3), &debug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats == nil || stats.Funcs == 0 {
+		t.Fatalf("no stats collected: %+v", stats)
+	}
+	byName := map[string]PassStat{}
+	for _, ps := range stats.Passes {
+		byName[ps.Name] = ps
+	}
+	for _, name := range []string{"Fold", "DeadCode", "RegAlloc", "[standard]"} {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("pass %q missing from stats", name)
+		}
+	}
+	if g := byName["[standard]"]; g.Rounds == 0 {
+		t.Errorf("fixpoint group recorded no rounds: %+v", g)
+	}
+	if stats.Total <= 0 {
+		t.Errorf("total time not recorded: %v", stats.Total)
+	}
+	if !strings.Contains(stats.Table(), "Fold") {
+		t.Errorf("table missing pass rows:\n%s", stats.Table())
+	}
+	if !strings.Contains(debug.String(), "after") {
+		t.Error("debug writer received no pass dumps")
+	}
+	res, err := Run(p, DefaultMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output == "" {
+		t.Error("instrumented compile produced a silent program")
+	}
+}
+
 // TestLevelOptions spot-checks the option sets.
 func TestLevelOptions(t *testing.T) {
 	o1 := LevelOptions(O1)
