@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	wmcc [-O level] [-fn name] [-o out.wm] [-stats] [-debug-passes] file.mc
+//	wmcc [-O level] [-fn name] [-o out.wm] [-stats] [-strict] [-debug-passes] file.mc
 //
 // Levels: 0 naive, 1 standard optimizations, 2 +recurrence
 // optimization, 3 +streaming (default).  With -fn only that function's
@@ -13,6 +13,12 @@
 // each function's RTL before optimization and after every pass that
 // changed it (vpo's -d dumps) and runs the RTL invariant checker at
 // every pass boundary.
+//
+// When an optimization pass misbehaves (panics, corrupts the IR, or
+// fails to converge) the compiler contains the fault: the function is
+// rolled back and compiled without that pass, and wmcc reports the
+// degradation on stderr.  -strict turns any such degradation into a
+// compilation failure.
 package main
 
 import (
@@ -29,10 +35,11 @@ func main() {
 	fn := flag.String("fn", "", "print only this function's listing")
 	out := flag.String("o", "", "output file (default stdout)")
 	stats := flag.Bool("stats", false, "print per-pass statistics to stderr")
+	strict := flag.Bool("strict", false, "fail compilation when a faulty pass is contained instead of degrading")
 	debugPasses := flag.Bool("debug-passes", false, "dump RTL after every firing pass and verify IR invariants")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: wmcc [-O level] [-fn name] [-o out.wm] [-stats] [-debug-passes] file.mc")
+		fmt.Fprintln(os.Stderr, "usage: wmcc [-O level] [-fn name] [-o out.wm] [-stats] [-strict] [-debug-passes] file.mc")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -40,23 +47,24 @@ func main() {
 		fatal(err)
 	}
 
-	var p *wmstream.Program
-	if *stats || *debugPasses {
-		var debug io.Writer
-		if *debugPasses {
-			debug = os.Stderr
-		}
-		var st *wmstream.CompileStats
-		p, st, err = wmstream.CompileWithStats(string(src), wmstream.LevelOptions(*level), debug)
-		if err == nil && *stats {
-			fmt.Fprint(os.Stderr, st.Table())
-		}
-	} else {
-		p, err = wmstream.Compile(string(src), *level)
+	cfg := wmstream.CompileConfig{
+		Options: wmstream.LevelOptions(*level),
+		Strict:  *strict,
+	}
+	if *debugPasses {
+		cfg.Debug = io.Writer(os.Stderr)
+	}
+	res, err := wmstream.CompileWithConfig(string(src), cfg)
+	for _, d := range res.Diagnostics {
+		fmt.Fprintf(os.Stderr, "wmcc: %s\n", d)
 	}
 	if err != nil {
 		fatal(err)
 	}
+	if *stats {
+		fmt.Fprint(os.Stderr, res.Stats.Table())
+	}
+	p := res.Program
 
 	text := p.Listing()
 	if *fn != "" {

@@ -3,13 +3,20 @@
 //
 // Usage:
 //
-//	wmsim [-latency n] [-ports n] [-fifo n] [-scu n] [-stats] file.wm
+//	wmsim [-latency n] [-ports n] [-fifo n] [-scu n] [-watchdog n] [-stats] file.wm
+//
+// A run that deadlocks (no forward progress for -watchdog cycles
+// beyond the memory latency) or traps prints a machine snapshot —
+// which unit is blocked, on which FIFO, and what it was trying to
+// issue — before exiting nonzero.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"wmstream"
 )
@@ -19,6 +26,7 @@ func main() {
 	ports := flag.Int("ports", 0, "memory ports per cycle (0 = default)")
 	fifo := flag.Int("fifo", 0, "FIFO depth (0 = default)")
 	scu := flag.Int("scu", 0, "number of stream control units (0 = default)")
+	watchdog := flag.Int("watchdog", 0, "deadlock watchdog slack in cycles (0 = default)")
 	stats := flag.Bool("stats", false, "print execution statistics to stderr")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -46,17 +54,34 @@ func main() {
 	if *scu > 0 {
 		m.NumSCU = *scu
 	}
+	if *watchdog > 0 {
+		m.WatchdogSlack = *watchdog
+	}
 	res, err := wmstream.Run(p, m)
 	if res.Output != "" {
 		fmt.Print(res.Output)
 	}
 	if err != nil {
-		fatal(err)
+		var dl *wmstream.DeadlockError
+		var tr *wmstream.TrapError
+		switch {
+		case errors.As(err, &dl):
+			fmt.Fprintf(os.Stderr, "wmsim: deadlock at cycle %d\n%s\n", dl.Snapshot.Cycle, indent(dl.Snapshot.String()))
+		case errors.As(err, &tr):
+			fmt.Fprintf(os.Stderr, "wmsim: trap at cycle %d: %s\n%s\n", tr.Snapshot.Cycle, tr.Reason, indent(tr.Snapshot.String()))
+		default:
+			fmt.Fprintln(os.Stderr, "wmsim:", err)
+		}
+		os.Exit(1)
 	}
 	if *stats {
 		fmt.Fprintf(os.Stderr, "cycles=%d instructions=%d memreads=%d memwrites=%d streamed=%d\n",
 			res.Cycles, res.Instructions, res.MemReads, res.MemWrites, res.StreamElems)
 	}
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
 }
 
 func fatal(err error) {

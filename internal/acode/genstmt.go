@@ -199,7 +199,10 @@ func (g *generator) genBranch(e minic.Expr, target string, sense bool) error {
 			if err != nil {
 				return err
 			}
-			op := relOp(x.Op)
+			op, err := relOp(x.Op)
+			if err != nil {
+				return err
+			}
 			cc := l.Class
 			zero := rtl.Reg{Class: cc, N: rtl.ZeroReg}
 			g.emit(rtl.NewAssign(zero, rtl.B(op, rtl.RX(l), rtl.RX(r))))
@@ -263,20 +266,20 @@ func (g *generator) genBranch(e minic.Expr, target string, sense bool) error {
 	return nil
 }
 
-func relOp(op string) rtl.Op {
+func relOp(op string) (rtl.Op, error) {
 	switch op {
 	case "<":
-		return rtl.Lt
+		return rtl.Lt, nil
 	case "<=":
-		return rtl.Le
+		return rtl.Le, nil
 	case ">":
-		return rtl.Gt
+		return rtl.Gt, nil
 	case ">=":
-		return rtl.Ge
+		return rtl.Ge, nil
 	case "==":
-		return rtl.Eq
+		return rtl.Eq, nil
 	case "!=":
-		return rtl.Ne
+		return rtl.Ne, nil
 	}
-	panic("acode: bad relational " + op)
+	return 0, fmt.Errorf("acode: bad relational %q", op)
 }

@@ -42,13 +42,16 @@ type Graph struct {
 }
 
 // Build constructs the control-flow graph of f.  Unreachable trailing
-// code still gets blocks (they simply have no predecessors).
-func Build(f *rtl.Func) *Graph {
+// code still gets blocks (they simply have no predecessors).  A branch
+// whose target label does not exist in the function is reported as an
+// error (reachable from user input: hand-written assembly accepted by
+// rtl.Parse can name labels it never defines).
+func Build(f *rtl.Func) (*Graph, error) {
 	g := &Graph{F: f, labelBlock: map[string]*Block{}}
 	if len(f.Code) == 0 {
 		g.Entry = &Block{}
 		g.Blocks = []*Block{g.Entry}
-		return g
+		return g, nil
 	}
 	// Find leaders.
 	leader := make([]bool, len(f.Code)+1)
@@ -87,10 +90,18 @@ func Build(f *rtl.Func) *Graph {
 		addFallthrough := true
 		switch last.Kind {
 		case rtl.KJump:
-			g.addEdge(b, g.labelBlock[last.Target])
+			to := g.labelBlock[last.Target]
+			if to == nil {
+				return nil, fmt.Errorf("cfg: %s: branch to unknown label %q", f.Name, last.Target)
+			}
+			g.addEdge(b, to)
 			addFallthrough = false
 		case rtl.KCondJump, rtl.KJumpNotDone:
-			g.addEdge(b, g.labelBlock[last.Target])
+			to := g.labelBlock[last.Target]
+			if to == nil {
+				return nil, fmt.Errorf("cfg: %s: branch to unknown label %q", f.Name, last.Target)
+			}
+			g.addEdge(b, to)
 		case rtl.KRet, rtl.KHalt:
 			addFallthrough = false
 		}
@@ -99,13 +110,10 @@ func Build(f *rtl.Func) *Graph {
 		}
 	}
 	g.Entry = g.Blocks[0]
-	return g
+	return g, nil
 }
 
 func (g *Graph) addEdge(from, to *Block) {
-	if to == nil {
-		panic(fmt.Sprintf("cfg: branch to unknown label in %s", g.F.Name))
-	}
 	from.Succs = append(from.Succs, to)
 	to.Preds = append(to.Preds, from)
 }

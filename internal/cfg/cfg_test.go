@@ -1,6 +1,7 @@
 package cfg
 
 import (
+	"strings"
 	"testing"
 
 	"wmstream/internal/rtl"
@@ -16,12 +17,21 @@ func mustParse(t *testing.T, body string) *rtl.Func {
 	return p.Func("t")
 }
 
+func mustBuild(t *testing.T, f *rtl.Func) *Graph {
+	t.Helper()
+	g, err := Build(f)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
 func TestBuildStraightLine(t *testing.T) {
 	f := mustParse(t, `
 r2 := 1
 r3 := 2
 ret`)
-	g := Build(f)
+	g := mustBuild(t, f)
 	if len(g.Blocks) != 1 {
 		t.Fatalf("blocks = %d, want 1\n%s", len(g.Blocks), g)
 	}
@@ -40,7 +50,7 @@ Lthen:
 r4 := 2
 Lend:
 ret`)
-	g := Build(f)
+	g := mustBuild(t, f)
 	if len(g.Blocks) != 4 {
 		t.Fatalf("blocks = %d, want 4\n%s", len(g.Blocks), g)
 	}
@@ -72,7 +82,7 @@ r2 := (r2 + 1)
 r31 := (r2 < 10)
 jumpTr L1
 ret`)
-	g := Build(f)
+	g := mustBuild(t, f)
 	g.Dominators()
 	loops := g.NaturalLoops()
 	if len(loops) != 1 {
@@ -109,7 +119,7 @@ r2 := (r2 + 1)
 r31 := (r2 < 10)
 jumpTr Louter
 ret`)
-	g := Build(f)
+	g := mustBuild(t, f)
 	g.Dominators()
 	loops := g.NaturalLoops()
 	if len(loops) != 2 {
@@ -140,7 +150,7 @@ r31 := (r2 < 10)
 jumpTr L1
 Lskip:
 ret`)
-	g := Build(f)
+	g := mustBuild(t, f)
 	g.Dominators()
 	loops := g.NaturalLoops()
 	if len(loops) != 1 {
@@ -156,7 +166,7 @@ func TestLivenessStraightLine(t *testing.T) {
 r3 := (r2 + 1)
 r4 := (r3 + r5)
 halt`)
-	g := Build(f)
+	g := mustBuild(t, f)
 	g.Liveness()
 	in := g.Entry.LiveIn
 	if !in.Has(rtl.R(2)) || !in.Has(rtl.R(5)) {
@@ -175,7 +185,7 @@ r2 := (r2 + r3)
 r31 := (r2 < 10)
 jumpTr L1
 halt`)
-	g := Build(f)
+	g := mustBuild(t, f)
 	g.Liveness()
 	loopB := g.LabelBlock("L1")
 	if !loopB.LiveIn.Has(rtl.R(2)) || !loopB.LiveIn.Has(rtl.R(3)) {
@@ -192,7 +202,7 @@ r10 := 5
 call foo
 r11 := (r10 + 1)
 halt`)
-	g := Build(f)
+	g := mustBuild(t, f)
 	g.Liveness()
 	// Every allocatable register is caller-saved, so the call's clobber
 	// def kills r10: the use after the call does NOT make r10 live
@@ -220,7 +230,7 @@ f20 := f0
 f0 := f20
 r31 := (r2 < 1)
 halt`)
-	g := Build(f)
+	g := mustBuild(t, f)
 	g.Liveness()
 	if g.Entry.LiveIn.Has(rtl.F0) || g.Entry.LiveIn.Has(rtl.R31) {
 		t.Errorf("live-in tracks FIFO/zero regs: %v", g.Entry.LiveIn)
@@ -235,7 +245,7 @@ func TestLiveAtEachOrder(t *testing.T) {
 r2 := 1
 r3 := (r2 + 1)
 halt`)
-	g := Build(f)
+	g := mustBuild(t, f)
 	g.Liveness()
 	var idxs []int
 	g.LiveAtEach(g.Entry, func(idx int, i *rtl.Instr, after RegSet) {
@@ -284,7 +294,7 @@ r2 := 1
 L1:
 r3 := 2
 ret`)
-	g := Build(f)
+	g := mustBuild(t, f)
 	if g.BlockOf(0) != g.Blocks[0] || g.BlockOf(2) != g.Blocks[1] {
 		t.Errorf("BlockOf wrong: %s", g)
 	}
@@ -300,7 +310,7 @@ L1:
 f22 := (f0 + f22)
 jnd f0, L1
 halt`)
-	g := Build(f)
+	g := mustBuild(t, f)
 	g.Dominators()
 	loops := g.NaturalLoops()
 	if len(loops) != 1 {
@@ -322,7 +332,7 @@ L2:
 r4 := 2
 L3:
 ret`)
-	g := Build(f)
+	g := mustBuild(t, f)
 	order := g.ReversePostorder()
 	if order[0] != g.Entry {
 		t.Error("rpo must start at entry")
@@ -336,5 +346,25 @@ ret`)
 	}
 	if len(seen) != len(g.Blocks) {
 		t.Errorf("rpo missed blocks: %d/%d", len(seen), len(g.Blocks))
+	}
+}
+
+func TestBuildRejectsUnknownBranchTarget(t *testing.T) {
+	f := mustParse(t, `
+L1:
+	r4 := r5
+	jump L_missing
+`)
+	g, err := Build(f)
+	if err == nil {
+		t.Fatal("Build accepted a branch to an undefined label")
+	}
+	if g != nil {
+		t.Error("Build returned a graph alongside the error")
+	}
+	for _, want := range []string{"t", "L_missing", "unknown label"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
 	}
 }

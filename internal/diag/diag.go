@@ -1,0 +1,136 @@
+// Package diag defines the structured diagnostics shared by every
+// stage of the compiler: frontend errors carry source positions,
+// optimizer degradation events carry pass/function provenance, and
+// linker/simulator setup failures carry program provenance.  The
+// public API (package wmstream) mirrors these values so tools like
+// wmcc can render them uniformly and promote degradations to errors
+// under -strict.
+package diag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"wmstream/internal/minic"
+)
+
+// Severity orders diagnostics from informational to fatal.
+type Severity int
+
+const (
+	// Note is informational.
+	Note Severity = iota
+	// Warning flags something suspicious that does not affect the
+	// compiled code.
+	Warning
+	// Degraded means the compiler gave up on an optimization (a pass
+	// panicked, violated an IR invariant, overran its time budget, or
+	// failed to converge) and rolled the function back to its last
+	// good state: the output is correct but less optimized.  Strict
+	// mode promotes Degraded to a compilation error.
+	Degraded
+	// Error means compilation (or setup of a run) failed.
+	Error
+)
+
+var severityNames = [...]string{
+	Note: "note", Warning: "warning", Degraded: "degraded", Error: "error",
+}
+
+func (s Severity) String() string {
+	if s < 0 || int(s) >= len(severityNames) {
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+	return severityNames[s]
+}
+
+// Diagnostic is one structured event.  Zero-valued fields are simply
+// unknown: a frontend error has a Pos but no Pass; an optimizer
+// degradation has Pass and Func but no Pos.
+type Diagnostic struct {
+	Sev   Severity
+	Stage string    // "frontend", "opt", "link", "sim"
+	Pos   minic.Pos // source position; zero when not tied to source
+	Pass  string    // optimizer pass or fixpoint group name
+	Func  string    // function provenance
+	Msg   string
+}
+
+// String renders the diagnostic in a compact single-line form:
+//
+//	degraded: opt: main: pass Combine panicked: index out of range
+//	error: frontend: 3:7: undefined variable "x"
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	b.WriteString(d.Sev.String())
+	b.WriteString(": ")
+	if d.Stage != "" {
+		b.WriteString(d.Stage)
+		b.WriteString(": ")
+	}
+	if d.Pos != (minic.Pos{}) {
+		b.WriteString(d.Pos.String())
+		b.WriteString(": ")
+	}
+	if d.Func != "" {
+		b.WriteString(d.Func)
+		b.WriteString(": ")
+	}
+	if d.Pass != "" {
+		fmt.Fprintf(&b, "pass %s ", d.Pass)
+	}
+	b.WriteString(d.Msg)
+	return b.String()
+}
+
+// Bag is a concurrency-safe diagnostic collector.
+type Bag struct {
+	mu   sync.Mutex
+	list []Diagnostic
+}
+
+// Add appends a diagnostic.
+func (b *Bag) Add(d Diagnostic) {
+	b.mu.Lock()
+	b.list = append(b.list, d)
+	b.mu.Unlock()
+}
+
+// AddAll appends a batch of diagnostics.
+func (b *Bag) AddAll(ds []Diagnostic) {
+	b.mu.Lock()
+	b.list = append(b.list, ds...)
+	b.mu.Unlock()
+}
+
+// All returns a copy of the collected diagnostics, most severe first
+// (stable within a severity, preserving insertion order).
+func (b *Bag) All() []Diagnostic {
+	b.mu.Lock()
+	out := append([]Diagnostic(nil), b.list...)
+	b.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Sev > out[j].Sev })
+	return out
+}
+
+// Max returns the highest severity collected, or Note when empty.
+func (b *Bag) Max() Severity {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	max := Note
+	for _, d := range b.list {
+		if d.Sev > max {
+			max = d.Sev
+		}
+	}
+	return max
+}
+
+// Len returns the number of collected diagnostics.
+func (b *Bag) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.list)
+}

@@ -1,0 +1,69 @@
+package diag
+
+import (
+	"testing"
+
+	"wmstream/internal/minic"
+)
+
+func TestDiagnosticString(t *testing.T) {
+	cases := []struct {
+		d    Diagnostic
+		want string
+	}{
+		{
+			Diagnostic{Sev: Degraded, Stage: "opt", Func: "main", Pass: "Combine", Msg: "panicked: index out of range"},
+			"degraded: opt: main: pass Combine panicked: index out of range",
+		},
+		{
+			Diagnostic{Sev: Error, Stage: "frontend", Pos: minic.Pos{Line: 3, Col: 7}, Msg: `undefined variable "x"`},
+			`error: frontend: 3:7: undefined variable "x"`,
+		},
+		{
+			Diagnostic{Sev: Note, Msg: "bare"},
+			"note: bare",
+		},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestSeverityOrderAndNames(t *testing.T) {
+	if !(Note < Warning && Warning < Degraded && Degraded < Error) {
+		t.Fatal("severity ladder out of order")
+	}
+	if Degraded.String() != "degraded" || Severity(99).String() != "severity(99)" {
+		t.Errorf("severity names wrong: %v %v", Degraded, Severity(99))
+	}
+}
+
+func TestBagSortsMostSevereFirstStably(t *testing.T) {
+	var b Bag
+	b.Add(Diagnostic{Sev: Note, Msg: "n1"})
+	b.AddAll([]Diagnostic{
+		{Sev: Degraded, Msg: "d1"},
+		{Sev: Error, Msg: "e1"},
+		{Sev: Degraded, Msg: "d2"},
+	})
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", b.Len())
+	}
+	if b.Max() != Error {
+		t.Errorf("Max = %v, want Error", b.Max())
+	}
+	got := b.All()
+	want := []string{"e1", "d1", "d2", "n1"}
+	for i, w := range want {
+		if got[i].Msg != w {
+			t.Fatalf("order %v, want msgs %v", got, want)
+		}
+	}
+	// All returns a copy: mutating it must not corrupt the bag.
+	got[0].Msg = "clobbered"
+	if b.All()[0].Msg != "e1" {
+		t.Error("All exposes internal storage")
+	}
+}

@@ -23,26 +23,33 @@ import (
 // producer's operands, the producer's destination dead afterwards, and
 // — for FIFO forwarding — no intervening read of the same FIFO (queue
 // order must be preserved).
-func Combine(f *rtl.Func) bool {
+func Combine(f *rtl.Func) (bool, error) {
 	changed := false
 	for round := 0; round < 5000; round++ {
-		if !combineOnce(f) {
-			return changed
+		more, err := combineOnce(f)
+		if err != nil {
+			return changed, err
+		}
+		if !more {
+			return changed, nil
 		}
 		changed = true
 	}
-	return changed
+	return changed, nil
 }
 
-func combineOnce(f *rtl.Func) bool {
-	g := cfg.Build(f)
+func combineOnce(f *rtl.Func) (bool, error) {
+	g, err := cfg.Build(f)
+	if err != nil {
+		return false, err
+	}
 	g.Liveness()
 	for _, b := range g.Blocks {
 		if combineBlock(f, g, b) {
-			return true
+			return true, nil
 		}
 	}
-	return false
+	return false, nil
 }
 
 func combineBlock(f *rtl.Func, g *cfg.Graph, b *cfg.Block) bool {

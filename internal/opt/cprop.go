@@ -9,10 +9,13 @@ import (
 // full kill tracking, plus a global pass for single-definition virtual
 // registers (safe without dominance tests because a single-def register
 // is only meaningfully read where its definition reaches).
-func CopyProp(f *rtl.Func) bool {
+func CopyProp(f *rtl.Func) (bool, error) {
 	changed := globalSingleDefProp(f)
-	changed = localCopyProp(f) || changed
-	return changed
+	local, err := localCopyProp(f)
+	if err != nil {
+		return changed, err
+	}
+	return changed || local, nil
 }
 
 // globalSingleDefProp replaces uses of single-def virtual registers
@@ -89,8 +92,11 @@ func globalSingleDefProp(f *rtl.Func) bool {
 // localCopyProp propagates copies and constants within basic blocks
 // with precise kill handling, covering multi-def registers (loop
 // variables) and physical registers.
-func localCopyProp(f *rtl.Func) bool {
-	g := cfg.Build(f)
+func localCopyProp(f *rtl.Func) (bool, error) {
+	g, err := cfg.Build(f)
+	if err != nil {
+		return false, err
+	}
 	changed := false
 	for _, b := range g.Blocks {
 		// value[r] = expression currently equal to r (RegX or Imm).
@@ -148,5 +154,5 @@ func localCopyProp(f *rtl.Func) bool {
 			}
 		}
 	}
-	return changed
+	return changed, nil
 }

@@ -10,8 +10,11 @@ import (
 // it becomes a register copy (which copy propagation then dissolves).
 // Expressions containing FIFO reads, memory operands or side effects
 // never participate.
-func CSE(f *rtl.Func) bool {
-	g := cfg.Build(f)
+func CSE(f *rtl.Func) (bool, error) {
+	g, err := cfg.Build(f)
+	if err != nil {
+		return false, err
+	}
 	changed := false
 	for _, b := range g.Blocks {
 		type avail struct {
@@ -74,7 +77,7 @@ func CSE(f *rtl.Func) bool {
 			}
 		}
 	}
-	return changed
+	return changed, nil
 }
 
 // worthCSE reports whether eliminating a recomputation of e saves work:

@@ -23,7 +23,7 @@ r31 := (rv2 != 0)
 jumpTr L1
 L9:
 halt`)
-	if !Streams(f, 4) {
+	if !chk(Streams(f, 4)) {
 		t.Fatalf("infinite loop not streamed:\n%s", listing(f))
 	}
 	text := listing(f)
@@ -59,7 +59,7 @@ r31 := (rv2 != 0)
 jumpTr L1
 L9:
 halt`)
-	Streams(f, 4)
+	chk(Streams(f, 4))
 	if countKind(f, rtl.KStreamOut) != 0 {
 		t.Errorf("infinite output stream generated:\n%s", listing(f))
 	}
@@ -98,10 +98,10 @@ fv9 := (fv9 + fv0)
 r31 := (rv0 < 100)
 jumpTr L1
 halt`)
-	if !Streams(f, 4) {
+	if !chk(Streams(f, 4)) {
 		t.Fatalf("baseline loop did not stream:\n%s", listing(f))
 	}
-	if !Streams(f2, 4) {
+	if !chk(Streams(f2, 4)) {
 		t.Fatalf("post-increment loop did not stream:\n%s", listing(f2))
 	}
 	// The post-increment stream's base must include the +stride shift:

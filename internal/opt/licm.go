@@ -9,42 +9,56 @@ import (
 // the "code motion" phase the paper requires to run before recurrence
 // detection: it moves the llh/sll address materializations of global
 // arrays out of the loop (Figure 4 lines 4-9).
-func LICM(f *rtl.Func) bool {
+func LICM(f *rtl.Func) (bool, error) {
 	changed := false
 	// Innermost-first so invariants bubble outward over iterations of
 	// the fixpoint driver.  Each inner round hoists one instruction.
 	for round := 0; round < 500; round++ {
-		if !licmOnce(f) {
-			return changed
+		more, err := licmOnce(f)
+		if err != nil {
+			return changed, err
+		}
+		if !more {
+			return changed, nil
 		}
 		changed = true
 	}
-	return changed
+	return changed, nil
 }
 
-func licmOnce(f *rtl.Func) bool {
-	g := cfg.Build(f)
+func licmOnce(f *rtl.Func) (bool, error) {
+	g, err := cfg.Build(f)
+	if err != nil {
+		return false, err
+	}
 	g.Dominators()
 	loops := g.NaturalLoops()
 	for _, l := range loops {
-		if hoistLoop(f, g, l) {
-			return true // code moved: rebuild analyses
+		moved, err := hoistLoop(f, g, l)
+		if err != nil {
+			return false, err
+		}
+		if moved {
+			return true, nil // code moved: rebuild analyses
 		}
 	}
-	return false
+	return false, nil
 }
 
-func hoistLoop(f *rtl.Func, g *cfg.Graph, l *cfg.Loop) bool {
+func hoistLoop(f *rtl.Func, g *cfg.Graph, l *cfg.Loop) (bool, error) {
 	pre := EnsurePreheader(f, g, l)
 	if pre < 0 {
-		return false
+		return false, nil
 	}
 	// Re-analyze after potential preheader insertion.
-	g = cfg.Build(f)
+	g, err := cfg.Build(f)
+	if err != nil {
+		return false, err
+	}
 	g.Dominators()
 	l = findLoopByHeaderLabel(g, headerLabel(f, pre))
 	if l == nil {
-		return false
+		return false, nil
 	}
 
 	// Registers defined in the loop, and how many times.
@@ -74,7 +88,7 @@ func hoistLoop(f *rtl.Func, g *cfg.Graph, l *cfg.Loop) bool {
 	}
 
 	if hoistInvariantLoads(f, g, l) {
-		return true
+		return true, nil
 	}
 
 	var hoisted []*rtl.Instr
@@ -116,11 +130,11 @@ func hoistLoop(f *rtl.Func, g *cfg.Graph, l *cfg.Loop) bool {
 				preInsert--
 			}
 			f.Insert(preInsert, i)
-			return true // structural change: restart analysis
+			return true, nil // structural change: restart analysis
 		}
 	}
 	_ = hoisted
-	return false
+	return false, nil
 }
 
 // hoistInvariantLoads moves a load/dequeue pair of an invariant

@@ -98,18 +98,22 @@ func OptimizeScalar(p *rtl.Program, recurrence bool) error {
 // standardFixpoint iterates the cheap scalar optimizations until
 // nothing changes (bounded, they converge fast).  It is the plain-
 // function form of the "[standard]" fixpoint group of the pipelines.
-func standardFixpoint(f *rtl.Func) {
+func standardFixpoint(f *rtl.Func) error {
 	for round := 0; round < 20; round++ {
 		changed := Fold(f)
-		changed = CopyProp(f) || changed
-		changed = SinkCopies(f) || changed
-		changed = CSE(f) || changed
-		changed = DeadCode(f) || changed
+		for _, pass := range []func(*rtl.Func) (bool, error){CopyProp, SinkCopies, CSE, DeadCode} {
+			c, err := pass(f)
+			if err != nil {
+				return err
+			}
+			changed = c || changed
+		}
 		changed = CleanBranches(f) || changed
 		if !changed {
-			return
+			return nil
 		}
 	}
+	return nil
 }
 
 // Fold applies constant folding and algebraic simplification to every
@@ -167,8 +171,11 @@ func Fold(f *rtl.Func) bool {
 
 // DeadCode removes assignments whose destination is dead and which have
 // no side effects, using global liveness.
-func DeadCode(f *rtl.Func) bool {
-	g := cfg.Build(f)
+func DeadCode(f *rtl.Func) (bool, error) {
+	g, err := cfg.Build(f)
+	if err != nil {
+		return false, err
+	}
 	g.Liveness()
 	dead := map[int]bool{}
 	for _, b := range g.Blocks {
@@ -187,7 +194,7 @@ func DeadCode(f *rtl.Func) bool {
 		})
 	}
 	if len(dead) == 0 {
-		return false
+		return false, nil
 	}
 	out := f.Code[:0]
 	for n, i := range f.Code {
@@ -196,12 +203,12 @@ func DeadCode(f *rtl.Func) bool {
 		}
 	}
 	f.Code = out
-	return true
+	return true, nil
 }
 
 // StandardFixpointForTest exposes the standard-optimization fixpoint
 // for white-box tests and experiment debugging.
-func StandardFixpointForTest(f *rtl.Func) { standardFixpoint(f) }
+func StandardFixpointForTest(f *rtl.Func) error { return standardFixpoint(f) }
 
 // AllIVAddrs is the scalar-machine strength-reduction predicate: every
 // induction-variable address benefits from a derived pointer.

@@ -93,7 +93,7 @@ rv0 := 5
 rv1 := rv0
 rv2 := (rv1 + rv0)
 halt`)
-	CopyProp(f)
+	chk(CopyProp(f))
 	Fold(f)
 	if s := f.Code[2].Src.String(); s != "10" {
 		t.Errorf("propagation failed: %s\n%s", s, listing(f))
@@ -106,7 +106,7 @@ r10 := r11
 r11 := 7
 r12 := r10
 halt`)
-	CopyProp(f)
+	chk(CopyProp(f))
 	if s := f.Code[2].Src.String(); s == "7" || s == "r11" {
 		t.Errorf("stale copy propagated: %s", s)
 	}
@@ -117,7 +117,7 @@ func TestCopyPropNotThroughFIFO(t *testing.T) {
 rv0 := r0
 rv1 := rv0
 halt`)
-	CopyProp(f)
+	chk(CopyProp(f))
 	if s := f.Code[1].Src.String(); s == "r0" {
 		t.Errorf("FIFO read duplicated: %s\n%s", s, listing(f))
 	}
@@ -129,7 +129,7 @@ rv0 := 5
 rv1 := 6
 r2 := rv1
 ret`)
-	DeadCode(f)
+	chk(DeadCode(f))
 	for _, i := range f.Code {
 		if i.Kind == rtl.KAssign && i.Dst.IsVirtual() && i.Dst.N == rtl.VirtualBase {
 			t.Errorf("dead assign survived:\n%s", listing(f))
@@ -145,7 +145,7 @@ f0 := f10
 puti r5
 halt`)
 	n := len(f.Code)
-	DeadCode(f)
+	chk(DeadCode(f))
 	if len(f.Code) != n {
 		t.Errorf("side-effecting instruction removed:\n%s", listing(f))
 	}
@@ -159,7 +159,7 @@ rv0 := ((r5 << 3) + r6)
 rv1 := ((r5 << 3) + r6)
 r2 := (rv0 + rv1)
 ret`)
-	if !CSE(f) {
+	if !chk(CSE(f)) {
 		t.Fatal("CSE found nothing")
 	}
 	if s := f.Code[1].Src.String(); s != "rv0" {
@@ -174,7 +174,7 @@ r5 := 1
 rv1 := (r5 + r6)
 r2 := (rv0 + rv1)
 ret`)
-	CSE(f)
+	chk(CSE(f))
 	if s := f.Code[2].Src.String(); s == "rv0" {
 		t.Errorf("CSE across redefinition:\n%s", listing(f))
 	}
@@ -186,7 +186,7 @@ rv0 := (r0 + 1)
 rv1 := (r0 + 1)
 r2 := (rv0 + rv1)
 ret`)
-	CSE(f)
+	chk(CSE(f))
 	if s := f.Code[1].Src.String(); s == "rv0" {
 		t.Errorf("FIFO expr CSEd:\n%s", listing(f))
 	}
@@ -204,7 +204,7 @@ rv0 := (rv0 + 1)
 r31 := (rv0 < 10)
 jumpTr L1
 halt`)
-	if !LICM(f) {
+	if !chk(LICM(f)) {
 		t.Fatalf("LICM hoisted nothing:\n%s", listing(f))
 	}
 	// Both rv1 and rv2 should now precede the loop header label.
@@ -231,7 +231,7 @@ rv0 := (rv0 + 1)
 r31 := (rv0 < 10)
 jumpTr L1
 halt`)
-	LICM(f)
+	chk(LICM(f))
 	hdr := f.FindLabel("L1")
 	for n := hdr + 1; n < len(f.Code); n++ {
 		if i := f.Code[n]; i.Kind == rtl.KAssign && strings.Contains(i.Src.String(), "<<") {
@@ -250,7 +250,7 @@ rv0 := (rv0 + 1)
 r31 := (rv0 < 10)
 jumpTr L1
 halt`)
-	LICM(f)
+	chk(LICM(f))
 	hdr := f.FindLabel("L1")
 	for n := 0; n < hdr; n++ {
 		if i := f.Code[n]; i.Kind == rtl.KAssign && strings.Contains(i.Src.String(), "/") {
@@ -311,7 +311,7 @@ rv0 := (r5 << 3)
 rv1 := (rv0 + r6)
 r2 := rv1
 ret`)
-	if !Combine(f) {
+	if !chk(Combine(f)) {
 		t.Fatalf("Combine did nothing:\n%s", listing(f))
 	}
 	found := false
@@ -331,7 +331,7 @@ rv0 := ((r5 << 3) + r6)
 rv1 := (rv0 + r7)
 r2 := rv1
 ret`)
-	Combine(f)
+	chk(Combine(f))
 	for _, i := range f.Code {
 		if i.Kind != rtl.KAssign {
 			continue
@@ -350,7 +350,7 @@ rv2 := (rv0 + 2)
 r2 := (rv1 + rv2)
 ret`)
 	before := len(f.Code)
-	Combine(f)
+	chk(Combine(f))
 	// rv0 has two uses: it must survive.
 	if len(f.Code) < before-1 {
 		t.Errorf("multi-use producer merged:\n%s", listing(f))
@@ -374,7 +374,7 @@ fv1 := (fv0 * f10)
 f0 := fv1
 s64f f0, r6
 ret`)
-	Combine(f)
+	chk(Combine(f))
 	// fv0 := f0 should fold into the multiply.
 	for _, i := range f.Code {
 		if i.Kind == rtl.KAssign && strings.Contains(i.Src.String(), "(f0 * f10)") {
@@ -396,7 +396,7 @@ fv2 := (fv0 - fv1)
 f0 := fv2
 s64f f0, r7
 ret`)
-	Combine(f)
+	chk(Combine(f))
 	for _, i := range f.Code {
 		if i.Kind == rtl.KAssign && strings.Contains(i.Src.String(), "(f0 - f0)") {
 			return
@@ -417,7 +417,7 @@ fv2 := (fv1 - fv0)
 f0 := fv2
 s64f f0, r7
 ret`)
-	Combine(f)
+	chk(Combine(f))
 	for _, i := range f.Code {
 		if i.Kind == rtl.KAssign && strings.Contains(i.Src.String(), "(f0 - f0)") {
 			t.Errorf("queue order violated:\n%s", listing(f))
@@ -595,7 +595,7 @@ halt`
 
 func TestRecurrenceDetection(t *testing.T) {
 	f := parseFunc(t, livermoreRTL)
-	if !Recurrences(f, 4) {
+	if !chk(Recurrences(f, 4)) {
 		t.Fatalf("recurrence not detected:\n%s", listing(f))
 	}
 	// One load must be gone: x[i-1].
@@ -636,7 +636,7 @@ rv0 := (rv0 + 1)
 r31 := (rv0 < r5)
 jumpTr L1
 halt`)
-	if !Recurrences(f, 4) {
+	if !chk(Recurrences(f, 4)) {
 		t.Fatalf("degree-2 recurrence not detected:\n%s", listing(f))
 	}
 	// Two preloads, no loads left in loop.
@@ -660,7 +660,7 @@ rv0 := (rv0 + 1)
 r31 := (rv0 < r5)
 jumpTr L1
 halt`)
-	if Recurrences(f, 4) {
+	if chk(Recurrences(f, 4)) {
 		t.Errorf("degree-9 recurrence transformed despite maxDegree=4:\n%s", listing(f))
 	}
 }
@@ -681,7 +681,7 @@ rv0 := (rv0 + 1)
 r31 := (rv0 < r5)
 jumpTr L1
 halt`)
-	if Recurrences(f, 4) {
+	if chk(Recurrences(f, 4)) {
 		t.Errorf("phantom recurrence found:\n%s", listing(f))
 	}
 }
@@ -702,7 +702,7 @@ rv0 := (rv0 + 1)
 r31 := (rv0 < r5)
 jumpTr L1
 halt`)
-	if Recurrences(f, 4) {
+	if chk(Recurrences(f, 4)) {
 		t.Errorf("anti-dependence treated as recurrence:\n%s", listing(f))
 	}
 }
@@ -726,7 +726,7 @@ halt`
 
 func TestStreamCopyLoop(t *testing.T) {
 	f := parseFunc(t, copyLoopRTL)
-	if !Streams(f, 4) {
+	if !chk(Streams(f, 4)) {
 		t.Fatalf("copy loop not streamed:\n%s", listing(f))
 	}
 	if countKind(f, rtl.KStreamIn) != 1 || countKind(f, rtl.KStreamOut) != 1 {
@@ -760,7 +760,7 @@ rv0 := (rv0 + 1)
 r31 := (rv0 < 100)
 jumpTr L1
 halt`)
-	Streams(f, 4)
+	chk(Streams(f, 4))
 	if countKind(f, rtl.KStreamIn) != 0 || countKind(f, rtl.KStreamOut) != 0 {
 		t.Errorf("memory recurrence streamed:\n%s", listing(f))
 	}
@@ -768,12 +768,12 @@ halt`)
 
 func TestStreamMinTrip(t *testing.T) {
 	f := parseFunc(t, strings.Replace(copyLoopRTL, "(rv0 < 100)", "(rv0 < 3)", 1))
-	Streams(f, 4)
+	chk(Streams(f, 4))
 	if countKind(f, rtl.KStreamIn) != 0 {
 		t.Errorf("three-iteration loop streamed (paper step 1):\n%s", listing(f))
 	}
 	f2 := parseFunc(t, strings.Replace(copyLoopRTL, "(rv0 < 100)", "(rv0 < 3)", 1))
-	Streams(f2, 1)
+	chk(Streams(f2, 1))
 	if countKind(f2, rtl.KStreamIn) != 1 {
 		t.Errorf("minTrip=1 should stream:\n%s", listing(f2))
 	}
@@ -781,7 +781,7 @@ func TestStreamMinTrip(t *testing.T) {
 
 func TestStreamRuntimeCount(t *testing.T) {
 	f := parseFunc(t, strings.Replace(copyLoopRTL, "(rv0 < 100)", "(rv0 < r5)", 1))
-	if !Streams(f, 4) {
+	if !chk(Streams(f, 4)) {
 		t.Fatalf("runtime-count loop not streamed:\n%s", listing(f))
 	}
 	// The stream count must be computed from r5.
@@ -800,7 +800,7 @@ func TestStreamRuntimeCount(t *testing.T) {
 
 func TestStreamSkipsCallLoops(t *testing.T) {
 	f := parseFunc(t, strings.Replace(copyLoopRTL, "fv0 := f0", "fv0 := f0\ncall foo", 1))
-	Streams(f, 4)
+	chk(Streams(f, 4))
 	if countKind(f, rtl.KStreamIn) != 0 {
 		t.Errorf("loop with call streamed:\n%s", listing(f))
 	}
@@ -822,7 +822,7 @@ rv0 := (rv0 + 1)
 r31 := (rv0 < 100)
 jumpTr L1
 halt`)
-	Streams(f, 4)
+	chk(Streams(f, 4))
 	if countKind(f, rtl.KStreamOut) != 0 {
 		t.Errorf("conditional reference streamed:\n%s", listing(f))
 	}
@@ -830,8 +830,8 @@ halt`)
 
 func TestDeadIVRemoved(t *testing.T) {
 	f := parseFunc(t, copyLoopRTL)
-	Streams(f, 4)
-	DeadIVs(f)
+	chk(Streams(f, 4))
+	chk(DeadIVs(f))
 	for _, i := range f.Code {
 		if i.Kind == rtl.KAssign {
 			if b, ok := i.Src.(rtl.Bin); ok {
@@ -861,7 +861,7 @@ jumpTr L1
 halt`)
 	// Note: compare precedes increment here, so trip analysis is not
 	// involved; strength reduction still applies.
-	if !StrengthReduce(f) {
+	if !chk(StrengthReduce(f)) {
 		t.Fatalf("strength reduction did nothing:\n%s", listing(f))
 	}
 	found := false
@@ -890,7 +890,7 @@ rv0 := (rv0 + 1)
 r31 := (rv0 < 100)
 jumpTr L1
 halt`)
-	if StrengthReduce(f) {
+	if chk(StrengthReduce(f)) {
 		t.Errorf("free address reduced:\n%s", listing(f))
 	}
 }

@@ -2,7 +2,9 @@ package opt
 
 import (
 	"io"
+	"time"
 
+	"wmstream/internal/diag"
 	"wmstream/internal/rtl"
 )
 
@@ -43,30 +45,58 @@ type Context struct {
 	// Workers bounds the per-function worker pool of Pipeline.Run.
 	// Zero means GOMAXPROCS.
 	Workers int
+	// Sandbox contains pass faults (sandbox.go): each non-required pass
+	// runs against a snapshot of the function, and a panic, invariant
+	// violation, budget overrun or fixpoint non-convergence rolls the
+	// function back, records a Degraded diagnostic and disables the
+	// pass for that function instead of failing the compilation.
+	Sandbox bool
+	// PassBudget is the wall-clock budget for one pass invocation under
+	// the sandbox.  Zero means DefaultPassBudget.
+	PassBudget time.Duration
 
 	// allocated is set once register assignment has run; from then on
 	// the invariant checker rejects virtual registers.
 	allocated bool
+
+	// diags collects degradation events (and other structured
+	// diagnostics) for this context; children are merged back into the
+	// parent in function order by Pipeline.Run.
+	diags []diag.Diagnostic
+	// disabled marks passes (or bracketed fixpoint groups) the sandbox
+	// switched off for the current function.
+	disabled map[string]bool
 
 	stats *Stats
 }
 
 // NewContext returns a Context with the option defaults applied
 // (MinTrip 4, MaxRecurrenceDegree 4, matching the paper's choices).
+// Fault containment (Sandbox) is on by default: a faulty optimization
+// degrades the function instead of failing the compilation.
 func NewContext(opts Options) *Context {
-	return &Context{Opts: opts.withDefaults(), stats: NewStats()}
+	return &Context{Opts: opts.withDefaults(), Sandbox: true, stats: NewStats()}
 }
 
 // Stats returns the statistics accumulated so far.
 func (c *Context) Stats() *Stats { return c.stats }
 
+// Diags returns the structured diagnostics collected so far (pass
+// degradation events recorded by the sandbox).
+func (c *Context) Diags() []diag.Diagnostic {
+	return append([]diag.Diagnostic(nil), c.diags...)
+}
+
 // fork returns a child context for optimizing one function.  The child
-// gets its own Stats so concurrent functions never share mutable
-// state; Run merges children back in function order.
+// gets its own Stats, diagnostics and disabled-pass set so concurrent
+// functions never share mutable state; Run merges children back in
+// function order.
 func (c *Context) fork(fn string) *Context {
 	child := *c
 	child.Func = fn
 	child.stats = NewStats()
+	child.diags = nil
+	child.disabled = nil
 	return &child
 }
 
@@ -104,39 +134,48 @@ func boolPass(name string, run func(*rtl.Func) bool) Pass {
 	}}
 }
 
+// errPass wraps the transformation shape func(*rtl.Func) (bool, error)
+// — passes whose control-flow analysis can reject the input (a branch
+// to an unknown label in hand-written assembly).
+func errPass(name string, run func(*rtl.Func) (bool, error)) Pass {
+	return passFunc{name, func(f *rtl.Func, _ *Context) (bool, error) {
+		return run(f)
+	}}
+}
+
 // The full pass registry.  Each existing transformation keeps its
 // plain-function form (Fold, CSE, ...); these wrappers are the data
 // the pipeline layer composes.
 var (
 	PassFold             = boolPass("Fold", Fold)
-	PassCopyProp         = boolPass("CopyProp", CopyProp)
-	PassSinkCopies       = boolPass("SinkCopies", SinkCopies)
-	PassCSE              = boolPass("CSE", CSE)
-	PassDeadCode         = boolPass("DeadCode", DeadCode)
+	PassCopyProp         = errPass("CopyProp", CopyProp)
+	PassSinkCopies       = errPass("SinkCopies", SinkCopies)
+	PassCSE              = errPass("CSE", CSE)
+	PassDeadCode         = errPass("DeadCode", DeadCode)
 	PassCleanBranches    = boolPass("CleanBranches", CleanBranches)
-	PassLICM             = boolPass("LICM", LICM)
-	PassCombine          = boolPass("Combine", Combine)
-	PassDeadIVs          = boolPass("DeadIVs", DeadIVs)
-	PassScheduleLoopTest = boolPass("ScheduleLoopTest", ScheduleLoopTest)
+	PassLICM             = errPass("LICM", LICM)
+	PassCombine          = errPass("Combine", Combine)
+	PassDeadIVs          = errPass("DeadIVs", DeadIVs)
+	PassScheduleLoopTest = errPass("ScheduleLoopTest", ScheduleLoopTest)
 
 	// PassRecurrences reads MaxRecurrenceDegree from the Context (the
 	// paper: a recurrence of degree d consumes d+1 registers).
 	PassRecurrences = NewPass("Recurrences", func(f *rtl.Func, ctx *Context) (bool, error) {
-		return Recurrences(f, ctx.Opts.MaxRecurrenceDegree), nil
+		return Recurrences(f, ctx.Opts.MaxRecurrenceDegree)
 	})
 	// PassStreams reads MinTrip from the Context (paper step 1: "three
 	// or fewer, do not use streams").
 	PassStreams = NewPass("Streams", func(f *rtl.Func, ctx *Context) (bool, error) {
-		return Streams(f, ctx.Opts.MinTrip), nil
+		return Streams(f, ctx.Opts.MinTrip)
 	})
 	// PassStrengthReduce uses the WM predicate: only addresses the
 	// dual-operation instruction format cannot absorb are rewritten.
-	PassStrengthReduce = boolPass("StrengthReduce", StrengthReduce)
+	PassStrengthReduce = errPass("StrengthReduce", StrengthReduce)
 	// PassStrengthReduceAll uses the conventional-machine predicate:
 	// every induction-variable address benefits from a derived pointer
 	// (auto-increment addressing, Figure 6).
 	PassStrengthReduceAll = NewPass("StrengthReduceAll", func(f *rtl.Func, _ *Context) (bool, error) {
-		return StrengthReduceWith(f, AllIVAddrs), nil
+		return StrengthReduceWith(f, AllIVAddrs)
 	})
 
 	PassLegalize = NewPass("Legalize", func(f *rtl.Func, _ *Context) (bool, error) {

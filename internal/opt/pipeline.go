@@ -60,8 +60,16 @@ func runFixpoint(s Step, f *rtl.Func, ctx *Context) (bool, error) {
 		max = 20
 	}
 	name := "[" + s.Name + "]"
+	if ctx.Sandbox && ctx.disabled[name] {
+		return false, nil
+	}
+	var snap *rtl.Func
+	if ctx.Sandbox {
+		snap = f.Clone()
+	}
 	any := false
 	rounds := 0
+	converged := false
 	for rounds < max {
 		rounds++
 		changed := false
@@ -74,20 +82,42 @@ func runFixpoint(s Step, f *rtl.Func, ctx *Context) (bool, error) {
 			changed = changed || c
 		}
 		if !changed {
+			converged = true
 			break
 		}
 		any = true
+	}
+	// A group still changing the code after MaxRounds full rounds is
+	// oscillating (two passes undoing each other): roll the whole group
+	// back and disable it for this function.
+	if ctx.Sandbox && !converged {
+		f.Restore(snap)
+		ctx.degrade(name, fmt.Sprintf("did not converge within %d rounds", max))
+		ctx.stats.recordGroup(name, false, rounds)
+		return false, nil
 	}
 	ctx.stats.recordGroup(name, any, rounds)
 	return any, nil
 }
 
-// runPass executes one pass invocation with instrumentation: wall
-// time, fire count and instruction-count delta are recorded in the
-// Context's Stats; with Debug set, the listing is dumped after every
-// firing pass; with Verify set, the RTL invariant checker runs at the
-// pass boundary.
+// runPass executes one pass invocation.  Under the sandbox (the
+// default, see sandbox.go), non-required passes are snapshotted,
+// contained and rolled back on any fault; required passes — and every
+// pass when the sandbox is off — run bare, so their failures abort the
+// compilation of the function.
 func runPass(p Pass, f *rtl.Func, ctx *Context) (bool, error) {
+	if ctx.Sandbox && !requiredPasses[p.Name()] {
+		return runSandboxed(p, f, ctx)
+	}
+	return runInstrumented(p, f, ctx)
+}
+
+// runInstrumented executes one pass invocation with instrumentation:
+// wall time, fire count and instruction-count delta are recorded in
+// the Context's Stats; with Debug set, the listing is dumped after
+// every firing pass; with Verify set, the RTL invariant checker runs
+// at the pass boundary.
+func runInstrumented(p Pass, f *rtl.Func, ctx *Context) (bool, error) {
 	before := instrCount(f)
 	start := time.Now()
 	changed, err := p.Run(f, ctx)
@@ -199,6 +229,7 @@ func (pl Pipeline) Run(p *rtl.Program, ctx *Context) error {
 	for _, child := range children {
 		if child != nil {
 			ctx.stats.Merge(child.stats)
+			ctx.diags = append(ctx.diags, child.diags...)
 		}
 	}
 	return errors.Join(errs...)

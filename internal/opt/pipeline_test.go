@@ -108,6 +108,7 @@ func TestRunAggregatesErrorsInFunctionOrder(t *testing.T) {
 	pl := Pipeline{Name: "test", Steps: []Step{{Pass: boom}}}
 	for _, workers := range []int{1, 4} {
 		ctx := NewContext(Options{})
+		ctx.Sandbox = false // hard-error semantics under test
 		ctx.Workers = workers
 		err := pl.Run(p, ctx)
 		if err == nil {
@@ -189,6 +190,7 @@ func TestVerifyCatchesCorruptingPass(t *testing.T) {
 	})
 	pl := Pipeline{Name: "test", Steps: []Step{{Pass: corrupt}}}
 	ctx := NewContext(Options{})
+	ctx.Sandbox = false // hard-error semantics under test
 	ctx.Verify = true
 	err := pl.RunFunc(emptyFunc(), ctx)
 	if err == nil {
@@ -206,6 +208,7 @@ func TestVerifyRejectsVirtualRegistersAfterRegAlloc(t *testing.T) {
 	})
 	pl := Pipeline{Name: "test", Steps: []Step{{Pass: PassRegAlloc}, {Pass: leak}}}
 	ctx := NewContext(Options{})
+	ctx.Sandbox = false // hard-error semantics under test
 	ctx.Verify = true
 	err := pl.RunFunc(emptyFunc(), ctx)
 	if err == nil || !strings.Contains(err.Error(), "virtual register") {
@@ -240,7 +243,9 @@ func TestErrorsJoinUnwraps(t *testing.T) {
 	sentinel := errors.New("sentinel")
 	boom := NewPass("boom", func(*rtl.Func, *Context) (bool, error) { return false, sentinel })
 	p := &rtl.Program{Funcs: []*rtl.Func{emptyFunc()}}
-	err := Pipeline{Name: "t", Steps: []Step{{Pass: boom}}}.Run(p, NewContext(Options{}))
+	ctx := NewContext(Options{})
+	ctx.Sandbox = false // hard-error semantics under test
+	err := Pipeline{Name: "t", Steps: []Step{{Pass: boom}}}.Run(p, ctx)
 	if !errors.Is(err, sentinel) {
 		t.Errorf("errors.Is fails through aggregation: %v", err)
 	}

@@ -21,26 +21,33 @@ import (
 //
 // The number of registers used is degree+1, where the degree is the
 // largest iteration distance.  It returns whether anything changed.
-func Recurrences(f *rtl.Func, maxDegree int64) bool {
+func Recurrences(f *rtl.Func, maxDegree int64) (bool, error) {
 	changed := false
 	for round := 0; round < 128; round++ {
-		if !recurrenceOnce(f, maxDegree) {
-			return changed
+		more, err := recurrenceOnce(f, maxDegree)
+		if err != nil {
+			return changed, err
+		}
+		if !more {
+			return changed, nil
 		}
 		changed = true
 	}
-	return changed
+	return changed, nil
 }
 
-func recurrenceOnce(f *rtl.Func, maxDegree int64) bool {
-	g := cfg.Build(f)
+func recurrenceOnce(f *rtl.Func, maxDegree int64) (bool, error) {
+	g, err := cfg.Build(f)
+	if err != nil {
+		return false, err
+	}
 	g.Dominators()
 	for _, l := range g.NaturalLoops() {
 		if pre := EnsurePreheader(f, g, l); pre < 0 {
 			continue
 		} else if l.Preheader == nil {
 			// A preheader was inserted: restart with fresh analyses.
-			return true
+			return true, nil
 		}
 		ctx := analyzeLoop(f, g, l)
 		if ctx.hasCall || ctx.stream {
@@ -52,11 +59,11 @@ func recurrenceOnce(f *rtl.Func, maxDegree int64) bool {
 		}
 		for _, p := range buildPartitions(refs) {
 			if transformRecurrence(ctx, p, maxDegree) {
-				return true
+				return true, nil
 			}
 		}
 	}
-	return false
+	return false, nil
 }
 
 // recPair is one read that fetches a value written dist iterations ago.

@@ -33,7 +33,10 @@ func poolRange(lo, hi int) []int {
 func RegAlloc(f *rtl.Func) error {
 	spilled := map[rtl.Reg]bool{}
 	for iter := 0; iter < 100; iter++ {
-		iv := buildIntervals(f)
+		iv, err := buildIntervals(f)
+		if err != nil {
+			return err
+		}
 		// Spill everything live across a call first.
 		var toSpill []rtl.Reg
 		for r, in := range iv.acrossCall {
@@ -78,8 +81,11 @@ type intervalSet struct {
 	acrossCall map[rtl.Reg]bool
 }
 
-func buildIntervals(f *rtl.Func) *intervalSet {
-	g := cfg.Build(f)
+func buildIntervals(f *rtl.Func) (*intervalSet, error) {
+	g, err := cfg.Build(f)
+	if err != nil {
+		return nil, err
+	}
 	g.Liveness()
 	start := map[rtl.Reg]int{}
 	end := map[rtl.Reg]int{}
@@ -133,7 +139,7 @@ func buildIntervals(f *rtl.Func) *intervalSet {
 		}
 		return set.list[i].reg.N < set.list[j].reg.N
 	})
-	return set
+	return set, nil
 }
 
 // linearScan attempts a full assignment; on failure it returns the

@@ -22,7 +22,7 @@ rv0 := (rv0 + rv9)
 r31 := (rv0 < rv8)
 jumpTr L1
 halt`)
-	if !Streams(f, 4) {
+	if !chk(Streams(f, 4)) {
 		t.Fatalf("runtime-stride loop not streamed:\n%s", listing(f))
 	}
 	if countKind(f, rtl.KStreamOut) != 1 || countKind(f, rtl.KStore) != 0 {

@@ -29,19 +29,26 @@ import (
 // condition-code producer or consumer (the CC FIFO is strictly
 // ordered), and when nothing between the loop top and the increment
 // redefines the induction variable or the limit.
-func ScheduleLoopTest(f *rtl.Func) bool {
+func ScheduleLoopTest(f *rtl.Func) (bool, error) {
 	changed := false
 	for round := 0; round < 64; round++ {
-		if !scheduleOnce(f) {
-			return changed
+		more, err := scheduleOnce(f)
+		if err != nil {
+			return changed, err
+		}
+		if !more {
+			return changed, nil
 		}
 		changed = true
 	}
-	return changed
+	return changed, nil
 }
 
-func scheduleOnce(f *rtl.Func) bool {
-	g := cfg.Build(f)
+func scheduleOnce(f *rtl.Func) (bool, error) {
+	g, err := cfg.Build(f)
+	if err != nil {
+		return false, err
+	}
 	g.Dominators()
 	for _, l := range g.NaturalLoops() {
 		ctx := analyzeLoop(f, g, l)
@@ -90,7 +97,7 @@ func scheduleOnce(f *rtl.Func) bool {
 		_ = cmp
 		f.Remove(trip.cmpIdx)
 		f.Insert(hdr+1, newCmp)
-		return true
+		return true, nil
 	}
-	return false
+	return false, nil
 }

@@ -23,18 +23,22 @@ import (
 //     either t or r (the definition's own operands may read r);
 //   - every other use of t sits after the copy in the same block,
 //     before any redefinition of r, and t is dead at the block's end.
-func SinkCopies(f *rtl.Func) bool {
+func SinkCopies(f *rtl.Func) (bool, error) {
 	changed := false
 	for round := 0; round < 256; round++ {
-		if !sinkOnce(f) {
-			return changed
+		more, err := sinkOnce(f)
+		if err != nil {
+			return changed, err
+		}
+		if !more {
+			return changed, nil
 		}
 		changed = true
 	}
-	return changed
+	return changed, nil
 }
 
-func sinkOnce(f *rtl.Func) bool {
+func sinkOnce(f *rtl.Func) (bool, error) {
 	defCount := map[rtl.Reg]int{}
 	useIdx := map[rtl.Reg][]int{}
 	for n, i := range f.Code {
@@ -45,7 +49,10 @@ func sinkOnce(f *rtl.Func) bool {
 			useIdx[u] = append(useIdx[u], n)
 		}
 	}
-	g := cfg.Build(f)
+	g, err := cfg.Build(f)
+	if err != nil {
+		return false, err
+	}
 	g.Liveness()
 	for c := 0; c < len(f.Code); c++ {
 		copyI := f.Code[c]
@@ -156,7 +163,7 @@ func sinkOnce(f *rtl.Func) bool {
 			})
 		}
 		f.Remove(c)
-		return true
+		return true, nil
 	}
-	return false
+	return false, nil
 }

@@ -25,19 +25,26 @@ import (
 //	          separate pass (StrengthReduce).
 //
 // Only innermost loops are streamed.  Returns whether anything changed.
-func Streams(f *rtl.Func, minTrip int64) bool {
+func Streams(f *rtl.Func, minTrip int64) (bool, error) {
 	changed := false
 	for round := 0; round < 128; round++ {
-		if !streamOnce(f, minTrip) {
-			return changed
+		more, err := streamOnce(f, minTrip)
+		if err != nil {
+			return changed, err
+		}
+		if !more {
+			return changed, nil
 		}
 		changed = true
 	}
-	return changed
+	return changed, nil
 }
 
-func streamOnce(f *rtl.Func, minTrip int64) bool {
-	g := cfg.Build(f)
+func streamOnce(f *rtl.Func, minTrip int64) (bool, error) {
+	g, err := cfg.Build(f)
+	if err != nil {
+		return false, err
+	}
 	g.Dominators()
 	loops := g.NaturalLoops()
 	// Innermost only: loops that are no other loop's parent.
@@ -54,13 +61,13 @@ func streamOnce(f *rtl.Func, minTrip int64) bool {
 		if pre := EnsurePreheader(f, g, l); pre < 0 {
 			continue
 		} else if l.Preheader == nil {
-			return true // structural change
+			return true, nil // structural change
 		}
 		if streamLoop(f, g, l, minTrip) {
-			return true
+			return true, nil
 		}
 	}
-	return false
+	return false, nil
 }
 
 // DeadIVs implements the paper's step 2j: after streaming replaces the
@@ -69,19 +76,26 @@ func streamOnce(f *rtl.Func, minTrip int64) bool {
 // liveness cannot see through the self-reference cycle.  This pass
 // deletes such increments (when the variable is also dead at every
 // loop exit).
-func DeadIVs(f *rtl.Func) bool {
+func DeadIVs(f *rtl.Func) (bool, error) {
 	changed := false
 	for round := 0; round < 128; round++ {
-		if !deadIVOnce(f) {
-			return changed
+		more, err := deadIVOnce(f)
+		if err != nil {
+			return changed, err
+		}
+		if !more {
+			return changed, nil
 		}
 		changed = true
 	}
-	return changed
+	return changed, nil
 }
 
-func deadIVOnce(f *rtl.Func) bool {
-	g := cfg.Build(f)
+func deadIVOnce(f *rtl.Func) (bool, error) {
+	g, err := cfg.Build(f)
+	if err != nil {
+		return false, err
+	}
 	g.Dominators()
 	g.Liveness()
 	for _, l := range g.NaturalLoops() {
@@ -115,10 +129,10 @@ func deadIVOnce(f *rtl.Func) bool {
 				continue
 			}
 			f.Remove(ivi.defIdx)
-			return true
+			return true, nil
 		}
 	}
-	return false
+	return false, nil
 }
 
 // tripInfo describes the loop's iteration count.

@@ -17,42 +17,53 @@ import (
 // in-body helper instructions are reduced.  The scalar backend
 // (package scalar) reuses the same analysis with a stricter notion of
 // what an addressing mode can absorb.
-func StrengthReduce(f *rtl.Func) bool {
+func StrengthReduce(f *rtl.Func) (bool, error) {
 	changed := false
 	for round := 0; round < 128; round++ {
-		if !strengthOnce(f, wmAddrNeedsHelp) {
-			return changed
+		more, err := strengthOnce(f, wmAddrNeedsHelp)
+		if err != nil {
+			return changed, err
+		}
+		if !more {
+			return changed, nil
 		}
 		changed = true
 	}
-	return changed
+	return changed, nil
 }
 
 // StrengthReduceWith runs the pass with a custom "address needs help"
 // predicate (used by the scalar backend).
-func StrengthReduceWith(f *rtl.Func, needsHelp func(lin linform) bool) bool {
+func StrengthReduceWith(f *rtl.Func, needsHelp func(lin linform) bool) (bool, error) {
 	changed := false
 	for round := 0; round < 128; round++ {
-		if !strengthOnce(f, needsHelp) {
-			return changed
+		more, err := strengthOnce(f, needsHelp)
+		if err != nil {
+			return changed, err
+		}
+		if !more {
+			return changed, nil
 		}
 		changed = true
 	}
-	return changed
+	return changed, nil
 }
 
 // wmAddrNeedsHelp: only addresses that required expanding in-loop
 // helper definitions cost extra instructions on WM.
 func wmAddrNeedsHelp(lin linform) bool { return lin.expanded }
 
-func strengthOnce(f *rtl.Func, needsHelp func(linform) bool) bool {
-	g := cfg.Build(f)
+func strengthOnce(f *rtl.Func, needsHelp func(linform) bool) (bool, error) {
+	g, err := cfg.Build(f)
+	if err != nil {
+		return false, err
+	}
 	g.Dominators()
 	for _, l := range g.NaturalLoops() {
 		if pre := EnsurePreheader(f, g, l); pre < 0 {
 			continue
 		} else if l.Preheader == nil {
-			return true
+			return true, nil
 		}
 		ctx := analyzeLoop(f, g, l)
 		if ctx.hasCall {
@@ -91,11 +102,11 @@ func strengthOnce(f *rtl.Func, needsHelp func(linform) bool) bool {
 		for _, key := range order {
 			grp := groups[key]
 			if reduceGroup(ctx, grp, ctx.ivs[grp[0].lin.iv]) {
-				return true
+				return true, nil
 			}
 		}
 	}
-	return false
+	return false, nil
 }
 
 // alreadyReduced reports whether an address is already in the form a

@@ -1,0 +1,16 @@
+package opt
+
+import "errors"
+
+// chk unwraps a (changed, error) transformation result in tests.  The
+// error path (a branch to an unknown label) has dedicated tests; any
+// error on the well-formed fixtures here is a test bug.
+func chk(changed bool, err error) bool {
+	if err != nil {
+		panic(err)
+	}
+	return changed
+}
+
+// errTest is a sentinel failure for fault-containment tests.
+var errTest = errors.New("injected failure")

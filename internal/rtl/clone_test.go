@@ -1,0 +1,53 @@
+package rtl
+
+import "testing"
+
+func cloneFixture() *Func {
+	f := NewFunc("fix")
+	f.Frame = 16
+	f.Append(NewLabel("L1"))
+	f.Append(&Instr{Kind: KAssign, Dst: Reg{Class: Int, N: 4}, Src: Bin{Op: Add, L: RegX{Reg{Class: Int, N: 5}}, R: Imm{1}}})
+	f.Append(&Instr{Kind: KCall, Name: "g", Args: []Reg{{Class: Int, N: 4}}})
+	f.Append(&Instr{Kind: KJump, Target: "L1"})
+	return f
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := cloneFixture()
+	want := f.Listing()
+	c := f.Clone()
+	if c.Listing() != want {
+		t.Fatalf("clone differs from original:\n%s\nwant:\n%s", c.Listing(), want)
+	}
+	// Mutate the clone every way a pass mutates a function: replace an
+	// instruction's fields, edit a shared-slice element, append, and
+	// change scalar metadata.
+	c.Code[1].Dst = Reg{Class: Int, N: 9}
+	c.Code[2].Args[0] = Reg{Class: Int, N: 9}
+	c.Code = append(c.Code, &Instr{Kind: KRet})
+	c.Frame = 99
+	c.Name = "mutant"
+	if got := f.Listing(); got != want {
+		t.Errorf("mutating the clone changed the original:\n%s\nwant:\n%s", got, want)
+	}
+	if f.Frame != 16 || f.Name != "fix" {
+		t.Errorf("clone shares metadata: Frame=%d Name=%q", f.Frame, f.Name)
+	}
+}
+
+func TestRestoreRollsBack(t *testing.T) {
+	f := cloneFixture()
+	want := f.Listing()
+	keep := f // an outstanding reference, as the pipeline holds one
+	snap := f.Clone()
+	f.Code = f.Code[:1]
+	f.Code[0] = &Instr{Kind: KRet}
+	f.Frame = 0
+	f.Restore(snap)
+	if got := f.Listing(); got != want {
+		t.Errorf("restore did not roll back:\n%s\nwant:\n%s", got, want)
+	}
+	if keep.Listing() != want || keep.Frame != 16 {
+		t.Errorf("outstanding reference sees stale state after restore")
+	}
+}

@@ -65,6 +65,11 @@ type Config struct {
 	MemSize int
 	// MaxCycles aborts runaway simulations.
 	MaxCycles int64
+	// WatchdogSlack is how many cycles beyond MemLatency the machine
+	// may go without forward progress before the run is declared
+	// deadlocked (*DeadlockError).  Zero or negative uses the
+	// DefaultConfig value.
+	WatchdogSlack int
 	// Output receives putc/puti/putd output (may be nil).
 	Output io.Writer
 	// Trace, when non-nil, receives a line per executed instruction.
@@ -75,18 +80,19 @@ type Config struct {
 // reproduction experiments.
 func DefaultConfig() Config {
 	return Config{
-		MemLatency:  6,
-		MemPorts:    2,
-		FIFODepth:   8,
-		CCDepth:     8,
-		QueueDepth:  8,
-		NumSCU:      4,
-		DivLatency:  10,
-		MathLatency: 12,
-		CvtLatency:  3,
-		StackTop:    1 << 20,
-		MemSize:     1<<20 + 4096,
-		MaxCycles:   2_000_000_000,
+		MemLatency:    6,
+		MemPorts:      2,
+		FIFODepth:     8,
+		CCDepth:       8,
+		QueueDepth:    8,
+		NumSCU:        4,
+		DivLatency:    10,
+		MathLatency:   12,
+		CvtLatency:    3,
+		StackTop:      1 << 20,
+		MemSize:       1<<20 + 4096,
+		MaxCycles:     2_000_000_000,
+		WatchdogSlack: 10000,
 	}
 }
 

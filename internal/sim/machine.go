@@ -99,6 +99,8 @@ type Machine struct {
 	memSeq          int64 // orders scalar memory operations (IEU program order)
 
 	lastProgress int64
+	lastRetired  string // last instruction retired by a unit
+	lastUnit     string // the unit that retired it
 	stats        Stats
 	err          error
 }
@@ -127,12 +129,22 @@ func New(img *Image, cfg Config) *Machine {
 	return m
 }
 
-// Run simulates to completion and returns the statistics.
+// Run simulates to completion and returns the statistics.  A machine
+// fault returns a *TrapError; a watchdog expiry (no forward progress
+// for MemLatency+WatchdogSlack cycles) returns a *DeadlockError.  Both
+// carry a Snapshot of the stuck machine.
 func (m *Machine) Run() (Stats, error) {
+	slack := int64(m.cfg.WatchdogSlack)
+	if slack <= 0 {
+		slack = int64(DefaultConfig().WatchdogSlack)
+	}
 	for !m.done() {
 		m.now++
 		if m.now > m.cfg.MaxCycles {
-			return m.stats, fmt.Errorf("sim: exceeded %d cycles", m.cfg.MaxCycles)
+			return m.stats, &TrapError{
+				Reason:   fmt.Sprintf("exceeded %d cycles", m.cfg.MaxCycles),
+				Snapshot: m.snapshot(),
+			}
 		}
 		m.portsLeft = m.cfg.MemPorts
 		m.matchStores()
@@ -144,8 +156,8 @@ func (m *Machine) Run() (Stats, error) {
 		if m.err != nil {
 			return m.stats, m.err
 		}
-		if m.now-m.lastProgress > int64(m.cfg.MemLatency)+10000 {
-			return m.stats, fmt.Errorf("sim: deadlock at cycle %d: %s", m.now, m.state())
+		if m.now-m.lastProgress > int64(m.cfg.MemLatency)+slack {
+			return m.stats, &DeadlockError{Snapshot: m.snapshot()}
 		}
 	}
 	m.stats.Cycles = m.now
@@ -194,39 +206,11 @@ func (m *Machine) done() bool {
 
 func (m *Machine) progress() { m.lastProgress = m.now }
 
+// fail records a machine fault as a *TrapError (first fault wins).
 func (m *Machine) fail(format string, args ...interface{}) {
 	if m.err == nil {
-		m.err = fmt.Errorf("sim: cycle %d: %s", m.now, fmt.Sprintf(format, args...))
+		m.err = &TrapError{Reason: fmt.Sprintf(format, args...), Snapshot: m.snapshot()}
 	}
-}
-
-func (m *Machine) state() string {
-	s := fmt.Sprintf("pc=%d halted=%v ieuQ=%d feuQ=%d", m.pc, m.halted, len(m.queues[0]), len(m.queues[1]))
-	if len(m.queues[0]) > 0 {
-		s += fmt.Sprintf(" ieuHead=%q", m.queues[0][0].i.String())
-	}
-	if len(m.queues[1]) > 0 {
-		s += fmt.Sprintf(" feuHead=%q", m.queues[1][0].i.String())
-	}
-	if !m.halted && m.pc < len(m.img.Code) {
-		s += fmt.Sprintf(" ifuNext=%q(%s)", m.img.Code[m.pc].String(), m.img.FuncOf[m.pc])
-	}
-	for c := 0; c < 2; c++ {
-		for n := 0; n < 2; n++ {
-			s += fmt.Sprintf(" in%d%d=%d out%d%d=%d usm%d%d=%d", c, n, len(m.inFIFO[c][n]), c, n, len(m.outFIFO[c][n]), c, n, len(m.unmatchedStores[c][n]))
-			for k, e := range m.inFIFO[c][n] {
-				if !e.served {
-					s += fmt.Sprintf(" firstUnserved[%d%d][%d]={addr=%d conflict=%v}", c, n, k, e.addr, m.storeConflict(e.addr, e.size, e.seq))
-					break
-				}
-			}
-			if len(m.unmatchedStores[c][n]) > 0 {
-				s += fmt.Sprintf(" firstStore[%d%d]=%d", c, n, m.unmatchedStores[c][n][0].addr)
-			}
-		}
-	}
-	s += fmt.Sprintf(" writeQ=%d", len(m.writeQueue))
-	return s
 }
 
 // --- store matching and memory service ----------------------------------

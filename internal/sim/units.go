@@ -260,10 +260,13 @@ func (m *Machine) removePend(d *dispatched) {
 func (m *Machine) execute(d *dispatched, c rtl.Class) {
 	i := d.i
 	m.stats.Instructions++
+	m.lastRetired = i.String()
 	if c == rtl.Int {
 		m.stats.IntIssued++
+		m.lastUnit = "IEU"
 	} else {
 		m.stats.FloatIssued++
+		m.lastUnit = "FEU"
 	}
 	if m.cfg.Trace != nil {
 		writeTrace(m.cfg.Trace, m.now, c.String(), i)

@@ -18,11 +18,13 @@ package wmstream
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"time"
 
 	"wmstream/internal/acode"
+	"wmstream/internal/diag"
 	"wmstream/internal/minic"
 	"wmstream/internal/opt"
 	"wmstream/internal/rtl"
@@ -110,6 +112,79 @@ type CompileStats struct {
 // output of wmcc -stats), slowest pass first.
 func (s *CompileStats) Table() string { return s.table }
 
+// Severity orders diagnostics from informational to fatal.  The values
+// mirror the internal diagnostics layer (package internal/diag).
+type Severity int
+
+const (
+	// SeverityNote is informational.
+	SeverityNote Severity = Severity(diag.Note)
+	// SeverityWarning flags something suspicious that does not affect
+	// the compiled code.
+	SeverityWarning Severity = Severity(diag.Warning)
+	// SeverityDegraded means the compiler contained a faulty
+	// optimization pass — the function was rolled back to its last
+	// good state, so the output is correct but less optimized.  Strict
+	// compilation promotes Degraded to an error.
+	SeverityDegraded Severity = Severity(diag.Degraded)
+	// SeverityError means compilation failed.
+	SeverityError Severity = Severity(diag.Error)
+)
+
+func (s Severity) String() string { return diag.Severity(s).String() }
+
+// Diagnostic is one structured compilation event.  Zero-valued fields
+// are unknown: a frontend error has Line/Col but no Pass; an optimizer
+// degradation has Pass and Func but no source position.
+type Diagnostic struct {
+	Severity  Severity
+	Stage     string // "frontend", "expand", "opt"
+	Line, Col int    // 1-based source position (0 when not tied to source)
+	Pass      string // optimizer pass or fixpoint group
+	Func      string // function provenance
+	Msg       string
+}
+
+// String renders the diagnostic in a compact single-line form, e.g.
+// "degraded: opt: main: pass Combine panicked: index out of range".
+func (d Diagnostic) String() string {
+	return diag.Diagnostic{
+		Sev:   diag.Severity(d.Severity),
+		Stage: d.Stage,
+		Pos:   minic.Pos{Line: d.Line, Col: d.Col},
+		Pass:  d.Pass,
+		Func:  d.Func,
+		Msg:   d.Msg,
+	}.String()
+}
+
+// CompileConfig bundles everything CompileWithConfig needs beyond the
+// source text.
+type CompileConfig struct {
+	// Options selects the optimizations (see LevelOptions).
+	Options Options
+	// Strict promotes Degraded diagnostics — optimization passes the
+	// fault-containment layer rolled back — to compilation errors.
+	Strict bool
+	// Debug, when non-nil, receives vpo-style RTL dumps and enables the
+	// per-pass invariant checker (as CompileWithStats).
+	Debug io.Writer
+	// PassBudget overrides the sandbox's per-pass wall-clock budget
+	// (zero uses the default).
+	PassBudget time.Duration
+}
+
+// CompileResult is the full outcome of a compilation: the program (nil
+// when compilation failed), per-pass statistics, and every structured
+// diagnostic the pipeline emitted.  Degraded diagnostics mean some
+// optimization was rolled back — the program is correct, just less
+// optimized than requested.
+type CompileResult struct {
+	Program     *Program
+	Stats       *CompileStats
+	Diagnostics []Diagnostic
+}
+
 // Compile translates Mini-C source to an optimized WM program.
 func Compile(src string, level int) (*Program, error) {
 	return CompileOptions(src, LevelOptions(level))
@@ -117,8 +192,11 @@ func Compile(src string, level int) (*Program, error) {
 
 // CompileOptions is Compile with explicit optimizer options.
 func CompileOptions(src string, o Options) (*Program, error) {
-	p, _, err := compile(src, o, nil, false)
-	return p, err
+	res, err := CompileWithConfig(src, CompileConfig{Options: o})
+	if err != nil {
+		return nil, err
+	}
+	return res.Program, nil
 }
 
 // CompileWithStats is CompileOptions with per-pass instrumentation.
@@ -126,31 +204,59 @@ func CompileOptions(src string, o Options) (*Program, error) {
 // function's listing before optimization and after every pass that
 // changed it) and the RTL invariant checker runs after every pass.
 func CompileWithStats(src string, o Options, debug io.Writer) (*Program, *CompileStats, error) {
-	return compile(src, o, debug, true)
+	res, err := CompileWithConfig(src, CompileConfig{Options: o, Debug: debug})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Program, res.Stats, nil
 }
 
-func compile(src string, o Options, debug io.Writer, wantStats bool) (*Program, *CompileStats, error) {
+// CompileWithConfig compiles with full control and reporting: the
+// result carries the structured diagnostics of every stage, and under
+// Strict a contained-but-degraded optimization fails the compilation
+// instead of being reported and tolerated.
+func CompileWithConfig(src string, cfg CompileConfig) (*CompileResult, error) {
+	res := &CompileResult{}
 	ast, err := minic.Compile(src)
 	if err != nil {
-		return nil, nil, fmt.Errorf("frontend: %w", err)
+		d := Diagnostic{Severity: SeverityError, Stage: "frontend", Msg: err.Error()}
+		var me *minic.Error
+		if errors.As(err, &me) {
+			d.Line, d.Col, d.Msg = me.Pos.Line, me.Pos.Col, me.Msg
+		}
+		res.Diagnostics = append(res.Diagnostics, d)
+		return res, fmt.Errorf("frontend: %w", err)
 	}
 	p, err := acode.Gen(ast)
 	if err != nil {
-		return nil, nil, fmt.Errorf("expand: %w", err)
+		res.Diagnostics = append(res.Diagnostics,
+			Diagnostic{Severity: SeverityError, Stage: "expand", Msg: err.Error()})
+		return res, fmt.Errorf("expand: %w", err)
 	}
-	ctx := opt.NewContext(o.optOptions())
-	ctx.Debug = debug
-	ctx.Verify = debug != nil
+	ctx := opt.NewContext(cfg.Options.optOptions())
+	ctx.Debug = cfg.Debug
+	ctx.Verify = cfg.Debug != nil
+	ctx.PassBudget = cfg.PassBudget
 	if err := opt.WMPipeline(ctx.Opts).Run(p, ctx); err != nil {
-		return nil, nil, err
+		res.Diagnostics = append(res.Diagnostics,
+			Diagnostic{Severity: SeverityError, Stage: "opt", Msg: err.Error()})
+		return res, err
 	}
-	if !wantStats {
-		return &Program{rtl: p}, nil, nil
+	for _, d := range ctx.Diags() {
+		res.Diagnostics = append(res.Diagnostics, Diagnostic{
+			Severity: Severity(d.Sev),
+			Stage:    d.Stage,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Col,
+			Pass:     d.Pass,
+			Func:     d.Func,
+			Msg:      d.Msg,
+		})
 	}
 	st := ctx.Stats()
-	cs := &CompileStats{Funcs: st.Funcs, Total: st.Total, table: st.Table()}
+	res.Stats = &CompileStats{Funcs: st.Funcs, Total: st.Total, table: st.Table()}
 	for _, ps := range st.Passes() {
-		cs.Passes = append(cs.Passes, PassStat{
+		res.Stats.Passes = append(res.Stats.Passes, PassStat{
 			Name:       ps.Name,
 			Calls:      ps.Calls,
 			Fires:      ps.Fires,
@@ -159,15 +265,29 @@ func compile(src string, o Options, debug io.Writer, wantStats bool) (*Program, 
 			Rounds:     ps.Rounds,
 		})
 	}
-	return &Program{rtl: p}, cs, nil
+	res.Program = &Program{rtl: p}
+	if cfg.Strict {
+		for _, d := range res.Diagnostics {
+			if d.Severity >= SeverityDegraded {
+				return res, fmt.Errorf("strict: %s", d)
+			}
+		}
+	}
+	return res, nil
 }
 
 // Assemble parses a program in WM assembler syntax (the format Listing
-// emits), for running hand-written code on the simulator.
+// emits), for running hand-written code on the simulator.  The parsed
+// program is validated against the RTL structural invariants, so a
+// branch to a label the program never defines is reported here rather
+// than surfacing as a simulator fault.
 func Assemble(asm string) (*Program, error) {
 	p, err := rtl.Parse(asm)
 	if err != nil {
 		return nil, err
+	}
+	if err := rtl.CheckProgram(p, true); err != nil {
+		return nil, fmt.Errorf("assemble: %w", err)
 	}
 	return &Program{rtl: p}, nil
 }
@@ -187,11 +307,12 @@ func (p *Program) FuncListing(name string) string {
 
 // Machine configures the simulated WM implementation.
 type Machine struct {
-	MemLatency int // cycles from memory request to data arrival
-	MemPorts   int // memory requests accepted per cycle
-	FIFODepth  int // entries per data FIFO
-	QueueDepth int // entries per unit instruction queue
-	NumSCU     int // stream control units
+	MemLatency    int // cycles from memory request to data arrival
+	MemPorts      int // memory requests accepted per cycle
+	FIFODepth     int // entries per data FIFO
+	QueueDepth    int // entries per unit instruction queue
+	NumSCU        int // stream control units
+	WatchdogSlack int // no-progress cycles beyond MemLatency before a deadlock is declared
 }
 
 // DefaultMachine returns the configuration used by the reproduction
@@ -199,13 +320,31 @@ type Machine struct {
 func DefaultMachine() Machine {
 	c := sim.DefaultConfig()
 	return Machine{
-		MemLatency: c.MemLatency,
-		MemPorts:   c.MemPorts,
-		FIFODepth:  c.FIFODepth,
-		QueueDepth: c.QueueDepth,
-		NumSCU:     c.NumSCU,
+		MemLatency:    c.MemLatency,
+		MemPorts:      c.MemPorts,
+		FIFODepth:     c.FIFODepth,
+		QueueDepth:    c.QueueDepth,
+		NumSCU:        c.NumSCU,
+		WatchdogSlack: c.WatchdogSlack,
 	}
 }
+
+// Typed simulator failures, re-exported from the simulator so callers
+// can dissect a failed Run with errors.As:
+//
+//	var dl *wmstream.DeadlockError
+//	if errors.As(err, &dl) { fmt.Println(dl.Snapshot) }
+//
+// A DeadlockError means the machine made no forward progress for
+// WatchdogSlack cycles beyond the memory latency; its Snapshot names
+// the blocked unit, the FIFO it is waiting on, and the instruction at
+// each queue head.  A TrapError is a machine fault (memory access out
+// of range, bad return address, cycle-bound exhaustion).
+type (
+	DeadlockError = sim.DeadlockError
+	TrapError     = sim.TrapError
+	Snapshot      = sim.Snapshot
+)
 
 // Result reports a simulation run.
 type Result struct {
@@ -238,6 +377,9 @@ func Run(p *Program, m Machine) (Result, error) {
 	}
 	if m.NumSCU > 0 {
 		cfg.NumSCU = m.NumSCU
+	}
+	if m.WatchdogSlack > 0 {
+		cfg.WatchdogSlack = m.WatchdogSlack
 	}
 	var out bytes.Buffer
 	cfg.Output = &out
