@@ -3,16 +3,18 @@
 //
 // Usage:
 //
-//	wmcc [-O level] [-fn name] [-o out.wm] [-stats] [-strict] [-debug-passes] file.mc
+//	wmcc [-O level] [-g] [-fn name] [-o out.wm] [-stats] [-strict] [-debug-passes] file.mc
 //
 // Levels: 0 naive, 1 standard optimizations, 2 +recurrence
 // optimization, 3 +streaming (default).  With -fn only that function's
 // listing is printed (handy for comparing against the paper's
-// figures).  -stats prints a per-pass table (invocations, fires,
-// instruction delta, time) to stderr; -debug-passes additionally dumps
-// each function's RTL before optimization and after every pass that
-// changed it (vpo's -d dumps) and runs the RTL invariant checker at
-// every pass boundary.
+// figures).  -g annotates every instruction with its source line
+// ("@N"); wmsim reads the annotations back, so profiles survive the
+// assembly round trip.  -stats prints a per-pass table (invocations,
+// fires, instruction delta, time) to stderr; -debug-passes additionally
+// dumps each function's RTL before optimization and after every pass
+// that changed it (vpo's -d dumps) and runs the RTL invariant checker
+// at every pass boundary.
 //
 // When an optimization pass misbehaves (panics, corrupts the IR, or
 // fails to converge) the compiler contains the fault: the function is
@@ -32,6 +34,7 @@ import (
 
 func main() {
 	level := flag.Int("O", 3, "optimization level 0..3")
+	debugInfo := flag.Bool("g", false, "annotate instructions with @line debug info")
 	fn := flag.String("fn", "", "print only this function's listing")
 	out := flag.String("o", "", "output file (default stdout)")
 	stats := flag.Bool("stats", false, "print per-pass statistics to stderr")
@@ -67,6 +70,9 @@ func main() {
 	p := res.Program
 
 	text := p.Listing()
+	if *debugInfo {
+		text = p.ListingDebug()
+	}
 	if *fn != "" {
 		text = p.FuncListing(*fn)
 		if text == "" {

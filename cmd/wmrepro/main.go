@@ -8,6 +8,12 @@
 //	wmrepro -table 34           Tables III/IV substitute (optimizer quality)
 //	wmrepro -all                everything
 //	wmrepro -size n -reps n     Table I workload parameters
+//	wmrepro -bench-json f.json  per-benchmark telemetry report
+//
+// -bench-json runs every benchmark at -O0 and -O3 and writes a JSON
+// array of records — cycles, memory traffic, stream throughput, and
+// each functional unit's utilization and stall attribution — for
+// machine consumption (dashboards, regression diffs).
 //
 // Table I defaults to the paper's array size of 100,000 (with the
 // kernel repeated so it dominates); pass a smaller -size for a quick
@@ -19,6 +25,7 @@ import (
 	"fmt"
 	"os"
 
+	"wmstream/internal/bench"
 	"wmstream/internal/experiments"
 )
 
@@ -28,9 +35,24 @@ func main() {
 	all := flag.Bool("all", false, "regenerate everything")
 	size := flag.Int("size", 100000, "Table I array size")
 	reps := flag.Int("reps", 10, "Table I kernel repetitions")
+	benchJSON := flag.String("bench-json", "", "write per-benchmark telemetry records to this JSON file")
 	flag.Parse()
 
 	did := false
+	if *benchJSON != "" {
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			fatal(err)
+		}
+		err = bench.WriteJSON(f, bench.Programs(), []int{0, 3})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		did = true
+	}
 	if *all || *fig == 4 || *fig == 5 || *fig == 7 {
 		stages := []int{*fig}
 		if *all {

@@ -1,9 +1,21 @@
-// wmsim runs a WM assembly file (as produced by wmcc) on the
-// cycle-level simulator and reports execution statistics.
+// wmsim runs a WM program on the cycle-level simulator and reports
+// execution statistics.  It accepts WM assembly (as produced by wmcc,
+// any extension but .mc) or Mini-C source (.mc extension, compiled
+// in-process at the chosen -O level).
 //
 // Usage:
 //
-//	wmsim [-latency n] [-ports n] [-fifo n] [-scu n] [-watchdog n] [-stats] file.wm
+//	wmsim [-latency n] [-ports n] [-fifo n] [-scu n] [-watchdog n]
+//	      [-O n] [-stats] [-trace out.json] [-profile] file.{wm,mc}
+//
+// -stats prints the per-unit utilization and stall-attribution table:
+// every cycle of every functional unit charged to issued work,
+// idleness, or the hazard that blocked it.  -trace writes a Chrome
+// trace-event JSON file (load it in Perfetto or chrome://tracing) with
+// one span track per unit, FIFO-occupancy counter tracks, and — when
+// the input is Mini-C — the compile passes on the same timeline.
+// -profile prints the source-level hot-spot report (requires debug
+// info: a .mc input, or assembly with @line annotations from wmcc -g).
 //
 // A run that deadlocks (no forward progress for -watchdog cycles
 // beyond the memory latency) or traps prints a machine snapshot —
@@ -27,20 +39,38 @@ func main() {
 	fifo := flag.Int("fifo", 0, "FIFO depth (0 = default)")
 	scu := flag.Int("scu", 0, "number of stream control units (0 = default)")
 	watchdog := flag.Int("watchdog", 0, "deadlock watchdog slack in cycles (0 = default)")
-	stats := flag.Bool("stats", false, "print execution statistics to stderr")
+	level := flag.Int("O", 3, "optimization level for .mc inputs (0-3)")
+	stats := flag.Bool("stats", false, "print execution statistics and the per-unit stall table to stderr")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (view in Perfetto)")
+	profile := flag.Bool("profile", false, "print the source-level hot-spot profile to stderr")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: wmsim [flags] file.wm")
+		fmt.Fprintln(os.Stderr, "usage: wmsim [flags] file.{wm,mc}")
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
 	}
-	p, err := wmstream.Assemble(string(src))
-	if err != nil {
-		fatal(err)
+
+	var p *wmstream.Program
+	var compileStats *wmstream.CompileStats
+	if strings.HasSuffix(path, ".mc") {
+		res, err := wmstream.CompileWithConfig(string(src),
+			wmstream.CompileConfig{Options: wmstream.LevelOptions(*level)})
+		if err != nil {
+			fatal(err)
+		}
+		p = res.Program
+		compileStats = res.Stats
+	} else {
+		p, err = wmstream.Assemble(string(src))
+		if err != nil {
+			fatal(err)
+		}
 	}
+
 	m := wmstream.DefaultMachine()
 	if *latency > 0 {
 		m.MemLatency = *latency
@@ -57,7 +87,25 @@ func main() {
 	if *watchdog > 0 {
 		m.WatchdogSlack = *watchdog
 	}
-	res, err := wmstream.Run(p, m)
+
+	var opts wmstream.SimOptions
+	var traceFile *os.File
+	if *tracePath != "" {
+		traceFile, err = os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		opts.TraceJSON = traceFile
+		opts.CompileStats = compileStats
+	}
+	opts.Profile = *profile
+
+	res, err := wmstream.RunWithTelemetry(p, m, opts)
+	if traceFile != nil {
+		if cerr := traceFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if res.Output != "" {
 		fmt.Print(res.Output)
 	}
@@ -77,6 +125,14 @@ func main() {
 	if *stats {
 		fmt.Fprintf(os.Stderr, "cycles=%d instructions=%d memreads=%d memwrites=%d streamed=%d\n",
 			res.Cycles, res.Instructions, res.MemReads, res.MemWrites, res.StreamElems)
+		fmt.Fprint(os.Stderr, res.UnitTable())
+	}
+	if *profile {
+		if res.Profile == nil || res.Profile.TotalRetires == 0 {
+			fmt.Fprintln(os.Stderr, "wmsim: no profile data")
+		} else {
+			fmt.Fprint(os.Stderr, res.Profile.Report(20))
+		}
 	}
 }
 

@@ -32,7 +32,7 @@ func Gen(prog *minic.Program) (*rtl.Program, error) {
 	if prog.Func("main") == nil {
 		return nil, fmt.Errorf("acode: program has no main function")
 	}
-	out := &rtl.Program{Entry: "_start"}
+	out := &rtl.Program{Entry: "_start", Source: prog.Source}
 	for _, d := range prog.Globals {
 		item, err := globalData(d)
 		if err != nil {

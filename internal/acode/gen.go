@@ -14,6 +14,7 @@ type generator struct {
 	out  *rtl.Func
 
 	nextLabel int
+	curLine   int                       // source line stamped onto emitted instructions
 	regs      map[*minic.VarSym]rtl.Reg // scalars promoted to virtual registers
 	slots     map[*minic.VarSym]int     // frame offsets of memory-resident locals
 	frame     int
@@ -232,7 +233,21 @@ func classOf(t *minic.Type) rtl.Class {
 
 func fifoOf(c rtl.Class) rtl.Reg { return rtl.Reg{Class: c, N: rtl.FIFO0} }
 
-func (g *generator) emit(i *rtl.Instr) *rtl.Instr { return g.out.Append(i) }
+func (g *generator) emit(i *rtl.Instr) *rtl.Instr {
+	if i.Line == 0 {
+		i.Line = g.curLine
+	}
+	return g.out.Append(i)
+}
+
+// at records the source line subsequent emits are attributed to.  Zero
+// (unknown) positions keep the previous line, so compiler-synthesized
+// code inherits the statement it expands.
+func (g *generator) at(p minic.Pos) {
+	if p.Line > 0 {
+		g.curLine = p.Line
+	}
+}
 
 func (g *generator) newLabel() string {
 	g.nextLabel++

@@ -10,6 +10,7 @@ import (
 // genExpr emits naive code computing e and returns the virtual register
 // holding the value.
 func (g *generator) genExpr(e minic.Expr) (rtl.Reg, error) {
+	g.at(e.Pos())
 	switch x := e.(type) {
 	case *minic.IntLit:
 		t := g.out.NewVirt(rtl.Int)

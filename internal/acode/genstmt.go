@@ -114,6 +114,7 @@ func (g *generator) genStmt(s minic.Stmt) error {
 		return nil
 
 	case *minic.ReturnStmt:
+		g.at(st.Pos)
 		if st.X != nil {
 			v, err := g.genExpr(st.X)
 			if err != nil {
@@ -129,10 +130,12 @@ func (g *generator) genStmt(s minic.Stmt) error {
 		return nil
 
 	case *minic.BreakStmt:
+		g.at(st.Pos)
 		g.emit(rtl.NewJump(g.breakLbl[len(g.breakLbl)-1]))
 		return nil
 
 	case *minic.ContinueStmt:
+		g.at(st.Pos)
 		g.emit(rtl.NewJump(g.contLbl[len(g.contLbl)-1]))
 		return nil
 	}
@@ -144,6 +147,7 @@ func (g *generator) genLocalInit(d *minic.VarDecl) error {
 	if !d.HasInit {
 		return nil
 	}
+	g.at(d.Pos)
 	sym := d.Sym
 	switch {
 	case d.InitStr != "":
@@ -187,6 +191,7 @@ func (g *generator) genLocalInit(d *minic.VarDecl) error {
 // equals sense.  Relational and logical operators branch directly;
 // anything else is compared against zero.
 func (g *generator) genBranch(e minic.Expr, target string, sense bool) error {
+	g.at(e.Pos())
 	switch x := e.(type) {
 	case *minic.Binary:
 		switch x.Op {

@@ -14,14 +14,26 @@ import (
 // with auto-increment when a derived pointer stepped by the element
 // size feeds them.  It exists for the figure reproduction; the cost
 // model (not this listing) is what Table I measures.
-func M68KListing(f *rtl.Func) string {
+func M68KListing(f *rtl.Func) string { return m68kListing(f, false) }
+
+// M68KListingDebug is M68KListing with "| line N" comments wherever
+// the generating source line changes, linking the scalar listing back
+// to the Mini-C source the same way the WM profiler does.
+func M68KListingDebug(f *rtl.Func) string { return m68kListing(f, true) }
+
+func m68kListing(f *rtl.Func, debug bool) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "| %s (MC68020/68881 flavor)\n", f.Name)
 	autoinc := findAutoIncrement(f)
 	skip := map[int]bool{}
+	lastLine := 0
 	for n, i := range f.Code {
 		if skip[n] {
 			continue
+		}
+		if debug && i.Line > 0 && i.Line != lastLine {
+			fmt.Fprintf(&b, "| line %d\n", i.Line)
+			lastLine = i.Line
 		}
 		switch i.Kind {
 		case rtl.KLabel:

@@ -210,6 +210,10 @@ type Program struct {
 	// Strings collects the string-literal symbols created during
 	// checking, in order of appearance.
 	Strings []*StrLit
+
+	// Source is the text the program was parsed from; the code
+	// generator forwards it so the profiler can print source lines.
+	Source string
 }
 
 // Func returns the function with the given name, or nil.

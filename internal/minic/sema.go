@@ -732,5 +732,6 @@ func Compile(src string) (*Program, error) {
 	if err := Check(prog); err != nil {
 		return nil, err
 	}
+	prog.Source = src
 	return prog, nil
 }

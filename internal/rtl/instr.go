@@ -66,6 +66,13 @@ type Instr struct {
 	ID   int // stable id for diagnostics and listings
 	Kind Kind
 
+	// Line is the 1-based source line the instruction was generated
+	// from (0 = unknown).  The expander stamps it, optimization passes
+	// preserve it through Clone, the debug listing renders it as "@N",
+	// and the linker builds the image's line table from it — the chain
+	// the source-level profiler walks back.
+	Line int
+
 	Dst Reg  // KAssign
 	Src Expr // KAssign
 

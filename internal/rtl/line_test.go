@@ -1,0 +1,70 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLineAnnotationRoundTrip: @N source-line annotations survive
+// Parse → StringDebug → Parse unchanged, and the default listing stays
+// free of them (the figure goldens depend on that).
+func TestLineAnnotationRoundTrip(t *testing.T) {
+	p, err := Parse(`
+.entry main
+.func main
+r2 := 1 @4
+r3 := (r2 + 1)
+s32r r2, (r3 + 8) @6
+halt @9
+.end
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	code := p.Funcs[0].Code
+	wantLines := []int{4, 0, 6, 9}
+	for n, w := range wantLines {
+		if code[n].Line != w {
+			t.Errorf("code[%d].Line = %d, want %d", n, code[n].Line, w)
+		}
+	}
+
+	if plain := p.String(); strings.Contains(plain, "@") {
+		t.Errorf("default listing leaks debug annotations:\n%s", plain)
+	}
+	debug := p.StringDebug()
+	for _, want := range []string{"@4", "@6", "@9"} {
+		if !strings.Contains(debug, want) {
+			t.Errorf("debug listing missing %q:\n%s", want, debug)
+		}
+	}
+
+	p2, err := Parse(debug)
+	if err != nil {
+		t.Fatalf("reparse of debug listing: %v", err)
+	}
+	code2 := p2.Funcs[0].Code
+	if len(code2) != len(code) {
+		t.Fatalf("reparse changed instruction count: %d vs %d", len(code2), len(code))
+	}
+	for n := range code {
+		if code2[n].Line != code[n].Line {
+			t.Errorf("round trip changed code[%d].Line: %d vs %d", n, code2[n].Line, code[n].Line)
+		}
+		if code2[n].String() != code[n].String() {
+			t.Errorf("round trip changed code[%d]: %q vs %q", n, code2[n], code[n])
+		}
+	}
+}
+
+// TestCloneKeepsLine: the optimizer clones functions before rewriting
+// them; debug info must not be lost in the copy.
+func TestCloneKeepsLine(t *testing.T) {
+	f := NewFunc("f")
+	i := f.Append(NewAssign(R(2), Imm{V: 7}))
+	i.Line = 12
+	g := f.Clone()
+	if got := g.Code[0].Line; got != 12 {
+		t.Errorf("clone Line = %d, want 12", got)
+	}
+}

@@ -139,7 +139,9 @@ func parseData(rest string) (*DataItem, error) {
 }
 
 // ParseInstr parses a single instruction line (without comments).
-// Optional leading line numbers of the form "12." are skipped.
+// Optional leading line numbers of the form "12." are skipped, and a
+// trailing "@N" token (the debug listing's source-line annotation) is
+// absorbed into Instr.Line.
 func ParseInstr(line string) (*Instr, error) {
 	line = strings.TrimSpace(line)
 	// Strip "NN." line number prefix.
@@ -149,9 +151,25 @@ func ParseInstr(line string) (*Instr, error) {
 			line = strings.TrimSpace(line[dot+1:])
 		}
 	}
+	srcLine := 0
+	if at := strings.LastIndex(line, "@"); at >= 0 {
+		if n, err := strconv.Atoi(strings.TrimSpace(line[at+1:])); err == nil && n > 0 {
+			srcLine = n
+			line = strings.TrimSpace(line[:at])
+		}
+	}
 	if line == "" {
 		return nil, fmt.Errorf("empty instruction")
 	}
+	i, err := parseInstrBody(line)
+	if err != nil {
+		return nil, err
+	}
+	i.Line = srcLine
+	return i, nil
+}
+
+func parseInstrBody(line string) (*Instr, error) {
 	// Label?
 	if strings.HasSuffix(line, ":") && !strings.Contains(line, " ") {
 		return NewLabel(strings.TrimSuffix(line, ":")), nil

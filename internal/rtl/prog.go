@@ -92,7 +92,14 @@ func (f *Func) FindLabel(name string) int {
 
 // Listing renders the function in the paper's figure style: numbered
 // lines, mnemonic column, RTL column, comment column.
-func (f *Func) Listing() string {
+func (f *Func) Listing() string { return f.listing(false) }
+
+// ListingDebug is Listing with source-line annotations: every
+// instruction with a known source line carries a "@N" token that Parse
+// reads back, so debug info survives the assembly round trip.
+func (f *Func) ListingDebug() string { return f.listing(true) }
+
+func (f *Func) listing(debug bool) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, ".func %s frame=%d\n", f.Name, f.Frame)
 	f.Renumber()
@@ -102,6 +109,9 @@ func (f *Func) Listing() string {
 			continue
 		}
 		line := fmt.Sprintf("%3d.     %s", i.ID, formatInstr(i))
+		if debug && i.Line > 0 {
+			line += fmt.Sprintf(" @%d", i.Line)
+		}
 		if i.Note != "" {
 			if pad := 52 - len(line); pad > 0 {
 				line += strings.Repeat(" ", pad)
@@ -120,6 +130,12 @@ type Program struct {
 	Globals []*DataItem
 	Funcs   []*Func
 	Entry   string // name of the function where execution starts
+
+	// Source is the original Mini-C text the program was compiled from
+	// ("" when assembled from text or built by hand).  It is debug
+	// info: the profiler uses it to print the source line a hot spot
+	// attributes to, and it is not serialized by String.
+	Source string
 }
 
 // Global returns the data item with the name, or nil.
@@ -156,7 +172,13 @@ func (p *Program) AddGlobal(g *DataItem) {
 
 // String renders the whole program in assembler syntax accepted by
 // Parse.
-func (p *Program) String() string {
+func (p *Program) String() string { return p.format(false) }
+
+// StringDebug is String with "@N" source-line annotations on every
+// instruction that has them (the output of wmcc -g).
+func (p *Program) StringDebug() string { return p.format(true) }
+
+func (p *Program) format(debug bool) string {
 	var b strings.Builder
 	if p.Entry != "" {
 		fmt.Fprintf(&b, ".entry %s\n", p.Entry)
@@ -172,7 +194,7 @@ func (p *Program) String() string {
 		b.WriteByte('\n')
 	}
 	for _, f := range p.Funcs {
-		b.WriteString(f.Listing())
+		b.WriteString(f.listing(debug))
 	}
 	return b.String()
 }

@@ -33,7 +33,11 @@
 //     leftover memory recurrences.
 package sim
 
-import "io"
+import (
+	"io"
+
+	"wmstream/internal/telemetry"
+)
 
 // Config sets the machine parameters.  The zero value is unusable; use
 // DefaultConfig.
@@ -74,6 +78,14 @@ type Config struct {
 	Output io.Writer
 	// Trace, when non-nil, receives a line per executed instruction.
 	Trace io.Writer
+	// TraceSink, when non-nil, receives Chrome trace events: one span
+	// track per functional unit plus FIFO/queue occupancy counters.
+	// When nil the hot path pays a single pointer check and allocates
+	// nothing.
+	TraceSink *telemetry.Trace
+	// Profile enables per-instruction retirement counting for the
+	// source-level profiler (Machine.Retired).
+	Profile bool
 }
 
 // DefaultConfig returns the parameters used throughout the paper
@@ -111,4 +123,9 @@ type Stats struct {
 	IFUStallFull  int64 // cycles the IFU waited on a full unit queue
 	Instructions  int64 // total instructions executed (all units + IFU)
 	StreamsOpened int64
+
+	// Units is the per-unit cycle attribution (IFU, IEU, FEU, SCUs):
+	// every simulated cycle of every unit charged to exactly one cause,
+	// so each unit's counts sum to Cycles on a successful run.
+	Units []telemetry.Unit
 }

@@ -143,8 +143,8 @@ func (m *Machine) snapshot() Snapshot {
 			d := m.queues[c][0]
 			u.HeadInstr = d.i.String()
 			u.HeadPC = d.idx
-			if !m.canIssue(d) {
-				u.BlockedOn = m.blockReason(d)
+			if h := m.issueHazard(d); h.blocked() {
+				u.BlockedOn = h.reason()
 			}
 		}
 		s.Units[c] = u
@@ -162,68 +162,6 @@ func (m *Machine) snapshot() Snapshot {
 		})
 	}
 	return s
-}
-
-// blockReason mirrors canIssue's hazard checks and names the first one
-// that holds the instruction back.
-func (m *Machine) blockReason(d *dispatched) string {
-	i := d.i
-	for _, op := range operandsOf(i) {
-		r := op.reg
-		if r.IsZero() || r.IsFIFO() {
-			continue
-		}
-		if m.pendingWriterBefore(r, d.seq) {
-			return fmt.Sprintf("operand %s (in-flight writer)", r)
-		}
-		limit := m.now
-		if op.outer {
-			limit = m.now + 1
-		}
-		if m.readyAt[r.Class][r.N] > limit {
-			return fmt.Sprintf("operand %s (result not ready until cycle %d)", r, m.readyAt[r.Class][r.N])
-		}
-	}
-	if def, ok := i.Def(); ok && !def.IsZero() && !def.IsFIFO() {
-		if m.pendingAccessBefore(def, d.seq) {
-			return fmt.Sprintf("destination %s (in-flight access)", def)
-		}
-	}
-	reads := fifoReads(i)
-	for c := 0; c < 2; c++ {
-		for n := 0; n < 2; n++ {
-			need := reads[c][n]
-			if need == 0 {
-				continue
-			}
-			fifo := rtl.Reg{Class: rtl.Class(c), N: n}
-			q := m.inFIFO[c][n]
-			if len(q) < need {
-				return fmt.Sprintf("input FIFO %s (empty: %d of %d operands arrived)", fifo, len(q), need)
-			}
-			for k := 0; k < need; k++ {
-				if !q[k].served || q[k].ready > m.now {
-					return fmt.Sprintf("input FIFO %s (head datum still in flight)", fifo)
-				}
-			}
-		}
-	}
-	if i.IsCompare() && len(m.ccFIFO[i.Dst.Class]) >= m.cfg.CCDepth {
-		return fmt.Sprintf("CC FIFO %s (full)", i.Dst.Class)
-	}
-	if i.HasFIFOWrite() && len(m.outFIFO[i.Dst.Class][i.Dst.N]) >= m.cfg.FIFODepth {
-		return fmt.Sprintf("output FIFO %s (full)", i.Dst)
-	}
-	if i.Kind == rtl.KLoad {
-		fifo := rtl.Reg{Class: i.MemClass, N: i.FIFO.N}
-		if len(m.inFIFO[i.MemClass][i.FIFO.N]) >= m.cfg.FIFODepth {
-			return fmt.Sprintf("input FIFO %s (full)", fifo)
-		}
-		if m.inputStreamIssuing(i.MemClass, i.FIFO.N) {
-			return fmt.Sprintf("input FIFO %s (stream still issuing)", fifo)
-		}
-	}
-	return ""
 }
 
 // ifuBlockReason names what is stalling the fetch unit, mirroring the

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"wmstream/internal/rtl"
+	"wmstream/internal/telemetry"
 )
 
 // maxZeroCostOps bounds the number of zero-cost control transfers the
@@ -16,36 +17,53 @@ const maxZeroCostOps = 64
 // transfers itself (unconditional branches free, conditional branches
 // consuming condition codes, stream-count branches, calls and returns)
 // and dispatches at most one instruction per cycle into a unit queue.
+// Every cycle is charged to one telemetry cause; a cycle that executed
+// any zero-cost op counts as issued even when a later op in the same
+// cycle stalled.
 func (m *Machine) stepIFU() {
+	m.account(unitIFU, m.ifuCycle(), nil)
+}
+
+func (m *Machine) ifuCycle() telemetry.Cause {
 	if m.halted {
-		return
+		return telemetry.CauseIdle
 	}
 	if m.ifuWait > 0 {
 		m.ifuWait--
 		m.progress()
-		return
+		return telemetry.CauseFetch
+	}
+	did := false
+	stall := func(c telemetry.Cause) telemetry.Cause {
+		if did {
+			return telemetry.CauseIssued
+		}
+		return c
 	}
 	for zc := 0; zc < maxZeroCostOps; zc++ {
 		if m.pc < 0 || m.pc >= len(m.img.Code) {
 			m.fail("pc out of range: %d", m.pc)
-			return
+			return stall(telemetry.CauseIdle)
 		}
 		i := m.img.Code[m.pc]
 		target := m.img.Target[m.pc]
 		switch i.Kind {
 		case rtl.KJump:
+			m.profTick(m.pc)
 			m.pc = target
 			m.stats.Branches++
 			m.progress()
+			did = true
 			continue
 
 		case rtl.KCondJump:
 			q := m.ccFIFO[i.CCClass]
 			if len(q) == 0 || q[0].ready > m.now {
 				m.stats.BranchStalls++
-				return
+				return stall(telemetry.CauseCCWait)
 			}
 			m.ccFIFO[i.CCClass] = q[1:]
+			m.profTick(m.pc)
 			if q[0].val == i.Sense {
 				m.pc = target
 			} else {
@@ -53,9 +71,11 @@ func (m *Machine) stepIFU() {
 			}
 			m.stats.Branches++
 			m.progress()
+			did = true
 			continue
 
 		case rtl.KJumpNotDone:
+			m.profTick(m.pc)
 			cnt := m.streamIter[i.FIFO.Class][i.FIFO.N]
 			if cnt < 0 { // infinite stream: always taken
 				m.pc = target
@@ -68,69 +88,77 @@ func (m *Machine) stepIFU() {
 			}
 			m.stats.Branches++
 			m.progress()
+			did = true
 			continue
 
 		case rtl.KCall:
 			// The IFU writes the link register; wait out any in-flight
 			// access to it.
 			if len(m.pend[rtl.RegLR]) > 0 {
-				return
+				return stall(telemetry.CauseResultLatency)
 			}
+			m.profTick(m.pc)
 			m.regs[rtl.Int][rtl.LR] = uint64(m.pc + 1)
 			m.readyAt[rtl.Int][rtl.LR] = m.now
 			m.pc = target
 			m.progress()
+			did = true
 			continue
 
 		case rtl.KRet:
 			if len(m.pend[rtl.RegLR]) > 0 || m.readyAt[rtl.Int][rtl.LR] > m.now {
-				return
+				return stall(telemetry.CauseResultLatency)
 			}
 			ret := int(m.regs[rtl.Int][rtl.LR])
 			if ret < 0 || ret >= len(m.img.Code) {
 				m.fail("return to bad address %d", ret)
-				return
+				return stall(telemetry.CauseIdle)
 			}
+			m.profTick(m.pc)
 			m.pc = ret
 			m.progress()
+			did = true
 			continue
 
 		case rtl.KHalt:
+			m.profTick(m.pc)
 			m.halted = true
 			m.progress()
-			return
+			return telemetry.CauseIssued
 
 		case rtl.KPut:
 			if !m.regsQuiet(i.Src) {
-				return
+				return stall(telemetry.CauseResultLatency)
 			}
 			val, ok := m.eval(i.Src)
 			if !ok {
-				return
+				return stall(telemetry.CauseIdle)
 			}
+			m.profTick(m.pc)
 			m.put(i.Fmt, val, i.Src.Class())
 			m.pc++
 			m.stats.Dispatched++
 			m.stats.Instructions++
 			m.progress()
-			return // consumes the dispatch slot
+			return telemetry.CauseIssued // consumes the dispatch slot
 
 		case rtl.KStreamIn, rtl.KStreamOut, rtl.KStreamStop:
 			if !m.startStream(i) {
-				return
+				return stall(telemetry.CauseStreamBusy)
 			}
+			m.profTick(m.pc)
 			m.pc++
 			m.stats.Dispatched++
 			m.stats.Instructions++
 			m.progress()
-			return
+			return telemetry.CauseIssued
 
 		default:
 			// Dispatch into a unit queue.
 			c := unitOf(i)
 			if len(m.queues[c]) >= m.cfg.QueueDepth {
 				m.stats.IFUStallFull++
-				return
+				return stall(telemetry.CauseQueueFull)
 			}
 			m.seq++
 			d := &dispatched{idx: m.pc, i: i, seq: m.seq}
@@ -140,9 +168,10 @@ func (m *Machine) stepIFU() {
 			m.stats.Dispatched++
 			m.ifuWait = i.Words() - 1
 			m.progress()
-			return
+			return telemetry.CauseIssued
 		}
 	}
+	return telemetry.CauseIssued // zero-cost budget exhausted mid-cycle
 }
 
 // regsQuiet reports whether every register in the expression is free of

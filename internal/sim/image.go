@@ -22,6 +22,12 @@ type Image struct {
 	// FuncOf maps an instruction index to its function name (for
 	// diagnostics).
 	FuncOf []string
+	// Line maps an instruction index to its 1-based source line
+	// (0 = unknown).  Within each function, instructions without their
+	// own line inherit the nearest stamped neighbor (previous first,
+	// else next), so compiler-synthesized prologue/epilogue code
+	// attributes to the function rather than vanishing from profiles.
+	Line []int
 }
 
 type initChunk struct {
@@ -58,6 +64,7 @@ func Link(p *rtl.Program) (*Image, error) {
 	labelAt := map[string]int{} // "fn.label" -> index
 	for _, f := range p.Funcs {
 		funcEntry[f.Name] = len(img.Code)
+		fnStart := len(img.Code)
 		for _, i := range f.Code {
 			if err := checkNoVirtual(i, f.Name); err != nil {
 				return nil, err
@@ -70,11 +77,14 @@ func Link(p *rtl.Program) (*Image, error) {
 			}
 			img.Code = append(img.Code, i)
 			img.FuncOf = append(img.FuncOf, f.Name)
+			img.Line = append(img.Line, i.Line)
 		}
 		// A label at the very end of a function points past the code;
 		// ensure something is there.
 		img.Code = append(img.Code, &rtl.Instr{Kind: rtl.KRet})
 		img.FuncOf = append(img.FuncOf, f.Name)
+		img.Line = append(img.Line, 0)
+		inheritLines(img.Line[fnStart:])
 	}
 
 	// Resolve branch targets and calls.
@@ -108,6 +118,30 @@ func Link(p *rtl.Program) (*Image, error) {
 	}
 	img.Entry = e
 	return img, nil
+}
+
+// inheritLines fills unknown (zero) entries of one function's line
+// slice: each inherits the previous known line, and leading zeros take
+// the first known line.  A function with no debug info stays all zero.
+func inheritLines(lines []int) {
+	last := 0
+	for n, l := range lines {
+		if l != 0 {
+			last = l
+		} else if last != 0 {
+			lines[n] = last
+		}
+	}
+	first := 0
+	for _, l := range lines {
+		if l != 0 {
+			first = l
+			break
+		}
+	}
+	for n := 0; n < len(lines) && lines[n] == 0; n++ {
+		lines[n] = first
+	}
 }
 
 func checkNoVirtual(i *rtl.Instr, fn string) error {

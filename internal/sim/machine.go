@@ -5,6 +5,17 @@ import (
 	"math"
 
 	"wmstream/internal/rtl"
+	"wmstream/internal/telemetry"
+)
+
+// Telemetry unit indices: the IFU, the two execution units, then one
+// slot per stream control unit.  Every unit is charged exactly one
+// telemetry.Cause per simulated cycle.
+const (
+	unitIFU = iota
+	unitIEU
+	unitFEU
+	unitSCU0
 )
 
 // pendAccess records an in-flight (dispatched, not yet executed)
@@ -103,6 +114,16 @@ type Machine struct {
 	lastUnit     string // the unit that retired it
 	stats        Stats
 	err          error
+
+	// unitCounts is the per-unit cycle attribution (always on: the
+	// counters are flat array increments, allocated once here).
+	unitCounts []telemetry.Unit
+	// rec streams events into cfg.TraceSink; nil when tracing is off,
+	// so the hot path pays one nil check.
+	rec *recorder
+	// retired counts issue events per code index for the source-level
+	// profiler; nil unless cfg.Profile.
+	retired []int64
 }
 
 // New builds a machine for the linked image.  When the image's global
@@ -126,14 +147,65 @@ func New(img *Image, cfg Config) *Machine {
 	for n := range m.scus {
 		m.scus[n] = &scu{}
 	}
+	m.unitCounts = make([]telemetry.Unit, unitSCU0+cfg.NumSCU)
+	m.unitCounts[unitIFU].Name = "IFU"
+	m.unitCounts[unitIEU].Name = "IEU"
+	m.unitCounts[unitFEU].Name = "FEU"
+	for n := 0; n < cfg.NumSCU; n++ {
+		m.unitCounts[unitSCU0+n].Name = fmt.Sprintf("SCU%d", n)
+	}
+	if cfg.TraceSink != nil {
+		m.rec = newRecorder(cfg.TraceSink, m.unitCounts)
+	}
+	if cfg.Profile {
+		m.retired = make([]int64, len(img.Code))
+	}
 	return m
 }
+
+// account charges one cycle of unit u to the cause.  d carries the
+// issuing instruction for execution units (nil elsewhere); the recorder
+// names the trace span after it.
+func (m *Machine) account(u int, c telemetry.Cause, d *dispatched) {
+	m.unitCounts[u].Add(c)
+	if m.rec != nil {
+		var name string
+		if d != nil {
+			name = d.i.String()
+		}
+		m.rec.record(u, c, name, m.now)
+	}
+}
+
+// profTick credits one retirement to the instruction at code index idx
+// for the source-line profiler.
+func (m *Machine) profTick(idx int) {
+	if m.retired != nil && idx >= 0 && idx < len(m.retired) {
+		m.retired[idx]++
+	}
+}
+
+// Retired returns the per-instruction retirement counts collected when
+// Config.Profile is set (nil otherwise).  Index = code address; combine
+// with Image.Line for source-level attribution.
+func (m *Machine) Retired() []int64 { return m.retired }
 
 // Run simulates to completion and returns the statistics.  A machine
 // fault returns a *TrapError; a watchdog expiry (no forward progress
 // for MemLatency+WatchdogSlack cycles) returns a *DeadlockError.  Both
 // carry a Snapshot of the stuck machine.
 func (m *Machine) Run() (Stats, error) {
+	st, err := m.run()
+	// Even a failed run flushes the trace and reports attribution: the
+	// timeline up to a deadlock is exactly the forensic record wanted.
+	if m.rec != nil {
+		m.rec.flush(m.now + 1)
+	}
+	st.Units = append([]telemetry.Unit(nil), m.unitCounts...)
+	return st, err
+}
+
+func (m *Machine) run() (Stats, error) {
 	slack := int64(m.cfg.WatchdogSlack)
 	if slack <= 0 {
 		slack = int64(DefaultConfig().WatchdogSlack)
@@ -153,6 +225,9 @@ func (m *Machine) Run() (Stats, error) {
 		m.stepUnit(rtl.Int)
 		m.stepUnit(rtl.Float)
 		m.stepIFU()
+		if m.rec != nil {
+			m.sampleCounters()
+		}
 		if m.err != nil {
 			return m.stats, m.err
 		}
@@ -162,6 +237,31 @@ func (m *Machine) Run() (Stats, error) {
 	}
 	m.stats.Cycles = m.now
 	return m.stats, nil
+}
+
+// sampleCounters feeds the occupancy gauges (FIFOs, CC queues, unit
+// queues, memory write queue) to the trace recorder once per cycle.
+func (m *Machine) sampleCounters() {
+	k := 0
+	sample := func(v int) {
+		m.rec.counter(k, int64(v), m.now)
+		k++
+	}
+	for c := 0; c < 2; c++ {
+		for n := 0; n < 2; n++ {
+			sample(len(m.inFIFO[c][n]))
+		}
+	}
+	for c := 0; c < 2; c++ {
+		for n := 0; n < 2; n++ {
+			sample(len(m.outFIFO[c][n]))
+		}
+	}
+	sample(len(m.ccFIFO[0]))
+	sample(len(m.ccFIFO[1]))
+	sample(len(m.queues[0]))
+	sample(len(m.queues[1]))
+	sample(len(m.writeQueue))
 }
 
 // Mem returns the memory image (for tests to inspect results).
@@ -245,16 +345,20 @@ func (m *Machine) outputStreamActive(c rtl.Class, n int) bool {
 }
 
 func (m *Machine) stepSCUs() {
-	for _, s := range m.scus {
+	for k, s := range m.scus {
+		u := unitSCU0 + k
 		if !s.active || s.remaining == 0 {
+			m.account(u, telemetry.CauseIdle, nil)
 			continue
 		}
 		if m.portsLeft == 0 {
-			return
+			m.account(u, telemetry.CauseMemPort, nil)
+			continue
 		}
 		if s.input {
 			q := m.inFIFO[s.class][s.fifoN]
 			if len(q) >= m.cfg.FIFODepth {
+				m.account(u, telemetry.CauseFIFOFull, nil)
 				continue
 			}
 			// Stream reads bypass the store-conflict interlock: this is
@@ -280,6 +384,7 @@ func (m *Machine) stepSCUs() {
 		} else {
 			q := m.outFIFO[s.class][s.fifoN]
 			if len(q) == 0 {
+				m.account(u, telemetry.CauseFIFOEmpty, nil)
 				continue
 			}
 			val := q[0]
@@ -289,6 +394,7 @@ func (m *Machine) stepSCUs() {
 			}
 			m.stats.MemWrites++
 		}
+		m.account(u, telemetry.CauseIssued, nil)
 		m.portsLeft--
 		s.base += s.stride
 		if s.remaining > 0 { // negative count = infinite stream

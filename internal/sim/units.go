@@ -2,6 +2,7 @@ package sim
 
 import (
 	"wmstream/internal/rtl"
+	"wmstream/internal/telemetry"
 )
 
 // operand is a register use together with its pipeline stage: outer
@@ -105,90 +106,26 @@ func maxI64(a, b int64) int64 {
 }
 
 func (m *Machine) stepUnit(c rtl.Class) {
+	u := unitIEU + int(c)
 	q := m.queues[c]
 	if len(q) == 0 {
+		m.account(u, telemetry.CauseIdle, nil)
 		return
 	}
 	d := q[0]
-	if !m.canIssue(d) {
+	if h := m.issueHazard(d); h.blocked() {
+		cause := h.cause()
+		if cause == telemetry.CauseFIFOEmpty {
+			m.stats.LoadStalls++
+		}
+		m.account(u, cause, nil)
 		return
 	}
 	m.queues[c] = q[1:]
 	m.removePend(d)
+	m.account(u, telemetry.CauseIssued, d)
 	m.execute(d, c)
 	m.progress()
-}
-
-// canIssue applies the hazard checks: cross-unit pending writes, the
-// inner/outer forwarding distances, FIFO data availability, and space
-// in any queue the instruction will push into.
-func (m *Machine) canIssue(d *dispatched) bool {
-	i := d.i
-	// Register operands.
-	for _, op := range operandsOf(i) {
-		r := op.reg
-		if r.IsZero() || r.IsFIFO() {
-			continue
-		}
-		if m.pendingWriterBefore(r, d.seq) {
-			return false
-		}
-		limit := m.now
-		if op.outer {
-			limit = m.now + 1
-		}
-		if m.readyAt[r.Class][r.N] > limit {
-			return false
-		}
-	}
-	// Destination hazards (WAW and WAR against earlier accesses).
-	if def, ok := i.Def(); ok && !def.IsZero() && !def.IsFIFO() {
-		if m.pendingAccessBefore(def, d.seq) {
-			return false
-		}
-	}
-	// FIFO reads: enough arrived data at the head of each input FIFO.
-	reads := fifoReads(i)
-	for c := 0; c < 2; c++ {
-		for n := 0; n < 2; n++ {
-			need := reads[c][n]
-			if need == 0 {
-				continue
-			}
-			q := m.inFIFO[c][n]
-			if len(q) < need {
-				m.stats.LoadStalls++
-				return false
-			}
-			for k := 0; k < need; k++ {
-				if !q[k].served || q[k].ready > m.now {
-					m.stats.LoadStalls++
-					return false
-				}
-			}
-		}
-	}
-	// Space checks.
-	if i.IsCompare() && len(m.ccFIFO[i.Dst.Class]) >= m.cfg.CCDepth {
-		return false
-	}
-	if i.HasFIFOWrite() && len(m.outFIFO[i.Dst.Class][i.Dst.N]) >= m.cfg.FIFODepth {
-		return false
-	}
-	if i.Kind == rtl.KLoad {
-		if len(m.inFIFO[i.MemClass][i.FIFO.N]) >= m.cfg.FIFODepth {
-			return false
-		}
-		// A scalar load request must not interleave with an input
-		// stream still issuing into the same FIFO: its datum would land
-		// between stream elements and corrupt the queue order.  The
-		// hardware holds the load until the SCU has issued its last
-		// element.
-		if m.inputStreamIssuing(i.MemClass, i.FIFO.N) {
-			return false
-		}
-	}
-	return true
 }
 
 func (m *Machine) inputStreamIssuing(c rtl.Class, n int) bool {
@@ -259,6 +196,7 @@ func (m *Machine) removePend(d *dispatched) {
 // execute performs the instruction's effect at issue time.
 func (m *Machine) execute(d *dispatched, c rtl.Class) {
 	i := d.i
+	m.profTick(d.idx)
 	m.stats.Instructions++
 	m.lastRetired = i.String()
 	if c == rtl.Int {

@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCauseNames(t *testing.T) {
+	// Every cause has a distinct, non-placeholder name; the names are
+	// part of the -stats / JSON report surface.
+	seen := map[string]bool{}
+	for c := 0; c < NumCauses; c++ {
+		name := Cause(c).String()
+		if name == "" || strings.HasPrefix(name, "cause(") {
+			t.Errorf("cause %d has no name", c)
+		}
+		if seen[name] {
+			t.Errorf("duplicate cause name %q", name)
+		}
+		seen[name] = true
+	}
+	if got := Cause(200).String(); got != "cause(200)" {
+		t.Errorf("out-of-range cause = %q", got)
+	}
+}
+
+func TestUnitMath(t *testing.T) {
+	var u Unit
+	u.Name = "IEU"
+	for i := 0; i < 3; i++ {
+		u.Add(CauseIssued)
+	}
+	u.Add(CauseIdle)
+	u.Add(CauseFIFOEmpty)
+	u.Add(CauseFIFOEmpty)
+	u.Add(CauseResultLatency)
+	u.Add(CauseCCWait)
+	if got := u.Total(); got != 8 {
+		t.Errorf("Total = %d, want 8", got)
+	}
+	if got := u.Issued(); got != 3 {
+		t.Errorf("Issued = %d, want 3", got)
+	}
+	if got := u.Stalled(); got != 4 {
+		t.Errorf("Stalled = %d, want 4", got)
+	}
+	if got := u.Utilization(); got != 37.5 {
+		t.Errorf("Utilization = %g, want 37.5", got)
+	}
+	if got := (Unit{}).Utilization(); got != 0 {
+		t.Errorf("empty Utilization = %g, want 0", got)
+	}
+}
+
+func TestFormatUnitsGolden(t *testing.T) {
+	units := []Unit{
+		{Name: "IFU"},
+		{Name: "IEU"},
+	}
+	units[0].Counts[CauseIssued] = 412
+	units[0].Counts[CauseIdle] = 583
+	units[0].Counts[CauseQueueFull] = 5
+	units[1].Counts[CauseIssued] = 250
+	units[1].Counts[CauseFIFOEmpty] = 750
+	got := FormatUnits(units)
+	want := "" +
+		"unit   util%     issued       idle fifo-empty  fifo-full    cc-wait   mem-port result-latency stream-busy queue-full      fetch\n" +
+		"IFU     41.2        412        583          0          0          0          0              0           0          5          0\n" +
+		"IEU     25.0        250          0        750          0          0          0              0           0          0          0\n"
+	if got != want {
+		t.Errorf("FormatUnits mismatch\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestTraceJSON(t *testing.T) {
+	tr := NewTrace()
+	tr.ProcessName(PidSim, "wm machine")
+	tr.ThreadName(PidSim, 1, "IFU")
+	tr.Span(PidSim, 1, 5, 0, `add "x"\y`) // dur clamps to 1, name escapes
+	tr.Counter(PidSim, 7, "fifo.in.r0", 3)
+
+	var b strings.Builder
+	n, err := tr.WriteTo(&b)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	out := b.String()
+	if int64(len(out)) != n {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, len(out))
+	}
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(doc.TraceEvents) != 4 || tr.Events() != 4 {
+		t.Fatalf("got %d events, want 4", len(doc.TraceEvents))
+	}
+	span := doc.TraceEvents[2]
+	if span["ph"] != "X" || span["dur"] != float64(1) || span["ts"] != float64(5) {
+		t.Errorf("span event wrong: %v", span)
+	}
+	if span["name"] != `add "x"\y` {
+		t.Errorf("span name did not round-trip: %q", span["name"])
+	}
+	if ctr := doc.TraceEvents[3]; ctr["ph"] != "C" {
+		t.Errorf("counter event wrong: %v", ctr)
+	}
+}
+
+func TestTraceCursor(t *testing.T) {
+	tr := NewTrace()
+	if tr.Cursor() != 0 {
+		t.Fatalf("fresh cursor = %d", tr.Cursor())
+	}
+	tr.CompileSpan(1, "Fold", 120)
+	tr.CompileSpan(1, "CopyProp", 0) // clamps to 1
+	if got := tr.Cursor(); got != 121 {
+		t.Errorf("cursor after compile spans = %d, want 121", got)
+	}
+	tr.Advance(-5) // never backward
+	tr.Advance(9)
+	if got := tr.Cursor(); got != 130 {
+		t.Errorf("cursor after Advance = %d, want 130", got)
+	}
+}
+
+func TestQuoteControlChars(t *testing.T) {
+	// Control characters become \u escapes so the JSON stays one line
+	// per event.
+	got := quote("a\nb\tc")
+	if want := "\"a\\u000ab\\u0009c\""; got != want {
+		t.Errorf("quote = %s, want %s", got, want)
+	}
+	var s string
+	if err := json.Unmarshal([]byte(got), &s); err != nil || s != "a\nb\tc" {
+		t.Errorf("quote output does not round-trip: %q, %v", s, err)
+	}
+}

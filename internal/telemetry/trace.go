@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Trace builds a Chrome trace-event JSON file (the format Perfetto and
+// chrome://tracing load).  One simulated cycle maps to one microsecond
+// of trace time, so cycle numbers read directly off the timeline.
+//
+// Events are rendered to their final JSON text as they are added and
+// emitted in insertion order, with no timestamps or map iteration
+// involved, so two identical runs produce byte-identical files — the
+// property the determinism test locks in.
+//
+// The cursor separates clock domains sharing one timeline: compile
+// spans advance it past their wall-clock extent, and the simulator
+// records its cycles relative to wherever the cursor points, so a
+// single Perfetto view shows compile passes followed by execution.
+type Trace struct {
+	events []string
+	cursor int64
+}
+
+// Process/track IDs used by the compiler and simulator recorders.
+const (
+	PidCompile = 1 // compile-phase spans (one track per pipeline)
+	PidSim     = 2 // simulator spans and counters (one track per unit)
+)
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Cursor returns the current timeline position in microseconds.
+func (t *Trace) Cursor() int64 { return t.cursor }
+
+// Advance moves the cursor forward (never backward).
+func (t *Trace) Advance(d int64) {
+	if d > 0 {
+		t.cursor += d
+	}
+}
+
+// Events reports how many events have been recorded.
+func (t *Trace) Events() int { return len(t.events) }
+
+// ProcessName labels a pid in the trace viewer.
+func (t *Trace) ProcessName(pid int, name string) {
+	t.events = append(t.events, fmt.Sprintf(
+		`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%s}}`,
+		pid, quote(name)))
+}
+
+// ThreadName labels a (pid, tid) track in the trace viewer.
+func (t *Trace) ThreadName(pid, tid int, name string) {
+	t.events = append(t.events, fmt.Sprintf(
+		`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+		pid, tid, quote(name)))
+}
+
+// Span records a complete ("X") event of dur microseconds at ts.
+func (t *Trace) Span(pid, tid int, ts, dur int64, name string) {
+	if dur < 1 {
+		dur = 1
+	}
+	t.events = append(t.events, fmt.Sprintf(
+		`{"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d,"name":%s}`,
+		pid, tid, ts, dur, quote(name)))
+}
+
+// Counter records a counter ("C") sample; the viewer draws one counter
+// track per name interpolating between samples.
+func (t *Trace) Counter(pid int, ts int64, name string, value int64) {
+	t.events = append(t.events, fmt.Sprintf(
+		`{"ph":"C","pid":%d,"tid":0,"ts":%d,"name":%s,"args":{"value":%d}}`,
+		pid, ts, quote(name), value))
+}
+
+// CompileSpan appends a compile-phase span at the cursor and advances
+// the cursor past it, laying passes end to end.
+func (t *Trace) CompileSpan(tid int, name string, durMicros int64) {
+	if durMicros < 1 {
+		durMicros = 1
+	}
+	t.Span(PidCompile, tid, t.cursor, durMicros, name)
+	t.cursor += durMicros
+}
+
+// WriteTo renders the whole trace as a JSON object.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	write := func(s string) error {
+		k, err := io.WriteString(w, s)
+		n += int64(k)
+		return err
+	}
+	if err := write("{\"traceEvents\":[\n"); err != nil {
+		return n, err
+	}
+	for i, e := range t.events {
+		sep := ",\n"
+		if i == len(t.events)-1 {
+			sep = "\n"
+		}
+		if err := write(e + sep); err != nil {
+			return n, err
+		}
+	}
+	return n, write("]}\n")
+}
+
+// quote JSON-encodes a string without importing encoding/json (keeps
+// output formatting under our control, byte for byte).
+func quote(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case c < 0x20:
+			fmt.Fprintf(&b, `\u%04x`, c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

@@ -1,0 +1,212 @@
+package wmstream
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"wmstream/internal/sim"
+	"wmstream/internal/telemetry"
+)
+
+// SimOptions selects the telemetry a RunWithTelemetry call collects on
+// top of the plain Result.  The zero value collects only the per-unit
+// stall attribution (always on — it is a handful of counter arrays).
+type SimOptions struct {
+	// TraceJSON, when non-nil, receives a Chrome trace-event JSON file
+	// at the end of the run (load it in Perfetto or chrome://tracing):
+	// one span track per functional unit, counter tracks for FIFO and
+	// queue occupancies, cycle N at timestamp N-1 microseconds.
+	TraceJSON io.Writer
+	// CompileStats, when set together with TraceJSON, prepends one span
+	// per optimizer pass to the trace, so a single timeline shows the
+	// compile phases followed by the simulated execution.
+	CompileStats *CompileStats
+	// Profile collects the source-level hot-spot profile (requires the
+	// program to carry debug info — compiled from Mini-C, or assembled
+	// from a listing with @line annotations).
+	Profile bool
+}
+
+// UnitBreakdown is one functional unit's cycle attribution: every
+// simulated cycle charged to issued work, idleness, or a specific
+// stall cause.  Issued + Idle + the Stalls values sum to Total, which
+// equals the run's cycle count.
+type UnitBreakdown struct {
+	Unit        string
+	Total       int64
+	Issued      int64
+	Idle        int64
+	Utilization float64          // issued fraction of all cycles, percent
+	Stalls      map[string]int64 // stall cause -> cycles
+}
+
+// LineCost is retirement work attributed to one source line.
+type LineCost struct {
+	Line    int
+	Retires int64
+	Text    string // the source line, when the program carries its text
+}
+
+// Profile is a source-level hot-spot profile: instruction retirements
+// mapped back through the debug line table.
+type Profile struct {
+	TotalRetires int64      // all retirement events in the run
+	Attributed   int64      // retirements whose instruction has a known line
+	Lines        []LineCost // hottest first
+}
+
+// AttributedPct reports the fraction of retirements with a known
+// source line, in percent.
+func (p *Profile) AttributedPct() float64 {
+	if p.TotalRetires == 0 {
+		return 0
+	}
+	return 100 * float64(p.Attributed) / float64(p.TotalRetires)
+}
+
+// Report renders the top lines of the profile (top <= 0 means all).
+func (p *Profile) Report(top int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile: %.1f%% of %d retirements attributed to source lines\n",
+		p.AttributedPct(), p.TotalRetires)
+	fmt.Fprintf(&b, "%10s %6s  %s\n", "retires", "line", "source")
+	for n, l := range p.Lines {
+		if top > 0 && n >= top {
+			break
+		}
+		fmt.Fprintf(&b, "%10d %6d  %s\n", l.Retires, l.Line, l.Text)
+	}
+	return b.String()
+}
+
+// SimResult is Result plus the telemetry of the run.
+type SimResult struct {
+	Result
+	// Units holds the per-unit cycle attribution: IFU, IEU, FEU, then
+	// one entry per stream control unit.
+	Units []UnitBreakdown
+	// Profile is the source-level profile (nil unless requested).
+	Profile *Profile
+
+	unitTable string
+}
+
+// UnitTable renders the per-unit breakdown as a stable aligned table
+// (the output of wmsim -stats).
+func (r *SimResult) UnitTable() string { return r.unitTable }
+
+// RunWithTelemetry executes the program like Run and additionally
+// collects per-unit stall attribution, an optional Chrome trace, and an
+// optional source-level profile.  On simulator errors the telemetry
+// collected up to the fault is still returned (and the trace still
+// written): the timeline leading into a deadlock is the forensic
+// record.
+func RunWithTelemetry(p *Program, m Machine, o SimOptions) (SimResult, error) {
+	img, err := sim.Link(p.rtl)
+	if err != nil {
+		return SimResult{}, err
+	}
+	cfg := simConfig(m)
+	var out bytes.Buffer
+	cfg.Output = &out
+	var tr *telemetry.Trace
+	if o.TraceJSON != nil {
+		tr = telemetry.NewTrace()
+		if o.CompileStats != nil {
+			emitCompileSpans(tr, o.CompileStats)
+		}
+		cfg.TraceSink = tr
+	}
+	cfg.Profile = o.Profile
+	machine := sim.New(img, cfg)
+	stats, rerr := machine.Run()
+	res := SimResult{
+		Result: Result{
+			Cycles:       stats.Cycles,
+			Instructions: stats.Instructions,
+			MemReads:     stats.MemReads,
+			MemWrites:    stats.MemWrites,
+			StreamElems:  stats.StreamElems,
+			Output:       out.String(),
+		},
+		unitTable: telemetry.FormatUnits(stats.Units),
+	}
+	for _, u := range stats.Units {
+		res.Units = append(res.Units, breakdown(u))
+	}
+	if o.Profile {
+		res.Profile = buildProfile(img, machine.Retired(), p.rtl.Source)
+	}
+	if tr != nil {
+		if _, werr := tr.WriteTo(o.TraceJSON); werr != nil && rerr == nil {
+			rerr = fmt.Errorf("writing trace: %w", werr)
+		}
+	}
+	return res, rerr
+}
+
+func breakdown(u telemetry.Unit) UnitBreakdown {
+	b := UnitBreakdown{
+		Unit:        u.Name,
+		Total:       u.Total(),
+		Issued:      u.Issued(),
+		Idle:        u.Counts[telemetry.CauseIdle],
+		Utilization: u.Utilization(),
+		Stalls:      map[string]int64{},
+	}
+	for c := int(telemetry.CauseIdle) + 1; c < telemetry.NumCauses; c++ {
+		if n := u.Counts[c]; n > 0 {
+			b.Stalls[telemetry.Cause(c).String()] = n
+		}
+	}
+	return b
+}
+
+// emitCompileSpans lays the per-pass compile times end to end on the
+// compile track, advancing the trace cursor so simulator events start
+// after them.
+func emitCompileSpans(tr *telemetry.Trace, cs *CompileStats) {
+	tr.ProcessName(telemetry.PidCompile, "wm compiler")
+	tr.ThreadName(telemetry.PidCompile, 1, "passes")
+	for _, ps := range cs.Passes {
+		tr.CompileSpan(1, ps.Name, ps.Time.Microseconds())
+	}
+}
+
+// buildProfile folds per-instruction retirement counts through the
+// image's line table.
+func buildProfile(img *sim.Image, retired []int64, source string) *Profile {
+	p := &Profile{}
+	byLine := map[int]int64{}
+	for idx, n := range retired {
+		if n == 0 {
+			continue
+		}
+		p.TotalRetires += n
+		if line := img.Line[idx]; line > 0 {
+			p.Attributed += n
+			byLine[line] += n
+		}
+	}
+	var srcLines []string
+	if source != "" {
+		srcLines = strings.Split(source, "\n")
+	}
+	for line, n := range byLine {
+		lc := LineCost{Line: line, Retires: n}
+		if line-1 < len(srcLines) {
+			lc.Text = strings.TrimSpace(srcLines[line-1])
+		}
+		p.Lines = append(p.Lines, lc)
+	}
+	sort.Slice(p.Lines, func(i, j int) bool {
+		if p.Lines[i].Retires != p.Lines[j].Retires {
+			return p.Lines[i].Retires > p.Lines[j].Retires
+		}
+		return p.Lines[i].Line < p.Lines[j].Line
+	})
+	return p
+}

@@ -296,6 +296,11 @@ func Assemble(asm string) (*Program, error) {
 // the paper's figures.
 func (p *Program) Listing() string { return p.rtl.String() }
 
+// ListingDebug is Listing with "@line" debug annotations (the output
+// of wmcc -g); Assemble reads them back, so the source-level profiler
+// works across an assembly round trip.
+func (p *Program) ListingDebug() string { return p.rtl.StringDebug() }
+
 // FuncListing renders one function, or "" if absent.
 func (p *Program) FuncListing(name string) string {
 	f := p.rtl.Func(name)
@@ -356,12 +361,8 @@ type Result struct {
 	Output       string
 }
 
-// Run executes the program to completion on the simulated WM machine.
-func Run(p *Program, m Machine) (Result, error) {
-	img, err := sim.Link(p.rtl)
-	if err != nil {
-		return Result{}, err
-	}
+// simConfig maps the public Machine knobs onto a simulator Config.
+func simConfig(m Machine) sim.Config {
 	cfg := sim.DefaultConfig()
 	if m.MemLatency > 0 {
 		cfg.MemLatency = m.MemLatency
@@ -381,6 +382,16 @@ func Run(p *Program, m Machine) (Result, error) {
 	if m.WatchdogSlack > 0 {
 		cfg.WatchdogSlack = m.WatchdogSlack
 	}
+	return cfg
+}
+
+// Run executes the program to completion on the simulated WM machine.
+func Run(p *Program, m Machine) (Result, error) {
+	img, err := sim.Link(p.rtl)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := simConfig(m)
 	var out bytes.Buffer
 	cfg.Output = &out
 	machine := sim.New(img, cfg)
