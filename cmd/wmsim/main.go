@@ -6,7 +6,8 @@
 // Usage:
 //
 //	wmsim [-latency n] [-ports n] [-fifo n] [-scu n] [-watchdog n]
-//	      [-O n] [-stats] [-trace out.json] [-profile] file.{wm,mc}
+//	      [-O n] [-stats] [-trace out.json] [-profile]
+//	      [-cpuprofile out.pprof] [-memprofile out.pprof] file.{wm,mc}
 //
 // -stats prints the per-unit utilization and stall-attribution table:
 // every cycle of every functional unit charged to issued work,
@@ -16,6 +17,9 @@
 // the input is Mini-C — the compile passes on the same timeline.
 // -profile prints the source-level hot-spot report (requires debug
 // info: a .mc input, or assembly with @line annotations from wmcc -g).
+// -cpuprofile and -memprofile write *host* Go profiles of the
+// simulator itself (inspect with go tool pprof) — the knobs used to
+// tune the simulation engine's own speed.
 //
 // A run that deadlocks (no forward progress for -watchdog cycles
 // beyond the memory latency) or traps prints a machine snapshot —
@@ -28,6 +32,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"wmstream"
@@ -43,6 +49,8 @@ func main() {
 	stats := flag.Bool("stats", false, "print execution statistics and the per-unit stall table to stderr")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (view in Perfetto)")
 	profile := flag.Bool("profile", false, "print the source-level hot-spot profile to stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a host CPU profile of the simulation to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a host heap profile after the simulation to this file (go tool pprof)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: wmsim [flags] file.{wm,mc}")
@@ -100,10 +108,42 @@ func main() {
 	}
 	opts.Profile = *profile
 
+	var cpuFile *os.File
+	if *cpuProfile != "" {
+		cpuFile, err = os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			fatal(err)
+		}
+	}
+
 	res, err := wmstream.RunWithTelemetry(p, m, opts)
+	// The profile must be finalized even when the run failed (a deadlock
+	// or trap exits nonzero below, bypassing defers).
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		if cerr := cpuFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if traceFile != nil {
 		if cerr := traceFile.Close(); cerr != nil && err == nil {
 			err = cerr
+		}
+	}
+	if *memProfile != "" {
+		f, merr := os.Create(*memProfile)
+		if merr != nil {
+			fatal(merr)
+		}
+		runtime.GC() // settle allocations so the heap profile reflects live data
+		if merr := pprof.WriteHeapProfile(f); merr != nil {
+			fatal(merr)
+		}
+		if merr := f.Close(); merr != nil {
+			fatal(merr)
 		}
 	}
 	if res.Output != "" {

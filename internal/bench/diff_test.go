@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"wmstream/internal/rtl"
+	"wmstream/internal/sim"
+)
+
+// The fast engine's correctness contract: for every program, every
+// optimization level, and every machine shape, it must be cycle-exact
+// against the reference interpreter — same statistics (including the
+// per-unit telemetry attribution), same output, same final memory
+// image, same error.  These tests are that contract.
+
+// engineResult is everything externally observable about one run.
+type engineResult struct {
+	stats  sim.Stats
+	output string
+	mem    []byte
+	errStr string
+}
+
+func runEngine(img *sim.Image, cfg sim.Config, eng sim.Engine) engineResult {
+	var out bytes.Buffer
+	cfg.Output = &out
+	cfg.Engine = eng
+	m := sim.New(img, cfg)
+	stats, err := m.Run()
+	r := engineResult{stats: stats, output: out.String(), mem: m.Mem()}
+	if err != nil {
+		r.errStr = err.Error()
+	}
+	return r
+}
+
+// diffEngines compiles the program at the level, runs it under both
+// engines, and fails the test on any observable divergence.
+func diffEngines(t *testing.T, p Program, level int, cfg sim.Config) {
+	t.Helper()
+	rp, err := Compile(p, level)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	img, err := sim.Link(rp)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	ref := runEngine(img, cfg, sim.EngineReference)
+	fast := runEngine(img, cfg, sim.EngineFast)
+
+	if ref.errStr != fast.errStr {
+		t.Fatalf("error mismatch:\nreference: %s\nfast:      %s", ref.errStr, fast.errStr)
+	}
+	if !reflect.DeepEqual(ref.stats, fast.stats) {
+		t.Errorf("stats mismatch:\nreference: %+v\nfast:      %+v", ref.stats, fast.stats)
+	}
+	if ref.output != fast.output {
+		t.Errorf("output mismatch:\nreference: %q\nfast:      %q", ref.output, fast.output)
+	}
+	if !bytes.Equal(ref.mem, fast.mem) {
+		t.Errorf("final memory images differ (lengths %d vs %d)", len(ref.mem), len(fast.mem))
+	}
+	if ref.errStr != "" {
+		return // attribution sums only hold for completed runs
+	}
+	for _, r := range []engineResult{ref, fast} {
+		for _, u := range r.stats.Units {
+			if u.Total() != r.stats.Cycles {
+				t.Errorf("unit %s attribution sums to %d, want Cycles=%d",
+					u.Name, u.Total(), r.stats.Cycles)
+			}
+		}
+	}
+	if p.Expect != "" && fast.output != p.Expect {
+		t.Errorf("output %q, want %q", fast.output, p.Expect)
+	}
+}
+
+// TestEngineDifferential runs the whole Table II suite (plus the
+// Livermore loop) at every optimization level through both engines.
+func TestEngineDifferential(t *testing.T) {
+	progs := append(Programs(), Livermore5(500))
+	for _, p := range progs {
+		for level := 0; level <= 3; level++ {
+			p, level := p, level
+			t.Run(fmt.Sprintf("%s/O%d", p.Name, level), func(t *testing.T) {
+				t.Parallel()
+				diffEngines(t, p, level, sim.DefaultConfig())
+			})
+		}
+	}
+}
+
+// TestEngineDifferentialStressed re-runs a streaming-heavy subset under
+// machine shapes that exercise every fast-path boundary: unit memory
+// latency (events land immediately), a single memory port (SCU/write
+// contention), tiny FIFOs (constant backpressure), one SCU (stream
+// serialization), and tiny unit queues (IFU dispatch stalls).
+func TestEngineDifferentialStressed(t *testing.T) {
+	stress := []struct {
+		name   string
+		adjust func(*sim.Config)
+	}{
+		{"mem-latency-1", func(c *sim.Config) { c.MemLatency = 1 }},
+		{"mem-ports-1", func(c *sim.Config) { c.MemPorts = 1 }},
+		{"fifo-depth-2", func(c *sim.Config) { c.FIFODepth = 2 }},
+		{"num-scu-1", func(c *sim.Config) { c.NumSCU = 1 }},
+		{"queue-depth-2", func(c *sim.Config) { c.QueueDepth = 2 }},
+	}
+	progs := []Program{Banner, IIR, DotProduct, Livermore5(256)}
+	for _, s := range stress {
+		for _, p := range progs {
+			for _, level := range []int{0, 2, 3} {
+				s, p, level := s, p, level
+				t.Run(fmt.Sprintf("%s/%s/O%d", s.name, p.Name, level), func(t *testing.T) {
+					t.Parallel()
+					cfg := sim.DefaultConfig()
+					s.adjust(&cfg)
+					diffEngines(t, p, level, cfg)
+				})
+			}
+		}
+	}
+}
+
+// TestEngineDifferentialDeadlock checks that both engines diagnose a
+// hung machine identically: same watchdog cycle, same snapshot.  The
+// program reads a FIFO that nothing ever feeds.
+func TestEngineDifferentialDeadlock(t *testing.T) {
+	rp, err := rtl.Parse(`
+.entry main
+.func main
+r2 := r0
+halt
+.end
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.WatchdogSlack = 50
+	img, errl := sim.Link(rp)
+	if errl != nil {
+		t.Fatalf("link: %v", errl)
+	}
+	ref := runEngine(img, cfg, sim.EngineReference)
+	fast := runEngine(img, cfg, sim.EngineFast)
+	if ref.errStr == "" || fast.errStr == "" {
+		t.Fatalf("expected deadlock from both engines; reference=%q fast=%q",
+			ref.errStr, fast.errStr)
+	}
+	if ref.errStr != fast.errStr {
+		t.Fatalf("deadlock diagnosis mismatch:\nreference: %s\nfast:      %s",
+			ref.errStr, fast.errStr)
+	}
+	if !reflect.DeepEqual(ref.stats, fast.stats) {
+		t.Errorf("stats mismatch:\nreference: %+v\nfast:      %+v", ref.stats, fast.stats)
+	}
+}
+
+// TestEngineDifferentialMaxCycles checks the MaxCycles trap fires at
+// the same cycle with the same statistics under both engines, including
+// when the bound lands inside a stalled stretch the fast engine skips.
+func TestEngineDifferentialMaxCycles(t *testing.T) {
+	p := Livermore5(256)
+	rp, err := Compile(p, 3)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	img, err := sim.Link(rp)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	for _, max := range []int64{1, 7, 100, 1001, 4999} {
+		max := max
+		t.Run(fmt.Sprintf("max-%d", max), func(t *testing.T) {
+			t.Parallel()
+			cfg := sim.DefaultConfig()
+			cfg.MaxCycles = max
+			ref := runEngine(img, cfg, sim.EngineReference)
+			fast := runEngine(img, cfg, sim.EngineFast)
+			if ref.errStr == "" {
+				t.Fatalf("expected a MaxCycles trap at %d cycles", max)
+			}
+			if ref.errStr != fast.errStr {
+				t.Fatalf("trap mismatch:\nreference: %s\nfast:      %s", ref.errStr, fast.errStr)
+			}
+			if !reflect.DeepEqual(ref.stats, fast.stats) {
+				t.Errorf("stats mismatch:\nreference: %+v\nfast:      %+v", ref.stats, fast.stats)
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package bench
 import (
 	"bytes"
 	"fmt"
+	"time"
 
 	"wmstream/internal/acode"
 	"wmstream/internal/minic"
@@ -17,6 +18,10 @@ type Result struct {
 	Level   int
 	Stats   sim.Stats
 	Output  string
+	// HostNS is the host wall-clock time of the simulation itself
+	// (linking and running, not compilation), for tracking simulator
+	// performance.
+	HostNS int64
 }
 
 // expand runs the front end and the code expander, producing naive RTL
@@ -70,17 +75,20 @@ func Run(rp *rtl.Program, cfg sim.Config) (sim.Stats, string, error) {
 }
 
 // Measure compiles and runs one benchmark at one level with the
-// default machine.
+// default machine, timing the simulation (not the compile).
 func Measure(p Program, level int) (Result, error) {
 	rp, err := Compile(p, level)
 	if err != nil {
 		return Result{}, err
 	}
+	start := time.Now()
 	stats, out, err := Run(rp, sim.DefaultConfig())
+	host := time.Since(start)
 	if err != nil {
 		return Result{}, fmt.Errorf("%s O%d: %w", p.Name, level, err)
 	}
-	return Result{Program: p.Name, Level: level, Stats: stats, Output: out}, nil
+	return Result{Program: p.Name, Level: level, Stats: stats, Output: out,
+		HostNS: host.Nanoseconds()}, nil
 }
 
 // StreamingReduction measures the paper's Table II quantity for one

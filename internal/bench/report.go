@@ -21,8 +21,13 @@ type Record struct {
 	// StreamThroughput is stream elements moved per cycle — the
 	// paper's headline metric approaches 1.0 for the streamed dot
 	// product.
-	StreamThroughput float64      `json:"stream_throughput"`
-	Units            []UnitRecord `json:"units"`
+	StreamThroughput float64 `json:"stream_throughput"`
+	// HostNS is the host wall-clock time of the simulation and
+	// SimCyclesPerSec the resulting simulation speed — the simulator's
+	// own performance, as opposed to the simulated machine's.
+	HostNS          int64        `json:"host_ns"`
+	SimCyclesPerSec float64      `json:"sim_cycles_per_sec"`
+	Units           []UnitRecord `json:"units"`
 }
 
 // UnitRecord is one functional unit's attribution in a Record.
@@ -44,9 +49,13 @@ func NewRecord(r Result) Record {
 		MemReads:     r.Stats.MemReads,
 		MemWrites:    r.Stats.MemWrites,
 		StreamElems:  r.Stats.StreamElems,
+		HostNS:       r.HostNS,
 	}
 	if r.Stats.Cycles > 0 {
 		rec.StreamThroughput = float64(r.Stats.StreamElems) / float64(r.Stats.Cycles)
+	}
+	if r.HostNS > 0 {
+		rec.SimCyclesPerSec = float64(r.Stats.Cycles) / (float64(r.HostNS) / 1e9)
 	}
 	for _, u := range r.Stats.Units {
 		ur := UnitRecord{
@@ -70,7 +79,8 @@ func NewRecord(r Result) Record {
 
 // WriteJSON measures every benchmark at each level and writes the
 // records as an indented JSON array (encoding/json sorts map keys, so
-// the output is deterministic for identical runs).
+// everything except the host wall-clock fields is deterministic for
+// identical runs).
 func WriteJSON(w io.Writer, programs []Program, levels []int) error {
 	var records []Record
 	for _, p := range programs {

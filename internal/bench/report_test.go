@@ -3,6 +3,7 @@ package bench
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"testing"
 )
 
@@ -48,12 +49,29 @@ func TestWriteJSON(t *testing.T) {
 	if records[1].StreamThroughput <= 0 {
 		t.Errorf("-O3 stream throughput = %g, want > 0", records[1].StreamThroughput)
 	}
+	for _, r := range records {
+		if r.HostNS <= 0 || r.SimCyclesPerSec <= 0 {
+			t.Errorf("%s -O%d: host_ns=%d sim_cycles_per_sec=%g, want both > 0",
+				r.Program, r.Level, r.HostNS, r.SimCyclesPerSec)
+		}
+	}
 
+	// Everything except the host wall-clock fields is deterministic
+	// across generations.
 	var buf2 bytes.Buffer
 	if err := WriteJSON(&buf2, programs, levels); err != nil {
 		t.Fatalf("WriteJSON again: %v", err)
 	}
-	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
-		t.Error("two generations of the report differ")
+	var records2 []Record
+	if err := json.Unmarshal(buf2.Bytes(), &records2); err != nil {
+		t.Fatalf("second report is not valid JSON: %v", err)
+	}
+	for i := range records {
+		a, b := records[i], records2[i]
+		a.HostNS, a.SimCyclesPerSec = 0, 0
+		b.HostNS, b.SimCyclesPerSec = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("record %d differs across generations:\n%+v\n%+v", i, a, b)
+		}
 	}
 }

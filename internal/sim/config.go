@@ -39,6 +39,24 @@ import (
 	"wmstream/internal/telemetry"
 )
 
+// Engine selects the simulation loop.  Both engines produce identical
+// cycle counts, statistics, telemetry attribution, memory images and
+// faults (the differential tests in internal/bench assert this across
+// the whole benchmark suite); the fast engine gets there sooner by
+// skipping provably-stalled stretches and batching stream transfers.
+type Engine uint8
+
+const (
+	// EngineAuto picks the fast engine unless a feature that needs
+	// per-cycle observation (Config.TraceSink) forces the reference.
+	EngineAuto Engine = iota
+	// EngineFast requests the event-stepped engine (still demoted to
+	// the reference when TraceSink is set — traces are per-cycle).
+	EngineFast
+	// EngineReference forces the plain cycle-by-cycle interpreter.
+	EngineReference
+)
+
 // Config sets the machine parameters.  The zero value is unusable; use
 // DefaultConfig.
 type Config struct {
@@ -86,6 +104,9 @@ type Config struct {
 	// Profile enables per-instruction retirement counting for the
 	// source-level profiler (Machine.Retired).
 	Profile bool
+	// Engine selects the simulation loop (see Engine).  The zero value
+	// EngineAuto uses the fast engine whenever tracing permits.
+	Engine Engine
 }
 
 // DefaultConfig returns the parameters used throughout the paper

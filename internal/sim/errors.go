@@ -119,10 +119,12 @@ func (m *Machine) snapshot() Snapshot {
 		Cycle:        m.now,
 		PC:           m.pc,
 		Halted:       m.halted,
-		WriteQueue:   len(m.writeQueue),
-		LastRetired:  m.lastRetired,
+		WriteQueue:   m.writeQueue.n,
 		LastUnit:     m.lastUnit,
 		LastProgress: m.lastProgress,
+	}
+	if m.lastRetired != nil {
+		s.LastRetired = m.lastRetired.String()
 	}
 	if m.pc >= 0 && m.pc < len(m.img.Code) {
 		s.Func = m.img.FuncOf[m.pc]
@@ -133,14 +135,14 @@ func (m *Machine) snapshot() Snapshot {
 	}
 	names := [2]string{rtl.Int: "IEU", rtl.Float: "FEU"}
 	for c := 0; c < 2; c++ {
-		u := UnitState{Unit: names[c], QueueLen: len(m.queues[c]), HeadPC: -1, CCFIFO: len(m.ccFIFO[c])}
+		u := UnitState{Unit: names[c], QueueLen: m.queues[c].n, HeadPC: -1, CCFIFO: m.ccFIFO[c].n}
 		for n := 0; n < 2; n++ {
-			u.InFIFO[n] = len(m.inFIFO[c][n])
-			u.OutFIFO[n] = len(m.outFIFO[c][n])
-			u.UnmatchedStores[n] = len(m.unmatchedStores[c][n])
+			u.InFIFO[n] = m.inFIFO[c][n].n
+			u.OutFIFO[n] = m.outFIFO[c][n].n
+			u.UnmatchedStores[n] = m.unmatchedStores[c][n].n
 		}
-		if len(m.queues[c]) > 0 {
-			d := m.queues[c][0]
+		if m.queues[c].n > 0 {
+			d := m.queues[c].at(0)
 			u.HeadInstr = d.i.String()
 			u.HeadPC = d.idx
 			if h := m.issueHazard(d); h.blocked() {
@@ -173,23 +175,23 @@ func (m *Machine) ifuBlockReason() string {
 	i := m.img.Code[m.pc]
 	switch i.Kind {
 	case rtl.KCondJump:
-		q := m.ccFIFO[i.CCClass]
-		if len(q) == 0 {
+		q := &m.ccFIFO[i.CCClass]
+		if q.n == 0 {
 			return fmt.Sprintf("CC FIFO %s (empty)", i.CCClass)
 		}
-		if q[0].ready > m.now {
+		if q.at(0).ready > m.now {
 			return fmt.Sprintf("CC FIFO %s (head not ready)", i.CCClass)
 		}
 	case rtl.KCall, rtl.KRet:
-		if len(m.pend[rtl.RegLR]) > 0 || m.readyAt[rtl.Int][rtl.LR] > m.now {
+		if len(m.pend[rtl.Int][rtl.LR]) > 0 || m.readyAt[rtl.Int][rtl.LR] > m.now {
 			return "link register (in-flight access)"
 		}
 	case rtl.KPut:
-		if !m.regsQuiet(i.Src) {
+		if !m.regsQuietList(m.dec[m.pc].srcRegs) {
 			return "operands (in-flight access or empty FIFO)"
 		}
 	case rtl.KStreamIn, rtl.KStreamOut:
-		if len(m.queues[0]) > 0 || len(m.queues[1]) > 0 {
+		if m.queues[0].n > 0 || m.queues[1].n > 0 {
 			return "unit queues draining before stream start"
 		}
 		if m.fifoBusy(i.MemClass, i.FIFO.N) {
@@ -202,8 +204,8 @@ func (m *Machine) ifuBlockReason() string {
 		}
 		return "no free stream control unit"
 	default:
-		c := unitOf(i)
-		if len(m.queues[c]) >= m.cfg.QueueDepth {
+		c := m.dec[m.pc].unit
+		if m.queues[c].n >= m.cfg.QueueDepth {
 			names := [2]string{rtl.Int: "IEU", rtl.Float: "FEU"}
 			return fmt.Sprintf("%s queue (full)", names[c])
 		}

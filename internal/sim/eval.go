@@ -8,106 +8,87 @@ import (
 	"wmstream/internal/rtl"
 )
 
-// eval computes the raw bits of an expression.  Integer-class values
-// are int64 bit patterns, float-class values are Float64bits.  Reads of
-// FIFO registers dequeue (availability was verified by canIssue);
-// operand evaluation order is left-to-right, matching the hardware's
-// in-order operand fetch.
-func (m *Machine) eval(e rtl.Expr) (uint64, bool) {
-	switch x := e.(type) {
-	case rtl.RegX:
-		r := x.Reg
-		if r.IsZero() {
-			return 0, true
-		}
-		if r.IsFIFO() {
-			q := m.inFIFO[r.Class][r.N]
-			if len(q) == 0 || !q[0].served || q[0].ready > m.now {
-				m.fail("FIFO %s read with no available data", r)
+// evalProg runs a compiled expression program (see decode.go) and
+// returns the raw bits of the result.  Integer-class values are int64
+// bit patterns, float-class values are Float64bits.  Reads of FIFO
+// registers dequeue (availability was verified by the issue hazard
+// check); operand evaluation order is the compiled left-to-right
+// order, matching the hardware's in-order operand fetch.
+//
+// The operand stack lives in the machine and is reused across calls;
+// fault messages were pre-formatted at decode time — this path never
+// allocates and never touches fmt.
+func (m *Machine) evalProg(p eprog) (uint64, bool) {
+	st := m.evalStack[:0]
+	for k := range p {
+		s := &p[k]
+		switch s.op {
+		case eoConst:
+			st = append(st, s.bits)
+		case eoReg:
+			st = append(st, m.regs[s.cls][s.n])
+		case eoFIFO:
+			q := &m.inFIFO[s.cls][s.n]
+			if q.n == 0 || !q.at(0).served || q.at(0).ready > m.now {
+				m.fail("%s", s.msg)
+				m.evalStack = st[:0]
 				return 0, false
 			}
-			m.inFIFO[r.Class][r.N] = q[1:]
-			return q[0].val, true
-		}
-		return m.regs[r.Class][r.N], true
-	case rtl.Imm:
-		return uint64(x.V), true
-	case rtl.FImm:
-		return math.Float64bits(x.V), true
-	case rtl.Sym:
-		addr, ok := m.img.Globals[x.Name]
-		if !ok {
-			m.fail("unknown symbol %q", x.Name)
-			return 0, false
-		}
-		return uint64(addr + x.Off), true
-	case rtl.Bin:
-		l, ok := m.eval(x.L)
-		if !ok {
-			return 0, false
-		}
-		r, ok := m.eval(x.R)
-		if !ok {
-			return 0, false
-		}
-		return m.evalBin(x, l, r)
-	case rtl.Un:
-		v, ok := m.eval(x.X)
-		if !ok {
-			return 0, false
-		}
-		if x.X.Class() == rtl.Float {
-			f, ok := rtl.EvalUnFloat(x.Op, math.Float64frombits(v))
+			st = append(st, q.pop().val)
+		case eoBinInt:
+			b := int64(st[len(st)-1])
+			st = st[:len(st)-1]
+			v, ok := rtl.EvalIntOp(s.rop, int64(st[len(st)-1]), b)
 			if !ok {
-				m.fail("bad float unary %s", x.Op)
+				m.fail("%s", s.msg)
+				m.evalStack = st[:0]
 				return 0, false
 			}
-			return math.Float64bits(f), true
-		}
-		iv, ok := rtl.EvalUnInt(x.Op, int64(v))
-		if !ok {
-			m.fail("bad int unary %s", x.Op)
+			st[len(st)-1] = uint64(v)
+		case eoBinFloat, eoBinFloatRel:
+			b := math.Float64frombits(st[len(st)-1])
+			st = st[:len(st)-1]
+			a := math.Float64frombits(st[len(st)-1])
+			v, ok := rtl.EvalFloatOp(s.rop, a, b)
+			if !ok {
+				m.fail("%s", s.msg)
+				m.evalStack = st[:0]
+				return 0, false
+			}
+			if s.op == eoBinFloatRel {
+				st[len(st)-1] = uint64(int64(v))
+			} else {
+				st[len(st)-1] = math.Float64bits(v)
+			}
+		case eoUnInt:
+			v, ok := rtl.EvalUnInt(s.rop, int64(st[len(st)-1]))
+			if !ok {
+				m.fail("%s", s.msg)
+				m.evalStack = st[:0]
+				return 0, false
+			}
+			st[len(st)-1] = uint64(v)
+		case eoUnFloat:
+			v, ok := rtl.EvalUnFloat(s.rop, math.Float64frombits(st[len(st)-1]))
+			if !ok {
+				m.fail("%s", s.msg)
+				m.evalStack = st[:0]
+				return 0, false
+			}
+			st[len(st)-1] = math.Float64bits(v)
+		case eoCvtIF:
+			st[len(st)-1] = math.Float64bits(float64(int64(st[len(st)-1])))
+		case eoCvtFI:
+			st[len(st)-1] = uint64(int64(math.Float64frombits(st[len(st)-1])))
+		default: // eoFail
+			m.fail("%s", s.msg)
+			m.evalStack = st[:0]
 			return 0, false
 		}
-		return uint64(iv), true
-	case rtl.Cvt:
-		v, ok := m.eval(x.X)
-		if !ok {
-			return 0, false
-		}
-		if x.To == rtl.Float && x.X.Class() == rtl.Int {
-			return math.Float64bits(float64(int64(v))), true
-		}
-		if x.To == rtl.Int && x.X.Class() == rtl.Float {
-			return uint64(int64(math.Float64frombits(v))), true
-		}
-		return v, true
-	case rtl.Mem:
-		m.fail("memory operand %s in WM code (run legalization)", x)
-		return 0, false
 	}
-	m.fail("cannot evaluate %T", e)
-	return 0, false
-}
-
-func (m *Machine) evalBin(x rtl.Bin, l, r uint64) (uint64, bool) {
-	if x.L.Class() == rtl.Float {
-		fv, ok := rtl.EvalFloatOp(x.Op, math.Float64frombits(l), math.Float64frombits(r))
-		if !ok {
-			m.fail("float op %s failed (division by zero?)", x.Op)
-			return 0, false
-		}
-		if x.Op.IsRelational() {
-			return uint64(int64(fv)), true
-		}
-		return math.Float64bits(fv), true
-	}
-	iv, ok := rtl.EvalIntOp(x.Op, int64(l), int64(r))
-	if !ok {
-		m.fail("int op %s failed (division by zero or bad shift)", x.Op)
-		return 0, false
-	}
-	return uint64(iv), true
+	v := st[0]
+	m.evalStack = st[:0]
+	return v, true
 }
 
 func writeTrace(w io.Writer, now int64, unit string, i *rtl.Instr) {

@@ -99,13 +99,11 @@ func (h hazard) reason() string {
 // issue).  It is pure: stat side effects belong to the caller.
 func (m *Machine) issueHazard(d *dispatched) hazard {
 	i := d.i
+	dec := d.dec
 	// Register operands: cross-unit pending writes and forwarding
 	// distances (outer operands forward one cycle earlier).
-	for _, op := range operandsOf(i) {
+	for _, op := range dec.ops {
 		r := op.reg
-		if r.IsZero() || r.IsFIFO() {
-			continue
-		}
 		if m.pendingWriterBefore(r, d.seq) {
 			return hazard{kind: hzPendingWriter, reg: r}
 		}
@@ -118,41 +116,33 @@ func (m *Machine) issueHazard(d *dispatched) hazard {
 		}
 	}
 	// Destination hazards (WAW and WAR against earlier accesses).
-	if def, ok := i.Def(); ok && !def.IsZero() && !def.IsFIFO() {
-		if m.pendingAccessBefore(def, d.seq) {
-			return hazard{kind: hzDestPending, reg: def}
-		}
+	if dec.hasDef && m.pendingAccessBefore(dec.def, d.seq) {
+		return hazard{kind: hzDestPending, reg: dec.def}
 	}
 	// FIFO reads: enough arrived data at the head of each input FIFO.
-	reads := fifoReads(i)
-	for c := 0; c < 2; c++ {
-		for n := 0; n < 2; n++ {
-			need := reads[c][n]
-			if need == 0 {
-				continue
-			}
-			fifo := rtl.Reg{Class: rtl.Class(c), N: n}
-			q := m.inFIFO[c][n]
-			if len(q) < need {
-				return hazard{kind: hzFIFOEmpty, reg: fifo, a: len(q), b: need}
-			}
-			for k := 0; k < need; k++ {
-				if !q[k].served || q[k].ready > m.now {
-					return hazard{kind: hzFIFOInFlight, reg: fifo}
-				}
+	for _, fr := range dec.readList {
+		fifo := rtl.Reg{Class: fr.cls, N: fr.n}
+		q := &m.inFIFO[fr.cls][fr.n]
+		if q.n < fr.need {
+			return hazard{kind: hzFIFOEmpty, reg: fifo, a: q.n, b: fr.need}
+		}
+		for k := 0; k < fr.need; k++ {
+			e := q.at(k)
+			if !e.served || e.ready > m.now {
+				return hazard{kind: hzFIFOInFlight, reg: fifo}
 			}
 		}
 	}
 	// Space checks.
-	if i.IsCompare() && len(m.ccFIFO[i.Dst.Class]) >= m.cfg.CCDepth {
+	if dec.isCompare && m.ccFIFO[i.Dst.Class].n >= m.cfg.CCDepth {
 		return hazard{kind: hzCCFull, cc: i.Dst.Class}
 	}
-	if i.HasFIFOWrite() && len(m.outFIFO[i.Dst.Class][i.Dst.N]) >= m.cfg.FIFODepth {
+	if dec.fifoWrite && m.outFIFO[i.Dst.Class][i.Dst.N].n >= m.cfg.FIFODepth {
 		return hazard{kind: hzOutFull, reg: i.Dst}
 	}
 	if i.Kind == rtl.KLoad {
 		fifo := rtl.Reg{Class: i.MemClass, N: i.FIFO.N}
-		if len(m.inFIFO[i.MemClass][i.FIFO.N]) >= m.cfg.FIFODepth {
+		if m.inFIFO[i.MemClass][i.FIFO.N].n >= m.cfg.FIFODepth {
 			return hazard{kind: hzLoadFull, reg: fifo}
 		}
 		// A scalar load request must not interleave with an input

@@ -57,14 +57,14 @@ func (m *Machine) ifuCycle() telemetry.Cause {
 			continue
 
 		case rtl.KCondJump:
-			q := m.ccFIFO[i.CCClass]
-			if len(q) == 0 || q[0].ready > m.now {
+			q := &m.ccFIFO[i.CCClass]
+			if q.n == 0 || q.at(0).ready > m.now {
 				m.stats.BranchStalls++
 				return stall(telemetry.CauseCCWait)
 			}
-			m.ccFIFO[i.CCClass] = q[1:]
+			cc := q.pop()
 			m.profTick(m.pc)
-			if q[0].val == i.Sense {
+			if cc.val == i.Sense {
 				m.pc = target
 			} else {
 				m.pc++
@@ -94,7 +94,7 @@ func (m *Machine) ifuCycle() telemetry.Cause {
 		case rtl.KCall:
 			// The IFU writes the link register; wait out any in-flight
 			// access to it.
-			if len(m.pend[rtl.RegLR]) > 0 {
+			if len(m.pend[rtl.Int][rtl.LR]) > 0 {
 				return stall(telemetry.CauseResultLatency)
 			}
 			m.profTick(m.pc)
@@ -106,7 +106,7 @@ func (m *Machine) ifuCycle() telemetry.Cause {
 			continue
 
 		case rtl.KRet:
-			if len(m.pend[rtl.RegLR]) > 0 || m.readyAt[rtl.Int][rtl.LR] > m.now {
+			if len(m.pend[rtl.Int][rtl.LR]) > 0 || m.readyAt[rtl.Int][rtl.LR] > m.now {
 				return stall(telemetry.CauseResultLatency)
 			}
 			ret := int(m.regs[rtl.Int][rtl.LR])
@@ -127,15 +127,16 @@ func (m *Machine) ifuCycle() telemetry.Cause {
 			return telemetry.CauseIssued
 
 		case rtl.KPut:
-			if !m.regsQuiet(i.Src) {
+			dec := &m.dec[m.pc]
+			if !m.regsQuietList(dec.srcRegs) {
 				return stall(telemetry.CauseResultLatency)
 			}
-			val, ok := m.eval(i.Src)
+			val, ok := m.evalProg(dec.src)
 			if !ok {
 				return stall(telemetry.CauseIdle)
 			}
 			m.profTick(m.pc)
-			m.put(i.Fmt, val, i.Src.Class())
+			m.put(i.Fmt, val, dec.srcClass)
 			m.pc++
 			m.stats.Dispatched++
 			m.stats.Instructions++
@@ -143,7 +144,7 @@ func (m *Machine) ifuCycle() telemetry.Cause {
 			return telemetry.CauseIssued // consumes the dispatch slot
 
 		case rtl.KStreamIn, rtl.KStreamOut, rtl.KStreamStop:
-			if !m.startStream(i) {
+			if !m.startStream(i, &m.dec[m.pc]) {
 				return stall(telemetry.CauseStreamBusy)
 			}
 			m.profTick(m.pc)
@@ -155,18 +156,19 @@ func (m *Machine) ifuCycle() telemetry.Cause {
 
 		default:
 			// Dispatch into a unit queue.
-			c := unitOf(i)
-			if len(m.queues[c]) >= m.cfg.QueueDepth {
+			dec := &m.dec[m.pc]
+			c := dec.unit
+			if m.queues[c].n >= m.cfg.QueueDepth {
 				m.stats.IFUStallFull++
 				return stall(telemetry.CauseQueueFull)
 			}
 			m.seq++
-			d := &dispatched{idx: m.pc, i: i, seq: m.seq}
-			m.queues[c] = append(m.queues[c], d)
-			m.addPend(d)
+			d := dispatched{idx: m.pc, i: i, dec: dec, seq: m.seq}
+			m.queues[c].push(d)
+			m.addPend(&d)
 			m.pc++
 			m.stats.Dispatched++
-			m.ifuWait = i.Words() - 1
+			m.ifuWait = dec.words - 1
 			m.progress()
 			return telemetry.CauseIssued
 		}
@@ -174,36 +176,33 @@ func (m *Machine) ifuCycle() telemetry.Cause {
 	return telemetry.CauseIssued // zero-cost budget exhausted mid-cycle
 }
 
-// regsQuiet reports whether every register in the expression is free of
+// regsQuietList reports whether every listed register is free of
 // in-flight accesses and ready (the IFU synchronizes on its operands).
-func (m *Machine) regsQuiet(e rtl.Expr) bool {
-	ok := true
-	rtl.ExprRegs(e, func(r rtl.Reg) {
-		if r.IsZero() {
-			return
-		}
+// The lists come from the decode cache with zero registers filtered.
+func (m *Machine) regsQuietList(regs []rtl.Reg) bool {
+	for _, r := range regs {
 		if r.IsFIFO() {
-			q := m.inFIFO[r.Class][r.N]
-			if len(q) == 0 || !q[0].served || q[0].ready > m.now {
-				ok = false
+			q := &m.inFIFO[r.Class][r.N]
+			if q.n == 0 || !q.at(0).served || q.at(0).ready > m.now {
+				return false
 			}
-			return
+			continue
 		}
-		if len(m.pend[r]) > 0 || m.readyAt[r.Class][r.N] > m.now {
-			ok = false
+		if len(m.pend[r.Class][r.N]) > 0 || m.readyAt[r.Class][r.N] > m.now {
+			return false
 		}
-	})
-	return ok
+	}
+	return true
 }
 
 // startStream activates an SCU for a stream instruction (or stops one).
 // Returns false when the IFU must stall (operands not ready or no SCU
 // free).
-func (m *Machine) startStream(i *rtl.Instr) bool {
+func (m *Machine) startStream(i *rtl.Instr, dec *decoded) bool {
 	if i.Kind == rtl.KStreamStop {
 		for _, s := range m.scus {
 			if s.active && s.class == i.FIFO.Class && s.fifoN == i.FIFO.N {
-				s.active = false
+				m.deactivate(s)
 			}
 		}
 		// Discard prefetched stream data the loop never consumed.
@@ -211,18 +210,18 @@ func (m *Machine) startStream(i *rtl.Instr) bool {
 		// pairs and survive, which makes a stop on an inactive stream
 		// harmless — the compiler may place stops on exit paths that
 		// can also be reached without ever starting the stream.
-		q := m.inFIFO[i.FIFO.Class][i.FIFO.N]
-		kept := q[:0]
-		for _, e := range q {
+		q := &m.inFIFO[i.FIFO.Class][i.FIFO.N]
+		for k, live := 0, q.n; k < live; k++ {
+			e := q.pop()
 			if e.seq != 0 {
-				kept = append(kept, e)
+				q.push(e)
 			}
 		}
-		m.inFIFO[i.FIFO.Class][i.FIFO.N] = kept
 		m.streamIter[i.FIFO.Class][i.FIFO.N] = 0
 		return true
 	}
-	if !m.regsQuiet(i.Base) || !m.regsQuiet(i.Count) || !m.regsQuiet(i.Stride) {
+	if !m.regsQuietList(dec.baseRegs) || !m.regsQuietList(dec.countRegs) ||
+		!m.regsQuietList(dec.strideRegs) {
 		return false
 	}
 	// Program-order discipline: instructions dispatched before this
@@ -232,7 +231,7 @@ func (m *Machine) startStream(i *rtl.Instr) bool {
 	// earlier loads have been sequenced breaks the load-vs-stream-store
 	// ordering.  Hold the stream until both queues drain (a few cycles
 	// at loop entry) and the FIFO has no leftover scalar traffic.
-	if len(m.queues[0]) > 0 || len(m.queues[1]) > 0 {
+	if m.queues[0].n > 0 || m.queues[1].n > 0 {
 		return false
 	}
 	if m.fifoBusy(i.MemClass, i.FIFO.N) {
@@ -248,15 +247,15 @@ func (m *Machine) startStream(i *rtl.Instr) bool {
 	if unit == nil {
 		return false
 	}
-	base, ok := m.eval(i.Base)
+	base, ok := m.evalProg(dec.base)
 	if !ok {
 		return false
 	}
-	count, ok := m.eval(i.Count)
+	count, ok := m.evalProg(dec.count)
 	if !ok {
 		return false
 	}
-	stride, ok := m.eval(i.Stride)
+	stride, ok := m.evalProg(dec.stride)
 	if !ok {
 		return false
 	}
@@ -268,6 +267,9 @@ func (m *Machine) startStream(i *rtl.Instr) bool {
 	unit.stride = int64(stride)
 	unit.size = i.MemSize
 	unit.remaining = int64(count)
+	if !unit.input {
+		m.outStreams[unit.class][unit.fifoN]++
+	}
 	m.streamIter[i.MemClass][i.FIFO.N] = int64(count)
 	m.stats.StreamsOpened++
 	return true
@@ -277,34 +279,23 @@ func (m *Machine) startStream(i *rtl.Instr) bool {
 // instruction references FIFO (c, n) — as a load/store channel or as a
 // register operand/destination.
 func (m *Machine) fifoBusy(c rtl.Class, n int) bool {
-	fifo := rtl.Reg{Class: c, N: n}
 	for u := 0; u < 2; u++ {
-		for _, d := range m.queues[u] {
-			i := d.i
-			switch i.Kind {
-			case rtl.KLoad, rtl.KStore:
-				if i.MemClass == c && i.FIFO.N == n {
-					return true
-				}
-			}
-			if i.Kind == rtl.KAssign && i.Dst == fifo {
+		q := &m.queues[u]
+		for k := 0; k < q.n; k++ {
+			if q.at(k).dec.busyFIFO[c][n] {
 				return true
-			}
-			for _, r := range i.Uses(nil) {
-				if r == fifo {
-					return true
-				}
 			}
 		}
 	}
 	// Unserved or unconsumed scalar entries already in the input FIFO
 	// also belong to earlier instructions; wait for them too.
-	for _, e := range m.inFIFO[c][n] {
-		if e.seq != 0 {
+	in := &m.inFIFO[c][n]
+	for k := 0; k < in.n; k++ {
+		if in.at(k).seq != 0 {
 			return true
 		}
 	}
-	return len(m.unmatchedStores[c][n]) > 0
+	return m.unmatchedStores[c][n].n > 0
 }
 
 func (m *Machine) put(format byte, val uint64, c rtl.Class) {

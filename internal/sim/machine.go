@@ -29,6 +29,7 @@ type pendAccess struct {
 type dispatched struct {
 	idx int
 	i   *rtl.Instr
+	dec *decoded
 	seq int64
 }
 
@@ -80,6 +81,7 @@ type scu struct {
 type Machine struct {
 	cfg Config
 	img *Image
+	dec []decoded // per-instruction decode cache, index-matched with img.Code
 	mem []byte
 
 	now     int64
@@ -89,13 +91,13 @@ type Machine struct {
 
 	regs    [2][rtl.NumArchRegs]uint64
 	readyAt [2][rtl.NumArchRegs]int64
-	pend    map[rtl.Reg][]pendAccess
+	pend    [2][rtl.NumArchRegs][]pendAccess
 	seq     int64
 
-	queues  [2][]*dispatched
-	inFIFO  [2][2][]*fifoEntry
-	outFIFO [2][2][]uint64
-	ccFIFO  [2][]ccEntry
+	queues  [2]ring[dispatched]
+	inFIFO  [2][2]ring[fifoEntry]
+	outFIFO [2][2]ring[uint64]
+	ccFIFO  [2]ring[ccEntry]
 
 	// streamIter tracks the per-FIFO iteration counter that the
 	// jump-on-stream-not-exhausted instruction consumes; -1 denotes an
@@ -103,17 +105,35 @@ type Machine struct {
 	streamIter [2][2]int64
 
 	scus []*scu
+	// outStreams counts active output streams per (class, fifo) so the
+	// per-cycle store matcher avoids rescanning every SCU.
+	outStreams [2][2]int
 
-	unmatchedStores [2][2][]storeReq
-	writeQueue      []writeReq
+	unmatchedStores [2][2]ring[storeReq]
+	writeQueue      ring[writeReq]
 	portsLeft       int
 	memSeq          int64 // orders scalar memory operations (IEU program order)
+	unserved        int   // scalar load requests awaiting memory service
 
 	lastProgress int64
-	lastRetired  string // last instruction retired by a unit
-	lastUnit     string // the unit that retired it
+	lastRetired  *rtl.Instr // last instruction retired by a unit (formatted lazily)
+	lastUnit     string     // the unit that retired it
 	stats        Stats
 	err          error
+
+	// Per-cycle progress classification for the fast engine: progress()
+	// sets otherProgress, progressSCU (stream transfers only) sets
+	// scuProgress.  A cycle with neither is a candidate for idle
+	// skipping; a cycle with only SCU progress for transfer batching.
+	scuProgress   bool
+	otherProgress bool
+	// cycleCause records the cause each unit was charged this cycle, so
+	// a stalled stretch can be bulk-charged to the same buckets.
+	cycleCause []telemetry.Cause
+
+	// evalStack is the scratch operand stack for evalProg, reused
+	// across evaluations so the hot path never allocates.
+	evalStack []uint64
 
 	// unitCounts is the per-unit cycle attribution (always on: the
 	// counters are flat array increments, allocated once here).
@@ -121,6 +141,8 @@ type Machine struct {
 	// rec streams events into cfg.TraceSink; nil when tracing is off,
 	// so the hot path pays one nil check.
 	rec *recorder
+	// counterScratch is the reusable gauge buffer for sampleCounters.
+	counterScratch []int64
 	// retired counts issue events per code index for the source-level
 	// profiler; nil unless cfg.Profile.
 	retired []int64
@@ -136,7 +158,8 @@ func New(img *Image, cfg Config) *Machine {
 	if int64(cfg.MemSize) < cfg.StackTop+4096 {
 		cfg.MemSize = int(cfg.StackTop + 4096)
 	}
-	m := &Machine{cfg: cfg, img: img, pend: map[rtl.Reg][]pendAccess{}}
+	m := &Machine{cfg: cfg, img: img}
+	m.dec = decodeImage(img, cfg)
 	m.mem = make([]byte, cfg.MemSize)
 	for _, c := range img.Init {
 		copy(m.mem[c.addr:], c.data)
@@ -147,6 +170,14 @@ func New(img *Image, cfg Config) *Machine {
 	for n := range m.scus {
 		m.scus[n] = &scu{}
 	}
+	for c := 0; c < 2; c++ {
+		m.queues[c].reserve(cfg.QueueDepth)
+		m.ccFIFO[c].reserve(cfg.CCDepth)
+		for n := 0; n < 2; n++ {
+			m.inFIFO[c][n].reserve(cfg.FIFODepth)
+			m.outFIFO[c][n].reserve(cfg.FIFODepth)
+		}
+	}
 	m.unitCounts = make([]telemetry.Unit, unitSCU0+cfg.NumSCU)
 	m.unitCounts[unitIFU].Name = "IFU"
 	m.unitCounts[unitIEU].Name = "IEU"
@@ -154,8 +185,11 @@ func New(img *Image, cfg Config) *Machine {
 	for n := 0; n < cfg.NumSCU; n++ {
 		m.unitCounts[unitSCU0+n].Name = fmt.Sprintf("SCU%d", n)
 	}
+	m.cycleCause = make([]telemetry.Cause, len(m.unitCounts))
+	m.evalStack = make([]uint64, 0, 16)
 	if cfg.TraceSink != nil {
 		m.rec = newRecorder(cfg.TraceSink, m.unitCounts)
+		m.counterScratch = make([]int64, numCounters)
 	}
 	if cfg.Profile {
 		m.retired = make([]int64, len(img.Code))
@@ -168,6 +202,7 @@ func New(img *Image, cfg Config) *Machine {
 // names the trace span after it.
 func (m *Machine) account(u int, c telemetry.Cause, d *dispatched) {
 	m.unitCounts[u].Add(c)
+	m.cycleCause[u] = c
 	if m.rec != nil {
 		var name string
 		if d != nil {
@@ -206,26 +241,27 @@ func (m *Machine) Run() (Stats, error) {
 }
 
 func (m *Machine) run() (Stats, error) {
-	slack := int64(m.cfg.WatchdogSlack)
-	if slack <= 0 {
-		slack = int64(DefaultConfig().WatchdogSlack)
+	// The trace recorder observes every cycle, so it forces the
+	// reference engine regardless of the requested engine.
+	if m.cfg.Engine != EngineReference && m.rec == nil {
+		return m.runFast()
 	}
+	return m.runRef()
+}
+
+// runRef is the reference engine: one full machine evaluation per
+// simulated cycle.  It is the semantic definition the fast engine is
+// differentially tested against.
+func (m *Machine) runRef() (Stats, error) {
+	slack := m.watchdogSlack()
+	rec := m.rec != nil
 	for !m.done() {
 		m.now++
 		if m.now > m.cfg.MaxCycles {
-			return m.stats, &TrapError{
-				Reason:   fmt.Sprintf("exceeded %d cycles", m.cfg.MaxCycles),
-				Snapshot: m.snapshot(),
-			}
+			return m.stats, m.maxCyclesTrap()
 		}
-		m.portsLeft = m.cfg.MemPorts
-		m.matchStores()
-		m.stepSCUs()
-		m.serveMemory()
-		m.stepUnit(rtl.Int)
-		m.stepUnit(rtl.Float)
-		m.stepIFU()
-		if m.rec != nil {
+		m.step()
+		if rec {
 			m.sampleCounters()
 		}
 		if m.err != nil {
@@ -239,29 +275,65 @@ func (m *Machine) run() (Stats, error) {
 	return m.stats, nil
 }
 
+// step evaluates one machine cycle (everything but the cycle counter,
+// the watchdog, and trace sampling — those belong to the engine loop).
+func (m *Machine) step() {
+	m.portsLeft = m.cfg.MemPorts
+	m.matchStores()
+	m.stepSCUs()
+	m.serveMemory()
+	m.stepUnit(rtl.Int)
+	m.stepUnit(rtl.Float)
+	m.stepIFU()
+}
+
+func (m *Machine) watchdogSlack() int64 {
+	slack := int64(m.cfg.WatchdogSlack)
+	if slack <= 0 {
+		slack = int64(DefaultConfig().WatchdogSlack)
+	}
+	return slack
+}
+
+// maxCyclesTrap builds the runaway-simulation trap.  Kept out of the
+// engine loops so their hot paths never touch fmt.
+func (m *Machine) maxCyclesTrap() error {
+	return &TrapError{
+		Reason:   fmt.Sprintf("exceeded %d cycles", m.cfg.MaxCycles),
+		Snapshot: m.snapshot(),
+	}
+}
+
+// numCounters is the number of occupancy gauges sampleCounters feeds
+// (must match counterNames in trace.go).
+const numCounters = 13
+
 // sampleCounters feeds the occupancy gauges (FIFOs, CC queues, unit
 // queues, memory write queue) to the trace recorder once per cycle.
+// The scratch buffer is preallocated; this path never allocates.
 func (m *Machine) sampleCounters() {
+	s := m.counterScratch
 	k := 0
-	sample := func(v int) {
-		m.rec.counter(k, int64(v), m.now)
-		k++
-	}
 	for c := 0; c < 2; c++ {
 		for n := 0; n < 2; n++ {
-			sample(len(m.inFIFO[c][n]))
+			s[k] = int64(m.inFIFO[c][n].n)
+			k++
 		}
 	}
 	for c := 0; c < 2; c++ {
 		for n := 0; n < 2; n++ {
-			sample(len(m.outFIFO[c][n]))
+			s[k] = int64(m.outFIFO[c][n].n)
+			k++
 		}
 	}
-	sample(len(m.ccFIFO[0]))
-	sample(len(m.ccFIFO[1]))
-	sample(len(m.queues[0]))
-	sample(len(m.queues[1]))
-	sample(len(m.writeQueue))
+	s[k] = int64(m.ccFIFO[0].n)
+	s[k+1] = int64(m.ccFIFO[1].n)
+	s[k+2] = int64(m.queues[0].n)
+	s[k+3] = int64(m.queues[1].n)
+	s[k+4] = int64(m.writeQueue.n)
+	for id, v := range s {
+		m.rec.counter(id, v, m.now)
+	}
 }
 
 // Mem returns the memory image (for tests to inspect results).
@@ -282,12 +354,12 @@ func (m *Machine) done() bool {
 	if !m.halted {
 		return false
 	}
-	if len(m.queues[0]) > 0 || len(m.queues[1]) > 0 || len(m.writeQueue) > 0 {
+	if m.queues[0].n > 0 || m.queues[1].n > 0 || m.writeQueue.n > 0 {
 		return false
 	}
 	for c := 0; c < 2; c++ {
 		for n := 0; n < 2; n++ {
-			if len(m.unmatchedStores[c][n]) > 0 {
+			if m.unmatchedStores[c][n].n > 0 {
 				return false
 			}
 		}
@@ -304,7 +376,17 @@ func (m *Machine) done() bool {
 	return true
 }
 
-func (m *Machine) progress() { m.lastProgress = m.now }
+func (m *Machine) progress() {
+	m.lastProgress = m.now
+	m.otherProgress = true
+}
+
+// progressSCU marks forward progress made by a stream transfer.  The
+// fast engine batches cycles whose only progress is of this kind.
+func (m *Machine) progressSCU() {
+	m.lastProgress = m.now
+	m.scuProgress = true
+}
 
 // fail records a machine fault as a *TrapError (first fault wins).
 func (m *Machine) fail(format string, args ...interface{}) {
@@ -323,12 +405,12 @@ func (m *Machine) matchStores() {
 			if m.outputStreamActive(rtl.Class(c), n) {
 				continue
 			}
-			for len(m.unmatchedStores[c][n]) > 0 && len(m.outFIFO[c][n]) > 0 {
-				st := m.unmatchedStores[c][n][0]
-				m.unmatchedStores[c][n] = m.unmatchedStores[c][n][1:]
-				val := m.outFIFO[c][n][0]
-				m.outFIFO[c][n] = m.outFIFO[c][n][1:]
-				m.writeQueue = append(m.writeQueue, writeReq{st.addr, st.size, val, st.seq})
+			us := &m.unmatchedStores[c][n]
+			of := &m.outFIFO[c][n]
+			for us.n > 0 && of.n > 0 {
+				st := us.pop()
+				val := of.pop()
+				m.writeQueue.push(writeReq{st.addr, st.size, val, st.seq})
 				m.progress()
 			}
 		}
@@ -336,12 +418,16 @@ func (m *Machine) matchStores() {
 }
 
 func (m *Machine) outputStreamActive(c rtl.Class, n int) bool {
-	for _, s := range m.scus {
-		if s.active && !s.input && s.class == c && s.fifoN == n {
-			return true
-		}
+	return m.outStreams[c][n] > 0
+}
+
+// deactivate retires an SCU, keeping the output-stream census in sync.
+// Every s.active=false in the machine goes through here.
+func (m *Machine) deactivate(s *scu) {
+	if s.active && !s.input {
+		m.outStreams[s.class][s.fifoN]--
 	}
-	return false
+	s.active = false
 }
 
 func (m *Machine) stepSCUs() {
@@ -356,8 +442,8 @@ func (m *Machine) stepSCUs() {
 			continue
 		}
 		if s.input {
-			q := m.inFIFO[s.class][s.fifoN]
-			if len(q) >= m.cfg.FIFODepth {
+			q := &m.inFIFO[s.class][s.fifoN]
+			if q.n >= m.cfg.FIFODepth {
 				m.account(u, telemetry.CauseFIFOFull, nil)
 				continue
 			}
@@ -376,19 +462,18 @@ func (m *Machine) stepSCUs() {
 				}
 				val = v
 			}
-			m.inFIFO[s.class][s.fifoN] = append(q, &fifoEntry{
+			q.push(fifoEntry{
 				val: val, ready: m.now + int64(m.cfg.MemLatency), served: true,
 				addr: s.base, size: s.size,
 			})
 			m.stats.MemReads++
 		} else {
-			q := m.outFIFO[s.class][s.fifoN]
-			if len(q) == 0 {
+			q := &m.outFIFO[s.class][s.fifoN]
+			if q.n == 0 {
 				m.account(u, telemetry.CauseFIFOEmpty, nil)
 				continue
 			}
-			val := q[0]
-			m.outFIFO[s.class][s.fifoN] = q[1:]
+			val := q.pop()
 			if !m.writeMem(s.base, s.size, val) {
 				return
 			}
@@ -400,35 +485,40 @@ func (m *Machine) stepSCUs() {
 		if s.remaining > 0 { // negative count = infinite stream
 			s.remaining--
 			if s.remaining == 0 {
-				s.active = false
+				m.deactivate(s)
 			}
 		}
 		m.stats.StreamElems++
-		m.progress()
+		m.progressSCU()
 	}
 }
 
 func (m *Machine) serveMemory() {
 	// Writes drain first (they unblock conflicting loads), but a write
 	// must not overtake an older unserved load to the same address.
-	for m.portsLeft > 0 && len(m.writeQueue) > 0 {
-		w := m.writeQueue[0]
+	for m.portsLeft > 0 && m.writeQueue.n > 0 {
+		w := m.writeQueue.at(0)
 		if m.loadConflict(w) {
 			break // keep write order; retry next cycle
 		}
-		m.writeQueue = m.writeQueue[1:]
-		if !m.writeMem(w.addr, w.size, w.val) {
+		ww := m.writeQueue.pop()
+		if !m.writeMem(ww.addr, ww.size, ww.val) {
 			return
 		}
 		m.portsLeft--
 		m.stats.MemWrites++
 		m.progress()
 	}
+	if m.unserved == 0 {
+		return
+	}
 	// Scalar loads, in per-FIFO order, with store-conflict interlock
 	// against *older* stores only.
 	for c := 0; c < 2 && m.portsLeft > 0; c++ {
 		for n := 0; n < 2 && m.portsLeft > 0; n++ {
-			for _, e := range m.inFIFO[c][n] {
+			q := &m.inFIFO[c][n]
+			for k := 0; k < q.n; k++ {
+				e := q.at(k)
 				if e.served {
 					continue
 				}
@@ -448,6 +538,7 @@ func (m *Machine) serveMemory() {
 				e.val = val
 				e.served = true
 				e.ready = m.now + int64(m.cfg.MemLatency)
+				m.unserved--
 				m.portsLeft--
 				m.stats.MemReads++
 				m.progress()
@@ -464,14 +555,17 @@ func (m *Machine) storeConflict(addr int64, size int, seq int64) bool {
 		return addr < a+int64(asz) && a < addr+int64(size)
 	}
 	older := func(s int64) bool { return seq < 0 || s < seq }
-	for _, w := range m.writeQueue {
+	for k := 0; k < m.writeQueue.n; k++ {
+		w := m.writeQueue.at(k)
 		if older(w.seq) && overlap(w.addr, w.size) {
 			return true
 		}
 	}
 	for c := 0; c < 2; c++ {
 		for n := 0; n < 2; n++ {
-			for _, st := range m.unmatchedStores[c][n] {
+			us := &m.unmatchedStores[c][n]
+			for k := 0; k < us.n; k++ {
+				st := us.at(k)
 				if older(st.seq) && overlap(st.addr, st.size) {
 					return true
 				}
@@ -508,10 +602,15 @@ func (m *Machine) outputStreamConflict(addr int64, size int) bool {
 
 // loadConflict reports whether the write would overtake an older
 // unserved load to an overlapping address.
-func (m *Machine) loadConflict(w writeReq) bool {
+func (m *Machine) loadConflict(w *writeReq) bool {
+	if m.unserved == 0 {
+		return false
+	}
 	for c := 0; c < 2; c++ {
 		for n := 0; n < 2; n++ {
-			for _, e := range m.inFIFO[c][n] {
+			q := &m.inFIFO[c][n]
+			for k := 0; k < q.n; k++ {
+				e := q.at(k)
 				if e.served || e.seq == 0 || e.seq >= w.seq {
 					continue
 				}

@@ -1,0 +1,89 @@
+package sim
+
+import "testing"
+
+func TestRingFIFOOrder(t *testing.T) {
+	var r ring[int]
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 100; i++ {
+			r.push(i)
+		}
+		if r.n != 100 {
+			t.Fatalf("round %d: n = %d, want 100", round, r.n)
+		}
+		for i := 0; i < 100; i++ {
+			if got := *r.at(i); got != i {
+				t.Fatalf("round %d: at(%d) = %d, want %d", round, i, got, i)
+			}
+		}
+		for i := 0; i < 100; i++ {
+			if got := r.pop(); got != i {
+				t.Fatalf("round %d: pop = %d, want %d", round, got, i)
+			}
+		}
+		if r.n != 0 {
+			t.Fatalf("round %d: n = %d after draining", round, r.n)
+		}
+	}
+}
+
+// TestRingWrap drives the head around the buffer so pushes wrap past
+// the end while entries are live.
+func TestRingWrap(t *testing.T) {
+	var r ring[int]
+	r.reserve(8)
+	if len(r.buf) != 8 {
+		t.Fatalf("reserve(8): cap = %d, want 8", len(r.buf))
+	}
+	next := 0
+	// Keep 5 live entries while cycling 1000 through.
+	for i := 0; i < 5; i++ {
+		r.push(i)
+	}
+	for i := 5; i < 1000; i++ {
+		if got := r.pop(); got != next {
+			t.Fatalf("pop = %d, want %d", got, next)
+		}
+		next++
+		r.push(i)
+	}
+	if len(r.buf) != 8 {
+		t.Fatalf("steady state reallocated: cap = %d, want 8", len(r.buf))
+	}
+	for r.n > 0 {
+		if got := r.pop(); got != next {
+			t.Fatalf("drain pop = %d, want %d", got, next)
+		}
+		next++
+	}
+}
+
+func TestRingGrowPreservesOrder(t *testing.T) {
+	var r ring[int]
+	// Offset the head, then force repeated growth.
+	for i := 0; i < 6; i++ {
+		r.push(-1)
+	}
+	for i := 0; i < 6; i++ {
+		r.pop()
+	}
+	for i := 0; i < 200; i++ {
+		r.push(i)
+	}
+	for i := 0; i < 200; i++ {
+		if got := r.pop(); got != i {
+			t.Fatalf("pop = %d, want %d", got, i)
+		}
+	}
+}
+
+func TestRingAtPointerMutation(t *testing.T) {
+	var r ring[struct{ v int }]
+	r.push(struct{ v int }{1})
+	r.push(struct{ v int }{2})
+	r.at(1).v = 42
+	r.pop()
+	if got := r.pop().v; got != 42 {
+		t.Fatalf("mutation through at() lost: got %d, want 42", got)
+	}
+}

@@ -76,28 +76,6 @@ func unitOf(i *rtl.Instr) rtl.Class {
 	return rtl.Int
 }
 
-// latencyOf returns the cycles after issue at which the result becomes
-// available to inner operands of later instructions.
-func (m *Machine) latencyOf(i *rtl.Instr) int64 {
-	base := int64(2)
-	extra := int64(0)
-	rtl.WalkExpr(i.Src, func(e rtl.Expr) {
-		switch x := e.(type) {
-		case rtl.Bin:
-			if x.Op == rtl.Div || x.Op == rtl.Rem {
-				extra = maxI64(extra, int64(m.cfg.DivLatency))
-			}
-		case rtl.Un:
-			if x.Op >= rtl.Sqrt {
-				extra = maxI64(extra, int64(m.cfg.MathLatency))
-			}
-		case rtl.Cvt:
-			extra = maxI64(extra, int64(m.cfg.CvtLatency))
-		}
-	})
-	return base + extra
-}
-
 func maxI64(a, b int64) int64 {
 	if a > b {
 		return a
@@ -105,14 +83,21 @@ func maxI64(a, b int64) int64 {
 	return b
 }
 
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 func (m *Machine) stepUnit(c rtl.Class) {
 	u := unitIEU + int(c)
-	q := m.queues[c]
-	if len(q) == 0 {
+	q := &m.queues[c]
+	if q.n == 0 {
 		m.account(u, telemetry.CauseIdle, nil)
 		return
 	}
-	d := q[0]
+	d := q.at(0)
 	if h := m.issueHazard(d); h.blocked() {
 		cause := h.cause()
 		if cause == telemetry.CauseFIFOEmpty {
@@ -121,10 +106,13 @@ func (m *Machine) stepUnit(c rtl.Class) {
 		m.account(u, cause, nil)
 		return
 	}
-	m.queues[c] = q[1:]
-	m.removePend(d)
-	m.account(u, telemetry.CauseIssued, d)
-	m.execute(d, c)
+	// Copy out before executing: execute can push into this queue's
+	// ring only via the IFU (it cannot), but at(0)'s pointer must not
+	// outlive the pop in any case.
+	dv := q.pop()
+	m.removePend(&dv)
+	m.account(u, telemetry.CauseIssued, &dv)
+	m.execute(&dv, c)
 	m.progress()
 }
 
@@ -138,7 +126,7 @@ func (m *Machine) inputStreamIssuing(c rtl.Class, n int) bool {
 }
 
 func (m *Machine) pendingWriterBefore(r rtl.Reg, seq int64) bool {
-	for _, p := range m.pend[r] {
+	for _, p := range m.pend[r.Class][r.N] {
 		if p.write && p.seq < seq {
 			return true
 		}
@@ -147,7 +135,7 @@ func (m *Machine) pendingWriterBefore(r rtl.Reg, seq int64) bool {
 }
 
 func (m *Machine) pendingAccessBefore(r rtl.Reg, seq int64) bool {
-	for _, p := range m.pend[r] {
+	for _, p := range m.pend[r.Class][r.N] {
 		if p.seq < seq {
 			return true
 		}
@@ -156,49 +144,44 @@ func (m *Machine) pendingAccessBefore(r rtl.Reg, seq int64) bool {
 }
 
 func (m *Machine) addPend(d *dispatched) {
-	i := d.i
-	for _, op := range operandsOf(i) {
-		if op.reg.IsZero() || op.reg.IsFIFO() {
-			continue
-		}
-		m.pend[op.reg] = append(m.pend[op.reg], pendAccess{d.seq, false})
+	dec := d.dec
+	for _, op := range dec.ops {
+		r := op.reg
+		m.pend[r.Class][r.N] = append(m.pend[r.Class][r.N], pendAccess{d.seq, false})
 	}
-	if def, ok := i.Def(); ok && !def.IsZero() && !def.IsFIFO() {
-		m.pend[def] = append(m.pend[def], pendAccess{d.seq, true})
+	if dec.hasDef {
+		r := dec.def
+		m.pend[r.Class][r.N] = append(m.pend[r.Class][r.N], pendAccess{d.seq, true})
 	}
 }
 
 func (m *Machine) removePend(d *dispatched) {
 	remove := func(r rtl.Reg) {
-		list := m.pend[r]
+		list := m.pend[r.Class][r.N]
 		out := list[:0]
 		for _, p := range list {
 			if p.seq != d.seq {
 				out = append(out, p)
 			}
 		}
-		if len(out) == 0 {
-			delete(m.pend, r)
-		} else {
-			m.pend[r] = out
-		}
+		m.pend[r.Class][r.N] = out
 	}
-	for _, op := range operandsOf(d.i) {
-		if !op.reg.IsZero() && !op.reg.IsFIFO() {
-			remove(op.reg)
-		}
+	dec := d.dec
+	for _, op := range dec.ops {
+		remove(op.reg)
 	}
-	if def, ok := d.i.Def(); ok && !def.IsZero() && !def.IsFIFO() {
-		remove(def)
+	if dec.hasDef {
+		remove(dec.def)
 	}
 }
 
 // execute performs the instruction's effect at issue time.
 func (m *Machine) execute(d *dispatched, c rtl.Class) {
 	i := d.i
+	dec := d.dec
 	m.profTick(d.idx)
 	m.stats.Instructions++
-	m.lastRetired = i.String()
+	m.lastRetired = i
 	if c == rtl.Int {
 		m.stats.IntIssued++
 		m.lastUnit = "IEU"
@@ -211,37 +194,38 @@ func (m *Machine) execute(d *dispatched, c rtl.Class) {
 	}
 	switch i.Kind {
 	case rtl.KAssign:
-		val, ok := m.eval(i.Src)
+		val, ok := m.evalProg(dec.src)
 		if !ok {
 			return
 		}
 		dst := i.Dst
 		switch {
-		case i.IsCompare():
-			m.ccFIFO[dst.Class] = append(m.ccFIFO[dst.Class], ccEntry{val != 0, m.now + 1})
+		case dec.isCompare:
+			m.ccFIFO[dst.Class].push(ccEntry{val != 0, m.now + 1})
 		case dst.IsZero():
 			// Discarded.
 		case dst.IsFIFO():
-			m.outFIFO[dst.Class][dst.N] = append(m.outFIFO[dst.Class][dst.N], val)
+			m.outFIFO[dst.Class][dst.N].push(val)
 		default:
 			m.regs[dst.Class][dst.N] = val
-			m.readyAt[dst.Class][dst.N] = m.now + m.latencyOf(i)
+			m.readyAt[dst.Class][dst.N] = m.now + dec.latency
 		}
 	case rtl.KLoad:
-		addr, ok := m.eval(i.Addr)
+		addr, ok := m.evalProg(dec.addr)
 		if !ok {
 			return
 		}
 		m.memSeq++
-		m.inFIFO[i.MemClass][i.FIFO.N] = append(m.inFIFO[i.MemClass][i.FIFO.N],
-			&fifoEntry{addr: int64(addr), size: i.MemSize, seq: m.memSeq})
+		m.inFIFO[i.MemClass][i.FIFO.N].push(
+			fifoEntry{addr: int64(addr), size: i.MemSize, seq: m.memSeq})
+		m.unserved++
 	case rtl.KStore:
-		addr, ok := m.eval(i.Addr)
+		addr, ok := m.evalProg(dec.addr)
 		if !ok {
 			return
 		}
 		m.memSeq++
-		m.unmatchedStores[i.MemClass][i.FIFO.N] = append(m.unmatchedStores[i.MemClass][i.FIFO.N],
+		m.unmatchedStores[i.MemClass][i.FIFO.N].push(
 			storeReq{int64(addr), i.MemSize, m.memSeq})
 	default:
 		m.fail("unit cannot execute %s", i)
