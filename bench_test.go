@@ -1,96 +1,17 @@
-// Benchmarks regenerating each of the paper's tables and figures, plus
-// ablations over the design parameters called out in DESIGN.md.  Each
-// benchmark reports the paper's metric via b.ReportMetric, so
-// `go test -bench . -benchmem` reproduces the whole evaluation:
-//
-//	BenchmarkFig4/5/6/7       figure listings (compile-time cost)
-//	BenchmarkTable1           percent improvement from recurrence opt
-//	BenchmarkTable2/<prog>    percent cycle reduction from streaming
-//	BenchmarkTable34          optimizer-quality geometric means
-//	BenchmarkDotProductCycles the Θ(N) streamed dot product
-//	BenchmarkAblation*        FIFO depth / ports / latency / min-trip /
-//	                          combining sweeps
+// Public-API benchmarks.  The paper's tables and figures are
+// benchmarked where they live — internal/experiments — and the
+// machine-parameter ablations in internal/bench; this file keeps only
+// what exercises the exported wmstream surface.
 package wmstream
 
 import (
 	"fmt"
-	"strings"
 	"testing"
-
-	"wmstream/internal/bench"
-	"wmstream/internal/experiments"
-	"wmstream/internal/opt"
-	"wmstream/internal/sim"
 )
 
-func BenchmarkFig4(b *testing.B) { benchFigure(b, 4) }
-func BenchmarkFig5(b *testing.B) { benchFigure(b, 5) }
-func BenchmarkFig7(b *testing.B) { benchFigure(b, 7) }
-
-func benchFigure(b *testing.B, stage int) {
-	for n := 0; n < b.N; n++ {
-		if _, err := experiments.Figure(stage); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkFig6(b *testing.B) {
-	for n := 0; n < b.N; n++ {
-		if _, err := experiments.Figure6(); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkTable1 regenerates Table I at a reduced size (the full
-// 100,000-element run is cmd/wmrepro's job) and reports each machine's
-// percent improvement.
-func BenchmarkTable1(b *testing.B) {
-	for n := 0; n < b.N; n++ {
-		rows, err := experiments.Table1(5000, 4)
-		if err != nil {
-			b.Fatal(err)
-		}
-		for _, r := range rows {
-			unit := strings.NewReplacer(" ", "", "/", "_").Replace(r.Machine) + "_%improve"
-			b.ReportMetric(r.Percent, unit)
-		}
-	}
-}
-
-// BenchmarkTable2 runs each of the nine programs with and without
-// streaming and reports the percent reduction in cycles.
-func BenchmarkTable2(b *testing.B) {
-	for _, p := range bench.Programs() {
-		p := p
-		b.Run(p.Name, func(b *testing.B) {
-			for n := 0; n < b.N; n++ {
-				without, with, pct, err := bench.StreamingReduction(p)
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.ReportMetric(pct, "%reduction")
-				b.ReportMetric(float64(without), "cycles_O2")
-				b.ReportMetric(float64(with), "cycles_O3")
-			}
-		})
-	}
-}
-
-func BenchmarkTable34(b *testing.B) {
-	for n := 0; n < b.N; n++ {
-		_, g1, g3, err := experiments.Table34()
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(g1, "geomean_O1")
-		b.ReportMetric(g3, "geomean_O3")
-	}
-}
-
 // BenchmarkDotProductCycles measures the streamed dot product's cycles
-// per element (the paper's "dot product in N clock cycles" claim).
+// per element (the paper's "dot product in N clock cycles" claim)
+// through the public Compile/Run API.
 func BenchmarkDotProductCycles(b *testing.B) {
 	src := `
 double a[8192], b[8192];
@@ -120,186 +41,30 @@ int main(void) {
 	}
 }
 
-// --- ablations -------------------------------------------------------------
-
-// benchConfigured runs the Livermore program under a machine variant.
-func benchConfigured(b *testing.B, level int, mutate func(*sim.Config)) int64 {
-	b.Helper()
-	p, err := bench.Compile(bench.Livermore5(2000), level)
-	if err != nil {
-		b.Fatal(err)
-	}
-	cfg := sim.DefaultConfig()
-	if mutate != nil {
-		mutate(&cfg)
-	}
-	stats, _, err := bench.Run(p, cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	return stats.Cycles
-}
-
-// BenchmarkAblationFIFODepth sweeps the FIFO depth: shallow FIFOs
-// throttle the stream units' ability to run ahead.
-func BenchmarkAblationFIFODepth(b *testing.B) {
-	for _, depth := range []int{2, 4, 8, 16, 64} {
-		depth := depth
-		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
-			for n := 0; n < b.N; n++ {
-				c := benchConfigured(b, 3, func(cfg *sim.Config) { cfg.FIFODepth = depth })
-				b.ReportMetric(float64(c), "cycles")
-			}
-		})
-	}
-}
-
-// BenchmarkAblationMemPorts sweeps memory ports: the streamed loop
-// needs two reads and a write per iteration.
-func BenchmarkAblationMemPorts(b *testing.B) {
-	for _, ports := range []int{1, 2, 4} {
-		ports := ports
-		b.Run(fmt.Sprintf("ports=%d", ports), func(b *testing.B) {
-			for n := 0; n < b.N; n++ {
-				c := benchConfigured(b, 3, func(cfg *sim.Config) { cfg.MemPorts = ports })
-				b.ReportMetric(float64(c), "cycles")
-			}
-		})
-	}
-}
-
-// BenchmarkAblationMemLatency shows the access/execute property: the
-// decoupled, streamed code is far less sensitive to memory latency
-// than the unstreamed code.
-func BenchmarkAblationMemLatency(b *testing.B) {
-	for _, level := range []int{1, 3} {
-		for _, lat := range []int{1, 4, 8, 16} {
-			level, lat := level, lat
-			b.Run(fmt.Sprintf("O%d/latency=%d", level, lat), func(b *testing.B) {
-				for n := 0; n < b.N; n++ {
-					c := benchConfigured(b, level, func(cfg *sim.Config) { cfg.MemLatency = lat })
-					b.ReportMetric(float64(c), "cycles")
-				}
-			})
-		}
-	}
-}
-
-// BenchmarkAblationMinTrip sweeps the paper's step-1 threshold on a
-// program full of short loops.
-func BenchmarkAblationMinTrip(b *testing.B) {
+// BenchmarkCompilePublic measures the exported entry point end to end
+// (frontend, expander, optimizer, diagnostics plumbing) at each level.
+func BenchmarkCompilePublic(b *testing.B) {
 	src := `
-int t[6];
+double a[256], acc[256];
 int main(void) {
-    int i, r, s;
-    s = 0;
-    for (r = 0; r < 2000; r++) {
-        for (i = 0; i < 6; i++)
-            t[i] = i + r;
-        for (i = 0; i < 6; i++)
-            s = s + t[i];
-    }
-    puti(s);
+    int i; double s;
+    s = 0.0;
+    for (i = 0; i < 256; i++) a[i] = i * 0.5;
+    for (i = 0; i < 256; i++) s = s + a[i] * a[i];
+    for (i = 1; i < 256; i++) acc[i] = acc[i-1] + a[i];
+    putd(s + acc[255]);
     return 0;
 }`
-	for _, minTrip := range []int64{1, 4, 16} {
-		minTrip := minTrip
-		b.Run(fmt.Sprintf("mintrip=%d", minTrip), func(b *testing.B) {
+	for _, lvl := range []int{O0, O3} {
+		lvl := lvl
+		b.Run(levelName(lvl), func(b *testing.B) {
 			for n := 0; n < b.N; n++ {
-				o := opt.Level(3)
-				o.MinTrip = minTrip
-				p, err := bench.CompileOptions(bench.Program{Name: "short", Source: src}, o)
-				if err != nil {
+				if _, err := Compile(src, lvl); err != nil {
 					b.Fatal(err)
 				}
-				stats, _, err := bench.Run(p, sim.DefaultConfig())
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.ReportMetric(float64(stats.Cycles), "cycles")
 			}
 		})
 	}
 }
 
-// BenchmarkAblationCombine measures WM's dual-operation instruction
-// combining (off vs on) on the recurrence-optimized Livermore loop.
-func BenchmarkAblationCombine(b *testing.B) {
-	for _, combine := range []bool{false, true} {
-		combine := combine
-		b.Run(fmt.Sprintf("combine=%v", combine), func(b *testing.B) {
-			for n := 0; n < b.N; n++ {
-				o := opt.Level(2)
-				o.Combine = combine
-				p, err := bench.CompileOptions(bench.Livermore5(2000), o)
-				if err != nil {
-					b.Fatal(err)
-				}
-				stats, _, err := bench.Run(p, sim.DefaultConfig())
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.ReportMetric(float64(stats.Cycles), "cycles")
-			}
-		})
-	}
-}
-
-// BenchmarkAblationRecurrenceStream crosses the two headline passes:
-// streaming is blocked where a memory recurrence survives (step 2a), so
-// the combination matters.
-func BenchmarkAblationRecurrenceStream(b *testing.B) {
-	for _, rec := range []bool{false, true} {
-		for _, stream := range []bool{false, true} {
-			rec, stream := rec, stream
-			b.Run(fmt.Sprintf("rec=%v/stream=%v", rec, stream), func(b *testing.B) {
-				for n := 0; n < b.N; n++ {
-					o := opt.Level(1)
-					o.Recurrence = rec
-					o.Stream = stream
-					p, err := bench.CompileOptions(bench.Livermore5(2000), o)
-					if err != nil {
-						b.Fatal(err)
-					}
-					stats, _, err := bench.Run(p, sim.DefaultConfig())
-					if err != nil {
-						b.Fatal(err)
-					}
-					b.ReportMetric(float64(stats.Cycles), "cycles")
-				}
-			})
-		}
-	}
-}
-
-// BenchmarkCompiler measures raw compilation speed over the suite.
-func BenchmarkCompiler(b *testing.B) {
-	progs := bench.Programs()
-	b.ResetTimer()
-	for n := 0; n < b.N; n++ {
-		for _, p := range progs {
-			if _, err := bench.Compile(p, 3); err != nil {
-				b.Fatal(err)
-			}
-		}
-	}
-}
-
-// BenchmarkSimulator measures simulator throughput (simulated
-// instructions per second) on the quicksort benchmark.
-func BenchmarkSimulator(b *testing.B) {
-	p, err := bench.Compile(bench.Quicksort, 3)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	var instrs int64
-	for n := 0; n < b.N; n++ {
-		stats, _, err := bench.Run(p, sim.DefaultConfig())
-		if err != nil {
-			b.Fatal(err)
-		}
-		instrs += stats.Instructions
-	}
-	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim_instrs/s")
-}
+func levelName(lvl int) string { return fmt.Sprintf("O%d", lvl) }

@@ -30,6 +30,8 @@ import (
 	"os"
 
 	"wmstream"
+	"wmstream/internal/buildinfo"
+	"wmstream/internal/cli"
 )
 
 func main() {
@@ -40,7 +42,12 @@ func main() {
 	stats := flag.Bool("stats", false, "print per-pass statistics to stderr")
 	strict := flag.Bool("strict", false, "fail compilation when a faulty pass is contained instead of degrading")
 	debugPasses := flag.Bool("debug-passes", false, "dump RTL after every firing pass and verify IR invariants")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Print("wmcc"))
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: wmcc [-O level] [-fn name] [-o out.wm] [-stats] [-strict] [-debug-passes] file.mc")
 		os.Exit(2)
@@ -89,6 +96,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "wmcc:", err)
+	fmt.Fprintln(os.Stderr, cli.RenderError("wmcc", err))
 	os.Exit(1)
 }

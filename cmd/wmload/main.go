@@ -1,0 +1,66 @@
+// Command wmload generates mixed compile/run traffic against a running
+// wmserved instance and prints a latency/status report.  The traffic
+// blends repeat programs (cache hits), unique programs (cold
+// compiles), and all four optimization levels, so a short run exercises
+// the cache, the coalescer, and the admission queue together.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wmstream/internal/buildinfo"
+	"wmstream/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		url         = flag.String("url", "http://localhost:8037", "wmserved base URL")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		concurrency = flag.Int("c", 16, "concurrent client goroutines")
+		hitFrac     = flag.Float64("hit-fraction", 0.7, "fraction of requests reusing a fixed program set")
+		runFrac     = flag.Float64("run-fraction", 0.5, "fraction of requests hitting /run instead of /compile")
+		seed        = flag.Int64("seed", 1, "traffic mix seed")
+		version     = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Print("wmload"))
+		return 0
+	}
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "wmload: unexpected arguments %q\n", flag.Args())
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := serve.RunLoad(ctx, serve.LoadConfig{
+		BaseURL:     *url,
+		Duration:    *duration,
+		Concurrency: *concurrency,
+		HitFraction: *hitFrac,
+		RunFraction: *runFrac,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wmload: %v\n", err)
+		return 1
+	}
+	fmt.Print(rep.String())
+	if rep.Requests == 0 {
+		fmt.Fprintln(os.Stderr, "wmload: no requests completed (is wmserved running?)")
+		return 1
+	}
+	return 0
+}

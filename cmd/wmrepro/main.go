@@ -26,6 +26,8 @@ import (
 	"os"
 
 	"wmstream/internal/bench"
+	"wmstream/internal/buildinfo"
+	"wmstream/internal/cli"
 	"wmstream/internal/experiments"
 )
 
@@ -36,7 +38,12 @@ func main() {
 	size := flag.Int("size", 100000, "Table I array size")
 	reps := flag.Int("reps", 10, "Table I kernel repetitions")
 	benchJSON := flag.String("bench-json", "", "write per-benchmark telemetry records to this JSON file")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Print("wmrepro"))
+		return
+	}
 
 	did := false
 	if *benchJSON != "" {
@@ -106,6 +113,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "wmrepro:", err)
+	fmt.Fprintln(os.Stderr, cli.RenderError("wmrepro", err))
 	os.Exit(1)
 }

@@ -1,0 +1,97 @@
+// Command wmserved serves the wmstream compiler and simulator over
+// HTTP: POST /compile and POST /run accept JSON requests, with
+// content-addressed caching, request coalescing, bounded-queue load
+// shedding, and Prometheus metrics on GET /metrics.  See
+// internal/serve for the pipeline and README.md for the wire format.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wmstream/internal/buildinfo"
+	"wmstream/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr        = flag.String("addr", "localhost:8037", "listen address")
+		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 64, "admission queue depth; overflow is shed with 429")
+		cacheMB     = flag.Int("cache-mb", 64, "response cache budget in MiB")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request compile/run deadline")
+		maxSourceKB = flag.Int("max-source-kb", 1024, "largest accepted source, in KiB")
+		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+		version     = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Print("wmserved"))
+		return 0
+	}
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "wmserved: unexpected arguments %q\n", flag.Args())
+		return 2
+	}
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheBytes:     int64(*cacheMB) << 20,
+		RequestTimeout: *timeout,
+		MaxSourceBytes: int64(*maxSourceKB) << 10,
+		RetryAfter:     *retryAfter,
+		Logger:         logger,
+		Version:        buildinfo.String(),
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wmserved: %v\n", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	logger.Info("wmserved listening", "addr", ln.Addr().String(), "version", buildinfo.String())
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "wmserved: %v\n", err)
+		srv.Close()
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: flip /healthz to draining and reject new work,
+	// let in-flight and queued requests finish, then stop the listener.
+	logger.Info("wmserved draining")
+	srv.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *timeout+5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "wmserved: shutdown: %v\n", err)
+		srv.Close()
+		return 1
+	}
+	srv.Close()
+	logger.Info("wmserved stopped")
+	return 0
+}

@@ -28,7 +28,6 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +36,8 @@ import (
 	"strings"
 
 	"wmstream"
+	"wmstream/internal/buildinfo"
+	"wmstream/internal/cli"
 )
 
 func main() {
@@ -51,7 +52,12 @@ func main() {
 	profile := flag.Bool("profile", false, "print the source-level hot-spot profile to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a host CPU profile of the simulation to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a host heap profile after the simulation to this file (go tool pprof)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Print("wmsim"))
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: wmsim [flags] file.{wm,mc}")
 		os.Exit(2)
@@ -68,6 +74,11 @@ func main() {
 		res, err := wmstream.CompileWithConfig(string(src),
 			wmstream.CompileConfig{Options: wmstream.LevelOptions(*level)})
 		if err != nil {
+			// Surface the structured diagnostics the way wmcc does, not
+			// just the summary error.
+			for _, d := range res.Diagnostics {
+				fmt.Fprintf(os.Stderr, "wmsim: %s\n", d)
+			}
 			fatal(err)
 		}
 		p = res.Program
@@ -150,16 +161,7 @@ func main() {
 		fmt.Print(res.Output)
 	}
 	if err != nil {
-		var dl *wmstream.DeadlockError
-		var tr *wmstream.TrapError
-		switch {
-		case errors.As(err, &dl):
-			fmt.Fprintf(os.Stderr, "wmsim: deadlock at cycle %d\n%s\n", dl.Snapshot.Cycle, indent(dl.Snapshot.String()))
-		case errors.As(err, &tr):
-			fmt.Fprintf(os.Stderr, "wmsim: trap at cycle %d: %s\n%s\n", tr.Snapshot.Cycle, tr.Reason, indent(tr.Snapshot.String()))
-		default:
-			fmt.Fprintln(os.Stderr, "wmsim:", err)
-		}
+		fmt.Fprintln(os.Stderr, cli.RenderError("wmsim", err))
 		os.Exit(1)
 	}
 	if *stats {
@@ -176,11 +178,7 @@ func main() {
 	}
 }
 
-func indent(s string) string {
-	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
-}
-
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "wmsim:", err)
+	fmt.Fprintln(os.Stderr, cli.RenderError("wmsim", err))
 	os.Exit(1)
 }

@@ -1,0 +1,81 @@
+package wmstream_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"wmstream"
+)
+
+// infiniteSrc never terminates at O0 (no optimization rewrites the
+// loop), so only cooperative cancellation can stop its simulation.
+const infiniteSrc = `int main(void) {
+    int i;
+    i = 0;
+    while (i < 1) { i = 0; }
+    return 0;
+}`
+
+func TestCompileContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := wmstream.CompileContext(ctx, "int main(void) { return 0; }", wmstream.CompileConfig{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	p, err := wmstream.Compile(infiniteSrc, 0)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = wmstream.RunContext(ctx, p, wmstream.DefaultMachine())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt abort", d)
+	}
+}
+
+func TestRunWithTelemetryContextDeadline(t *testing.T) {
+	p, err := wmstream.Compile(infiniteSrc, 0)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, err = wmstream.RunWithTelemetryContext(ctx, p, wmstream.DefaultMachine(), wmstream.SimOptions{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunContextCompletedUnaffected pins that a context that never
+// fires leaves results identical to the context-free path.
+func TestRunContextCompletedUnaffected(t *testing.T) {
+	src := `int main(void) { int i, s; s = 0; for (i = 0; i < 50; i++) s = s + i; puti(s); return 0; }`
+	p, err := wmstream.Compile(src, 3)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	plain, err := wmstream.Run(p, wmstream.DefaultMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	withCtx, err := wmstream.RunContext(ctx, p, wmstream.DefaultMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != withCtx {
+		t.Fatalf("results differ:\nplain:   %+v\nwithCtx: %+v", plain, withCtx)
+	}
+}

@@ -1,12 +1,13 @@
+// Public-API fuzzers.  The fast-vs-reference engine differential
+// fuzzer lives with the rest of the differential harness in
+// internal/bench (FuzzFastEngine); this file fuzzes only the exported
+// surface: Compile and Assemble.
 package wmstream
 
 import (
-	"bytes"
-	"reflect"
 	"testing"
 
 	"wmstream/internal/bench"
-	"wmstream/internal/sim"
 )
 
 // FuzzCompile feeds arbitrary text through the whole compiler at every
@@ -29,62 +30,6 @@ func FuzzCompile(f *testing.F) {
 			p, err := Compile(src, lvl)
 			if err == nil && p == nil {
 				t.Fatalf("O%d: nil program without error", lvl)
-			}
-		}
-	})
-}
-
-// FuzzFastEngine compiles arbitrary Mini-C at every optimization level
-// and runs whatever compiles through both simulation engines with a
-// tight cycle budget, cross-checking every observable: statistics
-// (including per-unit telemetry), program output, and error text.  Any
-// divergence is a fast-engine soundness bug — the event-stepped skips
-// must be invisible.
-func FuzzFastEngine(f *testing.F) {
-	for _, p := range append(bench.Programs(), bench.Livermore5(32)) {
-		f.Add(p.Source)
-	}
-	f.Add("int main(void) { int i; for (i = 0; i < 100; i++) ; return 0; }")
-	f.Add("double a[64];\nint main(void) { int i; double s; for (i = 0; i < 64; i++) a[i] = i * 0.5; s = 0.0; for (i = 0; i < 64; i++) s = s + a[i]; putd(s); return 0; }")
-	f.Fuzz(func(t *testing.T, src string) {
-		if len(src) > 1<<14 {
-			t.Skip("oversized input")
-		}
-		for lvl := O0; lvl <= O3; lvl++ {
-			p, err := Compile(src, lvl)
-			if err != nil {
-				continue
-			}
-			img, err := sim.Link(p.rtl)
-			if err != nil {
-				continue
-			}
-			exec := func(eng sim.Engine) (sim.Stats, string, string) {
-				cfg := sim.DefaultConfig()
-				cfg.MaxCycles = 50_000
-				cfg.WatchdogSlack = 200
-				cfg.Engine = eng
-				var out bytes.Buffer
-				cfg.Output = &out
-				stats, rerr := sim.New(img, cfg).Run()
-				es := ""
-				if rerr != nil {
-					es = rerr.Error()
-				}
-				return stats, out.String(), es
-			}
-			refStats, refOut, refErr := exec(sim.EngineReference)
-			fastStats, fastOut, fastErr := exec(sim.EngineFast)
-			if refErr != fastErr {
-				t.Fatalf("O%d: engines disagree on error:\nreference: %s\nfast:      %s",
-					lvl, refErr, fastErr)
-			}
-			if !reflect.DeepEqual(refStats, fastStats) {
-				t.Fatalf("O%d: engines disagree on stats:\nreference: %+v\nfast:      %+v",
-					lvl, refStats, fastStats)
-			}
-			if refOut != fastOut {
-				t.Fatalf("O%d: engines disagree on output: %q vs %q", lvl, refOut, fastOut)
 			}
 		}
 	})

@@ -1,0 +1,51 @@
+// Package buildinfo carries build-time identity shared by every
+// wmstream binary.  Release builds inject the variables with
+//
+//	go build -ldflags "-X wmstream/internal/buildinfo.Version=v1.2.3 \
+//	                   -X wmstream/internal/buildinfo.Commit=abc1234"
+//
+// Uninjected (plain `go build`) binaries fall back to the module
+// version recorded by the Go toolchain, or "dev".
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Injected via -ldflags -X; see the package comment.
+var (
+	Version = ""
+	Commit  = ""
+	Date    = ""
+)
+
+// String renders the one-line version stamp printed by every binary's
+// -version flag and reported by wmserved's /healthz.
+func String() string {
+	s := resolveVersion()
+	if Commit != "" {
+		s += " (" + Commit + ")"
+	}
+	if Date != "" {
+		s += " built " + Date
+	}
+	return s
+}
+
+// resolveVersion prefers the ldflags-injected version, then the module
+// build info stamped by the Go toolchain, then "dev".
+func resolveVersion() string {
+	if Version != "" {
+		return Version
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "dev"
+}
+
+// Print writes "<name> <stamp>" the way -version handlers expect.
+func Print(name string) string {
+	return fmt.Sprintf("%s %s", name, String())
+}

@@ -1,0 +1,34 @@
+// Package cli holds the small bits shared by the wmstream command-line
+// binaries: uniform rendering of simulator faults so every tool that
+// can hit a deadlock or trap reports it the same way, with the machine
+// snapshot, before exiting nonzero.
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"wmstream/internal/sim"
+)
+
+// RenderError formats err for stderr under the given tool name.
+// Simulator deadlocks and traps get the full machine snapshot —
+// which unit is blocked, on which FIFO, and what it was trying to
+// issue; anything else renders as "tool: err".
+func RenderError(tool string, err error) string {
+	var dl *sim.DeadlockError
+	var tr *sim.TrapError
+	switch {
+	case errors.As(err, &dl):
+		return fmt.Sprintf("%s: deadlock at cycle %d\n%s", tool, dl.Snapshot.Cycle, indent(dl.Snapshot.String()))
+	case errors.As(err, &tr):
+		return fmt.Sprintf("%s: trap at cycle %d: %s\n%s", tool, tr.Snapshot.Cycle, tr.Reason, indent(tr.Snapshot.String()))
+	default:
+		return fmt.Sprintf("%s: %v", tool, err)
+	}
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
+}

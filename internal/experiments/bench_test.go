@@ -1,0 +1,83 @@
+// Benchmarks regenerating each of the paper's tables and figures.
+// Each reports the paper's metric via b.ReportMetric, so
+// `go test -bench . ./internal/experiments` reproduces the evaluation:
+//
+//	BenchmarkFig4/5/6/7   figure listings (compile-time cost)
+//	BenchmarkTable1       percent improvement from recurrence opt
+//	BenchmarkTable2/<p>   percent cycle reduction from streaming
+//	BenchmarkTable34      optimizer-quality geometric means
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"wmstream/internal/bench"
+	"wmstream/internal/experiments"
+)
+
+func BenchmarkFig4(b *testing.B) { benchFigure(b, 4) }
+func BenchmarkFig5(b *testing.B) { benchFigure(b, 5) }
+func BenchmarkFig7(b *testing.B) { benchFigure(b, 7) }
+
+func benchFigure(b *testing.B, stage int) {
+	for n := 0; n < b.N; n++ {
+		if _, err := experiments.Figure(stage); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for n := 0; n < b.N; n++ {
+		if _, err := experiments.Figure6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table I at a reduced size (the full
+// 100,000-element run is cmd/wmrepro's job) and reports each machine's
+// percent improvement.
+func BenchmarkTable1(b *testing.B) {
+	for n := 0; n < b.N; n++ {
+		rows, err := experiments.Table1(5000, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			unit := strings.NewReplacer(" ", "", "/", "_").Replace(r.Machine) + "_%improve"
+			b.ReportMetric(r.Percent, unit)
+		}
+	}
+}
+
+// BenchmarkTable2 runs each of the nine programs with and without
+// streaming and reports the percent reduction in cycles.
+func BenchmarkTable2(b *testing.B) {
+	for _, p := range bench.Programs() {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				without, with, pct, err := bench.StreamingReduction(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(pct, "%reduction")
+				b.ReportMetric(float64(without), "cycles_O2")
+				b.ReportMetric(float64(with), "cycles_O3")
+			}
+		})
+	}
+}
+
+func BenchmarkTable34(b *testing.B) {
+	for n := 0; n < b.N; n++ {
+		_, g1, g3, err := experiments.Table34()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(g1, "geomean_O1")
+		b.ReportMetric(g3, "geomean_O3")
+	}
+}

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -54,6 +55,11 @@ type Context struct {
 	// PassBudget is the wall-clock budget for one pass invocation under
 	// the sandbox.  Zero means DefaultPassBudget.
 	PassBudget time.Duration
+	// Ctx, when non-nil, cancels the compilation cooperatively: the
+	// pipeline engine checks it between passes (and between fixpoint
+	// rounds) and aborts with the context's error.  Used by the serving
+	// layer to enforce per-request deadlines.
+	Ctx context.Context
 
 	// allocated is set once register assignment has run; from then on
 	// the invariant checker rejects virtual registers.
@@ -98,6 +104,16 @@ func (c *Context) fork(fn string) *Context {
 	child.diags = nil
 	child.disabled = nil
 	return &child
+}
+
+// canceled reports the context's error once the compilation's deadline
+// has passed or it has been canceled (nil otherwise, including when no
+// context is attached).
+func (c *Context) canceled() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	return c.Ctx.Err()
 }
 
 // withDefaults fills in the paper's default parameters.

@@ -71,6 +71,10 @@ func runFixpoint(s Step, f *rtl.Func, ctx *Context) (bool, error) {
 	rounds := 0
 	converged := false
 	for rounds < max {
+		if err := ctx.canceled(); err != nil {
+			ctx.stats.recordGroup(name, any, rounds)
+			return any, err
+		}
 		rounds++
 		changed := false
 		for _, p := range s.Fixpoint {
@@ -166,6 +170,9 @@ func (pl Pipeline) RunFunc(f *rtl.Func, ctx *Context) error {
 		fmt.Fprintf(ctx.Debug, "==== %s: before %s pipeline ====\n%s", f.Name, pl.Name, f.Listing())
 	}
 	for _, s := range pl.Steps {
+		if err := ctx.canceled(); err != nil {
+			return err
+		}
 		if _, err := s.run(f, ctx); err != nil {
 			return err
 		}

@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LoadConfig parameterizes a load-generation run against a wmserved
+// instance (used by cmd/wmload and the CI soak test).
+type LoadConfig struct {
+	// BaseURL is the server root, e.g. "http://localhost:8037".
+	BaseURL string
+	// Duration bounds the run (default 10s).
+	Duration time.Duration
+	// Concurrency is the number of client goroutines (default 16).
+	Concurrency int
+	// HitFraction is the fraction of requests drawn from a small fixed
+	// set of programs (cache-hit traffic); the rest are unique sources
+	// that force cold compiles (default 0.7).
+	HitFraction float64
+	// RunFraction is the fraction of requests sent to /run rather than
+	// /compile (default 0.5).
+	RunFraction float64
+	// Seed makes the traffic mix reproducible (default 1).
+	Seed int64
+	// Client overrides the HTTP client (default: http.DefaultClient
+	// with the run duration plus slack as overall timeout).
+	Client *http.Client
+}
+
+// LoadReport summarizes a load run.
+type LoadReport struct {
+	Requests int64
+	Errors   int64 // transport-level failures
+	ByStatus map[int]int64
+	ByCache  map[string]int64 // X-Cache header: hit / miss / coalesced
+	Elapsed  time.Duration
+	P50      time.Duration
+	P95      time.Duration
+	P99      time.Duration
+	Max      time.Duration
+}
+
+// RPS is the achieved request throughput.
+func (r *LoadReport) RPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Elapsed.Seconds()
+}
+
+// String renders the report as an aligned summary table.
+func (r *LoadReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests %d in %v (%.1f req/s), %d transport errors\n",
+		r.Requests, r.Elapsed.Round(time.Millisecond), r.RPS(), r.Errors)
+	codes := make([]int, 0, len(r.ByStatus))
+	for c := range r.ByStatus {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Fprintf(&b, "  status %d: %d\n", c, r.ByStatus[c])
+	}
+	for _, k := range []string{"hit", "miss", "coalesced"} {
+		if n := r.ByCache[k]; n > 0 {
+			fmt.Fprintf(&b, "  cache %-9s %d\n", k+":", n)
+		}
+	}
+	fmt.Fprintf(&b, "  latency p50 %v  p95 %v  p99 %v  max %v\n",
+		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
+		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
+	return b.String()
+}
+
+// hitPrograms is the fixed set reused by hit traffic: small but real
+// programs exercising scalar code, recurrences, and streaming.
+var hitPrograms = []string{
+	`int main(void) { int i, s; s = 0; for (i = 0; i < 100; i++) s = s + i; puti(s); return 0; }`,
+	`double a[64];
+int main(void) {
+    int i; double s;
+    for (i = 0; i < 64; i++) a[i] = i * 0.5;
+    s = 0.0;
+    for (i = 0; i < 64; i++) s = s + a[i];
+    putd(s);
+    return 0;
+}`,
+	`int v[128];
+int main(void) {
+    int i, s;
+    for (i = 0; i < 128; i++) v[i] = i * 3;
+    s = 0;
+    for (i = 2; i < 128; i++) s = s + v[i] - v[i-2];
+    puti(s);
+    return 0;
+}`,
+	`double x[96], y[96];
+int main(void) {
+    int i; double s;
+    for (i = 0; i < 96; i++) { x[i] = (i & 7) * 0.25; y[i] = (i & 3) * 0.5; }
+    s = 0.0;
+    for (i = 0; i < 96; i++) s = s + x[i] * y[i];
+    putd(s);
+    return 0;
+}`,
+}
+
+// missProgram builds a unique source (cold-compile traffic): the
+// constant is baked into the text, so every n has a distinct content
+// address.
+func missProgram(n int64) string {
+	return fmt.Sprintf(`int main(void) { int i, s; s = %d; for (i = 0; i < 50; i++) s = s + i * %d; puti(s); return 0; }`,
+		n, n%17+1)
+}
+
+// RunLoad fires mixed hit/miss compile/run traffic at the server until
+// the duration (or ctx) expires and reports what came back.  It fails
+// only on configuration errors; transport errors are counted, not
+// fatal, so a report is produced even against a flaky target.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: BaseURL required")
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 16
+	}
+	if cfg.HitFraction == 0 {
+		cfg.HitFraction = 0.7
+	}
+	if cfg.RunFraction == 0 {
+		cfg.RunFraction = 0.5
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.Duration + 30*time.Second}
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	type shard struct {
+		requests, errors int64
+		byStatus         map[int]int64
+		byCache          map[string]int64
+		lat              []time.Duration
+	}
+	shards := make([]shard, cfg.Concurrency)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh := &shards[w]
+			sh.byStatus = make(map[int]int64)
+			sh.byCache = make(map[string]int64)
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			for n := int64(0); ctx.Err() == nil; n++ {
+				src := hitPrograms[rng.Intn(len(hitPrograms))]
+				if rng.Float64() >= cfg.HitFraction {
+					src = missProgram(int64(w)<<32 | n)
+				}
+				endpoint := "/compile"
+				if rng.Float64() < cfg.RunFraction {
+					endpoint = "/run"
+				}
+				level := rng.Intn(4)
+				body, err := json.Marshal(&Request{Source: src, Level: &level})
+				if err != nil {
+					sh.errors++
+					continue
+				}
+				reqStart := time.Now()
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+					cfg.BaseURL+endpoint, bytes.NewReader(body))
+				if err != nil {
+					sh.errors++
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					sh.errors++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				sh.requests++
+				sh.byStatus[resp.StatusCode]++
+				if xc := resp.Header.Get("X-Cache"); xc != "" {
+					sh.byCache[xc]++
+				}
+				sh.lat = append(sh.lat, time.Since(reqStart))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	rep := &LoadReport{
+		ByStatus: make(map[int]int64),
+		ByCache:  make(map[string]int64),
+		Elapsed:  time.Since(start),
+	}
+	var all []time.Duration
+	for w := range shards {
+		sh := &shards[w]
+		rep.Requests += sh.requests
+		rep.Errors += sh.errors
+		for c, n := range sh.byStatus {
+			rep.ByStatus[c] += n
+		}
+		for k, n := range sh.byCache {
+			rep.ByCache[k] += n
+		}
+		all = append(all, sh.lat...)
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		pct := func(p float64) time.Duration {
+			idx := int(p * float64(len(all)-1))
+			return all[idx]
+		}
+		rep.P50, rep.P95, rep.P99, rep.Max = pct(0.50), pct(0.95), pct(0.99), all[len(all)-1]
+	}
+	return rep, nil
+}

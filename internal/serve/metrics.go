@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"wmstream"
+)
+
+// This file is a minimal, dependency-free Prometheus text-format
+// (version 0.0.4) exporter: counters, labeled counter maps, and
+// cumulative histograms, rendered in a stable sorted order so /metrics
+// output is diffable and goldenable.
+
+// counter is a monotonically increasing int64.
+type counter struct{ v atomic.Int64 }
+
+func (c *counter) inc()         { c.v.Add(1) }
+func (c *counter) add(n int64)  { c.v.Add(n) }
+func (c *counter) value() int64 { return c.v.Load() }
+
+// labeledCounter is a counter family keyed by a rendered label string
+// (e.g. `endpoint="compile",code="200"`).
+type labeledCounter struct {
+	mu   sync.Mutex
+	vals map[string]*int64
+}
+
+func (l *labeledCounter) add(labels string, n int64) {
+	l.mu.Lock()
+	if l.vals == nil {
+		l.vals = make(map[string]*int64)
+	}
+	p := l.vals[labels]
+	if p == nil {
+		p = new(int64)
+		l.vals[labels] = p
+	}
+	*p += n
+	l.mu.Unlock()
+}
+
+func (l *labeledCounter) snapshot() map[string]int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]int64, len(l.vals))
+	for k, p := range l.vals {
+		out[k] = *p
+	}
+	return out
+}
+
+// latencyBuckets are the request-duration histogram bounds in seconds,
+// spanning cache hits (tens of microseconds) to heavy cold
+// compile-and-run requests.
+var latencyBuckets = []float64{
+	.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}
+
+// histogram is a cumulative-bucket histogram in the Prometheus style.
+type histogram struct {
+	mu     sync.Mutex
+	counts []int64 // per upper bound, plus trailing +Inf bucket
+	sum    float64
+	count  int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]int64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	h.mu.Lock()
+	idx := len(latencyBuckets)
+	for n, ub := range latencyBuckets {
+		if v <= ub {
+			idx = n
+			break
+		}
+	}
+	h.counts[idx]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// metrics aggregates everything wmserved exports.  Gauges (queue
+// depth, in-flight, cache occupancy, uptime) are read live at render
+// time from their owners rather than mirrored here.
+type metrics struct {
+	requests  labeledCounter        // endpoint + status code
+	latency   map[string]*histogram // per endpoint, fixed keys
+	compiles  labeledCounter        // per O-level (O0..O3, custom)
+	coalesced counter
+	shed      counter
+
+	simMu     sync.Mutex
+	simCycles map[string]int64 // `unit="..",cause=".."` -> cycles
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		latency: map[string]*histogram{
+			kindCompile: newHistogram(),
+			kindRun:     newHistogram(),
+		},
+		simCycles: make(map[string]int64),
+	}
+}
+
+func (m *metrics) observeRequest(endpoint string, code int, seconds float64) {
+	m.requests.add(fmt.Sprintf(`endpoint=%q,code="%d"`, endpoint, code), 1)
+	if h := m.latency[endpoint]; h != nil {
+		h.observe(seconds)
+	}
+}
+
+// addSimUnits folds one run's per-unit cycle attribution (the
+// internal/telemetry cause sums) into the cumulative per-cause
+// counters, giving fleet-wide stall attribution across all served
+// simulations.
+func (m *metrics) addSimUnits(units []wmstream.UnitBreakdown) {
+	m.simMu.Lock()
+	defer m.simMu.Unlock()
+	for _, u := range units {
+		m.simCycles[fmt.Sprintf(`unit=%q,cause="issued"`, u.Unit)] += u.Issued
+		m.simCycles[fmt.Sprintf(`unit=%q,cause="idle"`, u.Unit)] += u.Idle
+		for cause, n := range u.Stalls {
+			m.simCycles[fmt.Sprintf(`unit=%q,cause=%q`, u.Unit, cause)] += n
+		}
+	}
+}
+
+// gauges are the live values the server passes in at render time.
+type gauges struct {
+	queueDepth int
+	inFlight   int64
+	workers    int
+	cache      CacheStats
+	uptime     float64
+}
+
+func writeHeader(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func writeLabeled(w io.Writer, name, help string, lc *labeledCounter) {
+	writeHeader(w, name, help, "counter")
+	snap := lc.snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s{%s} %d\n", name, k, snap[k])
+	}
+}
+
+// write renders every metric in the Prometheus text format.
+func (m *metrics) write(w io.Writer, g gauges) {
+	writeLabeled(w, "wmserved_requests_total", "Requests served, by endpoint and status code.", &m.requests)
+
+	writeHeader(w, "wmserved_request_duration_seconds", "Request latency, by endpoint.", "histogram")
+	for _, endpoint := range []string{kindCompile, kindRun} {
+		h := m.latency[endpoint]
+		h.mu.Lock()
+		cum := int64(0)
+		for n, ub := range latencyBuckets {
+			cum += h.counts[n]
+			fmt.Fprintf(w, "wmserved_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				endpoint, trimFloat(ub), cum)
+		}
+		cum += h.counts[len(latencyBuckets)]
+		fmt.Fprintf(w, "wmserved_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", endpoint, cum)
+		fmt.Fprintf(w, "wmserved_request_duration_seconds_sum{endpoint=%q} %g\n", endpoint, h.sum)
+		fmt.Fprintf(w, "wmserved_request_duration_seconds_count{endpoint=%q} %d\n", endpoint, h.count)
+		h.mu.Unlock()
+	}
+
+	writeLabeled(w, "wmserved_compiles_total", "Cold compiles executed, by optimization level.", &m.compiles)
+
+	writeHeader(w, "wmserved_coalesced_total", "Requests served by piggybacking on an identical in-flight request.", "counter")
+	fmt.Fprintf(w, "wmserved_coalesced_total %d\n", m.coalesced.value())
+	writeHeader(w, "wmserved_shed_total", "Requests rejected with 429 because the queue was full.", "counter")
+	fmt.Fprintf(w, "wmserved_shed_total %d\n", m.shed.value())
+
+	writeHeader(w, "wmserved_cache_hits_total", "Content-addressed cache hits.", "counter")
+	fmt.Fprintf(w, "wmserved_cache_hits_total %d\n", g.cache.Hits)
+	writeHeader(w, "wmserved_cache_misses_total", "Content-addressed cache misses.", "counter")
+	fmt.Fprintf(w, "wmserved_cache_misses_total %d\n", g.cache.Misses)
+	writeHeader(w, "wmserved_cache_evictions_total", "Entries evicted to hold the byte budget.", "counter")
+	fmt.Fprintf(w, "wmserved_cache_evictions_total %d\n", g.cache.Evictions)
+	writeHeader(w, "wmserved_cache_entries", "Entries currently cached.", "gauge")
+	fmt.Fprintf(w, "wmserved_cache_entries %d\n", g.cache.Entries)
+	writeHeader(w, "wmserved_cache_bytes", "Bytes currently cached (bodies plus overhead).", "gauge")
+	fmt.Fprintf(w, "wmserved_cache_bytes %d\n", g.cache.Bytes)
+
+	writeHeader(w, "wmserved_queue_depth", "Requests waiting for a worker.", "gauge")
+	fmt.Fprintf(w, "wmserved_queue_depth %d\n", g.queueDepth)
+	writeHeader(w, "wmserved_inflight", "Requests currently executing on a worker.", "gauge")
+	fmt.Fprintf(w, "wmserved_inflight %d\n", g.inFlight)
+	writeHeader(w, "wmserved_workers", "Worker pool size.", "gauge")
+	fmt.Fprintf(w, "wmserved_workers %d\n", g.workers)
+	writeHeader(w, "wmserved_uptime_seconds", "Seconds since the server started.", "gauge")
+	fmt.Fprintf(w, "wmserved_uptime_seconds %g\n", g.uptime)
+
+	writeHeader(w, "wmserved_sim_unit_cycles_total",
+		"Simulated cycles across all served runs, by functional unit and telemetry cause.", "counter")
+	m.simMu.Lock()
+	keys := make([]string, 0, len(m.simCycles))
+	for k := range m.simCycles {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "wmserved_sim_unit_cycles_total{%s} %d\n", k, m.simCycles[k])
+	}
+	m.simMu.Unlock()
+}
+
+// trimFloat renders a bucket bound the way Prometheus clients expect
+// (no trailing zeros, no scientific notation for these magnitudes).
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return strings.TrimPrefix(s, "+")
+}

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrOverloaded is returned by Pool.Do when the submission queue is
+// full; the server translates it to 429 + Retry-After (load shedding
+// instead of unbounded queue growth).
+var ErrOverloaded = errors.New("serve: queue full")
+
+// ErrDraining is returned by Pool.Do once Close has begun; the server
+// translates it to 503 (the daemon is shutting down).
+var ErrDraining = errors.New("serve: draining")
+
+type poolTask struct {
+	ctx  context.Context
+	fn   func(context.Context)
+	done chan struct{}
+	err  error
+}
+
+// Pool is a bounded worker pool with queue-depth admission control:
+// a fixed number of workers drain a fixed-capacity queue, and a
+// submission finding the queue full is rejected immediately rather
+// than parked — the queue bound is the server's entire memory bound
+// for pending work.
+type Pool struct {
+	queue    chan *poolTask
+	workers  int
+	mu       sync.RWMutex
+	draining bool
+	wg       sync.WaitGroup
+	inflight atomic.Int64
+}
+
+// NewPool starts workers goroutines serving a queue of depth entries.
+func NewPool(workers, depth int) *Pool {
+	p := &Pool{queue: make(chan *poolTask, depth), workers: workers}
+	p.wg.Add(workers)
+	for n := 0; n < workers; n++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.queue {
+		// A task whose deadline passed while queued is skipped, not
+		// run: its submitter has already been told to go away.
+		if err := t.ctx.Err(); err != nil {
+			t.err = err
+		} else {
+			p.inflight.Add(1)
+			t.fn(t.ctx)
+			p.inflight.Add(-1)
+		}
+		close(t.done)
+	}
+}
+
+// Do runs fn(ctx) on a pool worker and waits for it to finish.  It
+// returns ErrOverloaded without blocking when the queue is full,
+// ErrDraining after Close has begun, and ctx's error when the deadline
+// expired before a worker picked the task up.  fn itself is expected
+// to honor ctx for prompt cancellation mid-run.
+func (p *Pool) Do(ctx context.Context, fn func(context.Context)) error {
+	t := &poolTask{ctx: ctx, fn: fn, done: make(chan struct{})}
+	p.mu.RLock()
+	if p.draining {
+		p.mu.RUnlock()
+		return ErrDraining
+	}
+	select {
+	case p.queue <- t:
+		p.mu.RUnlock()
+	default:
+		p.mu.RUnlock()
+		return ErrOverloaded
+	}
+	<-t.done
+	return t.err
+}
+
+// QueueDepth is the number of tasks waiting for a worker.
+func (p *Pool) QueueDepth() int { return len(p.queue) }
+
+// InFlight is the number of tasks currently executing.
+func (p *Pool) InFlight() int64 { return p.inflight.Load() }
+
+// Workers is the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close drains the pool gracefully: new submissions fail with
+// ErrDraining, already-queued tasks still run (or are skipped if their
+// deadline passed), and Close returns once every worker has exited.
+// Safe to call more than once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.draining {
+		p.draining = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

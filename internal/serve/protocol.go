@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+
+	"wmstream"
+)
+
+// Request is the JSON body accepted by POST /compile and POST /run.
+// Level selects a canonical optimization level (default 3); Options,
+// when present, overrides Level with explicit optimizer switches.
+// Machine overrides individual simulated-machine parameters and is
+// meaningful only for /run.
+type Request struct {
+	Source  string       `json:"source"`
+	Level   *int         `json:"level,omitempty"`
+	Options *Options     `json:"options,omitempty"`
+	Machine *MachineSpec `json:"machine,omitempty"`
+}
+
+// Options mirrors wmstream.Options for the wire.
+type Options struct {
+	Standard            bool  `json:"standard"`
+	Recurrence          bool  `json:"recurrence"`
+	Stream              bool  `json:"stream"`
+	StrengthReduce      bool  `json:"strength_reduce"`
+	Combine             bool  `json:"combine"`
+	MinTrip             int64 `json:"min_trip,omitempty"`
+	MaxRecurrenceDegree int64 `json:"max_recurrence_degree,omitempty"`
+}
+
+// MachineSpec mirrors wmstream.Machine for the wire; zero fields keep
+// the server's defaults.
+type MachineSpec struct {
+	MemLatency    int `json:"mem_latency,omitempty"`
+	MemPorts      int `json:"mem_ports,omitempty"`
+	FIFODepth     int `json:"fifo_depth,omitempty"`
+	QueueDepth    int `json:"queue_depth,omitempty"`
+	NumSCU        int `json:"num_scu,omitempty"`
+	WatchdogSlack int `json:"watchdog_slack,omitempty"`
+}
+
+// Diagnostic is the wire form of wmstream.Diagnostic.
+type Diagnostic struct {
+	Severity string `json:"severity"`
+	Stage    string `json:"stage,omitempty"`
+	Line     int    `json:"line,omitempty"`
+	Col      int    `json:"col,omitempty"`
+	Pass     string `json:"pass,omitempty"`
+	Func     string `json:"func,omitempty"`
+	Msg      string `json:"msg"`
+}
+
+// CompileResponse is the success body of POST /compile.  The listing
+// carries "@line" debug annotations, so it round-trips through
+// wmstream.Assemble with the source-level profiler intact.
+type CompileResponse struct {
+	Listing     string       `json:"listing"`
+	Diagnostics []Diagnostic `json:"diagnostics,omitempty"`
+}
+
+// RunResponse is the success body of POST /run.
+type RunResponse struct {
+	Listing      string       `json:"listing"`
+	Diagnostics  []Diagnostic `json:"diagnostics,omitempty"`
+	Cycles       int64        `json:"cycles"`
+	Instructions int64        `json:"instructions"`
+	MemReads     int64        `json:"mem_reads"`
+	MemWrites    int64        `json:"mem_writes"`
+	StreamElems  int64        `json:"stream_elems"`
+	Output       string       `json:"output"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error       string       `json:"error"`
+	Diagnostics []Diagnostic `json:"diagnostics,omitempty"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status        string     `json:"status"` // "ok" or "draining"
+	Version       string     `json:"version"`
+	UptimeSeconds float64    `json:"uptime_seconds"`
+	QueueDepth    int        `json:"queue_depth"`
+	InFlight      int64      `json:"in_flight"`
+	Cache         CacheStats `json:"cache"`
+}
+
+// options resolves the request's optimizer configuration: explicit
+// Options win; otherwise the level (default 3).
+func (r *Request) options() wmstream.Options {
+	if r.Options != nil {
+		return wmstream.Options{
+			Standard:            r.Options.Standard,
+			Recurrence:          r.Options.Recurrence,
+			Stream:              r.Options.Stream,
+			StrengthReduce:      r.Options.StrengthReduce,
+			Combine:             r.Options.Combine,
+			MinTrip:             r.Options.MinTrip,
+			MaxRecurrenceDegree: r.Options.MaxRecurrenceDegree,
+		}
+	}
+	return wmstream.LevelOptions(r.level())
+}
+
+func (r *Request) level() int {
+	if r.Level == nil {
+		return 3
+	}
+	return *r.Level
+}
+
+// levelLabel names the request's optimization configuration for the
+// per-O-level compile counters: "O0".."O3", or "custom" when explicit
+// options are given.
+func (r *Request) levelLabel() string {
+	if r.Options != nil {
+		return "custom"
+	}
+	return fmt.Sprintf("O%d", r.level())
+}
+
+// machine resolves the simulated machine configuration.
+func (r *Request) machine() wmstream.Machine {
+	m := wmstream.DefaultMachine()
+	if s := r.Machine; s != nil {
+		if s.MemLatency > 0 {
+			m.MemLatency = s.MemLatency
+		}
+		if s.MemPorts > 0 {
+			m.MemPorts = s.MemPorts
+		}
+		if s.FIFODepth > 0 {
+			m.FIFODepth = s.FIFODepth
+		}
+		if s.QueueDepth > 0 {
+			m.QueueDepth = s.QueueDepth
+		}
+		if s.NumSCU > 0 {
+			m.NumSCU = s.NumSCU
+		}
+		if s.WatchdogSlack > 0 {
+			m.WatchdogSlack = s.WatchdogSlack
+		}
+	}
+	return m
+}
+
+// validate rejects requests the server will not attempt.
+func (r *Request) validate(maxSource int64) error {
+	if r.Source == "" {
+		return fmt.Errorf("missing source")
+	}
+	if int64(len(r.Source)) > maxSource {
+		return fmt.Errorf("source too large: %d bytes (limit %d)", len(r.Source), maxSource)
+	}
+	if r.Level != nil && (*r.Level < 0 || *r.Level > 3) {
+		return fmt.Errorf("level must be 0..3, got %d", *r.Level)
+	}
+	return nil
+}
+
+// Key is a content address: the SHA-256 of everything that determines
+// a response — the endpoint, the resolved optimizer options, the
+// resolved machine configuration, and the source text.  Two requests
+// with the same Key are guaranteed the same (byte-identical) success
+// response, which is what makes the cache and the request coalescer
+// sound.
+type Key [sha256.Size]byte
+
+func (k Key) String() string { return fmt.Sprintf("%x", k[:8]) }
+
+// cacheKey computes the request's content address for one endpoint
+// ("compile" or "run").  The resolved forms are hashed — a request
+// saying `"level": 3` and one spelling out the equivalent options
+// share an entry — and the encoding is versioned so a protocol change
+// invalidates old entries rather than aliasing them.
+func (r *Request) cacheKey(kind string) Key {
+	h := sha256.New()
+	fmt.Fprintf(h, "wmserved/1\x00%s\x00opts=%+v\x00", kind, r.options())
+	if kind == kindRun {
+		fmt.Fprintf(h, "mach=%+v\x00", r.machine())
+	}
+	io.WriteString(h, r.Source)
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+func toWireDiags(ds []wmstream.Diagnostic) []Diagnostic {
+	if len(ds) == 0 {
+		return nil
+	}
+	out := make([]Diagnostic, len(ds))
+	for n, d := range ds {
+		out[n] = Diagnostic{
+			Severity: d.Severity.String(),
+			Stage:    d.Stage,
+			Line:     d.Line,
+			Col:      d.Col,
+			Pass:     d.Pass,
+			Func:     d.Func,
+			Msg:      d.Msg,
+		}
+	}
+	return out
+}

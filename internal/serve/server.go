@@ -1,0 +1,367 @@
+// Package serve is the network-facing subsystem: it exposes the
+// compiler and simulator as a concurrent HTTP/JSON service with a
+// content-addressed compilation cache, request coalescing, bounded
+// concurrency with load shedding, and Prometheus-format observability.
+//
+// The serving pipeline for POST /compile and POST /run:
+//
+//  1. The request is reduced to a content address — the SHA-256 of the
+//     endpoint, the resolved optimizer options, the resolved machine
+//     configuration, and the source (protocol.go).  Compilation and
+//     simulation are deterministic, so the address fully determines
+//     the success response, byte for byte.
+//  2. The cache (cache.go) is consulted; a hit is served immediately
+//     from the stored body (X-Cache: hit).
+//  3. Concurrent identical misses are coalesced (singleflight.go):
+//     one leader executes, everyone else shares its bytes (X-Cache:
+//     coalesced).
+//  4. The leader submits to a bounded worker pool (pool.go).  A full
+//     queue sheds the request with 429 + Retry-After instead of
+//     queueing without bound; the per-request deadline is plumbed as a
+//     context.Context through wmstream.CompileContext and
+//     RunWithTelemetryContext, so the optimizer pass loop and the
+//     simulator engine loops abandon work whose requester has given
+//     up.
+//  5. Successful bodies enter the cache; every outcome feeds the
+//     /metrics counters and the structured request log.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"wmstream"
+)
+
+// Endpoint kinds; also the label values used in metrics.
+const (
+	kindCompile = "compile"
+	kindRun     = "run"
+)
+
+// Config configures a Server.  The zero value gets sensible defaults
+// from New.
+type Config struct {
+	// Workers bounds concurrent compilations/simulations (default
+	// GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker; a submission
+	// beyond it is shed with 429 (default 64).
+	QueueDepth int
+	// CacheBytes is the compilation cache budget (default 64 MiB;
+	// <= 0 after defaulting disables caching).
+	CacheBytes int64
+	// RequestTimeout is the per-request execution deadline (default
+	// 30s).
+	RequestTimeout time.Duration
+	// MaxSourceBytes bounds the source text (default 1 MiB).
+	MaxSourceBytes int64
+	// RetryAfter is advertised on 429 responses (default 1s).
+	RetryAfter time.Duration
+	// Logger receives structured request logs (default: discard).
+	Logger *slog.Logger
+	// Version is reported by /healthz.
+	Version string
+	// CompileHook, when non-nil, is called once per actual execution
+	// (cache misses that reach a worker), with the request's content
+	// address.  Tests use it to assert that coalescing and caching
+	// collapse N identical requests into one compile.
+	CompileHook func(key Key)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = 1 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.Version == "" {
+		c.Version = "dev"
+	}
+	return c
+}
+
+// Server is the compile-and-run service.  It implements http.Handler;
+// construct with New, shut down with Close.
+type Server struct {
+	cfg      Config
+	cache    *Cache
+	pool     *Pool
+	flights  flightGroup
+	metrics  *metrics
+	mux      *http.ServeMux
+	start    time.Time
+	base     context.Context
+	cancel   context.CancelFunc
+	draining atomic.Bool
+}
+
+// New builds a ready-to-serve Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheBytes),
+		pool:    NewPool(cfg.Workers, cfg.QueueDepth),
+		metrics: newMetrics(),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+	}
+	s.base, s.cancel = context.WithCancel(context.Background())
+	s.mux.HandleFunc("POST /compile", func(w http.ResponseWriter, r *http.Request) {
+		s.handleJob(w, r, kindCompile)
+	})
+	s.mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) {
+		s.handleJob(w, r, kindRun)
+	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain flips /healthz to "draining" (503) so load balancers stop
+// sending traffic, without yet refusing requests.  Called at the start
+// of a graceful shutdown, before http.Server.Shutdown.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Close shuts the execution layer down: in-flight and queued work
+// finishes (or is skipped once its deadline passes), new submissions
+// fail with 503.  Call after the HTTP listener has stopped accepting.
+func (s *Server) Close() {
+	s.Drain()
+	s.cancel()
+	s.pool.Close()
+}
+
+// handleJob is the shared cache → coalesce → pool → execute pipeline
+// behind /compile and /run.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request, kind string) {
+	start := time.Now()
+	req, errResp, status := s.decodeRequest(w, r)
+	if errResp != nil {
+		s.finish(w, r, kind, start, status, mustJSON(errResp), "")
+		return
+	}
+
+	key := req.cacheKey(kind)
+	if body, ok := s.cache.Get(key); ok {
+		s.finish(w, r, kind, start, http.StatusOK, body, "hit")
+		return
+	}
+
+	res, shared := s.flights.Do(key, func() flightResult {
+		var fr flightResult
+		ctx, cancel := context.WithTimeout(s.base, s.cfg.RequestTimeout)
+		defer cancel()
+		err := s.pool.Do(ctx, func(ctx context.Context) {
+			fr = s.execute(ctx, kind, key, req)
+		})
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrOverloaded):
+			s.metrics.shed.inc()
+			fr = flightResult{
+				status: http.StatusTooManyRequests,
+				body:   mustJSON(&ErrorResponse{Error: "overloaded: request queue is full, retry later"}),
+			}
+		case errors.Is(err, ErrDraining):
+			fr = flightResult{
+				status: http.StatusServiceUnavailable,
+				body:   mustJSON(&ErrorResponse{Error: "server is shutting down"}),
+			}
+		default: // deadline passed while queued
+			fr = flightResult{
+				status: http.StatusGatewayTimeout,
+				body:   mustJSON(&ErrorResponse{Error: "deadline exceeded while queued: " + err.Error()}),
+			}
+		}
+		return fr
+	})
+
+	cacheState := "miss"
+	if shared {
+		cacheState = "coalesced"
+		s.metrics.coalesced.inc()
+	} else if res.status == http.StatusOK {
+		s.cache.Put(key, res.body)
+	}
+	s.finish(w, r, kind, start, res.status, res.body, cacheState)
+}
+
+// decodeRequest parses and validates the body.  On failure it returns
+// a non-nil error response plus its status.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*Request, *ErrorResponse, int) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes+64<<10))
+	if err != nil {
+		return nil, &ErrorResponse{Error: "reading body: " + err.Error()}, http.StatusRequestEntityTooLarge
+	}
+	var req Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, &ErrorResponse{Error: "bad request JSON: " + err.Error()}, http.StatusBadRequest
+	}
+	if err := req.validate(s.cfg.MaxSourceBytes); err != nil {
+		status := http.StatusBadRequest
+		if int64(len(req.Source)) > s.cfg.MaxSourceBytes {
+			status = http.StatusRequestEntityTooLarge
+		}
+		return nil, &ErrorResponse{Error: err.Error()}, status
+	}
+	return &req, nil, 0
+}
+
+// execute performs the actual compile (and run) under ctx on a pool
+// worker.  Every path returns a fully rendered, deterministic body:
+// identical requests produce identical bytes whether served here, from
+// the cache, or by coalescing.
+func (s *Server) execute(ctx context.Context, kind string, key Key, req *Request) flightResult {
+	if h := s.cfg.CompileHook; h != nil {
+		h(key)
+	}
+	s.metrics.compiles.add(fmt.Sprintf("level=%q", req.levelLabel()), 1)
+
+	cres, err := wmstream.CompileContext(ctx, req.Source, wmstream.CompileConfig{Options: req.options()})
+	diags := toWireDiags(cres.Diagnostics)
+	if err != nil {
+		if ctx.Err() != nil {
+			return timeoutResult(ctx)
+		}
+		return flightResult{
+			status: http.StatusBadRequest,
+			body:   mustJSON(&ErrorResponse{Error: "compile: " + err.Error(), Diagnostics: diags}),
+		}
+	}
+	listing := cres.Program.ListingDebug()
+	if kind == kindCompile {
+		return flightResult{
+			status: http.StatusOK,
+			body:   mustJSON(&CompileResponse{Listing: listing, Diagnostics: diags}),
+		}
+	}
+
+	sres, err := wmstream.RunWithTelemetryContext(ctx, cres.Program, req.machine(), wmstream.SimOptions{})
+	s.metrics.addSimUnits(sres.Units)
+	if err != nil {
+		if ctx.Err() != nil {
+			return timeoutResult(ctx)
+		}
+		// A deadlock or trap is a property of the (valid) program, not
+		// of the server: 422 with the simulator's diagnostic.
+		return flightResult{
+			status: http.StatusUnprocessableEntity,
+			body:   mustJSON(&ErrorResponse{Error: "run: " + err.Error(), Diagnostics: diags}),
+		}
+	}
+	return flightResult{
+		status: http.StatusOK,
+		body: mustJSON(&RunResponse{
+			Listing:      listing,
+			Diagnostics:  diags,
+			Cycles:       sres.Cycles,
+			Instructions: sres.Instructions,
+			MemReads:     sres.MemReads,
+			MemWrites:    sres.MemWrites,
+			StreamElems:  sres.StreamElems,
+			Output:       sres.Output,
+		}),
+	}
+}
+
+func timeoutResult(ctx context.Context) flightResult {
+	return flightResult{
+		status: http.StatusGatewayTimeout,
+		body:   mustJSON(&ErrorResponse{Error: "request deadline exceeded: " + ctx.Err().Error()}),
+	}
+}
+
+// finish writes the response, records metrics, and emits the request
+// log line.
+func (s *Server) finish(w http.ResponseWriter, r *http.Request, kind string, start time.Time, status int, body []byte, cacheState string) {
+	dur := time.Since(start)
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	if cacheState != "" {
+		h.Set("X-Cache", cacheState)
+	}
+	if status == http.StatusTooManyRequests {
+		h.Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+
+	s.metrics.observeRequest(kind, status, dur.Seconds())
+	s.cfg.Logger.Info("request",
+		"endpoint", kind,
+		"status", status,
+		"cache", cacheState,
+		"dur_ms", float64(dur.Microseconds())/1000,
+		"bytes", len(body),
+		"remote", r.RemoteAddr,
+	)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(mustJSON(&HealthResponse{
+		Status:        status,
+		Version:       s.cfg.Version,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		QueueDepth:    s.pool.QueueDepth(),
+		InFlight:      s.pool.InFlight(),
+		Cache:         s.cache.Stats(),
+	}))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w, gauges{
+		queueDepth: s.pool.QueueDepth(),
+		inFlight:   s.pool.InFlight(),
+		workers:    s.pool.Workers(),
+		cache:      s.cache.Stats(),
+		uptime:     time.Since(s.start).Seconds(),
+	})
+}
+
+// mustJSON marshals a response struct.  Marshaling these types cannot
+// fail; the panic guards against a refactor introducing one that can.
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("serve: marshaling %T: %v", v, err))
+	}
+	return append(b, '\n')
+}

@@ -1,0 +1,53 @@
+package serve
+
+import "sync"
+
+// flightResult is the outcome one in-flight execution hands to every
+// request coalesced onto it: an HTTP status and a fully rendered
+// response body.
+type flightResult struct {
+	status int
+	body   []byte
+}
+
+type flight struct {
+	done chan struct{}
+	res  flightResult
+}
+
+// flightGroup coalesces concurrent requests for the same content
+// address: the first caller for a key (the leader) runs fn, everyone
+// arriving before it finishes blocks and shares the leader's result.
+// The flight is forgotten before its result is published, so requests
+// arriving after completion start fresh (and normally hit the cache
+// instead).
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[Key]*flight
+}
+
+// Do returns fn's result for the key, executing fn at most once among
+// concurrent callers.  shared is false for the leader that actually
+// ran fn and true for coalesced waiters.
+func (g *flightGroup) Do(k Key, fn func() flightResult) (res flightResult, shared bool) {
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = make(map[Key]*flight)
+	}
+	if f, ok := g.flights[k]; ok {
+		g.mu.Unlock()
+		<-f.done
+		return f.res, true
+	}
+	f := &flight{done: make(chan struct{})}
+	g.flights[k] = f
+	g.mu.Unlock()
+
+	f.res = fn()
+
+	g.mu.Lock()
+	delete(g.flights, k)
+	g.mu.Unlock()
+	close(f.done)
+	return f.res, false
+}

@@ -34,6 +34,7 @@
 package sim
 
 import (
+	"context"
 	"io"
 
 	"wmstream/internal/telemetry"
@@ -107,6 +108,14 @@ type Config struct {
 	// Engine selects the simulation loop (see Engine).  The zero value
 	// EngineAuto uses the fast engine whenever tracing permits.
 	Engine Engine
+	// Ctx, when non-nil, cancels the simulation cooperatively: the
+	// engine loops poll its Done channel (every cancelCheckInterval
+	// cycles in the reference engine, every event step in the fast
+	// engine) and return its error, so a serving deadline bounds even a
+	// runaway simulation.  Cancellation timing is engine-dependent; a
+	// canceled run's partial statistics are not comparable across
+	// engines (completed runs remain byte-identical).
+	Ctx context.Context
 }
 
 // DefaultConfig returns the parameters used throughout the paper

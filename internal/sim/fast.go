@@ -35,10 +35,23 @@ const unboundedCycles = int64(1) << 62
 
 func (m *Machine) runFast() (Stats, error) {
 	slack := m.watchdogSlack()
+	done := m.cancelDone()
+	lastCheck := m.now
 	for !m.done() {
 		m.now++
 		if m.now > m.cfg.MaxCycles {
 			return m.stats, m.maxCyclesTrap()
+		}
+		// Poll cancellation on the same cycle grid as the reference
+		// engine; the clock can jump, so track the last checked cycle
+		// instead of masking.
+		if done != nil && m.now-lastCheck >= cancelCheckInterval {
+			lastCheck = m.now
+			select {
+			case <-done:
+				return m.stats, m.cfg.Ctx.Err()
+			default:
+			}
 		}
 		loadStalls := m.stats.LoadStalls
 		branchStalls := m.stats.BranchStalls

@@ -249,16 +249,39 @@ func (m *Machine) run() (Stats, error) {
 	return m.runRef()
 }
 
+// cancelCheckInterval is how many simulated cycles the reference
+// engine runs between polls of Config.Ctx.  A power of two so the
+// check is a mask; small enough that a canceled request stops within
+// microseconds of host time.
+const cancelCheckInterval = 8192
+
+// cancelDone returns the context's Done channel (nil when no context
+// is attached, so the select below never fires).
+func (m *Machine) cancelDone() <-chan struct{} {
+	if m.cfg.Ctx == nil {
+		return nil
+	}
+	return m.cfg.Ctx.Done()
+}
+
 // runRef is the reference engine: one full machine evaluation per
 // simulated cycle.  It is the semantic definition the fast engine is
 // differentially tested against.
 func (m *Machine) runRef() (Stats, error) {
 	slack := m.watchdogSlack()
 	rec := m.rec != nil
+	done := m.cancelDone()
 	for !m.done() {
 		m.now++
 		if m.now > m.cfg.MaxCycles {
 			return m.stats, m.maxCyclesTrap()
+		}
+		if done != nil && m.now&(cancelCheckInterval-1) == 0 {
+			select {
+			case <-done:
+				return m.stats, m.cfg.Ctx.Err()
+			default:
+			}
 		}
 		m.step()
 		if rec {

@@ -2,6 +2,7 @@ package wmstream
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -105,11 +106,20 @@ func (r *SimResult) UnitTable() string { return r.unitTable }
 // written): the timeline leading into a deadlock is the forensic
 // record.
 func RunWithTelemetry(p *Program, m Machine, o SimOptions) (SimResult, error) {
+	return RunWithTelemetryContext(context.Background(), p, m, o)
+}
+
+// RunWithTelemetryContext is RunWithTelemetry with cooperative
+// cancellation (see RunContext): a canceled or expired context aborts
+// the simulation promptly, and the telemetry collected up to that
+// point is still returned.
+func RunWithTelemetryContext(ctx context.Context, p *Program, m Machine, o SimOptions) (SimResult, error) {
 	img, err := sim.Link(p.rtl)
 	if err != nil {
 		return SimResult{}, err
 	}
 	cfg := simConfig(m)
+	cfg.Ctx = ctx
 	var out bytes.Buffer
 	cfg.Output = &out
 	var tr *telemetry.Trace

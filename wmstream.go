@@ -18,6 +18,7 @@ package wmstream
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -216,7 +217,19 @@ func CompileWithStats(src string, o Options, debug io.Writer) (*Program, *Compil
 // Strict a contained-but-degraded optimization fails the compilation
 // instead of being reported and tolerated.
 func CompileWithConfig(src string, cfg CompileConfig) (*CompileResult, error) {
+	return CompileContext(context.Background(), src, cfg)
+}
+
+// CompileContext is CompileWithConfig with cooperative cancellation:
+// the optimizer checks ctx between passes (and between fixpoint
+// rounds), so a canceled or expired context aborts the compilation
+// promptly with ctx's error.  This is the entry point the serving
+// layer uses to enforce per-request deadlines.
+func CompileContext(ctx context.Context, src string, cfg CompileConfig) (*CompileResult, error) {
 	res := &CompileResult{}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	ast, err := minic.Compile(src)
 	if err != nil {
 		d := Diagnostic{Severity: SeverityError, Stage: "frontend", Msg: err.Error()}
@@ -233,16 +246,17 @@ func CompileWithConfig(src string, cfg CompileConfig) (*CompileResult, error) {
 			Diagnostic{Severity: SeverityError, Stage: "expand", Msg: err.Error()})
 		return res, fmt.Errorf("expand: %w", err)
 	}
-	ctx := opt.NewContext(cfg.Options.optOptions())
-	ctx.Debug = cfg.Debug
-	ctx.Verify = cfg.Debug != nil
-	ctx.PassBudget = cfg.PassBudget
-	if err := opt.WMPipeline(ctx.Opts).Run(p, ctx); err != nil {
+	octx := opt.NewContext(cfg.Options.optOptions())
+	octx.Debug = cfg.Debug
+	octx.Verify = cfg.Debug != nil
+	octx.PassBudget = cfg.PassBudget
+	octx.Ctx = ctx
+	if err := opt.WMPipeline(octx.Opts).Run(p, octx); err != nil {
 		res.Diagnostics = append(res.Diagnostics,
 			Diagnostic{Severity: SeverityError, Stage: "opt", Msg: err.Error()})
 		return res, err
 	}
-	for _, d := range ctx.Diags() {
+	for _, d := range octx.Diags() {
 		res.Diagnostics = append(res.Diagnostics, Diagnostic{
 			Severity: Severity(d.Sev),
 			Stage:    d.Stage,
@@ -253,7 +267,7 @@ func CompileWithConfig(src string, cfg CompileConfig) (*CompileResult, error) {
 			Msg:      d.Msg,
 		})
 	}
-	st := ctx.Stats()
+	st := octx.Stats()
 	res.Stats = &CompileStats{Funcs: st.Funcs, Total: st.Total, table: st.Table()}
 	for _, ps := range st.Passes() {
 		res.Stats.Passes = append(res.Stats.Passes, PassStat{
@@ -387,11 +401,21 @@ func simConfig(m Machine) sim.Config {
 
 // Run executes the program to completion on the simulated WM machine.
 func Run(p *Program, m Machine) (Result, error) {
+	return RunContext(context.Background(), p, m)
+}
+
+// RunContext is Run with cooperative cancellation: the simulator polls
+// ctx every few thousand simulated cycles, so a canceled or expired
+// context aborts even a runaway simulation promptly with ctx's error
+// (which errors.Is-matches context.Canceled / context.DeadlineExceeded
+// rather than the simulator's own DeadlockError/TrapError).
+func RunContext(ctx context.Context, p *Program, m Machine) (Result, error) {
 	img, err := sim.Link(p.rtl)
 	if err != nil {
 		return Result{}, err
 	}
 	cfg := simConfig(m)
+	cfg.Ctx = ctx
 	var out bytes.Buffer
 	cfg.Output = &out
 	machine := sim.New(img, cfg)
