@@ -1,8 +1,13 @@
 // Command wmload generates mixed compile/run traffic against a running
-// wmserved instance and prints a latency/status report.  The traffic
-// blends repeat programs (cache hits), unique programs (cold
-// compiles), and all four optimization levels, so a short run exercises
-// the cache, the coalescer, and the admission queue together.
+// wmserved instance and prints a latency/status report with
+// per-endpoint p50/p95/p99.  The traffic blends repeat programs (cache
+// hits), unique programs (cold compiles), and all four optimization
+// levels, so a short run exercises the cache, the coalescer, and the
+// admission queue together.  With -jobs (or -job-fraction), a share of
+// the traffic drives full asynchronous job lifecycles — submit,
+// long-poll progress generations, and occasional mid-flight cancels —
+// exercising the job queue, the fairness scheduler, and the TTL
+// expiry path.
 package main
 
 import (
@@ -29,6 +34,8 @@ func run() int {
 		concurrency = flag.Int("c", 16, "concurrent client goroutines")
 		hitFrac     = flag.Float64("hit-fraction", 0.7, "fraction of requests reusing a fixed program set")
 		runFrac     = flag.Float64("run-fraction", 0.5, "fraction of requests hitting /run instead of /compile")
+		jobs        = flag.Bool("jobs", false, "drive all traffic through the asynchronous job API")
+		jobFrac     = flag.Float64("job-fraction", 0, "fraction of iterations driving a job lifecycle (submit, poll, cancel)")
 		seed        = flag.Int64("seed", 1, "traffic mix seed")
 		version     = flag.Bool("version", false, "print version and exit")
 	)
@@ -45,12 +52,17 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	jf := *jobFrac
+	if *jobs && jf == 0 {
+		jf = 1
+	}
 	rep, err := serve.RunLoad(ctx, serve.LoadConfig{
 		BaseURL:     *url,
 		Duration:    *duration,
 		Concurrency: *concurrency,
 		HitFraction: *hitFrac,
 		RunFraction: *runFrac,
+		JobFraction: jf,
 		Seed:        *seed,
 	})
 	if err != nil {

@@ -1,8 +1,11 @@
 // Command wmserved serves the wmstream compiler and simulator over
 // HTTP: POST /compile and POST /run accept JSON requests, with
 // content-addressed caching, request coalescing, bounded-queue load
-// shedding, and Prometheus metrics on GET /metrics.  See
-// internal/serve for the pipeline and README.md for the wire format.
+// shedding, and Prometheus metrics on GET /metrics.  POST /jobs runs
+// simulations asynchronously — long-poll GET /jobs/{id} for progress,
+// DELETE /jobs/{id} to cancel — on a separate bounded worker pool with
+// per-tenant fair scheduling.  See internal/serve for the pipeline and
+// README.md for the wire format.
 package main
 
 import (
@@ -34,7 +37,15 @@ func run() int {
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request compile/run deadline")
 		maxSourceKB = flag.Int("max-source-kb", 1024, "largest accepted source, in KiB")
 		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
-		version     = flag.Bool("version", false, "print version and exit")
+
+		jobWorkers = flag.Int("job-workers", 2, "asynchronous job worker pool size")
+		jobQueue   = flag.Int("job-queue", 32, "queued job cap across all tenants; overflow is shed with 429")
+		jobTenantQ = flag.Int("job-tenant-queue", 8, "queued job cap per tenant")
+		jobTimeout = flag.Duration("job-timeout", 5*time.Minute, "per-job wall-clock budget")
+		jobTTL     = flag.Duration("job-ttl", 5*time.Minute, "how long finished jobs stay pollable")
+		jobPollMax = flag.Duration("job-poll-max", 30*time.Second, "cap on the ?wait= long-poll of GET /jobs/{id}")
+
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -56,6 +67,12 @@ func run() int {
 		RetryAfter:     *retryAfter,
 		Logger:         logger,
 		Version:        buildinfo.String(),
+		JobWorkers:     *jobWorkers,
+		JobQueueDepth:  *jobQueue,
+		JobTenantQueue: *jobTenantQ,
+		JobTimeout:     *jobTimeout,
+		JobTTL:         *jobTTL,
+		JobPollMax:     *jobPollMax,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

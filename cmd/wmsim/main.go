@@ -7,6 +7,7 @@
 //
 //	wmsim [-latency n] [-ports n] [-fifo n] [-scu n] [-watchdog n]
 //	      [-O n] [-stats] [-trace out.json] [-profile]
+//	      [-progress dur] [-max-wall dur]
 //	      [-cpuprofile out.pprof] [-memprofile out.pprof] file.{wm,mc}
 //
 // -stats prints the per-unit utilization and stall-attribution table:
@@ -17,6 +18,12 @@
 // the input is Mini-C — the compile passes on the same timeline.
 // -profile prints the source-level hot-spot report (requires debug
 // info: a .mc input, or assembly with @line annotations from wmcc -g).
+// -progress prints a live progress line (cycles, instructions,
+// streamed elements) to stderr at the given interval — the heartbeat
+// of a long simulation.  -max-wall bounds the host wall-clock time of
+// the simulation; an exhausted budget exits nonzero with the partial
+// counts.  Both are served by the shared execution core
+// (internal/exec), which runs the engine in bounded slices.
 // -cpuprofile and -memprofile write *host* Go profiles of the
 // simulator itself (inspect with go tool pprof) — the knobs used to
 // tune the simulation engine's own speed.
@@ -28,12 +35,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"wmstream"
 	"wmstream/internal/buildinfo"
@@ -50,6 +59,8 @@ func main() {
 	stats := flag.Bool("stats", false, "print execution statistics and the per-unit stall table to stderr")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (view in Perfetto)")
 	profile := flag.Bool("profile", false, "print the source-level hot-spot profile to stderr")
+	progressEvery := flag.Duration("progress", 0, "print a progress line to stderr at this interval (0 = off)")
+	maxWall := flag.Duration("max-wall", 0, "host wall-clock budget for the simulation (0 = unlimited)")
 	cpuProfile := flag.String("cpuprofile", "", "write a host CPU profile of the simulation to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a host heap profile after the simulation to this file (go tool pprof)")
 	version := flag.Bool("version", false, "print version and exit")
@@ -118,6 +129,22 @@ func main() {
 		opts.CompileStats = compileStats
 	}
 	opts.Profile = *profile
+	opts.MaxWall = *maxWall
+	var lastProgress wmstream.RunProgress
+	if *progressEvery > 0 || *maxWall > 0 {
+		// Track progress whenever a wall budget is set, so a budget
+		// exhaustion can report the partial counts; print only if asked.
+		opts.ProgressEvery = *progressEvery
+		print := *progressEvery > 0
+		opts.Progress = func(p wmstream.RunProgress) {
+			lastProgress = p
+			if p.Done || !print {
+				return // final numbers come from -stats or the error path
+			}
+			fmt.Fprintf(os.Stderr, "wmsim: progress cycles=%d instructions=%d streamed=%d elapsed=%v\n",
+				p.Cycles, p.Instructions, p.StreamElems, p.Elapsed.Round(time.Millisecond))
+		}
+	}
 
 	var cpuFile *os.File
 	if *cpuProfile != "" {
@@ -162,6 +189,12 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, cli.RenderError("wmsim", err))
+		var wb *wmstream.WallBudgetError
+		if errors.As(err, &wb) && lastProgress.Cycles > 0 {
+			fmt.Fprintf(os.Stderr, "wmsim: partial cycles=%d instructions=%d memreads=%d memwrites=%d streamed=%d\n",
+				lastProgress.Cycles, lastProgress.Instructions,
+				lastProgress.MemReads, lastProgress.MemWrites, lastProgress.StreamElems)
+		}
 		os.Exit(1)
 	}
 	if *stats {

@@ -3,6 +3,7 @@ package bench
 import (
 	"bytes"
 	"fmt"
+	"math/rand"
 	"reflect"
 	"testing"
 
@@ -121,6 +122,112 @@ func TestEngineDifferentialStressed(t *testing.T) {
 					cfg := sim.DefaultConfig()
 					s.adjust(&cfg)
 					diffEngines(t, p, level, cfg)
+				})
+			}
+		}
+	}
+}
+
+// runSliced executes the image in bounded slices through RunSlice.
+// With roundTrip set, every slice boundary serializes the machine with
+// SaveState and resumes on a freshly constructed machine via
+// RestoreState — the checkpoint/resume path the execution core and the
+// job tier depend on.
+func runSliced(t *testing.T, img *sim.Image, cfg sim.Config, eng sim.Engine, next func() int64, roundTrip bool) engineResult {
+	t.Helper()
+	var out bytes.Buffer
+	cfg.Output = &out
+	cfg.Engine = eng
+	m := sim.New(img, cfg)
+	var rerr error
+	for {
+		done, err := m.RunSlice(next())
+		if err != nil {
+			rerr = err
+			break
+		}
+		if done {
+			break
+		}
+		if roundTrip {
+			blob, err := m.SaveState()
+			if err != nil {
+				t.Fatalf("SaveState: %v", err)
+			}
+			m = sim.New(img, cfg)
+			if err := m.RestoreState(blob); err != nil {
+				t.Fatalf("RestoreState: %v", err)
+			}
+		}
+	}
+	r := engineResult{stats: m.Stats(), output: out.String(), mem: m.Mem()}
+	if rerr != nil {
+		r.errStr = rerr.Error()
+	}
+	return r
+}
+
+// requireSameResult fails the test on any observable difference
+// between two runs: error, statistics (including the per-unit
+// telemetry sums), program output, final memory image.
+func requireSameResult(t *testing.T, label string, want, got engineResult) {
+	t.Helper()
+	if want.errStr != got.errStr {
+		t.Fatalf("%s: error mismatch:\nuninterrupted: %s\nsliced:        %s", label, want.errStr, got.errStr)
+	}
+	if !reflect.DeepEqual(want.stats, got.stats) {
+		t.Errorf("%s: stats mismatch:\nuninterrupted: %+v\nsliced:        %+v", label, want.stats, got.stats)
+	}
+	if want.output != got.output {
+		t.Errorf("%s: output mismatch:\nuninterrupted: %q\nsliced:        %q", label, want.output, got.output)
+	}
+	if !bytes.Equal(want.mem, got.mem) {
+		t.Errorf("%s: final memory images differ (lengths %d vs %d)", label, len(want.mem), len(got.mem))
+	}
+}
+
+// TestSlicedRunDifferential is the execution core's correctness
+// contract: a run chopped into arbitrary slices — including slice = 1
+// cycle, and including full serialize/deserialize round trips at every
+// boundary — is bit-identical to the uninterrupted run, for every
+// program, optimization level, and engine.
+func TestSlicedRunDifferential(t *testing.T) {
+	progs := append(Programs(), Livermore5(256))
+	engines := []struct {
+		name string
+		eng  sim.Engine
+	}{
+		{"ref", sim.EngineReference},
+		{"fast", sim.EngineFast},
+	}
+	for _, p := range progs {
+		for level := 0; level <= 3; level++ {
+			for _, e := range engines {
+				p, level, e := p, level, e
+				t.Run(fmt.Sprintf("%s/O%d/%s", p.Name, level, e.name), func(t *testing.T) {
+					t.Parallel()
+					rp, err := Compile(p, level)
+					if err != nil {
+						t.Fatalf("compile: %v", err)
+					}
+					img, err := sim.Link(rp)
+					if err != nil {
+						t.Fatalf("link: %v", err)
+					}
+					want := runEngine(img, sim.DefaultConfig(), e.eng)
+
+					got := runSliced(t, img, sim.DefaultConfig(), e.eng,
+						func() int64 { return 1 }, false)
+					requireSameResult(t, "slice=1", want, got)
+
+					got = runSliced(t, img, sim.DefaultConfig(), e.eng,
+						func() int64 { return 8192 }, true)
+					requireSameResult(t, "slice=8192+checkpoint", want, got)
+
+					rng := rand.New(rand.NewSource(int64(level+1)*7919 + int64(len(p.Name))))
+					got = runSliced(t, img, sim.DefaultConfig(), e.eng,
+						func() int64 { return 1 + rng.Int63n(20000) }, true)
+					requireSameResult(t, "slice=random+checkpoint", want, got)
 				})
 			}
 		}

@@ -2,10 +2,12 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"time"
 
 	"wmstream/internal/acode"
+	"wmstream/internal/exec"
 	"wmstream/internal/minic"
 	"wmstream/internal/opt"
 	"wmstream/internal/rtl"
@@ -61,7 +63,9 @@ func CompileOptions(p Program, o opt.Options) (*rtl.Program, error) {
 	return rp, nil
 }
 
-// Run executes a compiled benchmark on the simulator.
+// Run executes a compiled benchmark on the simulator, through the
+// same execution core (internal/exec) the CLI and the serving layer
+// use, so benchmark numbers measure the loop everything ships with.
 func Run(rp *rtl.Program, cfg sim.Config) (sim.Stats, string, error) {
 	img, err := sim.Link(rp)
 	if err != nil {
@@ -70,7 +74,7 @@ func Run(rp *rtl.Program, cfg sim.Config) (sim.Stats, string, error) {
 	var out bytes.Buffer
 	cfg.Output = &out
 	m := sim.New(img, cfg)
-	stats, err := m.Run()
+	stats, err := exec.Run(context.Background(), m, exec.Options{})
 	return stats, out.String(), err
 }
 

@@ -1,0 +1,231 @@
+// Package exec is the engine-agnostic execution core shared by every
+// consumer of the simulator: the wmsim CLI, the wmrepro benchmark
+// harness, and wmserved's synchronous and asynchronous tiers all
+// drive a sim.Machine through a Runner instead of hand-rolling a
+// run-to-completion loop.
+//
+// A Runner advances the machine in bounded cycle slices.  Between
+// slices — and only between slices, so the simulation itself stays
+// bit-identical to an uninterrupted run — it can observe a wall-clock
+// budget, publish progress snapshots, write checkpoints
+// (sim.Machine.SaveState), honor cooperative pause/resume, and notice
+// context cancellation even for machines without Config.Ctx wired.
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"wmstream/internal/sim"
+)
+
+// DefaultSlice is the per-slice cycle budget when Options.Slice is
+// unset: large enough that slice bookkeeping vanishes against the
+// cost of simulating, small enough that budgets, progress, and
+// cancellation are checked many times per host second.
+const DefaultSlice = 1 << 16
+
+// DefaultProgressEvery is the progress-callback throttle when
+// Options.ProgressEvery is unset.
+const DefaultProgressEvery = 500 * time.Millisecond
+
+// Progress is a point-in-time snapshot of a run.
+type Progress struct {
+	// Cycles is the live simulated clock (unlike sim.Stats.Cycles it
+	// is populated while the run is still going).
+	Cycles       int64
+	Instructions int64
+	MemReads     int64
+	MemWrites    int64
+	StreamElems  int64
+	// Elapsed is host wall-clock time since Run started.
+	Elapsed time.Duration
+	// Done marks the final snapshot of a Run call — completion,
+	// failure, cancellation, or budget exhaustion.  Every stop path
+	// emits exactly one, so observers always see terminal counts.
+	Done bool
+}
+
+// Options configures a Runner.  The zero value runs to completion
+// with default slicing and no observers.
+type Options struct {
+	// Slice is the cycle budget of one slice (<= 0 uses DefaultSlice).
+	Slice int64
+	// MaxWall bounds host wall-clock time; when exceeded the run stops
+	// with a *WallBudgetError and the partial statistics stand.
+	MaxWall time.Duration
+	// OnProgress, when non-nil, receives throttled progress snapshots
+	// plus one final Done snapshot, all from the Run goroutine.
+	OnProgress func(Progress)
+	// ProgressEvery is the minimum interval between OnProgress calls
+	// (<= 0 uses DefaultProgressEvery).
+	ProgressEvery time.Duration
+	// CheckpointEvery, when > 0, serializes machine state roughly
+	// every that many simulated cycles and hands it to OnCheckpoint.
+	CheckpointEvery int64
+	// OnCheckpoint receives each checkpoint; a non-nil return aborts
+	// the run with that error.
+	OnCheckpoint func(state []byte, p Progress) error
+}
+
+// WallBudgetError reports a run stopped by Options.MaxWall.  The
+// machine state is intact; the caller may resume it with another Run.
+type WallBudgetError struct {
+	Budget  time.Duration
+	Elapsed time.Duration
+	Cycles  int64 // simulated cycles completed when the budget expired
+}
+
+func (e *WallBudgetError) Error() string {
+	return fmt.Sprintf("exec: wall-clock budget %v exhausted after %v (%d cycles simulated)",
+		e.Budget, e.Elapsed.Round(time.Millisecond), e.Cycles)
+}
+
+// Runner drives one machine.  Run is single-shot per goroutine;
+// Pause, Resume, and Progress may be called concurrently with it.
+type Runner struct {
+	m *sim.Machine
+	o Options
+
+	mu     sync.Mutex
+	paused bool
+	resume chan struct{}
+	latest Progress
+}
+
+// New builds a Runner over the machine.
+func New(m *sim.Machine, o Options) *Runner {
+	if o.Slice <= 0 {
+		o.Slice = DefaultSlice
+	}
+	if o.ProgressEvery <= 0 {
+		o.ProgressEvery = DefaultProgressEvery
+	}
+	return &Runner{m: m, o: o}
+}
+
+// Run is shorthand for New(m, o).Run(ctx).
+func Run(ctx context.Context, m *sim.Machine, o Options) (sim.Stats, error) {
+	return New(m, o).Run(ctx)
+}
+
+// Run drives the machine until completion, failure, cancellation, or
+// wall-budget exhaustion, and returns the machine's statistics as of
+// the stop.  Abandoned runs (cancellation, budget) flush any trace
+// sink so the partial timeline survives; their machine remains
+// resumable unless it reached a terminal state itself.
+func (r *Runner) Run(ctx context.Context) (sim.Stats, error) {
+	start := time.Now()
+	lastEmit := start
+	lastCkpt := r.m.Progress().Cycles
+	for {
+		// Cooperative pause parks the loop between slices until Resume
+		// or cancellation.
+		if gate := r.pauseGate(); gate != nil {
+			select {
+			case <-gate:
+			case <-ctx.Done():
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			r.m.Finish()
+			r.emit(r.snapshot(true, time.Since(start)))
+			return r.m.Stats(), err
+		}
+		done, err := r.m.RunSlice(r.o.Slice)
+		now := time.Now()
+		p := r.snapshot(done || err != nil, now.Sub(start))
+		if done || err != nil {
+			r.emit(p)
+			return r.m.Stats(), err
+		}
+		if r.o.OnProgress != nil && now.Sub(lastEmit) >= r.o.ProgressEvery {
+			lastEmit = now
+			r.emit(p)
+		}
+		if r.o.CheckpointEvery > 0 && p.Cycles-lastCkpt >= r.o.CheckpointEvery {
+			lastCkpt = p.Cycles
+			state, serr := r.m.SaveState()
+			if serr == nil && r.o.OnCheckpoint != nil {
+				serr = r.o.OnCheckpoint(state, p)
+			}
+			if serr != nil {
+				r.m.Finish()
+				r.emit(r.snapshot(true, now.Sub(start)))
+				return r.m.Stats(), fmt.Errorf("exec: checkpoint at cycle %d: %w", p.Cycles, serr)
+			}
+		}
+		if r.o.MaxWall > 0 {
+			if elapsed := now.Sub(start); elapsed > r.o.MaxWall {
+				r.m.Finish()
+				r.emit(r.snapshot(true, elapsed))
+				return r.m.Stats(), &WallBudgetError{Budget: r.o.MaxWall, Elapsed: elapsed, Cycles: p.Cycles}
+			}
+		}
+	}
+}
+
+// Progress returns the most recent snapshot (the zero Progress before
+// the first slice completes).  Safe to call concurrently with Run.
+func (r *Runner) Progress() Progress {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.latest
+}
+
+// Pause asks Run to park before its next slice.  Idempotent.
+func (r *Runner) Pause() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.paused {
+		r.paused = true
+		r.resume = make(chan struct{})
+	}
+}
+
+// Resume releases a paused Run.  Idempotent.
+func (r *Runner) Resume() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.paused {
+		r.paused = false
+		close(r.resume)
+		r.resume = nil
+	}
+}
+
+// pauseGate returns the channel Run must wait on, or nil when not
+// paused.
+func (r *Runner) pauseGate() <-chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.paused {
+		return nil
+	}
+	return r.resume
+}
+
+func (r *Runner) snapshot(done bool, elapsed time.Duration) Progress {
+	st := r.m.Progress()
+	p := Progress{
+		Cycles:       st.Cycles,
+		Instructions: st.Instructions,
+		MemReads:     st.MemReads,
+		MemWrites:    st.MemWrites,
+		StreamElems:  st.StreamElems,
+		Elapsed:      elapsed,
+		Done:         done,
+	}
+	r.mu.Lock()
+	r.latest = p
+	r.mu.Unlock()
+	return p
+}
+
+func (r *Runner) emit(p Progress) {
+	if r.o.OnProgress != nil {
+		r.o.OnProgress(p)
+	}
+}

@@ -1,0 +1,621 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"wmstream"
+)
+
+// The asynchronous job tier: POST /jobs accepts a /run request and
+// returns immediately with a job ID; GET /jobs/{id} long-polls the
+// job's progress generation; DELETE /jobs/{id} cancels (or, for a
+// terminal job, deletes) it.  Jobs exist for simulations that outlive
+// the synchronous RequestTimeout: they run on their own small worker
+// pool under the JobTimeout wall budget, report periodic progress
+// snapshots from the execution core, and keep their terminal result
+// pollable for JobTTL before a janitor reclaims them.
+//
+// Scheduling is fair across tenants: each tenant has its own FIFO and
+// the dispatcher round-robins over tenants with pending work, so one
+// tenant queueing many jobs cannot starve another's first.  Admission
+// is bounded twice — a total queue cap (JobQueueDepth) and a per-tenant
+// cap (JobTenantQueue) — and over-cap submissions are shed with 429,
+// reusing the synchronous tier's load-shedding discipline.
+
+// Job queue admission errors; both unwrap to ErrOverloaded so callers
+// can treat them as shed.
+var (
+	errJobQueueFull    = fmt.Errorf("%w: job queue is full", ErrOverloaded)
+	errTenantQueueFull = fmt.Errorf("%w: tenant job queue is full", ErrOverloaded)
+)
+
+// jobState is the job lifecycle: queued → running → done|failed|canceled
+// (queued jobs may also go directly to canceled).
+type jobState int
+
+const (
+	jobQueued jobState = iota
+	jobRunning
+	jobDone
+	jobFailed
+	jobCanceled
+)
+
+func (s jobState) String() string {
+	switch s {
+	case jobQueued:
+		return "queued"
+	case jobRunning:
+		return "running"
+	case jobDone:
+		return "done"
+	case jobFailed:
+		return "failed"
+	default:
+		return "canceled"
+	}
+}
+
+// terminal reports whether the state is final (result retained until
+// TTL expiry).
+func (s jobState) terminal() bool { return s >= jobDone }
+
+// job is one asynchronous run.  Lock ordering: jobManager.mu before
+// job.mu; job.mu alone is enough for state reads and progress updates.
+type job struct {
+	id     string
+	tenant string
+	req    *Request
+
+	mu    sync.Mutex
+	state jobState
+	// gen increments on every observable change; changed is closed and
+	// replaced at the same moment, so a poller holding (gen, changed)
+	// wakes exactly when a newer generation exists.
+	gen      int64
+	changed  chan struct{}
+	progress *JobProgress
+	result   *RunResponse
+	errMsg   string
+	diags    []Diagnostic
+	// cancel aborts the running simulation; cancelRequested marks a
+	// cancel that arrived before the worker observed it.
+	cancel          context.CancelFunc
+	cancelRequested bool
+	expires         time.Time // terminal states only: TTL deadline
+}
+
+// bumpLocked publishes a new generation.  Caller holds j.mu.
+func (j *job) bumpLocked() {
+	j.gen++
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// update applies f under the job lock and publishes a generation bump.
+func (j *job) update(f func()) {
+	j.mu.Lock()
+	f()
+	j.bumpLocked()
+	j.mu.Unlock()
+}
+
+// responseLocked renders the wire form.  Caller holds j.mu.
+func (j *job) responseLocked(now time.Time) *JobResponse {
+	resp := &JobResponse{
+		ID:          j.id,
+		State:       j.state.String(),
+		Gen:         j.gen,
+		Tenant:      j.tenant,
+		Result:      j.result,
+		Error:       j.errMsg,
+		Diagnostics: j.diags,
+	}
+	if j.progress != nil {
+		p := *j.progress
+		resp.Progress = &p
+	}
+	if j.state.terminal() && !j.expires.IsZero() {
+		if d := j.expires.Sub(now); d > 0 {
+			resp.ExpiresInSeconds = d.Seconds()
+		}
+	}
+	return resp
+}
+
+func (j *job) response(now time.Time) *JobResponse {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.responseLocked(now)
+}
+
+// poll returns the current wire form plus the generation and the
+// channel that closes on the next change, atomically.
+func (j *job) poll(now time.Time) (*JobResponse, int64, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.responseLocked(now), j.gen, j.changed
+}
+
+// jobManager owns the job table, the per-tenant queues, the worker
+// pool, and the TTL janitor.
+type jobManager struct {
+	srv *Server
+	cfg Config
+
+	mu      sync.Mutex
+	closed  bool
+	byID    map[string]*job
+	pending map[string][]*job // tenant -> FIFO of queued jobs
+	order   []string          // round-robin ring of tenants with pending work
+	next    int               // ring cursor
+	queued  int
+	running int
+
+	notify chan struct{} // buffered(1) work signal; workers re-scan until empty
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+func newJobManager(s *Server) *jobManager {
+	jm := &jobManager{
+		srv:     s,
+		cfg:     s.cfg,
+		byID:    make(map[string]*job),
+		pending: make(map[string][]*job),
+		notify:  make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	jm.wg.Add(jm.cfg.JobWorkers + 1)
+	for range jm.cfg.JobWorkers {
+		go jm.worker()
+	}
+	go jm.janitor()
+	return jm
+}
+
+// submit admits a job or sheds it.  The returned job is already
+// visible to GET /jobs/{id}.
+func (jm *jobManager) submit(req *JobRequest) (*job, error) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	if jm.closed {
+		return nil, ErrDraining
+	}
+	if jm.queued >= jm.cfg.JobQueueDepth {
+		return nil, errJobQueueFull
+	}
+	if len(jm.pending[req.Tenant]) >= jm.cfg.JobTenantQueue {
+		return nil, errTenantQueueFull
+	}
+	j := &job{
+		id:      newJobID(),
+		tenant:  req.Tenant,
+		req:     &req.Request,
+		state:   jobQueued,
+		changed: make(chan struct{}),
+	}
+	jm.byID[j.id] = j
+	if len(jm.pending[j.tenant]) == 0 {
+		jm.order = append(jm.order, j.tenant)
+	}
+	jm.pending[j.tenant] = append(jm.pending[j.tenant], j)
+	jm.queued++
+	select {
+	case jm.notify <- struct{}{}:
+	default:
+	}
+	return j, nil
+}
+
+func (jm *jobManager) get(id string) *job {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	return jm.byID[id]
+}
+
+// counts reports the queue gauges for /metrics.
+func (jm *jobManager) counts() (queued, running, held int) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	return jm.queued, jm.running, len(jm.byID)
+}
+
+// popLocked dequeues the next job round-robin across tenants.  Caller
+// holds jm.mu.  Every queued entry is live (cancel removes eagerly),
+// so any non-empty tenant yields a job; drained tenants fall out of
+// the ring.
+func (jm *jobManager) popLocked() *job {
+	for len(jm.order) > 0 {
+		if jm.next >= len(jm.order) {
+			jm.next = 0
+		}
+		t := jm.order[jm.next]
+		q := jm.pending[t]
+		if len(q) == 0 {
+			jm.order = append(jm.order[:jm.next], jm.order[jm.next+1:]...)
+			delete(jm.pending, t)
+			continue
+		}
+		j := q[0]
+		if len(q) == 1 {
+			delete(jm.pending, t)
+			jm.order = append(jm.order[:jm.next], jm.order[jm.next+1:]...)
+		} else {
+			jm.pending[t] = q[1:]
+			jm.next++
+		}
+		return j
+	}
+	return nil
+}
+
+// removePendingLocked takes a still-queued job out of its tenant FIFO.
+// Returns false if a worker already claimed it.  Caller holds jm.mu.
+func (jm *jobManager) removePendingLocked(j *job) bool {
+	q := jm.pending[j.tenant]
+	for n, p := range q {
+		if p == j {
+			jm.pending[j.tenant] = append(q[:n:n], q[n+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// worker drains the queue: pop, run, repeat; sleep on the notify
+// signal when empty.
+func (jm *jobManager) worker() {
+	defer jm.wg.Done()
+	for {
+		jm.mu.Lock()
+		j := jm.popLocked()
+		if j != nil {
+			jm.queued--
+			jm.running++
+			jm.mu.Unlock()
+			jm.runJob(j)
+			jm.mu.Lock()
+			jm.running--
+		}
+		closed := jm.closed
+		jm.mu.Unlock()
+		if j != nil {
+			continue
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-jm.notify:
+		case <-jm.done:
+			return
+		}
+	}
+}
+
+// runJob executes one job through the shared perform pipeline, feeding
+// the execution core's progress snapshots into the job's generation
+// stream.
+func (jm *jobManager) runJob(j *job) {
+	ctx, cancel := context.WithTimeout(jm.srv.base, jm.cfg.JobTimeout)
+	defer cancel()
+
+	canceledEarly := false
+	j.update(func() {
+		if j.cancelRequested {
+			canceledEarly = true
+			j.state = jobCanceled
+			j.expires = time.Now().Add(jm.cfg.JobTTL)
+			return
+		}
+		j.state = jobRunning
+		j.cancel = cancel
+	})
+	if canceledEarly {
+		jm.srv.metrics.jobs.add(`event="canceled"`, 1)
+		return
+	}
+
+	out := jm.srv.perform(ctx, kindRun, j.req, wmstream.SimOptions{
+		MaxWall:       jm.cfg.JobTimeout,
+		ProgressEvery: jm.cfg.JobProgressEvery,
+		Progress: func(p wmstream.RunProgress) {
+			j.update(func() {
+				j.progress = &JobProgress{
+					Cycles:         p.Cycles,
+					Instructions:   p.Instructions,
+					MemReads:       p.MemReads,
+					MemWrites:      p.MemWrites,
+					StreamElems:    p.StreamElems,
+					ElapsedSeconds: p.Elapsed.Seconds(),
+				}
+			})
+		},
+	})
+
+	event := ""
+	j.update(func() {
+		j.cancel = nil
+		j.expires = time.Now().Add(jm.cfg.JobTTL)
+		switch {
+		case j.cancelRequested || jm.srv.base.Err() != nil:
+			j.state = jobCanceled
+			event = `event="canceled"`
+		case out.status == http.StatusOK && out.run != nil:
+			j.state = jobDone
+			j.result = out.run
+			event = `event="completed"`
+		default:
+			j.state = jobFailed
+			if out.errResp != nil {
+				j.errMsg = out.errResp.Error
+				j.diags = out.errResp.Diagnostics
+			} else {
+				j.errMsg = fmt.Sprintf("unexpected outcome (status %d)", out.status)
+			}
+			event = `event="failed"`
+		}
+	})
+	jm.srv.metrics.jobs.add(event, 1)
+}
+
+// cancelJob implements DELETE semantics per state: terminal jobs are
+// deleted immediately, queued jobs flip to canceled, running jobs get
+// their context canceled (the state transition lands when the worker
+// observes it).  Returns the job's wire form after the action.
+func (jm *jobManager) cancelJob(j *job) *JobResponse {
+	now := time.Now()
+	jm.mu.Lock()
+	j.mu.Lock()
+	switch {
+	case j.state.terminal():
+		delete(jm.byID, j.id)
+		resp := j.responseLocked(now)
+		resp.ExpiresInSeconds = 0 // deleted now, not at TTL
+		j.mu.Unlock()
+		jm.mu.Unlock()
+		return resp
+	case j.state == jobQueued:
+		if jm.removePendingLocked(j) {
+			jm.queued--
+			j.state = jobCanceled
+			j.expires = now.Add(jm.cfg.JobTTL)
+			j.bumpLocked()
+			jm.srv.metrics.jobs.add(`event="canceled"`, 1)
+		} else {
+			// A worker claimed it between our lookup and now; it will
+			// observe the flag before (or right after) starting.
+			j.cancelRequested = true
+			if j.cancel != nil {
+				j.cancel()
+			}
+		}
+	default: // running
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	resp := j.responseLocked(now)
+	j.mu.Unlock()
+	jm.mu.Unlock()
+	return resp
+}
+
+// close stops admission, cancels queued jobs, and waits for workers
+// (whose running jobs have already had their base context canceled by
+// Server.Close) and the janitor to exit.
+func (jm *jobManager) close() {
+	jm.mu.Lock()
+	if jm.closed {
+		jm.mu.Unlock()
+		return
+	}
+	jm.closed = true
+	now := time.Now()
+	for _, q := range jm.pending {
+		for _, j := range q {
+			j.update(func() {
+				j.state = jobCanceled
+				j.expires = now.Add(jm.cfg.JobTTL)
+			})
+			jm.srv.metrics.jobs.add(`event="canceled"`, 1)
+		}
+	}
+	jm.pending = make(map[string][]*job)
+	jm.order = nil
+	jm.queued = 0
+	close(jm.done)
+	jm.mu.Unlock()
+	jm.wg.Wait()
+}
+
+// janitor deletes terminal jobs whose TTL has passed, so abandoned
+// results do not accumulate.
+func (jm *jobManager) janitor() {
+	defer jm.wg.Done()
+	interval := jm.cfg.JobTTL / 4
+	if interval > time.Second {
+		interval = time.Second
+	}
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-jm.done:
+			return
+		case now := <-t.C:
+			jm.sweep(now)
+		}
+	}
+}
+
+func (jm *jobManager) sweep(now time.Time) {
+	var expired int64
+	jm.mu.Lock()
+	for id, j := range jm.byID {
+		j.mu.Lock()
+		if j.state.terminal() && now.After(j.expires) {
+			delete(jm.byID, id)
+			expired++
+		}
+		j.mu.Unlock()
+	}
+	jm.mu.Unlock()
+	if expired > 0 {
+		jm.srv.metrics.jobs.add(`event="expired"`, expired)
+	}
+}
+
+// newJobID returns a random 64-bit hex ID.
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("serve: reading random job id: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// decodeJobRequest parses and validates a POST /jobs body (a /run
+// request plus tenant metadata).
+func (s *Server) decodeJobRequest(w http.ResponseWriter, r *http.Request) (*JobRequest, *ErrorResponse, int) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes+64<<10))
+	if err != nil {
+		return nil, &ErrorResponse{Error: "reading body: " + err.Error()}, http.StatusRequestEntityTooLarge
+	}
+	var req JobRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, &ErrorResponse{Error: "bad request JSON: " + err.Error()}, http.StatusBadRequest
+	}
+	if err := req.validate(s.cfg.MaxSourceBytes); err != nil {
+		status := http.StatusBadRequest
+		if int64(len(req.Source)) > s.cfg.MaxSourceBytes {
+			status = http.StatusRequestEntityTooLarge
+		}
+		return nil, &ErrorResponse{Error: err.Error()}, status
+	}
+	return &req, nil, 0
+}
+
+// handleJobSubmit is POST /jobs: admit (202 with the queued job) or
+// shed (429/503).
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	req, errResp, status := s.decodeJobRequest(w, r)
+	if errResp != nil {
+		s.finish(w, r, kindJobs, start, status, mustJSON(errResp), "")
+		return
+	}
+	j, err := s.jobs.submit(req)
+	switch {
+	case err == nil:
+		s.metrics.jobs.add(`event="submitted"`, 1)
+		s.finish(w, r, kindJobs, start, http.StatusAccepted, mustJSON(j.response(time.Now())), "")
+	case errors.Is(err, ErrDraining):
+		s.finish(w, r, kindJobs, start, http.StatusServiceUnavailable,
+			mustJSON(&ErrorResponse{Error: "server is shutting down"}), "")
+	case errors.Is(err, ErrOverloaded):
+		s.metrics.jobs.add(`event="shed"`, 1)
+		s.metrics.shed.inc()
+		msg := "overloaded: job queue is full, retry later"
+		if errors.Is(err, errTenantQueueFull) {
+			msg = "overloaded: tenant job queue is full, retry later"
+		}
+		s.finish(w, r, kindJobs, start, http.StatusTooManyRequests,
+			mustJSON(&ErrorResponse{Error: msg}), "")
+	default:
+		s.finish(w, r, kindJobs, start, http.StatusInternalServerError,
+			mustJSON(&ErrorResponse{Error: err.Error()}), "")
+	}
+}
+
+// handleJobGet is GET /jobs/{id}.  Without query parameters it returns
+// the current state immediately.  With ?gen=N&wait=D it long-polls:
+// the response is delayed (up to D, capped by JobPollMax) until the
+// job's generation exceeds N, so pollers see every state transition
+// without tight-looping.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	id := r.PathValue("id")
+	j := s.jobs.get(id)
+	if j == nil {
+		s.finish(w, r, kindJobPoll, start, http.StatusNotFound,
+			mustJSON(&ErrorResponse{Error: "no such job: " + id}), "")
+		return
+	}
+	q := r.URL.Query()
+	sinceGen := int64(-1)
+	if g := q.Get("gen"); g != "" {
+		v, err := strconv.ParseInt(g, 10, 64)
+		if err != nil {
+			s.finish(w, r, kindJobPoll, start, http.StatusBadRequest,
+				mustJSON(&ErrorResponse{Error: "bad gen: " + err.Error()}), "")
+			return
+		}
+		sinceGen = v
+	}
+	var wait time.Duration
+	if wq := q.Get("wait"); wq != "" {
+		d, err := time.ParseDuration(wq)
+		if err != nil {
+			s.finish(w, r, kindJobPoll, start, http.StatusBadRequest,
+				mustJSON(&ErrorResponse{Error: "bad wait: " + err.Error()}), "")
+			return
+		}
+		wait = min(d, s.cfg.JobPollMax)
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		resp, gen, changed := j.poll(time.Now())
+		if sinceGen < 0 || gen > sinceGen || wait <= 0 {
+			s.finish(w, r, kindJobPoll, start, http.StatusOK, mustJSON(resp), "")
+			return
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			// Poll window elapsed with no change: report current state.
+			s.finish(w, r, kindJobPoll, start, http.StatusOK, mustJSON(resp), "")
+			return
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case <-changed:
+		case <-timer.C:
+		case <-r.Context().Done():
+		}
+		timer.Stop()
+		if r.Context().Err() != nil {
+			s.finish(w, r, kindJobPoll, start, http.StatusOK, mustJSON(resp), "")
+			return
+		}
+	}
+}
+
+// handleJobDelete is DELETE /jobs/{id}: cancel a queued or running
+// job, or delete a terminal one.
+func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	id := r.PathValue("id")
+	j := s.jobs.get(id)
+	if j == nil {
+		s.finish(w, r, kindJobCancel, start, http.StatusNotFound,
+			mustJSON(&ErrorResponse{Error: "no such job: " + id}), "")
+		return
+	}
+	resp := s.jobs.cancelJob(j)
+	s.finish(w, r, kindJobCancel, start, http.StatusOK, mustJSON(resp), "")
+}

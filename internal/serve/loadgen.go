@@ -30,11 +30,25 @@ type LoadConfig struct {
 	// RunFraction is the fraction of requests sent to /run rather than
 	// /compile (default 0.5).
 	RunFraction float64
+	// JobFraction is the fraction of iterations that exercise the
+	// asynchronous job API instead of a synchronous request: submit,
+	// long-poll to a terminal state (or occasionally cancel midway).
+	// Default 0 (sync traffic only).
+	JobFraction float64
 	// Seed makes the traffic mix reproducible (default 1).
 	Seed int64
 	// Client overrides the HTTP client (default: http.DefaultClient
 	// with the run duration plus slack as overall timeout).
 	Client *http.Client
+}
+
+// EndpointLatency is the per-endpoint slice of a load report.
+type EndpointLatency struct {
+	Requests int64
+	P50      time.Duration
+	P95      time.Duration
+	P99      time.Duration
+	Max      time.Duration
 }
 
 // LoadReport summarizes a load run.
@@ -43,11 +57,18 @@ type LoadReport struct {
 	Errors   int64 // transport-level failures
 	ByStatus map[int]int64
 	ByCache  map[string]int64 // X-Cache header: hit / miss / coalesced
-	Elapsed  time.Duration
-	P50      time.Duration
-	P95      time.Duration
-	P99      time.Duration
-	Max      time.Duration
+	// ByEndpoint breaks latency down per endpoint (compile, run, jobs,
+	// jobs-poll, jobs-cancel); the top-level percentiles aggregate all.
+	ByEndpoint map[string]EndpointLatency
+	// ByJobState counts job lifecycles by the terminal state observed
+	// (done / failed / canceled), plus "shed" for 429'd submissions and
+	// "abandoned" for lifecycles cut off by the end of the run.
+	ByJobState map[string]int64
+	Elapsed    time.Duration
+	P50        time.Duration
+	P95        time.Duration
+	P99        time.Duration
+	Max        time.Duration
 }
 
 // RPS is the achieved request throughput.
@@ -76,9 +97,31 @@ func (r *LoadReport) String() string {
 			fmt.Fprintf(&b, "  cache %-9s %d\n", k+":", n)
 		}
 	}
+	if len(r.ByJobState) > 0 {
+		states := make([]string, 0, len(r.ByJobState))
+		for s := range r.ByJobState {
+			states = append(states, s)
+		}
+		sort.Strings(states)
+		for _, s := range states {
+			fmt.Fprintf(&b, "  jobs %-10s %d\n", s+":", r.ByJobState[s])
+		}
+	}
 	fmt.Fprintf(&b, "  latency p50 %v  p95 %v  p99 %v  max %v\n",
 		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
 		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
+	eps := make([]string, 0, len(r.ByEndpoint))
+	for e := range r.ByEndpoint {
+		eps = append(eps, e)
+	}
+	sort.Strings(eps)
+	for _, e := range eps {
+		el := r.ByEndpoint[e]
+		fmt.Fprintf(&b, "  %-12s %6d reqs  p50 %v  p95 %v  p99 %v  max %v\n",
+			e, el.Requests,
+			el.P50.Round(time.Microsecond), el.P95.Round(time.Microsecond),
+			el.P99.Round(time.Microsecond), el.Max.Round(time.Microsecond))
+	}
 	return b.String()
 }
 
@@ -123,10 +166,138 @@ func missProgram(n int64) string {
 		n, n%17+1)
 }
 
-// RunLoad fires mixed hit/miss compile/run traffic at the server until
-// the duration (or ctx) expires and reports what came back.  It fails
-// only on configuration errors; transport errors are counted, not
-// fatal, so a report is produced even against a flaky target.
+// loadShard is one client goroutine's private tallies, merged at the
+// end (no cross-goroutine contention on the hot path).
+type loadShard struct {
+	requests, errors int64
+	byStatus         map[int]int64
+	byCache          map[string]int64
+	byJobState       map[string]int64
+	lat              map[string][]time.Duration // endpoint -> samples
+}
+
+// observe records one completed HTTP exchange.
+func (sh *loadShard) observe(endpoint string, resp *http.Response, dur time.Duration) {
+	sh.requests++
+	sh.byStatus[resp.StatusCode]++
+	if xc := resp.Header.Get("X-Cache"); xc != "" {
+		sh.byCache[xc]++
+	}
+	sh.lat[endpoint] = append(sh.lat[endpoint], dur)
+}
+
+// post issues one JSON POST and returns the response body (on any
+// status) with the exchange recorded; nil on transport error.
+func (sh *loadShard) post(ctx context.Context, client *http.Client, endpoint, url string, payload any) (int, []byte) {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		sh.errors++
+		return 0, nil
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		sh.errors++
+		return 0, nil
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return sh.do(client, endpoint, req)
+}
+
+func (sh *loadShard) do(client *http.Client, endpoint string, req *http.Request) (int, []byte) {
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		if req.Context().Err() == nil {
+			sh.errors++
+		}
+		return 0, nil
+	}
+	rb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	sh.observe(endpoint, resp, time.Since(start))
+	return resp.StatusCode, rb
+}
+
+// syncIteration fires one /compile-or-/run request.
+func (sh *loadShard) syncIteration(ctx context.Context, client *http.Client, cfg LoadConfig, rng *rand.Rand, w int, n int64) {
+	src := hitPrograms[rng.Intn(len(hitPrograms))]
+	if rng.Float64() >= cfg.HitFraction {
+		src = missProgram(int64(w)<<32 | n)
+	}
+	endpoint := kindCompile
+	if rng.Float64() < cfg.RunFraction {
+		endpoint = kindRun
+	}
+	level := rng.Intn(4)
+	sh.post(ctx, client, endpoint, cfg.BaseURL+"/"+endpoint, &Request{Source: src, Level: &level})
+}
+
+// jobIteration drives one full job lifecycle: submit, then either
+// cancel midway (1 in 8) or long-poll generations to a terminal state.
+func (sh *loadShard) jobIteration(ctx context.Context, client *http.Client, cfg LoadConfig, rng *rand.Rand, w int, n int64) {
+	src := hitPrograms[rng.Intn(len(hitPrograms))]
+	if rng.Float64() >= cfg.HitFraction {
+		src = missProgram(int64(w)<<32 | n)
+	}
+	level := rng.Intn(4)
+	status, body := sh.post(ctx, client, kindJobs, cfg.BaseURL+"/jobs",
+		&JobRequest{Request: Request{Source: src, Level: &level}, Tenant: fmt.Sprintf("t%d", w%4)})
+	if status != http.StatusAccepted {
+		if status == http.StatusTooManyRequests {
+			sh.byJobState["shed"]++
+		}
+		return
+	}
+	var jr JobResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		sh.errors++
+		return
+	}
+
+	if rng.Intn(8) == 0 {
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, cfg.BaseURL+"/jobs/"+jr.ID, nil)
+		if err != nil {
+			sh.errors++
+			return
+		}
+		if st, _ := sh.do(client, kindJobCancel, req); st == http.StatusOK {
+			sh.byJobState["canceled"]++
+		}
+		return
+	}
+
+	gen := jr.Gen
+	for ctx.Err() == nil {
+		url := fmt.Sprintf("%s/jobs/%s?gen=%d&wait=1s", cfg.BaseURL, jr.ID, gen)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			sh.errors++
+			return
+		}
+		status, body := sh.do(client, kindJobPoll, req)
+		if status != http.StatusOK {
+			return
+		}
+		var poll JobResponse
+		if err := json.Unmarshal(body, &poll); err != nil {
+			sh.errors++
+			return
+		}
+		gen = poll.Gen
+		switch poll.State {
+		case "done", "failed", "canceled":
+			sh.byJobState[poll.State]++
+			return
+		}
+	}
+	sh.byJobState["abandoned"]++
+}
+
+// RunLoad fires mixed hit/miss compile/run (and, with JobFraction > 0,
+// job-lifecycle) traffic at the server until the duration (or ctx)
+// expires and reports what came back.  It fails only on configuration
+// errors; transport errors are counted, not fatal, so a report is
+// produced even against a flaky target.
 func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	if cfg.BaseURL == "" {
 		return nil, fmt.Errorf("loadgen: BaseURL required")
@@ -154,13 +325,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
 	defer cancel()
 
-	type shard struct {
-		requests, errors int64
-		byStatus         map[int]int64
-		byCache          map[string]int64
-		lat              []time.Duration
-	}
-	shards := make([]shard, cfg.Concurrency)
+	shards := make([]loadShard, cfg.Concurrency)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Concurrency; w++ {
@@ -170,57 +335,29 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 			sh := &shards[w]
 			sh.byStatus = make(map[int]int64)
 			sh.byCache = make(map[string]int64)
+			sh.byJobState = make(map[string]int64)
+			sh.lat = make(map[string][]time.Duration)
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
 			for n := int64(0); ctx.Err() == nil; n++ {
-				src := hitPrograms[rng.Intn(len(hitPrograms))]
-				if rng.Float64() >= cfg.HitFraction {
-					src = missProgram(int64(w)<<32 | n)
+				if rng.Float64() < cfg.JobFraction {
+					sh.jobIteration(ctx, client, cfg, rng, w, n)
+				} else {
+					sh.syncIteration(ctx, client, cfg, rng, w, n)
 				}
-				endpoint := "/compile"
-				if rng.Float64() < cfg.RunFraction {
-					endpoint = "/run"
-				}
-				level := rng.Intn(4)
-				body, err := json.Marshal(&Request{Source: src, Level: &level})
-				if err != nil {
-					sh.errors++
-					continue
-				}
-				reqStart := time.Now()
-				req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-					cfg.BaseURL+endpoint, bytes.NewReader(body))
-				if err != nil {
-					sh.errors++
-					continue
-				}
-				req.Header.Set("Content-Type", "application/json")
-				resp, err := client.Do(req)
-				if err != nil {
-					if ctx.Err() != nil {
-						return
-					}
-					sh.errors++
-					continue
-				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				sh.requests++
-				sh.byStatus[resp.StatusCode]++
-				if xc := resp.Header.Get("X-Cache"); xc != "" {
-					sh.byCache[xc]++
-				}
-				sh.lat = append(sh.lat, time.Since(reqStart))
 			}
 		}(w)
 	}
 	wg.Wait()
 
 	rep := &LoadReport{
-		ByStatus: make(map[int]int64),
-		ByCache:  make(map[string]int64),
-		Elapsed:  time.Since(start),
+		ByStatus:   make(map[int]int64),
+		ByCache:    make(map[string]int64),
+		ByEndpoint: make(map[string]EndpointLatency),
+		ByJobState: make(map[string]int64),
+		Elapsed:    time.Since(start),
 	}
 	var all []time.Duration
+	perEndpoint := make(map[string][]time.Duration)
 	for w := range shards {
 		sh := &shards[w]
 		rep.Requests += sh.requests
@@ -231,15 +368,32 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		for k, n := range sh.byCache {
 			rep.ByCache[k] += n
 		}
-		all = append(all, sh.lat...)
-	}
-	if len(all) > 0 {
-		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-		pct := func(p float64) time.Duration {
-			idx := int(p * float64(len(all)-1))
-			return all[idx]
+		for k, n := range sh.byJobState {
+			rep.ByJobState[k] += n
 		}
-		rep.P50, rep.P95, rep.P99, rep.Max = pct(0.50), pct(0.95), pct(0.99), all[len(all)-1]
+		for e, lat := range sh.lat {
+			perEndpoint[e] = append(perEndpoint[e], lat...)
+			all = append(all, lat...)
+		}
+	}
+	rep.P50, rep.P95, rep.P99, rep.Max = latencySummary(all)
+	for e, lat := range perEndpoint {
+		el := EndpointLatency{Requests: int64(len(lat))}
+		el.P50, el.P95, el.P99, el.Max = latencySummary(lat)
+		rep.ByEndpoint[e] = el
 	}
 	return rep, nil
+}
+
+// latencySummary sorts the samples (in place) and extracts the
+// percentile points.
+func latencySummary(lat []time.Duration) (p50, p95, p99, max time.Duration) {
+	if len(lat) == 0 {
+		return 0, 0, 0, 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration {
+		return lat[int(p*float64(len(lat)-1))]
+	}
+	return pct(0.50), pct(0.95), pct(0.99), lat[len(lat)-1]
 }

@@ -97,6 +97,7 @@ type metrics struct {
 	compiles  labeledCounter        // per O-level (O0..O3, custom)
 	coalesced counter
 	shed      counter
+	jobs      labeledCounter // job lifecycle events (submitted, completed, ...)
 
 	simMu     sync.Mutex
 	simCycles map[string]int64 // `unit="..",cause=".."` -> cycles
@@ -105,8 +106,11 @@ type metrics struct {
 func newMetrics() *metrics {
 	return &metrics{
 		latency: map[string]*histogram{
-			kindCompile: newHistogram(),
-			kindRun:     newHistogram(),
+			kindCompile:   newHistogram(),
+			kindRun:       newHistogram(),
+			kindJobs:      newHistogram(),
+			kindJobPoll:   newHistogram(),
+			kindJobCancel: newHistogram(),
 		},
 		simCycles: make(map[string]int64),
 	}
@@ -142,6 +146,10 @@ type gauges struct {
 	workers    int
 	cache      CacheStats
 	uptime     float64
+
+	jobsQueued  int
+	jobsRunning int
+	jobsHeld    int // jobs in the table, including terminal ones awaiting TTL
 }
 
 func writeHeader(w io.Writer, name, help, typ string) {
@@ -166,7 +174,7 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	writeLabeled(w, "wmserved_requests_total", "Requests served, by endpoint and status code.", &m.requests)
 
 	writeHeader(w, "wmserved_request_duration_seconds", "Request latency, by endpoint.", "histogram")
-	for _, endpoint := range []string{kindCompile, kindRun} {
+	for _, endpoint := range []string{kindCompile, kindRun, kindJobs, kindJobPoll, kindJobCancel} {
 		h := m.latency[endpoint]
 		h.mu.Lock()
 		cum := int64(0)
@@ -199,6 +207,14 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "wmserved_cache_entries %d\n", g.cache.Entries)
 	writeHeader(w, "wmserved_cache_bytes", "Bytes currently cached (bodies plus overhead).", "gauge")
 	fmt.Fprintf(w, "wmserved_cache_bytes %d\n", g.cache.Bytes)
+
+	writeLabeled(w, "wmserved_jobs_total", "Asynchronous job lifecycle events, by event.", &m.jobs)
+	writeHeader(w, "wmserved_jobs_queued", "Jobs waiting for a job worker.", "gauge")
+	fmt.Fprintf(w, "wmserved_jobs_queued %d\n", g.jobsQueued)
+	writeHeader(w, "wmserved_jobs_running", "Jobs currently executing.", "gauge")
+	fmt.Fprintf(w, "wmserved_jobs_running %d\n", g.jobsRunning)
+	writeHeader(w, "wmserved_jobs_held", "Jobs retained in the table (queued, running, and terminal awaiting TTL).", "gauge")
+	fmt.Fprintf(w, "wmserved_jobs_held %d\n", g.jobsHeld)
 
 	writeHeader(w, "wmserved_queue_depth", "Requests waiting for a worker.", "gauge")
 	fmt.Fprintf(w, "wmserved_queue_depth %d\n", g.queueDepth)

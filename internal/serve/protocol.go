@@ -34,12 +34,53 @@ type Options struct {
 // MachineSpec mirrors wmstream.Machine for the wire; zero fields keep
 // the server's defaults.
 type MachineSpec struct {
-	MemLatency    int `json:"mem_latency,omitempty"`
-	MemPorts      int `json:"mem_ports,omitempty"`
-	FIFODepth     int `json:"fifo_depth,omitempty"`
-	QueueDepth    int `json:"queue_depth,omitempty"`
-	NumSCU        int `json:"num_scu,omitempty"`
-	WatchdogSlack int `json:"watchdog_slack,omitempty"`
+	MemLatency    int   `json:"mem_latency,omitempty"`
+	MemPorts      int   `json:"mem_ports,omitempty"`
+	FIFODepth     int   `json:"fifo_depth,omitempty"`
+	QueueDepth    int   `json:"queue_depth,omitempty"`
+	NumSCU        int   `json:"num_scu,omitempty"`
+	WatchdogSlack int   `json:"watchdog_slack,omitempty"`
+	MaxCycles     int64 `json:"max_cycles,omitempty"`
+}
+
+// JobRequest is the JSON body accepted by POST /jobs: a /run request
+// plus scheduling metadata.  Tenant groups jobs for fair dispatch and
+// per-tenant admission ("" is the anonymous tenant).
+type JobRequest struct {
+	Request
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// JobProgress is a point-in-time snapshot of a running job's
+// simulation.
+type JobProgress struct {
+	Cycles         int64   `json:"cycles"`
+	Instructions   int64   `json:"instructions"`
+	MemReads       int64   `json:"mem_reads"`
+	MemWrites      int64   `json:"mem_writes"`
+	StreamElems    int64   `json:"stream_elems"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// JobResponse is the body of POST /jobs (202) and GET /jobs/{id}.
+// Gen increments on every observable change (state transitions and
+// progress updates); pollers pass it back as ?gen=N to long-poll for
+// the next change.
+type JobResponse struct {
+	ID     string `json:"id"`
+	State  string `json:"state"` // queued | running | done | failed | canceled
+	Gen    int64  `json:"gen"`
+	Tenant string `json:"tenant,omitempty"`
+	// Progress is present once the job has run at least one slice.
+	Progress *JobProgress `json:"progress,omitempty"`
+	// Result is present in state "done".
+	Result *RunResponse `json:"result,omitempty"`
+	// Error and Diagnostics are present in state "failed".
+	Error       string       `json:"error,omitempty"`
+	Diagnostics []Diagnostic `json:"diagnostics,omitempty"`
+	// ExpiresInSeconds is how long a terminal job remains pollable
+	// before the TTL janitor deletes it.
+	ExpiresInSeconds float64 `json:"expires_in_seconds,omitempty"`
 }
 
 // Diagnostic is the wire form of wmstream.Diagnostic.
@@ -144,6 +185,9 @@ func (r *Request) machine() wmstream.Machine {
 		}
 		if s.WatchdogSlack > 0 {
 			m.WatchdogSlack = s.WatchdogSlack
+		}
+		if s.MaxCycles > 0 {
+			m.MaxCycles = s.MaxCycles
 		}
 	}
 	return m

@@ -44,8 +44,11 @@ import (
 
 // Endpoint kinds; also the label values used in metrics.
 const (
-	kindCompile = "compile"
-	kindRun     = "run"
+	kindCompile   = "compile"
+	kindRun       = "run"
+	kindJobs      = "jobs"
+	kindJobPoll   = "jobs-poll"
+	kindJobCancel = "jobs-cancel"
 )
 
 // Config configures a Server.  The zero value gets sensible defaults
@@ -76,6 +79,29 @@ type Config struct {
 	// address.  Tests use it to assert that coalescing and caching
 	// collapse N identical requests into one compile.
 	CompileHook func(key Key)
+
+	// JobWorkers bounds concurrently executing asynchronous jobs
+	// (default 2): the job tier gets its own small pool so long jobs
+	// never starve synchronous traffic.
+	JobWorkers int
+	// JobQueueDepth bounds queued jobs across all tenants; a
+	// submission beyond it is shed with 429 (default 32).
+	JobQueueDepth int
+	// JobTenantQueue bounds queued jobs per tenant (default 8), so one
+	// tenant cannot occupy the whole queue.
+	JobTenantQueue int
+	// JobTimeout is the per-job execution wall-clock budget (default
+	// 5m — jobs exist precisely to outlive RequestTimeout).
+	JobTimeout time.Duration
+	// JobTTL is how long a terminal job remains pollable before the
+	// janitor deletes it (default 5m).
+	JobTTL time.Duration
+	// JobPollMax caps the long-poll wait of GET /jobs/{id} (default
+	// 30s).
+	JobPollMax time.Duration
+	// JobProgressEvery is the minimum interval between progress
+	// generation bumps of a running job (default 250ms).
+	JobProgressEvery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +129,27 @@ func (c Config) withDefaults() Config {
 	if c.Version == "" {
 		c.Version = "dev"
 	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 2
+	}
+	if c.JobQueueDepth <= 0 {
+		c.JobQueueDepth = 32
+	}
+	if c.JobTenantQueue <= 0 {
+		c.JobTenantQueue = 8
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = 5 * time.Minute
+	}
+	if c.JobPollMax <= 0 {
+		c.JobPollMax = 30 * time.Second
+	}
+	if c.JobProgressEvery <= 0 {
+		c.JobProgressEvery = 250 * time.Millisecond
+	}
 	return c
 }
 
@@ -112,6 +159,7 @@ type Server struct {
 	cfg      Config
 	cache    *Cache
 	pool     *Pool
+	jobs     *jobManager
 	flights  flightGroup
 	metrics  *metrics
 	mux      *http.ServeMux
@@ -133,12 +181,16 @@ func New(cfg Config) *Server {
 		start:   time.Now(),
 	}
 	s.base, s.cancel = context.WithCancel(context.Background())
+	s.jobs = newJobManager(s)
 	s.mux.HandleFunc("POST /compile", func(w http.ResponseWriter, r *http.Request) {
-		s.handleJob(w, r, kindCompile)
+		s.handleSync(w, r, kindCompile)
 	})
 	s.mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) {
-		s.handleJob(w, r, kindRun)
+		s.handleSync(w, r, kindRun)
 	})
+	s.mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleJobDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -157,12 +209,13 @@ func (s *Server) Drain() { s.draining.Store(true) }
 func (s *Server) Close() {
 	s.Drain()
 	s.cancel()
+	s.jobs.close()
 	s.pool.Close()
 }
 
-// handleJob is the shared cache → coalesce → pool → execute pipeline
-// behind /compile and /run.
-func (s *Server) handleJob(w http.ResponseWriter, r *http.Request, kind string) {
+// handleSync is the shared cache → coalesce → pool → execute pipeline
+// behind the synchronous /compile and /run endpoints.
+func (s *Server) handleSync(w http.ResponseWriter, r *http.Request, kind string) {
 	start := time.Now()
 	req, errResp, status := s.decodeRequest(w, r)
 	if errResp != nil {
@@ -236,51 +289,97 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*Request
 	return &req, nil, 0
 }
 
-// execute performs the actual compile (and run) under ctx on a pool
-// worker.  Every path returns a fully rendered, deterministic body:
-// identical requests produce identical bytes whether served here, from
-// the cache, or by coalescing.
+// runOutcome is the result of one compile(-and-run) execution in a
+// structured form both the synchronous handlers (which render it to
+// bytes) and the job tier (which stores it) consume.
+type runOutcome struct {
+	status  int
+	run     *RunResponse
+	comp    *CompileResponse
+	errResp *ErrorResponse
+}
+
+// body renders the outcome deterministically: identical requests
+// produce identical bytes whether served cold, from the cache, or by
+// coalescing.
+func (o runOutcome) body() []byte {
+	switch {
+	case o.run != nil:
+		return mustJSON(o.run)
+	case o.comp != nil:
+		return mustJSON(o.comp)
+	default:
+		return mustJSON(o.errResp)
+	}
+}
+
+// execute adapts perform for the synchronous pipeline.  The
+// handler-local wall budget is the context deadline, delegated to the
+// execution core (internal/exec) as a MaxWall budget rather than
+// enforced here.
 func (s *Server) execute(ctx context.Context, kind string, key Key, req *Request) flightResult {
 	if h := s.cfg.CompileHook; h != nil {
 		h(key)
 	}
+	var simOpts wmstream.SimOptions
+	if dl, ok := ctx.Deadline(); ok {
+		simOpts.MaxWall = time.Until(dl)
+	}
+	out := s.perform(ctx, kind, req, simOpts)
+	return flightResult{status: out.status, body: out.body()}
+}
+
+// perform compiles (and for run kinds simulates) the request under
+// ctx.  Simulation runs through the shared execution core via
+// wmstream.RunWithTelemetryContext with the given SimOptions — the
+// job tier passes progress callbacks and its own wall budget here.
+func (s *Server) perform(ctx context.Context, kind string, req *Request, simOpts wmstream.SimOptions) runOutcome {
 	s.metrics.compiles.add(fmt.Sprintf("level=%q", req.levelLabel()), 1)
 
 	cres, err := wmstream.CompileContext(ctx, req.Source, wmstream.CompileConfig{Options: req.options()})
 	diags := toWireDiags(cres.Diagnostics)
 	if err != nil {
 		if ctx.Err() != nil {
-			return timeoutResult(ctx)
+			return timeoutOutcome(ctx)
 		}
-		return flightResult{
-			status: http.StatusBadRequest,
-			body:   mustJSON(&ErrorResponse{Error: "compile: " + err.Error(), Diagnostics: diags}),
+		return runOutcome{
+			status:  http.StatusBadRequest,
+			errResp: &ErrorResponse{Error: "compile: " + err.Error(), Diagnostics: diags},
 		}
 	}
 	listing := cres.Program.ListingDebug()
 	if kind == kindCompile {
-		return flightResult{
+		return runOutcome{
 			status: http.StatusOK,
-			body:   mustJSON(&CompileResponse{Listing: listing, Diagnostics: diags}),
+			comp:   &CompileResponse{Listing: listing, Diagnostics: diags},
 		}
 	}
 
-	sres, err := wmstream.RunWithTelemetryContext(ctx, cres.Program, req.machine(), wmstream.SimOptions{})
+	sres, err := wmstream.RunWithTelemetryContext(ctx, cres.Program, req.machine(), simOpts)
 	s.metrics.addSimUnits(sres.Units)
 	if err != nil {
 		if ctx.Err() != nil {
-			return timeoutResult(ctx)
+			return timeoutOutcome(ctx)
+		}
+		var wb *wmstream.WallBudgetError
+		if errors.As(err, &wb) {
+			// Deterministic body: the elapsed/cycle details vary run to
+			// run and must not reach coalesced followers.
+			return runOutcome{
+				status:  http.StatusGatewayTimeout,
+				errResp: &ErrorResponse{Error: "request deadline exceeded: simulation wall-clock budget exhausted"},
+			}
 		}
 		// A deadlock or trap is a property of the (valid) program, not
 		// of the server: 422 with the simulator's diagnostic.
-		return flightResult{
-			status: http.StatusUnprocessableEntity,
-			body:   mustJSON(&ErrorResponse{Error: "run: " + err.Error(), Diagnostics: diags}),
+		return runOutcome{
+			status:  http.StatusUnprocessableEntity,
+			errResp: &ErrorResponse{Error: "run: " + err.Error(), Diagnostics: diags},
 		}
 	}
-	return flightResult{
+	return runOutcome{
 		status: http.StatusOK,
-		body: mustJSON(&RunResponse{
+		run: &RunResponse{
 			Listing:      listing,
 			Diagnostics:  diags,
 			Cycles:       sres.Cycles,
@@ -289,14 +388,14 @@ func (s *Server) execute(ctx context.Context, kind string, key Key, req *Request
 			MemWrites:    sres.MemWrites,
 			StreamElems:  sres.StreamElems,
 			Output:       sres.Output,
-		}),
+		},
 	}
 }
 
-func timeoutResult(ctx context.Context) flightResult {
-	return flightResult{
-		status: http.StatusGatewayTimeout,
-		body:   mustJSON(&ErrorResponse{Error: "request deadline exceeded: " + ctx.Err().Error()}),
+func timeoutOutcome(ctx context.Context) runOutcome {
+	return runOutcome{
+		status:  http.StatusGatewayTimeout,
+		errResp: &ErrorResponse{Error: "request deadline exceeded: " + ctx.Err().Error()},
 	}
 }
 
@@ -347,12 +446,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	jq, jr, jh := s.jobs.counts()
 	s.metrics.write(w, gauges{
-		queueDepth: s.pool.QueueDepth(),
-		inFlight:   s.pool.InFlight(),
-		workers:    s.pool.Workers(),
-		cache:      s.cache.Stats(),
-		uptime:     time.Since(s.start).Seconds(),
+		queueDepth:  s.pool.QueueDepth(),
+		inFlight:    s.pool.InFlight(),
+		workers:     s.pool.Workers(),
+		cache:       s.cache.Stats(),
+		uptime:      time.Since(s.start).Seconds(),
+		jobsQueued:  jq,
+		jobsRunning: jr,
+		jobsHeld:    jh,
 	})
 }
 

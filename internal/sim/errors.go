@@ -123,8 +123,8 @@ func (m *Machine) snapshot() Snapshot {
 		LastUnit:     m.lastUnit,
 		LastProgress: m.lastProgress,
 	}
-	if m.lastRetired != nil {
-		s.LastRetired = m.lastRetired.String()
+	if m.lastRetired >= 0 && m.lastRetired < len(m.img.Code) {
+		s.LastRetired = m.img.Code[m.lastRetired].String()
 	}
 	if m.pc >= 0 && m.pc < len(m.img.Code) {
 		s.Func = m.img.FuncOf[m.pc]

@@ -33,14 +33,23 @@ import (
 
 const unboundedCycles = int64(1) << 62
 
-func (m *Machine) runFast() (Stats, error) {
+// runFast advances the fast engine up to the absolute cycle limit.
+// Slicing cannot change what the engine computes: a skip or batch
+// window chopped at the limit resumes with a re-observed template
+// cycle that — being a replay of the same stalled cycle — charges the
+// same causes and stat deltas the unchopped window would have, so the
+// bulk accounting stays linear across the cut.
+func (m *Machine) runFast(limit int64) (bool, error) {
 	slack := m.watchdogSlack()
 	done := m.cancelDone()
 	lastCheck := m.now
 	for !m.done() {
+		if m.now >= limit {
+			return false, nil
+		}
 		m.now++
 		if m.now > m.cfg.MaxCycles {
-			return m.stats, m.maxCyclesTrap()
+			return false, m.maxCyclesTrap()
 		}
 		// Poll cancellation on the same cycle grid as the reference
 		// engine; the clock can jump, so track the last checked cycle
@@ -49,7 +58,7 @@ func (m *Machine) runFast() (Stats, error) {
 			lastCheck = m.now
 			select {
 			case <-done:
-				return m.stats, m.cfg.Ctx.Err()
+				return false, m.cfg.Ctx.Err()
 			default:
 			}
 		}
@@ -60,10 +69,10 @@ func (m *Machine) runFast() (Stats, error) {
 		m.otherProgress = false
 		m.step()
 		if m.err != nil {
-			return m.stats, m.err
+			return false, m.err
 		}
 		if m.now-m.lastProgress > int64(m.cfg.MemLatency)+slack {
-			return m.stats, &DeadlockError{Snapshot: m.snapshot()}
+			return false, &DeadlockError{Snapshot: m.snapshot()}
 		}
 		if m.otherProgress {
 			continue
@@ -73,15 +82,15 @@ func (m *Machine) runFast() (Stats, error) {
 		dBranch := m.stats.BranchStalls - branchStalls
 		dIFU := m.stats.IFUStallFull - ifuFull
 		if m.scuProgress {
-			if err := m.batchSCU(dLoad, dBranch, dIFU); err != nil {
-				return m.stats, err
+			if err := m.batchSCU(dLoad, dBranch, dIFU, limit); err != nil {
+				return false, err
 			}
 		} else {
-			m.idleSkip(dLoad, dBranch, dIFU, slack)
+			m.idleSkip(dLoad, dBranch, dIFU, slack, limit)
 		}
 	}
 	m.stats.Cycles = m.now
-	return m.stats, nil
+	return true, nil
 }
 
 // idleSkip fast-forwards over a stretch of fully stalled cycles.  The
@@ -91,7 +100,9 @@ func (m *Machine) runFast() (Stats, error) {
 // the one that observes the flipped predicate, fires the watchdog (that
 // cycle is charged, so the skip stops at its eve), or trips MaxCycles
 // (that cycle is not charged, so the skip may land on the bound).
-func (m *Machine) idleSkip(dLoad, dBranch, dIFU, slack int64) {
+// The slice limit caps the skip like MaxCycles does: the remainder of
+// the stretch is re-proven and skipped by the next slice.
+func (m *Machine) idleSkip(dLoad, dBranch, dIFU, slack, limit int64) {
 	target := m.lastProgress + int64(m.cfg.MemLatency) + slack
 	if ev := m.nextEvent(); ev > 0 {
 		// Outer operands compare readyAt against now+1, so the last
@@ -99,6 +110,7 @@ func (m *Machine) idleSkip(dLoad, dBranch, dIFU, slack int64) {
 		target = minI64(target, ev-2)
 	}
 	target = minI64(target, m.cfg.MaxCycles)
+	target = minI64(target, limit)
 	k := target - m.now
 	if k <= 0 {
 		return
@@ -154,8 +166,9 @@ func (m *Machine) nextEvent() int64 {
 // are bulk-charged to the observed causes, including for a cycle that
 // faults partway (the reference charges every unit on a faulting cycle
 // too).
-func (m *Machine) batchSCU(dLoad, dBranch, dIFU int64) error {
+func (m *Machine) batchSCU(dLoad, dBranch, dIFU, limit int64) error {
 	k := minI64(m.scuHorizon(), m.cfg.MaxCycles-m.now)
+	k = minI64(k, limit-m.now)
 	if k <= 0 {
 		return nil
 	}

@@ -116,10 +116,18 @@ type Machine struct {
 	unserved        int   // scalar load requests awaiting memory service
 
 	lastProgress int64
-	lastRetired  *rtl.Instr // last instruction retired by a unit (formatted lazily)
-	lastUnit     string     // the unit that retired it
+	lastRetired  int    // code index of the last instruction retired by a unit (-1 = none)
+	lastUnit     string // the unit that retired it
 	stats        Stats
 	err          error
+
+	// Terminal run state: finished latches once the run completes,
+	// faults, or is canceled inside an engine; termErr is the error the
+	// terminal RunSlice returned, replayed by later calls.  flushed
+	// guards the one-shot trace flush.
+	finished bool
+	termErr  error
+	flushed  bool
 
 	// Per-cycle progress classification for the fast engine: progress()
 	// sets otherProgress, progressSCU (stream transfers only) sets
@@ -158,7 +166,7 @@ func New(img *Image, cfg Config) *Machine {
 	if int64(cfg.MemSize) < cfg.StackTop+4096 {
 		cfg.MemSize = int(cfg.StackTop + 4096)
 	}
-	m := &Machine{cfg: cfg, img: img}
+	m := &Machine{cfg: cfg, img: img, lastRetired: -1}
 	m.dec = decodeImage(img, cfg)
 	m.mem = make([]byte, cfg.MemSize)
 	for _, c := range img.Init {
@@ -230,23 +238,80 @@ func (m *Machine) Retired() []int64 { return m.retired }
 // for MemLatency+WatchdogSlack cycles) returns a *DeadlockError.  Both
 // carry a Snapshot of the stuck machine.
 func (m *Machine) Run() (Stats, error) {
-	st, err := m.run()
-	// Even a failed run flushes the trace and reports attribution: the
-	// timeline up to a deadlock is exactly the forensic record wanted.
-	if m.rec != nil {
-		m.rec.flush(m.now + 1)
-	}
-	st.Units = append([]telemetry.Unit(nil), m.unitCounts...)
-	return st, err
+	_, err := m.RunSlice(unboundedCycles)
+	return m.Stats(), err
 }
 
-func (m *Machine) run() (Stats, error) {
+// RunSlice advances the simulation by at most budget cycles and
+// reports whether the program has run to completion.  A run chopped
+// into arbitrary slices is bit-identical — statistics, output, memory
+// image, telemetry attribution, and faults — to an uninterrupted run:
+// the slice boundary only decides where the engine loop pauses, never
+// what a cycle does.  Once the run is terminal (completed, faulted,
+// deadlocked, or canceled via Config.Ctx) further calls return
+// (true, the terminal error) without simulating.
+func (m *Machine) RunSlice(budget int64) (bool, error) {
+	if m.finished {
+		return true, m.termErr
+	}
+	if budget <= 0 {
+		return false, nil
+	}
+	limit := m.now + budget
+	if limit < m.now { // overflow: treat as unbounded
+		limit = unboundedCycles
+	}
+	var (
+		done bool
+		err  error
+	)
 	// The trace recorder observes every cycle, so it forces the
 	// reference engine regardless of the requested engine.
 	if m.cfg.Engine != EngineReference && m.rec == nil {
-		return m.runFast()
+		done, err = m.runFast(limit)
+	} else {
+		done, err = m.runRef(limit)
 	}
-	return m.runRef()
+	if done || err != nil {
+		m.finished = true
+		m.termErr = err
+		// Even a failed run flushes the trace: the timeline up to a
+		// deadlock is exactly the forensic record wanted.
+		m.flushTrace()
+	}
+	return m.finished, err
+}
+
+// Stats returns the statistics accumulated so far, with the per-unit
+// attribution copied out.  Stats.Cycles is set only once the program
+// has run to completion (matching Run's historical contract: error
+// paths leave it zero).
+func (m *Machine) Stats() Stats {
+	st := m.stats
+	st.Units = append([]telemetry.Unit(nil), m.unitCounts...)
+	return st
+}
+
+// Progress returns the headline counters of the run so far without
+// copying the per-unit attribution; Cycles is the live clock.  Cheap
+// enough to call after every slice.
+func (m *Machine) Progress() Stats {
+	st := m.stats
+	st.Cycles = m.now
+	return st
+}
+
+// Finish flushes the trace recorder for a run abandoned between
+// slices (wall-clock budget, external cancellation).  Runs that reach
+// a terminal state inside RunSlice flush automatically; Finish is
+// idempotent either way.
+func (m *Machine) Finish() { m.flushTrace() }
+
+func (m *Machine) flushTrace() {
+	if m.rec != nil && !m.flushed {
+		m.flushed = true
+		m.rec.flush(m.now + 1)
+	}
 }
 
 // cancelCheckInterval is how many simulated cycles the reference
@@ -265,21 +330,26 @@ func (m *Machine) cancelDone() <-chan struct{} {
 }
 
 // runRef is the reference engine: one full machine evaluation per
-// simulated cycle.  It is the semantic definition the fast engine is
-// differentially tested against.
-func (m *Machine) runRef() (Stats, error) {
+// simulated cycle, up to the absolute cycle limit.  It is the
+// semantic definition the fast engine is differentially tested
+// against.  Returns done=true only on clean completion; a false/nil
+// return means the slice limit was reached with the run still live.
+func (m *Machine) runRef(limit int64) (bool, error) {
 	slack := m.watchdogSlack()
 	rec := m.rec != nil
 	done := m.cancelDone()
 	for !m.done() {
+		if m.now >= limit {
+			return false, nil
+		}
 		m.now++
 		if m.now > m.cfg.MaxCycles {
-			return m.stats, m.maxCyclesTrap()
+			return false, m.maxCyclesTrap()
 		}
 		if done != nil && m.now&(cancelCheckInterval-1) == 0 {
 			select {
 			case <-done:
-				return m.stats, m.cfg.Ctx.Err()
+				return false, m.cfg.Ctx.Err()
 			default:
 			}
 		}
@@ -288,14 +358,14 @@ func (m *Machine) runRef() (Stats, error) {
 			m.sampleCounters()
 		}
 		if m.err != nil {
-			return m.stats, m.err
+			return false, m.err
 		}
 		if m.now-m.lastProgress > int64(m.cfg.MemLatency)+slack {
-			return m.stats, &DeadlockError{Snapshot: m.snapshot()}
+			return false, &DeadlockError{Snapshot: m.snapshot()}
 		}
 	}
 	m.stats.Cycles = m.now
-	return m.stats, nil
+	return true, nil
 }
 
 // step evaluates one machine cycle (everything but the cycle counter,

@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"wmstream/internal/rtl"
+	"wmstream/internal/telemetry"
+)
+
+// checkpointImage builds a streaming reduction long enough (hundreds
+// of cycles) that a mid-run checkpoint captures live FIFOs, an active
+// SCU, pending register writes, and in-flight memory traffic.
+func checkpointImage(t *testing.T) *Image {
+	t.Helper()
+	const n = 512
+	data := make([]byte, n*4)
+	for k := 0; k < n; k++ {
+		binary.LittleEndian.PutUint32(data[k*4:], uint32(k))
+	}
+	src := `
+.entry main
+.data w ` + strconv.Itoa(n*4) + ` align=4 init=` + hexOf(data) + `
+.func main
+r5 := ` + strconv.Itoa(n) + `
+r6 := _w
+sin32r r0, r6, r5, 4
+r2 := 0
+L1:
+r2 := (r2 + r0)
+jnd r0, L1
+puti r2
+halt
+.end
+`
+	p, err := rtl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	img, err := Link(p)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	return img
+}
+
+func runUninterrupted(t *testing.T, img *Image, cfg Config) (Stats, string, []byte) {
+	t.Helper()
+	var out bytes.Buffer
+	cfg.Output = &out
+	m := New(img, cfg)
+	stats, err := m.Run()
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+	return stats, out.String(), m.Mem()
+}
+
+// TestStateRoundTripMidRun checkpoints a run mid-flight, restores it
+// into a freshly built machine, finishes there, and requires the
+// result to be bit-identical to the uninterrupted run — statistics
+// (including telemetry sums), output, and final memory.
+func TestStateRoundTripMidRun(t *testing.T) {
+	img := checkpointImage(t)
+	for _, e := range []struct {
+		name string
+		eng  Engine
+	}{{"ref", EngineReference}, {"fast", EngineFast}} {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Engine = e.eng
+			wantStats, wantOut, wantMem := runUninterrupted(t, img, cfg)
+
+			var out bytes.Buffer
+			cfg.Output = &out
+			m := New(img, cfg)
+			done, err := m.RunSlice(137)
+			if err != nil || done {
+				t.Fatalf("run ended before the checkpoint (done=%v err=%v)", done, err)
+			}
+			blob, err := m.SaveState()
+			if err != nil {
+				t.Fatalf("SaveState: %v", err)
+			}
+			m2 := New(img, cfg)
+			if err := m2.RestoreState(blob); err != nil {
+				t.Fatalf("RestoreState: %v", err)
+			}
+			if got := m2.Progress().Cycles; got != 137 {
+				t.Errorf("restored machine at cycle %d, want 137", got)
+			}
+			stats, err := m2.Run()
+			if err != nil {
+				t.Fatalf("resumed run: %v", err)
+			}
+			if !reflect.DeepEqual(stats, wantStats) {
+				t.Errorf("stats mismatch:\nuninterrupted: %+v\nresumed:       %+v", wantStats, stats)
+			}
+			if out.String() != wantOut {
+				t.Errorf("output %q, want %q", out.String(), wantOut)
+			}
+			if !bytes.Equal(m2.Mem(), wantMem) {
+				t.Errorf("final memory images differ")
+			}
+		})
+	}
+}
+
+// TestStateCrossEngineResume saves under the reference engine and
+// resumes under the fast engine: the encoding is engine-independent,
+// so the spliced run must match the uninterrupted reference run.
+func TestStateCrossEngineResume(t *testing.T) {
+	img := checkpointImage(t)
+	refCfg := DefaultConfig()
+	refCfg.Engine = EngineReference
+	wantStats, wantOut, wantMem := runUninterrupted(t, img, refCfg)
+
+	var out bytes.Buffer
+	refCfg.Output = &out
+	m := New(img, refCfg)
+	if done, err := m.RunSlice(200); err != nil || done {
+		t.Fatalf("run ended before the checkpoint (done=%v err=%v)", done, err)
+	}
+	blob, err := m.SaveState()
+	if err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	fastCfg := DefaultConfig()
+	fastCfg.Engine = EngineFast
+	fastCfg.Output = &out
+	m2 := New(img, fastCfg)
+	if err := m2.RestoreState(blob); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	stats, err := m2.Run()
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if !reflect.DeepEqual(stats, wantStats) {
+		t.Errorf("stats mismatch:\nreference:        %+v\ncross-engine:     %+v", wantStats, stats)
+	}
+	if out.String() != wantOut {
+		t.Errorf("output %q, want %q", out.String(), wantOut)
+	}
+	if !bytes.Equal(m2.Mem(), wantMem) {
+		t.Errorf("final memory images differ")
+	}
+}
+
+// TestSaveStateRefusals: a traced run carries unreplayable recorder
+// state, and a finished run has nothing left to resume.
+func TestSaveStateRefusals(t *testing.T) {
+	img := checkpointImage(t)
+
+	cfg := DefaultConfig()
+	cfg.TraceSink = telemetry.NewTrace()
+	if _, err := New(img, cfg).SaveState(); err == nil || !strings.Contains(err.Error(), "traced") {
+		t.Errorf("SaveState on traced machine: err = %v, want traced-run refusal", err)
+	}
+
+	m := New(img, DefaultConfig())
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := m.SaveState(); err == nil || !strings.Contains(err.Error(), "finished") {
+		t.Errorf("SaveState on finished machine: err = %v, want finished-run refusal", err)
+	}
+}
+
+// TestRestoreStateHeaderMismatch: a checkpoint only restores into a
+// machine with identical parameters, and the error names the field.
+func TestRestoreStateHeaderMismatch(t *testing.T) {
+	img := checkpointImage(t)
+	m := New(img, DefaultConfig())
+	if done, err := m.RunSlice(50); err != nil || done {
+		t.Fatalf("run ended early (done=%v err=%v)", done, err)
+	}
+	blob, err := m.SaveState()
+	if err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	cfg := DefaultConfig()
+	cfg.MemLatency += 3
+	err = New(img, cfg).RestoreState(blob)
+	if err == nil || !strings.Contains(err.Error(), "MemLatency") {
+		t.Errorf("RestoreState into different machine: err = %v, want MemLatency mismatch", err)
+	}
+}
+
+// TestRestoreStateCorrupt: truncation, a foreign blob, and trailing
+// garbage are all rejected rather than half-applied.
+func TestRestoreStateCorrupt(t *testing.T) {
+	img := checkpointImage(t)
+	m := New(img, DefaultConfig())
+	if done, err := m.RunSlice(50); err != nil || done {
+		t.Fatalf("run ended early (done=%v err=%v)", done, err)
+	}
+	blob, err := m.SaveState()
+	if err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+
+	if err := New(img, DefaultConfig()).RestoreState(blob[:len(blob)/2]); err == nil {
+		t.Error("RestoreState accepted a truncated checkpoint")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[8] ^= 0xff // first byte of the magic string
+	if err := New(img, DefaultConfig()).RestoreState(bad); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("RestoreState on foreign blob: err = %v, want bad-magic refusal", err)
+	}
+	if err := New(img, DefaultConfig()).RestoreState(append(append([]byte(nil), blob...), 0)); err == nil ||
+		!strings.Contains(err.Error(), "trailing") {
+		t.Errorf("RestoreState with trailing bytes: err = %v, want trailing-bytes refusal", err)
+	}
+
+	// A valid blob still restores after all those rejections touched
+	// (copies of) it.
+	if err := New(img, DefaultConfig()).RestoreState(blob); err != nil {
+		t.Errorf("RestoreState on pristine blob after corruption tests: %v", err)
+	}
+}

@@ -181,7 +181,7 @@ func (m *Machine) execute(d *dispatched, c rtl.Class) {
 	dec := d.dec
 	m.profTick(d.idx)
 	m.stats.Instructions++
-	m.lastRetired = i
+	m.lastRetired = d.idx
 	if c == rtl.Int {
 		m.stats.IntIssued++
 		m.lastUnit = "IEU"

@@ -7,7 +7,9 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
+	"wmstream/internal/exec"
 	"wmstream/internal/sim"
 	"wmstream/internal/telemetry"
 )
@@ -29,6 +31,17 @@ type SimOptions struct {
 	// program to carry debug info — compiled from Mini-C, or assembled
 	// from a listing with @line annotations).
 	Profile bool
+	// MaxWall bounds the host wall-clock time of the simulation.  An
+	// exhausted budget stops the run with a *WallBudgetError; the
+	// statistics and telemetry collected so far are still returned.
+	MaxWall time.Duration
+	// Progress, when non-nil, receives periodic snapshots of the
+	// running simulation (cycles, instructions, memory traffic) plus a
+	// final one marked Done, all from the calling goroutine.
+	Progress func(RunProgress)
+	// ProgressEvery is the minimum interval between Progress calls
+	// (zero uses the execution core's default of 500ms).
+	ProgressEvery time.Duration
 }
 
 // UnitBreakdown is one functional unit's cycle attribution: every
@@ -132,7 +145,11 @@ func RunWithTelemetryContext(ctx context.Context, p *Program, m Machine, o SimOp
 	}
 	cfg.Profile = o.Profile
 	machine := sim.New(img, cfg)
-	stats, rerr := machine.Run()
+	stats, rerr := exec.Run(ctx, machine, exec.Options{
+		MaxWall:       o.MaxWall,
+		OnProgress:    o.Progress,
+		ProgressEvery: o.ProgressEvery,
+	})
 	res := SimResult{
 		Result: Result{
 			Cycles:       stats.Cycles,

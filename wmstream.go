@@ -26,6 +26,7 @@ import (
 
 	"wmstream/internal/acode"
 	"wmstream/internal/diag"
+	"wmstream/internal/exec"
 	"wmstream/internal/minic"
 	"wmstream/internal/opt"
 	"wmstream/internal/rtl"
@@ -326,12 +327,13 @@ func (p *Program) FuncListing(name string) string {
 
 // Machine configures the simulated WM implementation.
 type Machine struct {
-	MemLatency    int // cycles from memory request to data arrival
-	MemPorts      int // memory requests accepted per cycle
-	FIFODepth     int // entries per data FIFO
-	QueueDepth    int // entries per unit instruction queue
-	NumSCU        int // stream control units
-	WatchdogSlack int // no-progress cycles beyond MemLatency before a deadlock is declared
+	MemLatency    int   // cycles from memory request to data arrival
+	MemPorts      int   // memory requests accepted per cycle
+	FIFODepth     int   // entries per data FIFO
+	QueueDepth    int   // entries per unit instruction queue
+	NumSCU        int   // stream control units
+	WatchdogSlack int   // no-progress cycles beyond MemLatency before a deadlock is declared
+	MaxCycles     int64 // simulated-cycle bound before a runaway run traps (0 = default)
 }
 
 // DefaultMachine returns the configuration used by the reproduction
@@ -345,6 +347,7 @@ func DefaultMachine() Machine {
 		QueueDepth:    c.QueueDepth,
 		NumSCU:        c.NumSCU,
 		WatchdogSlack: c.WatchdogSlack,
+		MaxCycles:     c.MaxCycles,
 	}
 }
 
@@ -364,6 +367,15 @@ type (
 	TrapError     = sim.TrapError
 	Snapshot      = sim.Snapshot
 )
+
+// WallBudgetError reports a run stopped by SimOptions.MaxWall before
+// the program finished; the partial statistics collected so far are
+// still returned alongside it.
+type WallBudgetError = exec.WallBudgetError
+
+// RunProgress is a point-in-time snapshot of a running simulation,
+// delivered through SimOptions.Progress.
+type RunProgress = exec.Progress
 
 // Result reports a simulation run.
 type Result struct {
@@ -396,6 +408,9 @@ func simConfig(m Machine) sim.Config {
 	if m.WatchdogSlack > 0 {
 		cfg.WatchdogSlack = m.WatchdogSlack
 	}
+	if m.MaxCycles > 0 {
+		cfg.MaxCycles = m.MaxCycles
+	}
 	return cfg
 }
 
@@ -419,7 +434,7 @@ func RunContext(ctx context.Context, p *Program, m Machine) (Result, error) {
 	var out bytes.Buffer
 	cfg.Output = &out
 	machine := sim.New(img, cfg)
-	stats, err := machine.Run()
+	stats, err := exec.Run(ctx, machine, exec.Options{})
 	if err != nil {
 		return Result{Output: out.String()}, err
 	}
