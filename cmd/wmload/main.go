@@ -36,6 +36,7 @@ func run() int {
 		runFrac     = flag.Float64("run-fraction", 0.5, "fraction of requests hitting /run instead of /compile")
 		jobs        = flag.Bool("jobs", false, "drive all traffic through the asynchronous job API")
 		jobFrac     = flag.Float64("job-fraction", 0, "fraction of iterations driving a job lifecycle (submit, poll, cancel)")
+		retries     = flag.Int("retries", 3, "retry shed (429/503) responses this many times with capped backoff, honoring Retry-After")
 		seed        = flag.Int64("seed", 1, "traffic mix seed")
 		version     = flag.Bool("version", false, "print version and exit")
 	)
@@ -64,6 +65,7 @@ func run() int {
 		RunFraction: *runFrac,
 		JobFraction: jf,
 		Seed:        *seed,
+		Retries:     *retries,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wmload: %v\n", err)

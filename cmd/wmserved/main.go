@@ -44,6 +44,9 @@ func run() int {
 		jobTimeout = flag.Duration("job-timeout", 5*time.Minute, "per-job wall-clock budget")
 		jobTTL     = flag.Duration("job-ttl", 5*time.Minute, "how long finished jobs stay pollable")
 		jobPollMax = flag.Duration("job-poll-max", 30*time.Second, "cap on the ?wait= long-poll of GET /jobs/{id}")
+		jobDir     = flag.String("job-dir", "", "directory for the durable job journal and checkpoints (empty = memory-only jobs)")
+		jobFsync   = flag.String("job-fsync", "batch", "journal fsync policy: batch, always, or never")
+		jobRetries = flag.Int("job-retries", 3, "transient-failure retries per job (negative = none)")
 
 		version = flag.Bool("version", false, "print version and exit")
 	)
@@ -73,7 +76,19 @@ func run() int {
 		JobTimeout:     *jobTimeout,
 		JobTTL:         *jobTTL,
 		JobPollMax:     *jobPollMax,
+		JobDir:         *jobDir,
+		JobFsync:       *jobFsync,
+		JobRetries:     *jobRetries,
 	})
+	if *jobDir != "" {
+		rec, mode := srv.Recovery()
+		logger.Info("wmserved job journal recovered",
+			"dir", *jobDir, "mode", mode,
+			"requeued", rec.Requeued, "resumed", rec.Resumed,
+			"restored", rec.Restored, "expired", rec.Expired,
+			"abandoned", rec.Abandoned,
+			"torn_tails", rec.TornTails, "corrupt_records", rec.CorruptRecords)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

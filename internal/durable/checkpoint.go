@@ -1,0 +1,126 @@
+package durable
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Checkpoint blobs (sim.Machine.SaveState output) are spilled to a
+// content-addressed directory: the file name is the SHA-256 of the
+// blob, written via temp-file-plus-rename so a crash mid-spill leaves
+// either the complete blob or nothing.  Loads re-hash the bytes, so
+// any on-disk corruption — bit flip, truncation, a foreign file
+// renamed into place — is detected before the simulator ever sees the
+// blob, and the caller falls back to an older checkpoint or a clean
+// restart.
+
+// CheckpointRef names one spilled checkpoint.
+type CheckpointRef struct {
+	// Hash is the lowercase hex SHA-256 of the blob (also its file
+	// name).
+	Hash string `json:"hash"`
+	// Cycles is the simulated clock at the checkpoint, so recovery can
+	// report how much work resumption saved.
+	Cycles int64 `json:"cycles"`
+	// Bytes is the blob size.
+	Bytes int64 `json:"bytes"`
+}
+
+const checkpointSubdir = "checkpoints"
+
+func (s *Store) checkpointPath(hash string) string {
+	return filepath.Join(s.dir, checkpointSubdir, hash+".ckpt")
+}
+
+// SaveCheckpoint spills one state blob and returns its reference.
+// The write is fault-checked: the crash-restart harness tears
+// checkpoint spills exactly like journal appends.
+func (s *Store) SaveCheckpoint(blob []byte, cycles int64) (CheckpointRef, error) {
+	if s == nil {
+		return CheckpointRef{}, fmt.Errorf("durable: no store")
+	}
+	sum := sha256.Sum256(blob)
+	ref := CheckpointRef{Hash: hex.EncodeToString(sum[:]), Cycles: cycles, Bytes: int64(len(blob))}
+	path := s.checkpointPath(ref.Hash)
+	if _, err := os.Stat(path); err == nil {
+		// Content-addressed: an identical blob is already durable.
+		return ref, nil
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".spill-*")
+	if err != nil {
+		return CheckpointRef{}, err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := s.faults.write(tmp, blob); err != nil {
+		tmp.Close()
+		return CheckpointRef{}, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return CheckpointRef{}, err
+	}
+	if err := tmp.Close(); err != nil {
+		return CheckpointRef{}, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return CheckpointRef{}, err
+	}
+	return ref, nil
+}
+
+// LoadCheckpoint reads a spilled blob back, verifying both the size
+// and the content hash against the reference.
+func (s *Store) LoadCheckpoint(ref CheckpointRef) ([]byte, error) {
+	if s == nil {
+		return nil, fmt.Errorf("durable: no store")
+	}
+	blob, err := os.ReadFile(s.checkpointPath(ref.Hash))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(blob)) != ref.Bytes {
+		return nil, fmt.Errorf("durable: checkpoint %.12s is %d bytes, expected %d (truncated?)",
+			ref.Hash, len(blob), ref.Bytes)
+	}
+	sum := sha256.Sum256(blob)
+	if hex.EncodeToString(sum[:]) != ref.Hash {
+		return nil, fmt.Errorf("durable: checkpoint %.12s fails content verification (corrupt blob)", ref.Hash)
+	}
+	return blob, nil
+}
+
+// RemoveCheckpoint deletes a blob that no live job references.  Best
+// effort: a blob that lingers is reclaimed by the next boot's sweep.
+func (s *Store) RemoveCheckpoint(ref CheckpointRef) {
+	if s == nil || ref.Hash == "" {
+		return
+	}
+	os.Remove(s.checkpointPath(ref.Hash))
+}
+
+// sweepCheckpoints removes blobs (and stray spill temp files) that no
+// recovered record references.  Called once at open, after replay.
+func (s *Store) sweepCheckpoints(live map[string]bool) (removed int) {
+	dir := filepath.Join(s.dir, checkpointSubdir)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, ".spill-"):
+		case strings.HasSuffix(name, ".ckpt") && !live[strings.TrimSuffix(name, ".ckpt")]:
+		default:
+			continue
+		}
+		if os.Remove(filepath.Join(dir, name)) == nil {
+			removed++
+		}
+	}
+	return removed
+}

@@ -1,0 +1,331 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openTestStore(t *testing.T, dir string, faults *FaultPoints) (*Store, *Recovery) {
+	t.Helper()
+	s, rec, err := Open(Options{Dir: dir, Faults: faults})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, rec
+}
+
+func record(seq int64, id, state string) JobRecord {
+	return JobRecord{Seq: seq, ID: id, State: state, Request: json.RawMessage(`{"source":"x"}`)}
+}
+
+// TestStoreRoundTrip: records written are recovered last-wins in
+// submission order, and tombstones remove jobs from the live set.
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, rec := openTestStore(t, dir, nil)
+	if len(rec.Jobs) != 0 {
+		t.Fatalf("fresh dir recovered %d jobs", len(rec.Jobs))
+	}
+	for _, r := range []JobRecord{
+		record(1, "a", "queued"),
+		record(2, "b", "queued"),
+		record(1, "a", "running"),
+		record(3, "c", "queued"),
+		record(2, "b", "done"),
+		{Seq: 3, ID: "c", State: "deleted"},
+	} {
+		if err := s.Put(r); err != nil {
+			t.Fatalf("Put(%s %s): %v", r.ID, r.State, err)
+		}
+	}
+	s.Close()
+
+	_, rec2 := openTestStore(t, dir, nil)
+	if len(rec2.Jobs) != 2 {
+		t.Fatalf("recovered %d jobs, want 2: %+v", len(rec2.Jobs), rec2.Jobs)
+	}
+	if rec2.Jobs[0].ID != "a" || rec2.Jobs[0].State != "running" {
+		t.Errorf("job[0] = %s/%s, want a/running", rec2.Jobs[0].ID, rec2.Jobs[0].State)
+	}
+	if rec2.Jobs[1].ID != "b" || rec2.Jobs[1].State != "done" {
+		t.Errorf("job[1] = %s/%s, want b/done", rec2.Jobs[1].ID, rec2.Jobs[1].State)
+	}
+	if rec2.MaxSeq != 3 {
+		t.Errorf("MaxSeq = %d, want 3", rec2.MaxSeq)
+	}
+	if rec2.Replay.TruncatedTails != 0 || rec2.Replay.CorruptRecords != 0 {
+		t.Errorf("clean journal reported damage: %+v", rec2.Replay)
+	}
+}
+
+// TestTornTailTruncated: a torn write at the journal tail is cut off
+// on the next open; everything acknowledged before it survives.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	faults := &FaultPoints{TornAt: 3}
+	s, _ := openTestStore(t, dir, faults)
+	if err := s.Put(record(1, "a", "queued")); err != nil {
+		t.Fatalf("Put a: %v", err)
+	}
+	if err := s.Put(record(2, "b", "queued")); err != nil {
+		t.Fatalf("Put b: %v", err)
+	}
+	// Op 3 tears mid-frame and wedges the store.
+	if err := s.Put(record(3, "c", "queued")); err != ErrCrashed {
+		t.Fatalf("torn Put error = %v, want ErrCrashed", err)
+	}
+	if err := s.Put(record(4, "d", "queued")); err != ErrCrashed {
+		t.Fatalf("post-crash Put error = %v, want ErrCrashed", err)
+	}
+
+	s2, rec := openTestStore(t, dir, nil)
+	if rec.Replay.TruncatedTails != 1 || rec.Replay.TruncatedBytes == 0 {
+		t.Errorf("expected one torn tail, got %+v", rec.Replay)
+	}
+	if len(rec.Jobs) != 2 || rec.Jobs[0].ID != "a" || rec.Jobs[1].ID != "b" {
+		t.Fatalf("recovered %+v, want jobs a and b", rec.Jobs)
+	}
+	// The truncated journal accepts new appends cleanly.
+	if err := s2.Put(record(3, "c", "queued")); err != nil {
+		t.Fatalf("Put after truncation: %v", err)
+	}
+	s2.Close()
+	_, rec3 := openTestStore(t, dir, nil)
+	if len(rec3.Jobs) != 3 {
+		t.Fatalf("after re-append recovered %d jobs, want 3", len(rec3.Jobs))
+	}
+}
+
+// TestCorruptRecordSkipped: a bit-flipped interior record is dropped
+// and counted; records after it still replay.
+func TestCorruptRecordSkipped(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openTestStore(t, dir, nil)
+	for n := int64(1); n <= 3; n++ {
+		if err := s.Put(record(n, fmt.Sprintf("j%d", n), "queued")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	s.Close()
+
+	path := filepath.Join(dir, segmentName(0))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the middle record: frame 1 starts after
+	// frame 0; corrupt a byte well inside frame 1's payload.
+	frame0 := frameHeader + int(uint32(data[0])|uint32(data[1])<<8|uint32(data[2])<<16|uint32(data[3])<<24)
+	data[frame0+frameHeader+4] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec := openTestStore(t, dir, nil)
+	if rec.Replay.CorruptRecords != 1 {
+		t.Errorf("CorruptRecords = %d, want 1", rec.Replay.CorruptRecords)
+	}
+	if len(rec.Jobs) != 2 || rec.Jobs[0].ID != "j1" || rec.Jobs[1].ID != "j3" {
+		t.Fatalf("recovered %+v, want j1 and j3 (j2 dropped)", rec.Jobs)
+	}
+}
+
+// TestDegradedMode: an ordinary write failure flips the store to
+// memory-only operation instead of erroring every job transition.
+func TestDegradedMode(t *testing.T) {
+	dir := t.TempDir()
+	faults := &FaultPoints{FailAt: 2}
+	s, _ := openTestStore(t, dir, faults)
+	if err := s.Put(record(1, "a", "queued")); err != nil {
+		t.Fatalf("Put a: %v", err)
+	}
+	if mode, _ := s.Mode(); mode != ModeDurable {
+		t.Fatalf("mode %v before fault, want durable", mode)
+	}
+	// Op 2 fails; the store degrades and the Put reports success.
+	if err := s.Put(record(2, "b", "queued")); err != nil {
+		t.Fatalf("degrading Put returned %v, want nil", err)
+	}
+	mode, reason := s.Mode()
+	if mode != ModeDegraded || reason == "" {
+		t.Fatalf("mode %v (%q), want degraded with a reason", mode, reason)
+	}
+	if err := s.Put(record(3, "c", "queued")); err != nil {
+		t.Fatalf("degraded Put returned %v, want nil", err)
+	}
+	if s.DroppedWrites() != 2 {
+		t.Errorf("DroppedWrites = %d, want 2", s.DroppedWrites())
+	}
+	s.Close()
+	_, rec := openTestStore(t, dir, nil)
+	if len(rec.Jobs) != 1 || rec.Jobs[0].ID != "a" {
+		t.Fatalf("recovered %+v, want only pre-degradation job a", rec.Jobs)
+	}
+}
+
+// TestCompaction: once the segment threshold trips, the journal is
+// rewritten to the live set and shrinks.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(Options{Dir: dir, SegmentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	big := strings.Repeat("x", 512)
+	// Many transitions of the same two jobs: live set stays tiny.
+	for n := 0; n < 64; n++ {
+		r := record(int64(n%2+1), fmt.Sprintf("job%d", n%2), "running")
+		r.Request = json.RawMessage(fmt.Sprintf(`{"source":%q}`, big))
+		if err := s.Put(r); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if got := s.Bytes(); got > 8192 {
+		t.Errorf("journal holds %d bytes after compaction, want <= 8192", got)
+	}
+	s.Close()
+	_, rec := openTestStore(t, dir, nil)
+	if len(rec.Jobs) != 2 {
+		t.Fatalf("recovered %d jobs after compaction, want 2", len(rec.Jobs))
+	}
+}
+
+// TestCheckpointRoundTrip: spill, load, verify, remove; corruption of
+// the on-disk blob is detected by the content hash.
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openTestStore(t, dir, nil)
+	blob := bytes.Repeat([]byte{0xab, 0xcd, 0x01}, 4096)
+	ref, err := s.SaveCheckpoint(blob, 1234)
+	if err != nil {
+		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+	if ref.Cycles != 1234 || ref.Bytes != int64(len(blob)) {
+		t.Fatalf("ref %+v", ref)
+	}
+	got, err := s.LoadCheckpoint(ref)
+	if err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("LoadCheckpoint: %v (match=%v)", err, bytes.Equal(got, blob))
+	}
+	// Identical blob re-spills for free.
+	if _, err := s.SaveCheckpoint(blob, 1234); err != nil {
+		t.Fatalf("idempotent SaveCheckpoint: %v", err)
+	}
+
+	// On-disk corruption matrix: bit flip, truncation, foreign bytes.
+	path := s.checkpointPath(ref.Hash)
+	pristine, _ := os.ReadFile(path)
+	for _, tc := range []struct {
+		name    string
+		corrupt []byte
+	}{
+		{"bit-flip", func() []byte { b := append([]byte(nil), pristine...); b[len(b)/2] ^= 0x40; return b }()},
+		{"truncation", pristine[:len(pristine)/2]},
+		{"foreign", []byte("not a checkpoint at all")},
+	} {
+		if err := os.WriteFile(path, tc.corrupt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.LoadCheckpoint(ref); err == nil {
+			t.Errorf("%s: LoadCheckpoint accepted a corrupt blob", tc.name)
+		}
+	}
+	os.WriteFile(path, pristine, 0o644)
+
+	s.RemoveCheckpoint(ref)
+	if _, err := s.LoadCheckpoint(ref); err == nil {
+		t.Error("LoadCheckpoint succeeded after RemoveCheckpoint")
+	}
+}
+
+// TestCheckpointSweep: blobs no live record references are removed at
+// open; referenced ones survive.
+func TestCheckpointSweep(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openTestStore(t, dir, nil)
+	keep, err := s.SaveCheckpoint([]byte("keep-me"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphan, err := s.SaveCheckpoint([]byte("orphan"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := record(1, "a", "running")
+	r.Checkpoint = &keep
+	if err := s.Put(r); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, rec := openTestStore(t, dir, nil)
+	if rec.CheckpointsSwept != 1 {
+		t.Errorf("swept %d blobs, want 1", rec.CheckpointsSwept)
+	}
+	if _, err := s2.LoadCheckpoint(keep); err != nil {
+		t.Errorf("referenced checkpoint was swept: %v", err)
+	}
+	if _, err := s2.LoadCheckpoint(orphan); err == nil {
+		t.Error("orphan checkpoint survived the sweep")
+	}
+}
+
+// TestKill: Kill wedges the store at a record boundary; recovery sees
+// everything up to the kill.
+func TestKill(t *testing.T) {
+	dir := t.TempDir()
+	faults := &FaultPoints{}
+	s, _ := openTestStore(t, dir, faults)
+	if err := s.Put(record(1, "a", "queued")); err != nil {
+		t.Fatal(err)
+	}
+	faults.Kill()
+	if err := s.Put(record(2, "b", "queued")); err != ErrCrashed {
+		t.Fatalf("post-kill Put error = %v, want ErrCrashed", err)
+	}
+	if _, err := s.SaveCheckpoint([]byte("blob"), 1); err != ErrCrashed {
+		t.Fatalf("post-kill SaveCheckpoint error = %v, want ErrCrashed", err)
+	}
+	_, rec := openTestStore(t, dir, nil)
+	if len(rec.Jobs) != 1 || rec.Jobs[0].ID != "a" {
+		t.Fatalf("recovered %+v, want job a", rec.Jobs)
+	}
+}
+
+// TestFsyncPolicies: every policy round-trips records (durability
+// differences need a real power failure to observe; this asserts the
+// code paths work).
+func TestFsyncPolicies(t *testing.T) {
+	for _, p := range []FsyncPolicy{FsyncAlways, FsyncBatch, FsyncNever} {
+		t.Run(p.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			s, _, err := Open(Options{Dir: dir, Fsync: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put(record(1, "a", "queued")); err != nil {
+				t.Fatal(err)
+			}
+			s.Close()
+			_, rec := openTestStore(t, dir, nil)
+			if len(rec.Jobs) != 1 {
+				t.Fatalf("recovered %d jobs, want 1", len(rec.Jobs))
+			}
+		})
+	}
+	if _, err := ParseFsyncPolicy("bogus"); err == nil {
+		t.Error("ParseFsyncPolicy accepted bogus")
+	}
+	for _, s := range []string{"", "batch", "always", "never"} {
+		if _, err := ParseFsyncPolicy(s); err != nil {
+			t.Errorf("ParseFsyncPolicy(%q): %v", s, err)
+		}
+	}
+}

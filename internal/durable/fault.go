@@ -1,0 +1,96 @@
+package durable
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// FaultPoints injects write failures at chosen points, driving the
+// crash-restart harness: every journal append and checkpoint spill
+// counts as one write op, and the nth op can be made to fail cleanly,
+// write a short prefix, or tear mid-write and wedge the store as if
+// the process had been killed at that instant.
+//
+// The zero value (and a nil *FaultPoints) injects nothing.
+type FaultPoints struct {
+	// FailAt makes the nth write op (1-based) return an error without
+	// writing anything — an ordinary I/O failure the store survives by
+	// degrading to memory-only mode.
+	FailAt int
+	// ShortAt makes the nth write op write roughly half its bytes and
+	// then return an error — a disk-full spill.
+	ShortAt int
+	// TornAt makes the nth write op write roughly half its bytes and
+	// wedge the store: it and every later op fail with ErrCrashed,
+	// simulating kill -9 mid-write.  Recovery must truncate the torn
+	// frame and lose nothing that was acknowledged.
+	TornAt int
+
+	mu      sync.Mutex
+	ops     int
+	crashed bool
+}
+
+// write performs one fault-checked write op.  A nil receiver writes
+// straight through.
+func (f *FaultPoints) write(w io.Writer, p []byte) (int, error) {
+	if f == nil {
+		return w.Write(p)
+	}
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	f.ops++
+	op := f.ops
+	torn := f.TornAt > 0 && op == f.TornAt
+	if torn {
+		f.crashed = true
+	}
+	f.mu.Unlock()
+	switch {
+	case f.FailAt > 0 && op == f.FailAt:
+		return 0, fmt.Errorf("durable: injected write failure at op %d", op)
+	case f.ShortAt > 0 && op == f.ShortAt:
+		n, _ := w.Write(p[:len(p)/2])
+		return n, fmt.Errorf("durable: injected short write at op %d", op)
+	case torn:
+		n, _ := w.Write(p[:len(p)/2])
+		return n, ErrCrashed
+	}
+	return w.Write(p)
+}
+
+// Kill wedges the store at a record boundary — kill -9 between
+// writes.  Every subsequent operation fails with ErrCrashed.
+func (f *FaultPoints) Kill() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.crashed = true
+	f.mu.Unlock()
+}
+
+// Crashed reports whether a torn-write fault or Kill has fired.
+func (f *FaultPoints) Crashed() bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Ops returns how many write ops have been observed, so a harness can
+// pick a randomized crash point within the real op range.
+func (f *FaultPoints) Ops() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}

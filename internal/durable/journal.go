@@ -1,0 +1,387 @@
+// Package durable is the crash-safety layer under wmserved's job
+// tier: an append-only write-ahead journal of job state transitions
+// plus a content-addressed directory of simulator checkpoints
+// (sim.Machine.SaveState blobs), so acknowledged jobs survive a
+// process death and long runs resume mid-flight instead of restarting
+// from cycle zero.
+//
+// The design mirrors the paper's access/execute decoupling one level
+// up: just as the WM architecture buffers outstanding memory work in
+// FIFOs so the execute pipeline tolerates latency, the journal
+// buffers accepted work on disk so the service tolerates restarts —
+// acceptance (the 202) and execution are decoupled by a durable
+// queue.  The recovery discipline is the bit-identity rule the rest
+// of the repository already enforces for sliced and resumed runs:
+// replayed work must be indistinguishable from uninterrupted work.
+//
+// Failure policy, in one line per layer:
+//
+//   - a torn or truncated journal tail (the signature of dying
+//     mid-write) is truncated and warned about, never fatal;
+//   - a CRC-corrupt record is dropped and counted, never fatal;
+//   - a write error degrades the store to memory-only mode (reported
+//     via Mode and counted) rather than taking the service down;
+//   - a corrupt checkpoint blob fails hash verification on load and
+//     the caller falls back to an older checkpoint or a clean
+//     restart, never a panic.
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FsyncPolicy controls when journal appends reach stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncBatch syncs on a short timer (the default): a crash can
+	// lose at most the last flush interval of acknowledgements.
+	FsyncBatch FsyncPolicy = iota
+	// FsyncAlways syncs every append before it is acknowledged —
+	// maximum durability, one fsync per job state transition.
+	FsyncAlways
+	// FsyncNever leaves flushing to the operating system.
+	FsyncNever
+)
+
+// ParseFsyncPolicy maps the -job-fsync flag values.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "", "batch":
+		return FsyncBatch, nil
+	case "always":
+		return FsyncAlways, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("durable: unknown fsync policy %q (want always, batch, or never)", s)
+}
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncNever:
+		return "never"
+	default:
+		return "batch"
+	}
+}
+
+// Frame layout: a 4-byte little-endian payload length, a 4-byte
+// CRC32 (IEEE) of the payload, then the payload.  The CRC covers the
+// payload only; a torn length word is caught by the length bound and
+// the segment-size check, a torn payload by the CRC.
+const frameHeader = 8
+
+// maxRecordBytes bounds a single record so a corrupt length word
+// cannot drive an enormous allocation during replay.
+const maxRecordBytes = 16 << 20
+
+// DefaultSegmentBytes is the rotation threshold: when the live
+// segment exceeds it, the journal compacts into a fresh segment.
+const DefaultSegmentBytes = 8 << 20
+
+// batchSyncEvery is the flush cadence under FsyncBatch.
+const batchSyncEvery = 50 * time.Millisecond
+
+// ErrCrashed reports an operation refused because fault injection
+// simulated a process death: the store wedges and every later
+// operation fails, exactly as if the process had been killed at that
+// instant.
+var ErrCrashed = errors.New("durable: store crashed (fault injection)")
+
+// ReplayStats reports what opening a journal found on disk.
+type ReplayStats struct {
+	Segments       int   // segment files replayed
+	Records        int   // intact records recovered
+	TruncatedTails int   // segments whose torn tail was cut off
+	TruncatedBytes int64 // bytes discarded by tail truncation
+	CorruptRecords int   // CRC-failed records dropped mid-segment
+}
+
+// journal is the segmented append-only record log.  It is an
+// internal building block of Store; tests exercise it directly.
+type journal struct {
+	dir    string
+	fsync  FsyncPolicy
+	segMax int64
+	faults *FaultPoints
+
+	mu     sync.Mutex
+	f      *os.File // active segment
+	seq    int      // active segment number
+	bytes  int64    // active segment size
+	total  int64    // all segments
+	dirty  bool     // unsynced appends under FsyncBatch
+	closed bool
+
+	syncStop chan struct{}
+	syncDone chan struct{}
+}
+
+func segmentName(seq int) string { return fmt.Sprintf("wal-%08d.log", seq) }
+
+// parseSegmentName returns the sequence number of a journal segment
+// file name, or -1.
+func parseSegmentName(name string) int {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return -1
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"))
+	if err != nil || n < 0 {
+		return -1
+	}
+	return n
+}
+
+// openJournal replays every segment in order and returns the intact
+// records in append order, ready for the store's last-wins reduction.
+// Torn tails are truncated in place; corrupt interior records are
+// skipped.  Neither is an error — the journal's contract is that a
+// crash at any byte position yields a loadable prefix.
+func openJournal(dir string, fsync FsyncPolicy, segMax int64, faults *FaultPoints) (*journal, [][]byte, ReplayStats, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, ReplayStats{}, err
+	}
+	if segMax <= 0 {
+		segMax = DefaultSegmentBytes
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, ReplayStats{}, err
+	}
+	var segs []int
+	for _, e := range entries {
+		if n := parseSegmentName(e.Name()); n >= 0 {
+			segs = append(segs, n)
+		}
+	}
+	sort.Ints(segs)
+
+	var (
+		stats   ReplayStats
+		records [][]byte
+		total   int64
+	)
+	for _, seq := range segs {
+		path := filepath.Join(dir, segmentName(seq))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, stats, err
+		}
+		recs, good, corrupt := decodeFrames(data)
+		records = append(records, recs...)
+		stats.Segments++
+		stats.Records += len(recs)
+		stats.CorruptRecords += corrupt
+		if good < len(data) {
+			// Torn tail: cut the segment back to its last intact frame
+			// so the next append extends a clean prefix.
+			stats.TruncatedTails++
+			stats.TruncatedBytes += int64(len(data) - good)
+			if err := os.Truncate(path, int64(good)); err != nil {
+				return nil, nil, stats, fmt.Errorf("truncating torn tail of %s: %w", path, err)
+			}
+		}
+		total += int64(good)
+	}
+
+	seq := 0
+	if len(segs) > 0 {
+		seq = segs[len(segs)-1]
+	}
+	f, err := os.OpenFile(filepath.Join(dir, segmentName(seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, nil, stats, err
+	}
+	j := &journal{dir: dir, fsync: fsync, segMax: segMax, faults: faults, f: f, seq: seq, bytes: size, total: total}
+	if fsync == FsyncBatch {
+		j.syncStop = make(chan struct{})
+		j.syncDone = make(chan struct{})
+		go j.syncLoop()
+	}
+	return j, records, stats, nil
+}
+
+// decodeFrames walks a segment's bytes and returns the intact record
+// payloads, the length of the decodable prefix (good), and how many
+// interior records failed their CRC.  It never fails: anything
+// undecodable past the last intact frame is torn tail by definition.
+// A CRC-corrupt record whose frame is otherwise well-formed is
+// skipped (counted in corrupt) and decoding continues, so one flipped
+// bit does not orphan every later record.
+func decodeFrames(data []byte) (recs [][]byte, good int, corrupt int) {
+	off := 0
+	for off+frameHeader <= len(data) {
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		if n < 0 || n > maxRecordBytes || off+frameHeader+n > len(data) {
+			// Implausible length or frame running past the end: torn
+			// tail starts here.
+			return recs, off, corrupt
+		}
+		want := binary.LittleEndian.Uint32(data[off+4:])
+		payload := data[off+frameHeader : off+frameHeader+n]
+		if crc32.ChecksumIEEE(payload) != want {
+			// The frame is complete but its payload is damaged (bit
+			// rot, or a torn rewrite): drop the record, keep walking.
+			corrupt++
+			off += frameHeader + n
+			good = off
+			continue
+		}
+		recs = append(recs, append([]byte(nil), payload...))
+		off += frameHeader + n
+		good = off
+	}
+	return recs, good, corrupt
+}
+
+// encodeFrame renders one record in the on-disk framing.
+func encodeFrame(payload []byte) []byte {
+	buf := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(payload))
+	copy(buf[frameHeader:], payload)
+	return buf
+}
+
+// append writes one record to the active segment.  The caller decides
+// what a returned error means (Store degrades; ErrCrashed wedges).
+func (j *journal) append(payload []byte) error {
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("durable: record of %d bytes exceeds the %d limit", len(payload), maxRecordBytes)
+	}
+	frame := encodeFrame(payload)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("durable: journal is closed")
+	}
+	n, err := j.faults.write(j.f, frame)
+	j.bytes += int64(n)
+	j.total += int64(n)
+	if err != nil {
+		return err
+	}
+	if j.fsync == FsyncAlways {
+		return j.f.Sync()
+	}
+	j.dirty = true
+	return nil
+}
+
+// compact rewrites the journal as a single fresh segment holding only
+// the given live records, then removes every older segment.  The new
+// segment is fully written and synced before the old ones go away, so
+// a crash at any point leaves either the old tail or the new one —
+// never neither.
+func (j *journal) compact(live [][]byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("durable: journal is closed")
+	}
+	newSeq := j.seq + 1
+	path := filepath.Join(j.dir, segmentName(newSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	var size int64
+	for _, rec := range live {
+		frame := encodeFrame(rec)
+		n, err := j.faults.write(f, frame)
+		size += int64(n)
+		if err != nil {
+			f.Close()
+			os.Remove(path)
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	old, oldSeq, oldBytes := j.f, j.seq, j.bytes
+	j.f, j.seq, j.bytes = f, newSeq, size
+	j.total += size
+	old.Close()
+	for s := oldSeq; s >= 0; s-- {
+		p := filepath.Join(j.dir, segmentName(s))
+		if err := os.Remove(p); err != nil {
+			if os.IsNotExist(err) {
+				break
+			}
+			// The new segment is durable; a lingering old file is
+			// harmless (replay is last-wins) — report nothing fatal.
+			break
+		}
+		if s == oldSeq {
+			j.total -= oldBytes
+		}
+	}
+	return nil
+}
+
+// size returns the active-segment and whole-journal byte counts.
+func (j *journal) size() (segment, total int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.bytes, j.total
+}
+
+func (j *journal) syncLoop() {
+	defer close(j.syncDone)
+	t := time.NewTicker(batchSyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-j.syncStop:
+			return
+		case <-t.C:
+			j.mu.Lock()
+			if j.dirty && !j.closed {
+				j.f.Sync()
+				j.dirty = false
+			}
+			j.mu.Unlock()
+		}
+	}
+}
+
+func (j *journal) close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.mu.Unlock()
+	if j.syncStop != nil {
+		close(j.syncStop)
+		<-j.syncDone
+	}
+	return err
+}

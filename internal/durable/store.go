@@ -1,0 +1,303 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Mode is the store's durability state.
+type Mode int
+
+const (
+	// ModeDurable means appends reach the journal.
+	ModeDurable Mode = iota
+	// ModeDegraded means a write error demoted the store to
+	// memory-only operation: the service keeps running, jobs keep
+	// executing, but state transitions are no longer persisted and a
+	// crash will lose them.  Health and metrics report the demotion.
+	ModeDegraded
+	// ModeCrashed means fault injection simulated a process death;
+	// every operation fails with ErrCrashed.
+	ModeCrashed
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeDurable:
+		return "durable"
+	case ModeDegraded:
+		return "degraded"
+	default:
+		return "crashed"
+	}
+}
+
+// JobRecord is one journaled job state snapshot.  The journal is
+// last-wins: every transition appends the job's full current state,
+// and recovery reduces the record stream to the latest record per
+// job.  State "deleted" tombstones a job out of the live set.
+type JobRecord struct {
+	Seq     int64  `json:"seq"` // submission order, preserved across restarts
+	ID      string `json:"id"`
+	State   string `json:"state"` // queued|running|done|failed|canceled|deleted
+	Tenant  string `json:"tenant,omitempty"`
+	Gen     int64  `json:"gen,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	// Request is the original POST /jobs body, re-runnable verbatim.
+	Request json.RawMessage `json:"request,omitempty"`
+	// Result is the terminal run response (state "done").
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error and Diags carry the terminal failure (state "failed").
+	Error string          `json:"error,omitempty"`
+	Diags json.RawMessage `json:"diags,omitempty"`
+	// ExpiresUnixMs is the TTL deadline of a terminal record.
+	ExpiresUnixMs int64 `json:"expires_unix_ms,omitempty"`
+	// Checkpoint and PrevCheckpoint reference the newest and
+	// second-newest spilled state blobs; resume tries them in order.
+	Checkpoint     *CheckpointRef `json:"checkpoint,omitempty"`
+	PrevCheckpoint *CheckpointRef `json:"prev_checkpoint,omitempty"`
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir is the job-state directory (journal segments plus a
+	// checkpoints/ subdirectory).  Required.
+	Dir string
+	// Fsync selects the journal flush policy (default FsyncBatch).
+	Fsync FsyncPolicy
+	// SegmentBytes is the journal rotation threshold (default
+	// DefaultSegmentBytes).
+	SegmentBytes int64
+	// Faults injects write failures for the crash-restart harness.
+	Faults *FaultPoints
+	// Logger receives truncation/degradation warnings (default:
+	// slog.Default).
+	Logger *slog.Logger
+}
+
+// Recovery reports what Open found on disk.
+type Recovery struct {
+	// Jobs holds the latest record of every live (non-deleted) job, in
+	// submission order.
+	Jobs []JobRecord
+	// Replay is the raw journal replay accounting.
+	Replay ReplayStats
+	// CheckpointsSwept counts orphaned checkpoint blobs removed.
+	CheckpointsSwept int
+	// MaxSeq is the highest submission sequence seen; the store issues
+	// new records from MaxSeq+1.
+	MaxSeq int64
+}
+
+// Store is the durable job state store: a WAL of JobRecords plus the
+// checkpoint blob directory.  All methods are safe for concurrent
+// use.  A Store survives its own write failures by degrading (see
+// Mode); it never turns an I/O error into a service outage.
+type Store struct {
+	dir    string
+	faults *FaultPoints
+	logger *slog.Logger
+
+	mu       sync.Mutex
+	journal  *journal
+	mode     Mode
+	reason   string            // why the store degraded
+	live     map[string][]byte // id -> latest marshaled record (for compaction)
+	liveSeq  map[string]int64  // id -> seq (for compaction ordering)
+	segMax   int64
+	degraded int64 // appends dropped since degradation
+}
+
+// Open replays the journal under dir and returns the store plus what
+// it recovered.  A fresh directory is created as needed.  Open fails
+// only when the directory itself is unusable; per-record damage is
+// absorbed into the Recovery counts.
+func Open(o Options) (*Store, *Recovery, error) {
+	if o.Dir == "" {
+		return nil, nil, fmt.Errorf("durable: Options.Dir is required")
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(filepath.Join(o.Dir, checkpointSubdir), 0o755); err != nil {
+		return nil, nil, err
+	}
+	j, raw, replay, err := openJournal(o.Dir, o.Fsync, o.SegmentBytes, o.Faults)
+	if err != nil {
+		return nil, nil, err
+	}
+	if replay.TruncatedTails > 0 || replay.CorruptRecords > 0 {
+		o.Logger.Warn("durable: journal damage absorbed",
+			"torn_tails", replay.TruncatedTails,
+			"truncated_bytes", replay.TruncatedBytes,
+			"corrupt_records", replay.CorruptRecords)
+	}
+
+	s := &Store{
+		dir:     o.Dir,
+		faults:  o.Faults,
+		logger:  o.Logger,
+		journal: j,
+		live:    make(map[string][]byte),
+		liveSeq: make(map[string]int64),
+		segMax:  o.SegmentBytes,
+	}
+	rec := &Recovery{Replay: replay}
+
+	// Last-wins reduction: later records overwrite earlier ones; a
+	// "deleted" record tombstones the job.  Undecodable records are
+	// counted as corrupt and skipped.
+	for _, payload := range raw {
+		var r JobRecord
+		if err := json.Unmarshal(payload, &r); err != nil || r.ID == "" {
+			rec.Replay.CorruptRecords++
+			continue
+		}
+		if r.Seq > rec.MaxSeq {
+			rec.MaxSeq = r.Seq
+		}
+		if r.State == "deleted" {
+			delete(s.live, r.ID)
+			delete(s.liveSeq, r.ID)
+			continue
+		}
+		s.live[r.ID] = payload
+		s.liveSeq[r.ID] = r.Seq
+	}
+	liveHashes := make(map[string]bool)
+	for _, payload := range s.live {
+		var r JobRecord
+		json.Unmarshal(payload, &r)
+		rec.Jobs = append(rec.Jobs, r)
+		if r.Checkpoint != nil {
+			liveHashes[r.Checkpoint.Hash] = true
+		}
+		if r.PrevCheckpoint != nil {
+			liveHashes[r.PrevCheckpoint.Hash] = true
+		}
+	}
+	sortJobsBySeq(rec.Jobs)
+	rec.CheckpointsSwept = s.sweepCheckpoints(liveHashes)
+	return s, rec, nil
+}
+
+func sortJobsBySeq(jobs []JobRecord) {
+	for i := 1; i < len(jobs); i++ {
+		for k := i; k > 0 && jobs[k].Seq < jobs[k-1].Seq; k-- {
+			jobs[k], jobs[k-1] = jobs[k-1], jobs[k]
+		}
+	}
+}
+
+// Put journals one job state transition.  In degraded mode the write
+// is silently dropped (counted); the only error a caller must act on
+// is ErrCrashed, which means fault injection has simulated a process
+// death and the acknowledgement must not be sent.
+func (s *Store) Put(r JobRecord) error {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("durable: marshaling record: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.mode {
+	case ModeCrashed:
+		return ErrCrashed
+	case ModeDegraded:
+		s.degraded++
+		return nil
+	}
+	if err := s.journal.append(payload); err != nil {
+		if err == ErrCrashed {
+			s.mode = ModeCrashed
+			return err
+		}
+		// An ordinary write failure (disk full, I/O error): degrade to
+		// memory-only operation rather than failing the job tier.
+		s.mode = ModeDegraded
+		s.reason = err.Error()
+		s.degraded++
+		s.logger.Warn("durable: journal write failed; degrading to memory-only mode", "err", err)
+		return nil
+	}
+	if r.State == "deleted" {
+		delete(s.live, r.ID)
+		delete(s.liveSeq, r.ID)
+	} else {
+		s.live[r.ID] = payload
+		s.liveSeq[r.ID] = r.Seq
+	}
+	if seg, _ := s.journal.size(); seg > s.segMax {
+		s.compactLocked()
+	}
+	return nil
+}
+
+// compactLocked rewrites the journal down to the live set.  Caller
+// holds s.mu.
+func (s *Store) compactLocked() {
+	type entry struct {
+		seq     int64
+		payload []byte
+	}
+	entries := make([]entry, 0, len(s.live))
+	for id, payload := range s.live {
+		entries = append(entries, entry{s.liveSeq[id], payload})
+	}
+	for i := 1; i < len(entries); i++ {
+		for k := i; k > 0 && entries[k].seq < entries[k-1].seq; k-- {
+			entries[k], entries[k-1] = entries[k-1], entries[k]
+		}
+	}
+	recs := make([][]byte, len(entries))
+	for i, e := range entries {
+		recs[i] = e.payload
+	}
+	if err := s.journal.compact(recs); err != nil {
+		if err == ErrCrashed {
+			s.mode = ModeCrashed
+			return
+		}
+		s.mode = ModeDegraded
+		s.reason = err.Error()
+		s.logger.Warn("durable: compaction failed; degrading to memory-only mode", "err", err)
+	}
+}
+
+// Mode returns the store's durability state and, when degraded, the
+// reason.
+func (s *Store) Mode() (Mode, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mode, s.reason
+}
+
+// DroppedWrites counts appends discarded since the store degraded.
+func (s *Store) DroppedWrites() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
+}
+
+// Bytes reports the whole journal's on-disk size.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	j := s.journal
+	s.mu.Unlock()
+	_, total := j.size()
+	return total
+}
+
+// Close flushes and closes the journal.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.journal.close()
+}

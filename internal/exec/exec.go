@@ -68,6 +68,13 @@ type Options struct {
 	// OnCheckpoint receives each checkpoint; a non-nil return aborts
 	// the run with that error.
 	OnCheckpoint func(state []byte, p Progress) error
+	// FinalCheckpoint, together with OnCheckpoint, serializes one last
+	// checkpoint when the run is stopped by context cancellation —
+	// before the machine is finished — so a draining service can
+	// resume the run after a restart instead of replaying it from
+	// cycle zero.  Best effort: a failed final save never masks the
+	// cancellation error.
+	FinalCheckpoint bool
 }
 
 // WallBudgetError reports a run stopped by Options.MaxWall.  The
@@ -130,6 +137,13 @@ func (r *Runner) Run(ctx context.Context) (sim.Stats, error) {
 			}
 		}
 		if err := ctx.Err(); err != nil {
+			if r.o.FinalCheckpoint && r.o.OnCheckpoint != nil {
+				// Snapshot before Finish: a finished machine refuses
+				// SaveState.
+				if state, serr := r.m.SaveState(); serr == nil {
+					r.o.OnCheckpoint(state, r.snapshot(false, time.Since(start)))
+				}
+			}
 			r.m.Finish()
 			r.emit(r.snapshot(true, time.Since(start)))
 			return r.m.Stats(), err

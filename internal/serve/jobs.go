@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"wmstream"
+	"wmstream/internal/durable"
 )
 
 // The asynchronous job tier: POST /jobs accepts a /run request and
@@ -76,9 +77,16 @@ type job struct {
 	id     string
 	tenant string
 	req    *Request
+	seq    int64 // submission order, preserved across restarts
 
 	mu    sync.Mutex
 	state jobState
+	// attempt counts transient-failure retries consumed; resume and
+	// resumePrev are the newest and second-newest durable checkpoints
+	// (tried in that order, then a clean start).
+	attempt    int
+	resume     *durable.CheckpointRef
+	resumePrev *durable.CheckpointRef
 	// gen increments on every observable change; changed is closed and
 	// replaced at the same moment, so a poller holding (gen, changed)
 	// wakes exactly when a newer generation exists.
@@ -117,6 +125,7 @@ func (j *job) responseLocked(now time.Time) *JobResponse {
 		State:       j.state.String(),
 		Gen:         j.gen,
 		Tenant:      j.tenant,
+		Attempts:    j.attempt,
 		Result:      j.result,
 		Error:       j.errMsg,
 		Diagnostics: j.diags,
@@ -161,14 +170,25 @@ type jobManager struct {
 	next    int               // ring cursor
 	queued  int
 	running int
+	seq     int64 // last issued submission sequence (recovered from the journal)
+
+	// store is the durable journal (nil: memory-only); rec reports
+	// what boot-time recovery reconstructed; storeErr is why opening
+	// the store failed, when it did.
+	store    *durable.Store
+	rec      RecoveryInfo
+	storeErr string
 
 	notify chan struct{} // buffered(1) work signal; workers re-scan until empty
 	done   chan struct{}
 	wg     sync.WaitGroup
 }
 
+// newJobManager builds the manager without starting it; the server
+// runs recovery (openStore) first, then start, so every recovered job
+// is enqueued before any worker looks for work.
 func newJobManager(s *Server) *jobManager {
-	jm := &jobManager{
+	return &jobManager{
 		srv:     s,
 		cfg:     s.cfg,
 		byID:    make(map[string]*job),
@@ -176,12 +196,14 @@ func newJobManager(s *Server) *jobManager {
 		notify:  make(chan struct{}, 1),
 		done:    make(chan struct{}),
 	}
+}
+
+func (jm *jobManager) start() {
 	jm.wg.Add(jm.cfg.JobWorkers + 1)
 	for range jm.cfg.JobWorkers {
 		go jm.worker()
 	}
 	go jm.janitor()
-	return jm
 }
 
 // submit admits a job or sheds it.  The returned job is already
@@ -202,15 +224,23 @@ func (jm *jobManager) submit(req *JobRequest) (*job, error) {
 		id:      newJobID(),
 		tenant:  req.Tenant,
 		req:     &req.Request,
+		seq:     jm.seq + 1,
 		state:   jobQueued,
 		changed: make(chan struct{}),
 	}
-	jm.byID[j.id] = j
-	if len(jm.pending[j.tenant]) == 0 {
-		jm.order = append(jm.order, j.tenant)
+	// Journal before the job becomes visible: the 202 acknowledgement
+	// implies the job survives a crash, so a record that cannot be
+	// written (ErrCrashed under fault injection) must fail the submit
+	// — no acknowledgement, no obligation.
+	j.mu.Lock()
+	rec := jm.recordLocked(j)
+	j.mu.Unlock()
+	if err := jm.put(rec); err != nil {
+		return nil, err
 	}
-	jm.pending[j.tenant] = append(jm.pending[j.tenant], j)
-	jm.queued++
+	jm.seq = j.seq
+	jm.byID[j.id] = j
+	jm.enqueueLocked(j)
 	select {
 	case jm.notify <- struct{}{}:
 	default:
@@ -306,52 +336,60 @@ func (jm *jobManager) worker() {
 
 // runJob executes one job through the shared perform pipeline, feeding
 // the execution core's progress snapshots into the job's generation
-// stream.
+// stream.  With a durable store, the run checkpoints periodically and
+// transient failures (a checkpoint that no longer verifies) retry
+// with backoff, falling back candidate by candidate to a clean start.
 func (jm *jobManager) runJob(j *job) {
 	ctx, cancel := context.WithTimeout(jm.srv.base, jm.cfg.JobTimeout)
 	defer cancel()
 
 	canceledEarly := false
+	var rec durable.JobRecord
 	j.update(func() {
 		if j.cancelRequested {
 			canceledEarly = true
 			j.state = jobCanceled
 			j.expires = time.Now().Add(jm.cfg.JobTTL)
-			return
+		} else {
+			j.state = jobRunning
+			j.cancel = cancel
 		}
-		j.state = jobRunning
-		j.cancel = cancel
+		rec = jm.recordLocked(j)
 	})
+	jm.put(rec)
 	if canceledEarly {
 		jm.srv.metrics.jobs.add(`event="canceled"`, 1)
 		return
 	}
 
-	out := jm.srv.perform(ctx, kindRun, j.req, wmstream.SimOptions{
-		MaxWall:       jm.cfg.JobTimeout,
-		ProgressEvery: jm.cfg.JobProgressEvery,
-		Progress: func(p wmstream.RunProgress) {
-			j.update(func() {
-				j.progress = &JobProgress{
-					Cycles:         p.Cycles,
-					Instructions:   p.Instructions,
-					MemReads:       p.MemReads,
-					MemWrites:      p.MemWrites,
-					StreamElems:    p.StreamElems,
-					ElapsedSeconds: p.Elapsed.Seconds(),
-				}
-			})
-		},
-	})
+	var out runOutcome
+	for {
+		out = jm.runOnce(ctx, j)
+		if out.resumeErr == nil || !jm.retryWait(j) {
+			break
+		}
+	}
 
 	event := ""
+	var dropRefs []*durable.CheckpointRef
 	j.update(func() {
 		j.cancel = nil
-		j.expires = time.Now().Add(jm.cfg.JobTTL)
 		switch {
-		case j.cancelRequested || jm.srv.base.Err() != nil:
+		case j.cancelRequested:
 			j.state = jobCanceled
 			event = `event="canceled"`
+		case jm.srv.base.Err() != nil:
+			// Server shutdown, not user cancellation.  With a journal
+			// the job goes back to queued — the final checkpoint taken
+			// on cancellation (or the last periodic one) resumes it on
+			// the next boot.  Memory-only, it can only be canceled.
+			if jm.store != nil {
+				j.state = jobQueued
+				event = `event="requeued"`
+			} else {
+				j.state = jobCanceled
+				event = `event="canceled"`
+			}
 		case out.status == http.StatusOK && out.run != nil:
 			j.state = jobDone
 			j.result = out.run
@@ -366,8 +404,59 @@ func (jm *jobManager) runJob(j *job) {
 			}
 			event = `event="failed"`
 		}
+		if j.state.terminal() {
+			j.expires = time.Now().Add(jm.cfg.JobTTL)
+			dropRefs = append(dropRefs, j.resume, j.resumePrev)
+			j.resume, j.resumePrev = nil, nil
+		}
+		rec = jm.recordLocked(j)
 	})
+	jm.put(rec)
+	jm.removeRefs(dropRefs...)
 	jm.srv.metrics.jobs.add(event, 1)
+}
+
+// runOnce is one attempt: load the best resume candidate, run through
+// perform with checkpointing wired, and on a resume failure drop the
+// candidate so the next attempt falls back.
+func (jm *jobManager) runOnce(ctx context.Context, j *job) runOutcome {
+	opts := wmstream.SimOptions{
+		MaxWall:       jm.cfg.JobTimeout,
+		ProgressEvery: jm.cfg.JobProgressEvery,
+		Progress: func(p wmstream.RunProgress) {
+			j.update(func() {
+				j.progress = &JobProgress{
+					Cycles:         p.Cycles,
+					Instructions:   p.Instructions,
+					MemReads:       p.MemReads,
+					MemWrites:      p.MemWrites,
+					StreamElems:    p.StreamElems,
+					ElapsedSeconds: p.Elapsed.Seconds(),
+				}
+			})
+		},
+	}
+	if jm.store != nil {
+		opts.ResumeState = jm.loadResume(j)
+		opts.CheckpointEvery = jm.cfg.JobCheckpointEvery
+		opts.FinalCheckpoint = true
+		opts.OnCheckpoint = func(state []byte, p wmstream.RunProgress) error {
+			jm.spill(j, state, p)
+			return nil // a failed spill degrades; it never aborts the run
+		}
+	}
+	out := jm.srv.perform(ctx, kindRun, j.req, opts)
+	if out.resumeErr != nil {
+		// The blob passed its content hash but would not decode into
+		// the machine (e.g. a config drift): discard the candidate and
+		// charge one retry.
+		jm.cfg.Logger.Warn("jobs: checkpoint resume failed; discarding candidate",
+			"job", j.id, "err", out.resumeErr)
+		jm.srv.metrics.jobs.add(`event="resume_failed"`, 1)
+		jm.dropResume(j)
+		j.update(func() { j.attempt++ })
+	}
+	return out
 }
 
 // cancelJob implements DELETE semantics per state: terminal jobs are
@@ -376,6 +465,20 @@ func (jm *jobManager) runJob(j *job) {
 // observes it).  Returns the job's wire form after the action.
 func (jm *jobManager) cancelJob(j *job) *JobResponse {
 	now := time.Now()
+	var tomb *durable.JobRecord
+	var canceledRec *durable.JobRecord
+	var dropRefs []*durable.CheckpointRef
+	defer func() {
+		// Journal outside the locks: deletes become tombstones, queued
+		// cancellations become terminal records.
+		if tomb != nil {
+			jm.put(*tomb)
+			jm.removeRefs(dropRefs...)
+		}
+		if canceledRec != nil {
+			jm.put(*canceledRec)
+		}
+	}()
 	jm.mu.Lock()
 	j.mu.Lock()
 	switch {
@@ -383,6 +486,8 @@ func (jm *jobManager) cancelJob(j *job) *JobResponse {
 		delete(jm.byID, j.id)
 		resp := j.responseLocked(now)
 		resp.ExpiresInSeconds = 0 // deleted now, not at TTL
+		tomb = &durable.JobRecord{Seq: j.seq, ID: j.id, State: "deleted"}
+		dropRefs = append(dropRefs, j.resume, j.resumePrev)
 		j.mu.Unlock()
 		jm.mu.Unlock()
 		return resp
@@ -392,6 +497,8 @@ func (jm *jobManager) cancelJob(j *job) *JobResponse {
 			j.state = jobCanceled
 			j.expires = now.Add(jm.cfg.JobTTL)
 			j.bumpLocked()
+			r := jm.recordLocked(j)
+			canceledRec = &r
 			jm.srv.metrics.jobs.add(`event="canceled"`, 1)
 		} else {
 			// A worker claimed it between our lookup and now; it will
@@ -413,9 +520,12 @@ func (jm *jobManager) cancelJob(j *job) *JobResponse {
 	return resp
 }
 
-// close stops admission, cancels queued jobs, and waits for workers
-// (whose running jobs have already had their base context canceled by
-// Server.Close) and the janitor to exit.
+// close stops admission and waits for workers (whose running jobs
+// have already had their base context canceled by Server.Close) and
+// the janitor to exit.  Memory-only, still-queued jobs are canceled —
+// there is nowhere for them to survive; with a journal they stay
+// "queued" both in memory and on disk, and the next boot re-admits
+// them with their original tenants and order.
 func (jm *jobManager) close() {
 	jm.mu.Lock()
 	if jm.closed {
@@ -424,13 +534,15 @@ func (jm *jobManager) close() {
 	}
 	jm.closed = true
 	now := time.Now()
-	for _, q := range jm.pending {
-		for _, j := range q {
-			j.update(func() {
-				j.state = jobCanceled
-				j.expires = now.Add(jm.cfg.JobTTL)
-			})
-			jm.srv.metrics.jobs.add(`event="canceled"`, 1)
+	if jm.store == nil {
+		for _, q := range jm.pending {
+			for _, j := range q {
+				j.update(func() {
+					j.state = jobCanceled
+					j.expires = now.Add(jm.cfg.JobTTL)
+				})
+				jm.srv.metrics.jobs.add(`event="canceled"`, 1)
+			}
 		}
 	}
 	jm.pending = make(map[string][]*job)
@@ -439,6 +551,9 @@ func (jm *jobManager) close() {
 	close(jm.done)
 	jm.mu.Unlock()
 	jm.wg.Wait()
+	if jm.store != nil {
+		jm.store.Close()
+	}
 }
 
 // janitor deletes terminal jobs whose TTL has passed, so abandoned
@@ -466,16 +581,24 @@ func (jm *jobManager) janitor() {
 
 func (jm *jobManager) sweep(now time.Time) {
 	var expired int64
+	var tombs []durable.JobRecord
+	var dropRefs []*durable.CheckpointRef
 	jm.mu.Lock()
 	for id, j := range jm.byID {
 		j.mu.Lock()
 		if j.state.terminal() && now.After(j.expires) {
 			delete(jm.byID, id)
+			tombs = append(tombs, durable.JobRecord{Seq: j.seq, ID: j.id, State: "deleted"})
+			dropRefs = append(dropRefs, j.resume, j.resumePrev)
 			expired++
 		}
 		j.mu.Unlock()
 	}
 	jm.mu.Unlock()
+	for _, t := range tombs {
+		jm.put(t)
+	}
+	jm.removeRefs(dropRefs...)
 	if expired > 0 {
 		jm.srv.metrics.jobs.add(`event="expired"`, expired)
 	}
@@ -581,6 +704,16 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	deadline := time.Now().Add(wait)
 	for {
 		resp, gen, changed := j.poll(time.Now())
+		if s.draining.Load() {
+			// Drain has begun: answer promptly with a terminal-for-now
+			// snapshot instead of holding the poll open, and tell the
+			// client to reconnect elsewhere.  http.Server.Shutdown waits
+			// for in-flight requests, so a held-open long-poll would
+			// stall the whole graceful exit for up to JobPollMax.
+			w.Header().Set("Connection", "close")
+			s.finish(w, r, kindJobPoll, start, http.StatusOK, mustJSON(resp), "")
+			return
+		}
 		if sinceGen < 0 || gen > sinceGen || wait <= 0 {
 			s.finish(w, r, kindJobPoll, start, http.StatusOK, mustJSON(resp), "")
 			return
@@ -596,6 +729,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		case <-changed:
 		case <-timer.C:
 		case <-r.Context().Done():
+		case <-s.drainCh:
 		}
 		timer.Stop()
 		if r.Context().Err() != nil {

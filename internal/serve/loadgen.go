@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -37,6 +38,11 @@ type LoadConfig struct {
 	JobFraction float64
 	// Seed makes the traffic mix reproducible (default 1).
 	Seed int64
+	// Retries is how many times a shed submission (429 or 503) is
+	// retried with capped exponential backoff before counting as shed.
+	// The server's Retry-After hint, when present, sets the floor of
+	// each wait.  Default 0 (shed responses are final).
+	Retries int
 	// Client overrides the HTTP client (default: http.DefaultClient
 	// with the run duration plus slack as overall timeout).
 	Client *http.Client
@@ -55,6 +61,10 @@ type EndpointLatency struct {
 type LoadReport struct {
 	Requests int64
 	Errors   int64 // transport-level failures
+	// Retries counts shed (429/503) responses that were retried; the
+	// final outcome of each retried request is tallied once in
+	// ByStatus like any other.
+	Retries  int64
 	ByStatus map[int]int64
 	ByCache  map[string]int64 // X-Cache header: hit / miss / coalesced
 	// ByEndpoint breaks latency down per endpoint (compile, run, jobs,
@@ -84,6 +94,9 @@ func (r *LoadReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "requests %d in %v (%.1f req/s), %d transport errors\n",
 		r.Requests, r.Elapsed.Round(time.Millisecond), r.RPS(), r.Errors)
+	if r.Retries > 0 {
+		fmt.Fprintf(&b, "  retries (429/503 backoff): %d\n", r.Retries)
+	}
 	codes := make([]int, 0, len(r.ByStatus))
 	for c := range r.ByStatus {
 		codes = append(codes, c)
@@ -170,10 +183,13 @@ func missProgram(n int64) string {
 // end (no cross-goroutine contention on the hot path).
 type loadShard struct {
 	requests, errors int64
+	retries          int64
+	maxRetries       int
 	byStatus         map[int]int64
 	byCache          map[string]int64
 	byJobState       map[string]int64
 	lat              map[string][]time.Duration // endpoint -> samples
+	retryAfter       time.Duration              // Retry-After from the last shed response
 }
 
 // observe records one completed HTTP exchange.
@@ -183,24 +199,59 @@ func (sh *loadShard) observe(endpoint string, resp *http.Response, dur time.Dura
 	if xc := resp.Header.Get("X-Cache"); xc != "" {
 		sh.byCache[xc]++
 	}
+	sh.retryAfter = 0
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			sh.retryAfter = time.Duration(secs) * time.Second
+		}
+	}
 	sh.lat[endpoint] = append(sh.lat[endpoint], dur)
 }
 
-// post issues one JSON POST and returns the response body (on any
-// status) with the exchange recorded; nil on transport error.
+// post issues one JSON POST — retrying shed (429/503) responses up to
+// maxRetries times with capped exponential backoff, never below the
+// server's Retry-After hint — and returns the final status and body;
+// (0, nil) on transport error.
 func (sh *loadShard) post(ctx context.Context, client *http.Client, endpoint, url string, payload any) (int, []byte) {
 	body, err := json.Marshal(payload)
 	if err != nil {
 		sh.errors++
 		return 0, nil
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
-	if err != nil {
-		sh.errors++
-		return 0, nil
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			sh.errors++
+			return 0, nil
+		}
+		req.Header.Set("Content-Type", "application/json")
+		status, rb := sh.do(client, endpoint, req)
+		if (status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable) ||
+			attempt >= sh.maxRetries {
+			return status, rb
+		}
+		sh.retries++
+		wait := shedBackoff(attempt)
+		if sh.retryAfter > wait {
+			wait = sh.retryAfter
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return status, rb
+		}
 	}
-	req.Header.Set("Content-Type", "application/json")
-	return sh.do(client, endpoint, req)
+}
+
+// shedBackoff is the nth (0-based) retry wait: 50ms doubling, capped
+// at 2s.
+func shedBackoff(attempt int) time.Duration {
+	if attempt > 5 {
+		attempt = 5
+	}
+	return 50 * time.Millisecond << attempt
 }
 
 func (sh *loadShard) do(client *http.Client, endpoint string, req *http.Request) (int, []byte) {
@@ -333,6 +384,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		go func(w int) {
 			defer wg.Done()
 			sh := &shards[w]
+			sh.maxRetries = cfg.Retries
 			sh.byStatus = make(map[int]int64)
 			sh.byCache = make(map[string]int64)
 			sh.byJobState = make(map[string]int64)
@@ -362,6 +414,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		sh := &shards[w]
 		rep.Requests += sh.requests
 		rep.Errors += sh.errors
+		rep.Retries += sh.retries
 		for c, n := range sh.byStatus {
 			rep.ByStatus[c] += n
 		}

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLoadShedRetries: the generator retries 429/503 with backoff
+// (honoring Retry-After) instead of giving up, and reports how often.
+func TestLoadShedRetries(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Shed two of every three requests, pointing at an immediate
+		// retry so the test stays fast.
+		if n.Add(1)%3 != 0 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:     ts.URL,
+		Duration:    300 * time.Millisecond,
+		Concurrency: 2,
+		Retries:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retries == 0 {
+		t.Fatal("no retries recorded against a shedding server")
+	}
+	if rep.ByStatus[http.StatusOK] == 0 {
+		t.Fatalf("retries never reached a 200: %+v", rep.ByStatus)
+	}
+	if rep.Errors > 0 {
+		t.Fatalf("%d transport errors", rep.Errors)
+	}
+}
+
+// TestLoadShedNoRetries: with Retries 0 a shed response is final, so
+// existing shed-accounting behavior is unchanged.
+func TestLoadShedNoRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:     ts.URL,
+		Duration:    100 * time.Millisecond,
+		Concurrency: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retries != 0 {
+		t.Fatalf("%d retries recorded with retries disabled", rep.Retries)
+	}
+	if rep.ByStatus[http.StatusTooManyRequests] == 0 {
+		t.Fatal("shed responses not tallied")
+	}
+}

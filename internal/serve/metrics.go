@@ -98,6 +98,7 @@ type metrics struct {
 	coalesced counter
 	shed      counter
 	jobs      labeledCounter // job lifecycle events (submitted, completed, ...)
+	recovered labeledCounter // boot recovery outcomes (requeued, resumed, ...)
 
 	simMu     sync.Mutex
 	simCycles map[string]int64 // `unit="..",cause=".."` -> cycles
@@ -150,6 +151,10 @@ type gauges struct {
 	jobsQueued  int
 	jobsRunning int
 	jobsHeld    int // jobs in the table, including terminal ones awaiting TTL
+
+	journalMode    string // durable | degraded | crashed | memory
+	journalBytes   int64
+	journalDropped int64
 }
 
 func writeHeader(w io.Writer, name, help, typ string) {
@@ -215,6 +220,20 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "wmserved_jobs_running %d\n", g.jobsRunning)
 	writeHeader(w, "wmserved_jobs_held", "Jobs retained in the table (queued, running, and terminal awaiting TTL).", "gauge")
 	fmt.Fprintf(w, "wmserved_jobs_held %d\n", g.jobsHeld)
+
+	writeLabeled(w, "wmserved_jobs_recovered_total", "Jobs recovered from the journal at boot, by outcome.", &m.recovered)
+	writeHeader(w, "wmserved_journal_mode", "Job journal state: 1 for the active mode, 0 otherwise.", "gauge")
+	for _, mode := range []string{"durable", "degraded", "crashed", "memory"} {
+		v := 0
+		if g.journalMode == mode {
+			v = 1
+		}
+		fmt.Fprintf(w, "wmserved_journal_mode{mode=%q} %d\n", mode, v)
+	}
+	writeHeader(w, "wmserved_journal_bytes", "Bytes in the job journal's live segments.", "gauge")
+	fmt.Fprintf(w, "wmserved_journal_bytes %d\n", g.journalBytes)
+	writeHeader(w, "wmserved_journal_dropped_writes_total", "Journal appends dropped while degraded to memory-only.", "counter")
+	fmt.Fprintf(w, "wmserved_journal_dropped_writes_total %d\n", g.journalDropped)
 
 	writeHeader(w, "wmserved_queue_depth", "Requests waiting for a worker.", "gauge")
 	fmt.Fprintf(w, "wmserved_queue_depth %d\n", g.queueDepth)

@@ -41,6 +41,10 @@ type MachineSpec struct {
 	NumSCU        int   `json:"num_scu,omitempty"`
 	WatchdogSlack int   `json:"watchdog_slack,omitempty"`
 	MaxCycles     int64 `json:"max_cycles,omitempty"`
+	// Engine selects the simulation engine: "" or "auto" (default),
+	// "fast", or "reference".  All engines produce identical results;
+	// the knob exists for validation and benchmarking.
+	Engine string `json:"engine,omitempty"`
 }
 
 // JobRequest is the JSON body accepted by POST /jobs: a /run request
@@ -81,6 +85,10 @@ type JobResponse struct {
 	// ExpiresInSeconds is how long a terminal job remains pollable
 	// before the TTL janitor deletes it.
 	ExpiresInSeconds float64 `json:"expires_in_seconds,omitempty"`
+	// Attempts counts executions of this job, including the current
+	// one: >1 means the run was retried after a transient failure or
+	// resumed after a restart.
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // Diagnostic is the wire form of wmstream.Diagnostic.
@@ -122,12 +130,25 @@ type ErrorResponse struct {
 
 // HealthResponse is the body of GET /healthz.
 type HealthResponse struct {
-	Status        string     `json:"status"` // "ok" or "draining"
-	Version       string     `json:"version"`
-	UptimeSeconds float64    `json:"uptime_seconds"`
-	QueueDepth    int        `json:"queue_depth"`
-	InFlight      int64      `json:"in_flight"`
-	Cache         CacheStats `json:"cache"`
+	Status        string      `json:"status"` // "ok" or "draining"
+	Version       string      `json:"version"`
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	QueueDepth    int         `json:"queue_depth"`
+	InFlight      int64       `json:"in_flight"`
+	Cache         CacheStats  `json:"cache"`
+	Jobs          *JobsHealth `json:"jobs,omitempty"`
+}
+
+// JobsHealth reports the durable job tier's state: which journal mode
+// the store is in ("durable", "degraded" after an I/O failure,
+// "crashed" under fault injection, or "memory" when no -job-dir is
+// configured), and what the last boot recovered.
+type JobsHealth struct {
+	JournalMode   string       `json:"journal_mode"`
+	JournalReason string       `json:"journal_reason,omitempty"`
+	JournalBytes  int64        `json:"journal_bytes,omitempty"`
+	DroppedWrites int64        `json:"dropped_writes,omitempty"`
+	Recovery      RecoveryInfo `json:"recovery"`
 }
 
 // options resolves the request's optimizer configuration: explicit
@@ -189,6 +210,9 @@ func (r *Request) machine() wmstream.Machine {
 		if s.MaxCycles > 0 {
 			m.MaxCycles = s.MaxCycles
 		}
+		if s.Engine != "" {
+			m.Engine = s.Engine
+		}
 	}
 	return m
 }
@@ -203,6 +227,13 @@ func (r *Request) validate(maxSource int64) error {
 	}
 	if r.Level != nil && (*r.Level < 0 || *r.Level > 3) {
 		return fmt.Errorf("level must be 0..3, got %d", *r.Level)
+	}
+	if r.Machine != nil {
+		switch r.Machine.Engine {
+		case "", "auto", "fast", "reference":
+		default:
+			return fmt.Errorf("engine must be auto, fast, or reference, got %q", r.Machine.Engine)
+		}
 	}
 	return nil
 }
@@ -224,7 +255,7 @@ func (k Key) String() string { return fmt.Sprintf("%x", k[:8]) }
 // invalidates old entries rather than aliasing them.
 func (r *Request) cacheKey(kind string) Key {
 	h := sha256.New()
-	fmt.Fprintf(h, "wmserved/1\x00%s\x00opts=%+v\x00", kind, r.options())
+	fmt.Fprintf(h, "wmserved/2\x00%s\x00opts=%+v\x00", kind, r.options())
 	if kind == kindRun {
 		fmt.Fprintf(h, "mach=%+v\x00", r.machine())
 	}

@@ -36,10 +36,12 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"wmstream"
+	"wmstream/internal/durable"
 )
 
 // Endpoint kinds; also the label values used in metrics.
@@ -102,6 +104,28 @@ type Config struct {
 	// JobProgressEvery is the minimum interval between progress
 	// generation bumps of a running job (default 250ms).
 	JobProgressEvery time.Duration
+
+	// JobDir, when set, makes the job tier durable: every job state
+	// transition is journaled under it (write-ahead, CRC-framed) and
+	// running jobs spill periodic checkpoints, so acknowledged jobs
+	// survive a process death and resume on the next boot.  Empty
+	// keeps the tier memory-only.
+	JobDir string
+	// JobFsync selects the journal flush policy: "batch" (default,
+	// sync on a short timer), "always" (sync every append), "never".
+	JobFsync string
+	// JobRetries caps transient-failure retries per job (default 3;
+	// negative disables retries).
+	JobRetries int
+	// JobCheckpointEvery is the simulated-cycle interval between
+	// checkpoint spills of a running job (default 5,000,000).
+	JobCheckpointEvery int64
+	// JobRetryBase is the first retry backoff delay (default 100ms);
+	// later retries double it, capped at 64x, with jitter.
+	JobRetryBase time.Duration
+	// JobFaults injects journal/checkpoint write failures — the
+	// crash-restart harness's hook.  Nil in production.
+	JobFaults *durable.FaultPoints
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +174,17 @@ func (c Config) withDefaults() Config {
 	if c.JobProgressEvery <= 0 {
 		c.JobProgressEvery = 250 * time.Millisecond
 	}
+	if c.JobRetries == 0 {
+		c.JobRetries = 3
+	} else if c.JobRetries < 0 {
+		c.JobRetries = 0
+	}
+	if c.JobCheckpointEvery <= 0 {
+		c.JobCheckpointEvery = 5_000_000
+	}
+	if c.JobRetryBase <= 0 {
+		c.JobRetryBase = 100 * time.Millisecond
+	}
 	return c
 }
 
@@ -167,6 +202,10 @@ type Server struct {
 	base     context.Context
 	cancel   context.CancelFunc
 	draining atomic.Bool
+	// drainCh closes when Drain is first called, waking long-polls so
+	// they answer promptly instead of stalling the graceful shutdown.
+	drainCh   chan struct{}
+	drainOnce sync.Once
 }
 
 // New builds a ready-to-serve Server.
@@ -179,9 +218,16 @@ func New(cfg Config) *Server {
 		metrics: newMetrics(),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
+		drainCh: make(chan struct{}),
 	}
 	s.base, s.cancel = context.WithCancel(context.Background())
 	s.jobs = newJobManager(s)
+	if cfg.JobDir != "" {
+		// Recovery before workers: every journaled job is back in its
+		// queue before anything can race it.
+		s.jobs.openStore()
+	}
+	s.jobs.start()
 	s.mux.HandleFunc("POST /compile", func(w http.ResponseWriter, r *http.Request) {
 		s.handleSync(w, r, kindCompile)
 	})
@@ -199,9 +245,14 @@ func New(cfg Config) *Server {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // Drain flips /healthz to "draining" (503) so load balancers stop
-// sending traffic, without yet refusing requests.  Called at the start
-// of a graceful shutdown, before http.Server.Shutdown.
-func (s *Server) Drain() { s.draining.Store(true) }
+// sending traffic, without yet refusing requests, and wakes every
+// held-open job long-poll so GET /jobs/{id}?wait= answers promptly
+// instead of stalling http.Server.Shutdown.  Called at the start of a
+// graceful shutdown, before http.Server.Shutdown.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drainCh) })
+}
 
 // Close shuts the execution layer down: in-flight and queued work
 // finishes (or is skipped once its deadline passes), new submissions
@@ -211,6 +262,31 @@ func (s *Server) Close() {
 	s.cancel()
 	s.jobs.close()
 	s.pool.Close()
+}
+
+// crash simulates kill -9 for the crash-restart harness: running
+// simulations abort via the canceled base context, workers exit
+// without journaling graceful-shutdown transitions (the harness has
+// already wedged the store with fault injection, so attempted writes
+// fail), and file handles are released so a fresh Server can recover
+// from the same JobDir in-process.  Test-only by being unexported.
+func (s *Server) crash() {
+	s.Drain()
+	s.cancel()
+	s.jobs.crash()
+	s.pool.Close()
+}
+
+// Recovery reports what boot-time journal replay reconstructed, plus
+// the store's current mode ("durable", "degraded", "crashed", or
+// "memory" when no JobDir is configured).
+func (s *Server) Recovery() (RecoveryInfo, string) {
+	mode := "memory"
+	if st := s.jobs.store; st != nil {
+		m, _ := st.Mode()
+		mode = m.String()
+	}
+	return s.jobs.rec, mode
 }
 
 // handleSync is the shared cache → coalesce → pool → execute pipeline
@@ -297,6 +373,10 @@ type runOutcome struct {
 	run     *RunResponse
 	comp    *CompileResponse
 	errResp *ErrorResponse
+	// resumeErr marks a run that never started because its
+	// SimOptions.ResumeState would not restore; the job tier treats it
+	// as transient (drop the candidate, retry).
+	resumeErr error
 }
 
 // body renders the outcome deterministically: identical requests
@@ -360,6 +440,17 @@ func (s *Server) perform(ctx context.Context, kind string, req *Request, simOpts
 	if err != nil {
 		if ctx.Err() != nil {
 			return timeoutOutcome(ctx)
+		}
+		var re *wmstream.ResumeError
+		if errors.As(err, &re) {
+			// The checkpoint would not restore: no cycle simulated.  Not
+			// a property of the program — the caller retries with an
+			// older candidate or a clean start.
+			return runOutcome{
+				status:    http.StatusInternalServerError,
+				resumeErr: re,
+				errResp:   &ErrorResponse{Error: "resume: " + err.Error()},
+			}
 		}
 		var wb *wmstream.WallBudgetError
 		if errors.As(err, &wb) {
@@ -432,6 +523,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 		code = http.StatusServiceUnavailable
 	}
+	jobs := &JobsHealth{JournalMode: "memory", Recovery: s.jobs.rec}
+	if st := s.jobs.store; st != nil {
+		mode, reason := st.Mode()
+		jobs.JournalMode = mode.String()
+		jobs.JournalReason = reason
+		jobs.JournalBytes = st.Bytes()
+		jobs.DroppedWrites = st.DroppedWrites()
+	} else if s.jobs.storeErr != "" {
+		jobs.JournalMode = "degraded"
+		jobs.JournalReason = s.jobs.storeErr
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	w.Write(mustJSON(&HealthResponse{
@@ -441,13 +543,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		QueueDepth:    s.pool.QueueDepth(),
 		InFlight:      s.pool.InFlight(),
 		Cache:         s.cache.Stats(),
+		Jobs:          jobs,
 	}))
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	jq, jr, jh := s.jobs.counts()
-	s.metrics.write(w, gauges{
+	g := gauges{
 		queueDepth:  s.pool.QueueDepth(),
 		inFlight:    s.pool.InFlight(),
 		workers:     s.pool.Workers(),
@@ -456,7 +559,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		jobsQueued:  jq,
 		jobsRunning: jr,
 		jobsHeld:    jh,
-	})
+		journalMode: "memory",
+	}
+	if st := s.jobs.store; st != nil {
+		mode, _ := st.Mode()
+		g.journalMode = mode.String()
+		g.journalBytes = st.Bytes()
+		g.journalDropped = st.DroppedWrites()
+	}
+	s.metrics.write(w, g)
 }
 
 // mustJSON marshals a response struct.  Marshaling these types cannot

@@ -3,6 +3,8 @@ package sim
 import (
 	"bytes"
 	"encoding/binary"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strconv"
 	"strings"
@@ -222,5 +224,85 @@ func TestRestoreStateCorrupt(t *testing.T) {
 	// (copies of) it.
 	if err := New(img, DefaultConfig()).RestoreState(blob); err != nil {
 		t.Errorf("RestoreState on pristine blob after corruption tests: %v", err)
+	}
+}
+
+// TestRestoreStateOnDiskCorruption round-trips a checkpoint through a
+// file — the durable-store path — and damages it the ways disks do:
+// structural bit-flips, truncation at every interesting boundary, a
+// foreign file, an empty file.  Every case must be rejected cleanly
+// (an error, never a panic or a half-applied machine), and a machine
+// that saw a rejected blob must still run a clean pass to the same
+// result as an undisturbed run.
+func TestRestoreStateOnDiskCorruption(t *testing.T) {
+	img := checkpointImage(t)
+	wantStats, wantOut, wantMem := runUninterrupted(t, img, DefaultConfig())
+
+	m := New(img, DefaultConfig())
+	if done, err := m.RunSlice(137); err != nil || done {
+		t.Fatalf("run ended early (done=%v err=%v)", done, err)
+	}
+	blob, err := m.SaveState()
+	if err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "mid.ckpt")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatalf("write checkpoint: %v", err)
+	}
+
+	load := func(t *testing.T) []byte {
+		t.Helper()
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read checkpoint: %v", err)
+		}
+		return raw
+	}
+
+	// The undamaged on-disk copy restores and replays to the
+	// uninterrupted result.
+	raw := load(t)
+	m2 := New(img, DefaultConfig())
+	if err := m2.RestoreState(raw); err != nil {
+		t.Fatalf("RestoreState from disk: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		damage func([]byte) []byte
+	}{
+		{"bit-flip-header", func(b []byte) []byte { b[4] ^= 0x80; return b }},
+		{"bit-flip-magic", func(b []byte) []byte { b[8] ^= 0x01; return b }},
+		{"truncated-header", func(b []byte) []byte { return b[:6] }},
+		{"truncated-half", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"truncated-one-byte", func(b []byte) []byte { return b[:len(b)-1] }},
+		{"foreign-magic", func(b []byte) []byte {
+			return append([]byte("not a checkpoint at all"), b[8:]...)
+		}},
+		{"empty", func([]byte) []byte { return nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := tc.damage(load(t))
+			fresh := New(img, DefaultConfig())
+			if err := fresh.RestoreState(bad); err == nil {
+				t.Fatal("RestoreState accepted a damaged on-disk checkpoint")
+			}
+			// The fallback path: the machine that rejected the blob is
+			// untouched and still runs cleanly from cycle zero.
+			var out bytes.Buffer
+			cfg := DefaultConfig()
+			cfg.Output = &out
+			clean := New(img, cfg)
+			stats, err := clean.Run()
+			if err != nil {
+				t.Fatalf("clean fallback run: %v", err)
+			}
+			if !reflect.DeepEqual(stats, wantStats) || out.String() != wantOut ||
+				!bytes.Equal(clean.Mem(), wantMem) {
+				t.Error("clean fallback run diverged from the uninterrupted result")
+			}
+		})
 	}
 }

@@ -3,6 +3,7 @@ package wmstream
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"sort"
@@ -42,6 +43,69 @@ type SimOptions struct {
 	// ProgressEvery is the minimum interval between Progress calls
 	// (zero uses the execution core's default of 500ms).
 	ProgressEvery time.Duration
+	// ResumeState, when non-nil, restores the run from a blob a prior
+	// run's OnCheckpoint produced, so the run continues instead of
+	// starting at cycle zero.  The blob must come from the same
+	// program and machine configuration; one that fails to restore
+	// aborts the run with a *ResumeError before any cycle simulates.
+	// A resumed run's final statistics, output, and memory are
+	// bit-identical to an uninterrupted run of the same program.
+	ResumeState []byte
+	// CheckpointEvery, when > 0, serializes the run roughly every that
+	// many simulated cycles and hands the blob to OnCheckpoint.
+	CheckpointEvery int64
+	// OnCheckpoint receives each checkpoint blob — an opaque envelope
+	// of the simulator state plus the output emitted so far, accepted
+	// back via ResumeState.  A non-nil return aborts the run with that
+	// error.  Checkpointing is incompatible with TraceJSON (recorder
+	// state is unreplayable).
+	OnCheckpoint func(state []byte, p RunProgress) error
+	// FinalCheckpoint additionally takes one last checkpoint when the
+	// run is stopped by context cancellation (a draining service), so
+	// the run can resume after a restart.
+	FinalCheckpoint bool
+}
+
+// ResumeError reports that SimOptions.ResumeState could not be
+// restored — the blob was corrupt, from a different program, or from
+// an incompatible machine configuration.  The simulation never
+// started; the caller should fall back to an older checkpoint or a
+// clean run.
+type ResumeError struct {
+	Err error
+}
+
+func (e *ResumeError) Error() string { return fmt.Sprintf("resuming from checkpoint: %v", e.Err) }
+func (e *ResumeError) Unwrap() error { return e.Err }
+
+// Checkpoint envelope: the simulator's SaveState blob captures machine
+// state but not the putc/puti output already written, so a resumed
+// run alone could not reproduce the full output byte-for-byte.  The
+// envelope carries both: magic, a 4-byte little-endian output length,
+// the output bytes, then the simulator blob.
+const checkpointMagic = "wmckpt-1"
+
+func encodeCheckpoint(output, state []byte) []byte {
+	buf := make([]byte, 0, len(checkpointMagic)+4+len(output)+len(state))
+	buf = append(buf, checkpointMagic...)
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(output)))
+	buf = append(buf, n[:]...)
+	buf = append(buf, output...)
+	buf = append(buf, state...)
+	return buf
+}
+
+func decodeCheckpoint(blob []byte) (output, state []byte, err error) {
+	head := len(checkpointMagic) + 4
+	if len(blob) < head || string(blob[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, nil, fmt.Errorf("not a %s checkpoint envelope", checkpointMagic)
+	}
+	n := int(binary.LittleEndian.Uint32(blob[len(checkpointMagic):]))
+	if n < 0 || head+n > len(blob) {
+		return nil, nil, fmt.Errorf("checkpoint envelope output length %d overruns the %d-byte blob", n, len(blob))
+	}
+	return blob[head : head+n], blob[head+n:], nil
 }
 
 // UnitBreakdown is one functional unit's cycle attribution: every
@@ -145,10 +209,34 @@ func RunWithTelemetryContext(ctx context.Context, p *Program, m Machine, o SimOp
 	}
 	cfg.Profile = o.Profile
 	machine := sim.New(img, cfg)
+	if o.ResumeState != nil {
+		priorOut, state, derr := decodeCheckpoint(o.ResumeState)
+		if derr != nil {
+			return SimResult{}, &ResumeError{Err: derr}
+		}
+		if err := machine.RestoreState(state); err != nil {
+			return SimResult{}, &ResumeError{Err: err}
+		}
+		// Replay the output the interrupted run already produced, so
+		// the spliced run's Output is byte-identical to an
+		// uninterrupted one.
+		out.Write(priorOut)
+	}
+	var onCkpt func([]byte, exec.Progress) error
+	if o.OnCheckpoint != nil {
+		onCkpt = func(state []byte, p exec.Progress) error {
+			// Called between slices on the Run goroutine, so out is
+			// quiescent.
+			return o.OnCheckpoint(encodeCheckpoint(out.Bytes(), state), p)
+		}
+	}
 	stats, rerr := exec.Run(ctx, machine, exec.Options{
-		MaxWall:       o.MaxWall,
-		OnProgress:    o.Progress,
-		ProgressEvery: o.ProgressEvery,
+		MaxWall:         o.MaxWall,
+		OnProgress:      o.Progress,
+		ProgressEvery:   o.ProgressEvery,
+		CheckpointEvery: o.CheckpointEvery,
+		OnCheckpoint:    onCkpt,
+		FinalCheckpoint: o.FinalCheckpoint,
 	})
 	res := SimResult{
 		Result: Result{

@@ -334,6 +334,13 @@ type Machine struct {
 	NumSCU        int   // stream control units
 	WatchdogSlack int   // no-progress cycles beyond MemLatency before a deadlock is declared
 	MaxCycles     int64 // simulated-cycle bound before a runaway run traps (0 = default)
+	// Engine selects the simulation loop: "" or "auto" picks the fast
+	// engine whenever tracing permits, "fast" requests it explicitly,
+	// "reference" forces the plain cycle-by-cycle interpreter.  Both
+	// engines produce identical results; the knob exists so
+	// cross-engine identity (including checkpoint/resume across
+	// engines) can be asserted from the outside.
+	Engine string
 }
 
 // DefaultMachine returns the configuration used by the reproduction
@@ -410,6 +417,14 @@ func simConfig(m Machine) sim.Config {
 	}
 	if m.MaxCycles > 0 {
 		cfg.MaxCycles = m.MaxCycles
+	}
+	switch m.Engine {
+	case "fast":
+		cfg.Engine = sim.EngineFast
+	case "reference":
+		cfg.Engine = sim.EngineReference
+	default:
+		cfg.Engine = sim.EngineAuto
 	}
 	return cfg
 }
