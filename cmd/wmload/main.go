@@ -7,7 +7,11 @@
 // the traffic drives full asynchronous job lifecycles — submit,
 // long-poll progress generations, and occasional mid-flight cancels —
 // exercising the job queue, the fairness scheduler, and the TTL
-// expiry path.
+// expiry path.  With -trace, every request carries a W3C traceparent
+// so the server records a full trace for it, and the report adds the
+// server-side per-stage timing breakdown (queue wait, compile, sim,
+// journal) plus the trace ID of the slowest request for follow-up in
+// GET /debug/traces.
 package main
 
 import (
@@ -37,6 +41,7 @@ func run() int {
 		jobs        = flag.Bool("jobs", false, "drive all traffic through the asynchronous job API")
 		jobFrac     = flag.Float64("job-fraction", 0, "fraction of iterations driving a job lifecycle (submit, poll, cancel)")
 		retries     = flag.Int("retries", 3, "retry shed (429/503) responses this many times with capped backoff, honoring Retry-After")
+		trace       = flag.Bool("trace", false, "send a traceparent with every request and report the server's per-stage timing breakdown")
 		seed        = flag.Int64("seed", 1, "traffic mix seed")
 		version     = flag.Bool("version", false, "print version and exit")
 	)
@@ -66,6 +71,7 @@ func run() int {
 		JobFraction: jf,
 		Seed:        *seed,
 		Retries:     *retries,
+		Trace:       *trace,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wmload: %v\n", err)

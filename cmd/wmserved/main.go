@@ -15,6 +15,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,6 +49,10 @@ func run() int {
 		jobFsync   = flag.String("job-fsync", "batch", "journal fsync policy: batch, always, or never")
 		jobRetries = flag.Int("job-retries", 3, "transient-failure retries per job (negative = none)")
 
+		debugAddr = flag.String("debug-addr", "", "private debug listener with net/http/pprof plus the trace/metrics endpoints (empty = disabled)")
+		traceRing = flag.Int("trace-ring", 0, "completed traces retained for /debug/traces (0 = default 256, negative = tracing off)")
+		traceSlow = flag.Duration("trace-slow", 0, "busy-time threshold above which a trace is kept in the slow ring (0 = default 500ms)")
+
 		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -62,23 +67,25 @@ func run() int {
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv := serve.New(serve.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheBytes:     int64(*cacheMB) << 20,
-		RequestTimeout: *timeout,
-		MaxSourceBytes: int64(*maxSourceKB) << 10,
-		RetryAfter:     *retryAfter,
-		Logger:         logger,
-		Version:        buildinfo.String(),
-		JobWorkers:     *jobWorkers,
-		JobQueueDepth:  *jobQueue,
-		JobTenantQueue: *jobTenantQ,
-		JobTimeout:     *jobTimeout,
-		JobTTL:         *jobTTL,
-		JobPollMax:     *jobPollMax,
-		JobDir:         *jobDir,
-		JobFsync:       *jobFsync,
-		JobRetries:     *jobRetries,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		CacheBytes:         int64(*cacheMB) << 20,
+		RequestTimeout:     *timeout,
+		MaxSourceBytes:     int64(*maxSourceKB) << 10,
+		RetryAfter:         *retryAfter,
+		Logger:             logger,
+		Version:            buildinfo.String(),
+		JobWorkers:         *jobWorkers,
+		JobQueueDepth:      *jobQueue,
+		JobTenantQueue:     *jobTenantQ,
+		JobTimeout:         *jobTimeout,
+		JobTTL:             *jobTTL,
+		JobPollMax:         *jobPollMax,
+		JobDir:             *jobDir,
+		JobFsync:           *jobFsync,
+		JobRetries:         *jobRetries,
+		TraceRing:          *traceRing,
+		TraceSlowThreshold: *traceSlow,
 	})
 	if *jobDir != "" {
 		rec, mode := srv.Recovery()
@@ -96,6 +103,30 @@ func run() int {
 		return 1
 	}
 	httpSrv := &http.Server{Handler: srv}
+
+	// The optional debug listener keeps profiling and introspection off
+	// the public port: pprof handlers plus the same /debug/*, /metrics,
+	// and /healthz routes the main server exposes, on an address that
+	// can stay firewalled or bound to localhost.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wmserved: debug listener: %v\n", err)
+			return 1
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", srv) // /debug/traces, /debug/statusz, /metrics, /healthz
+		debugSrv = &http.Server{Handler: mux}
+		go debugSrv.Serve(dln)
+		defer debugSrv.Close()
+		logger.Info("wmserved debug listening", "addr", dln.Addr().String())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

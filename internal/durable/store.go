@@ -47,6 +47,9 @@ type JobRecord struct {
 	Tenant  string `json:"tenant,omitempty"`
 	Gen     int64  `json:"gen,omitempty"`
 	Attempt int    `json:"attempt,omitempty"`
+	// TraceID carries the job's request trace across restarts, so a
+	// crash-resumed job continues under the same end-to-end trace ID.
+	TraceID string `json:"trace_id,omitempty"`
 	// Request is the original POST /jobs body, re-runnable verbatim.
 	Request json.RawMessage `json:"request,omitempty"`
 	// Result is the terminal run response (state "done").

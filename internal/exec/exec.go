@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"wmstream/internal/obs"
 	"wmstream/internal/sim"
 )
 
@@ -127,6 +128,10 @@ func (r *Runner) Run(ctx context.Context) (sim.Stats, error) {
 	start := time.Now()
 	lastEmit := start
 	lastCkpt := r.m.Progress().Cycles
+	// When the context carries a request trace (internal/obs), each
+	// slice and checkpoint becomes a child span; traceSpan is nil on
+	// untraced runs and every obs call below no-ops.
+	traceSpan := obs.FromContext(ctx)
 	for {
 		// Cooperative pause parks the loop between slices until Resume
 		// or cancellation.
@@ -148,9 +153,23 @@ func (r *Runner) Run(ctx context.Context) (sim.Stats, error) {
 			r.emit(r.snapshot(true, time.Since(start)))
 			return r.m.Stats(), err
 		}
+		sliceStart := r.m.Progress().Cycles
+		var sliceSpan *obs.Span
+		if traceSpan != nil {
+			sliceSpan = traceSpan.StartChild("sim.slice")
+			sliceSpan.SetKind(obs.KindSim)
+		}
 		done, err := r.m.RunSlice(r.o.Slice)
 		now := time.Now()
 		p := r.snapshot(done || err != nil, now.Sub(start))
+		if sliceSpan != nil {
+			sliceSpan.SetAttrInt("cycles", p.Cycles-sliceStart)
+			sliceSpan.SetAttrInt("cycle_start", sliceStart)
+			if err != nil {
+				sliceSpan.SetError(err.Error())
+			}
+			sliceSpan.End()
+		}
 		if done || err != nil {
 			r.emit(p)
 			return r.m.Stats(), err
@@ -161,10 +180,16 @@ func (r *Runner) Run(ctx context.Context) (sim.Stats, error) {
 		}
 		if r.o.CheckpointEvery > 0 && p.Cycles-lastCkpt >= r.o.CheckpointEvery {
 			lastCkpt = p.Cycles
+			ckptSpan := traceSpan.StartChild("checkpoint")
 			state, serr := r.m.SaveState()
 			if serr == nil && r.o.OnCheckpoint != nil {
 				serr = r.o.OnCheckpoint(state, p)
 			}
+			ckptSpan.SetAttrInt("cycle", p.Cycles)
+			if serr != nil {
+				ckptSpan.SetError(serr.Error())
+			}
+			ckptSpan.End()
 			if serr != nil {
 				r.m.Finish()
 				r.emit(r.snapshot(true, now.Sub(start)))

@@ -1,0 +1,309 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// CollectorOptions configures trace retention.
+type CollectorOptions struct {
+	// Ring caps the completed-trace ring (default 256; 0 uses the
+	// default, negative disables collection entirely).
+	Ring int
+	// SlowRing caps the slow/errored tail-keep ring (default Ring/4,
+	// minimum 16).
+	SlowRing int
+	// HeadRate keeps 1 in HeadRate ordinary completed traces in the
+	// ring (default 1: keep every trace until the ring evicts it).
+	// Slow and errored traces bypass head sampling entirely.
+	HeadRate int
+	// SlowThreshold classifies a trace as slow by its busy time (its
+	// duration minus intentional long-poll waits); slow traces are
+	// always kept (default 500ms).
+	SlowThreshold time.Duration
+	// MaxSpans bounds spans retained per trace (default
+	// DefaultMaxSpans).
+	MaxSpans int
+}
+
+// CollectorStats reports the collector's lifetime accounting.
+type CollectorStats struct {
+	Active    int   `json:"active"`
+	Started   int64 `json:"started"`
+	Finished  int64 `json:"finished"`
+	KeptHead  int64 `json:"kept_head"`
+	KeptSlow  int64 `json:"kept_slow"`
+	Discarded int64 `json:"discarded"` // finished, sampled out
+}
+
+// Collector owns every live trace and two bounded rings of completed
+// ones: "recent" receives head-sampled ordinary traces, "slow" always
+// receives traces over the slow threshold or carrying an error, so
+// tail latency and failures survive even under heavy traffic that
+// cycles the recent ring quickly.
+type Collector struct {
+	opts CollectorOptions
+
+	mu       sync.Mutex
+	active   map[TraceID]*Trace
+	recent   []*Trace // ring, recentPos is the next slot
+	recentN  int
+	slow     []*Trace
+	slowN    int
+	headTick int64
+	stats    CollectorStats
+}
+
+// NewCollector builds a collector.  A nil collector is valid and
+// collects nothing.
+func NewCollector(o CollectorOptions) *Collector {
+	if o.Ring < 0 {
+		return nil
+	}
+	if o.Ring == 0 {
+		o.Ring = 256
+	}
+	if o.SlowRing <= 0 {
+		o.SlowRing = max(o.Ring/4, 16)
+	}
+	if o.HeadRate <= 0 {
+		o.HeadRate = 1
+	}
+	if o.SlowThreshold <= 0 {
+		o.SlowThreshold = 500 * time.Millisecond
+	}
+	if o.MaxSpans <= 0 {
+		o.MaxSpans = DefaultMaxSpans
+	}
+	return &Collector{
+		opts:   o,
+		active: make(map[TraceID]*Trace),
+		recent: make([]*Trace, o.Ring),
+		slow:   make([]*Trace, o.SlowRing),
+	}
+}
+
+// SlowThreshold reports the configured slow-trace classification bound.
+func (c *Collector) SlowThreshold() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return c.opts.SlowThreshold
+}
+
+// Start begins a new trace registered with the collector.  id may be
+// zero (a fresh one is allocated); parent carries the inbound
+// traceparent's span ID.  A nil collector returns a nil trace and
+// span, so every downstream instrumentation no-ops.
+func (c *Collector) Start(name string, id TraceID, parent SpanID) (*Trace, *Span) {
+	if c == nil {
+		return nil, nil
+	}
+	t, root := NewTrace(name, id, parent)
+	t.maxSpans = c.opts.MaxSpans
+	t.onFinish = c.finished
+	c.mu.Lock()
+	c.stats.Started++
+	c.active[t.id] = t
+	c.mu.Unlock()
+	return t, root
+}
+
+// finished is every trace's onFinish hook: retention is decided here.
+func (c *Collector) finished(t *Trace) {
+	snap := func() (busy time.Duration, errored bool) {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		busy = t.busy
+		if busy == 0 {
+			var last time.Time
+			for _, s := range t.spans {
+				if s.end.After(last) {
+					last = s.end
+				}
+			}
+			busy = last.Sub(t.start)
+		}
+		for _, s := range t.spans {
+			if s.errMsg != "" {
+				errored = true
+				break
+			}
+		}
+		return busy, errored
+	}
+	busy, errored := snap()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.active, t.id)
+	c.stats.Finished++
+	if busy >= c.opts.SlowThreshold || errored {
+		c.stats.KeptSlow++
+		c.slow[c.slowN%len(c.slow)] = t
+		c.slowN++
+		return
+	}
+	c.headTick++
+	if c.headTick%int64(c.opts.HeadRate) == 0 {
+		c.stats.KeptHead++
+		c.recent[c.recentN%len(c.recent)] = t
+		c.recentN++
+		return
+	}
+	c.stats.Discarded++
+}
+
+// Get returns the trace with the given ID — live or retained — or nil.
+func (c *Collector) Get(id string) *Trace {
+	if c == nil {
+		return nil
+	}
+	tid, err := ParseTraceID(id)
+	if err != nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t := c.active[tid]; t != nil {
+		return t
+	}
+	for _, t := range c.recent {
+		if t != nil && t.id == tid {
+			return t
+		}
+	}
+	for _, t := range c.slow {
+		if t != nil && t.id == tid {
+			return t
+		}
+	}
+	return nil
+}
+
+// TraceSummary is one index row of GET /debug/traces.
+type TraceSummary struct {
+	TraceID string    `json:"trace_id"`
+	Name    string    `json:"name"`
+	Start   time.Time `json:"start"`
+	DurUs   int64     `json:"dur_us"`
+	BusyUs  int64     `json:"busy_us,omitempty"`
+	Spans   int       `json:"spans"`
+	Error   string    `json:"error,omitempty"`
+	Active  bool      `json:"active,omitempty"`
+	Slow    bool      `json:"slow,omitempty"`
+}
+
+func summarize(t *Trace, active, slow bool) TraceSummary {
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := TraceSummary{
+		TraceID: t.id.String(),
+		Start:   t.start,
+		BusyUs:  t.busy.Microseconds(),
+		Spans:   len(t.spans),
+		Active:  active,
+		Slow:    slow,
+	}
+	var last time.Time
+	for _, sp := range t.spans {
+		end := sp.end
+		if end.IsZero() {
+			end = now
+		}
+		if end.After(last) {
+			last = end
+		}
+	}
+	if last.After(t.start) {
+		s.DurUs = last.Sub(t.start).Microseconds()
+	}
+	if len(t.spans) > 0 {
+		s.Name = t.spans[0].name
+		s.Error = t.spans[0].errMsg
+	}
+	return s
+}
+
+// Index reports every retained and live trace, newest first within
+// each section.
+type Index struct {
+	Stats  CollectorStats `json:"stats"`
+	Active []TraceSummary `json:"active,omitempty"`
+	Slow   []TraceSummary `json:"slow,omitempty"`
+	Recent []TraceSummary `json:"recent,omitempty"`
+}
+
+// Index snapshots the collector's contents.
+func (c *Collector) Index() Index {
+	if c == nil {
+		return Index{}
+	}
+	c.mu.Lock()
+	actives := make([]*Trace, 0, len(c.active))
+	for _, t := range c.active {
+		actives = append(actives, t)
+	}
+	slow := ringContents(c.slow, c.slowN)
+	recent := ringContents(c.recent, c.recentN)
+	stats := c.stats
+	stats.Active = len(c.active)
+	c.mu.Unlock()
+
+	sort.Slice(actives, func(i, j int) bool { return actives[i].start.After(actives[j].start) })
+	idx := Index{Stats: stats}
+	for _, t := range actives {
+		idx.Active = append(idx.Active, summarize(t, true, false))
+	}
+	for _, t := range slow {
+		idx.Slow = append(idx.Slow, summarize(t, false, true))
+	}
+	for _, t := range recent {
+		idx.Recent = append(idx.Recent, summarize(t, false, false))
+	}
+	return idx
+}
+
+// SlowTraces returns up to n retained slow/errored traces, newest
+// first (the statusz page's "recent slow requests" table).
+func (c *Collector) SlowTraces(n int) []TraceSummary {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	slow := ringContents(c.slow, c.slowN)
+	c.mu.Unlock()
+	var out []TraceSummary
+	for _, t := range slow {
+		if n > 0 && len(out) >= n {
+			break
+		}
+		out = append(out, summarize(t, false, true))
+	}
+	return out
+}
+
+// Stats snapshots the collector accounting.
+func (c *Collector) Stats() CollectorStats {
+	if c == nil {
+		return CollectorStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Active = len(c.active)
+	return s
+}
+
+// ringContents returns the ring's live entries, newest first.
+func ringContents(ring []*Trace, n int) []*Trace {
+	var out []*Trace
+	count := min(n, len(ring))
+	for i := 0; i < count; i++ {
+		// n is the next write position; walk backward from it.
+		out = append(out, ring[((n-1-i)%len(ring)+len(ring))%len(ring)])
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// HTTP surface of the collector: the serving layer mounts these on its
+// mux (and optionally on a private -debug-addr listener alongside
+// net/http/pprof).
+
+// HandleIndex serves GET /debug/traces: the JSON index of live,
+// recently completed, and retained slow/errored traces.
+func (c *Collector) HandleIndex(w http.ResponseWriter, r *http.Request) {
+	if c == nil {
+		http.Error(w, `{"error":"tracing disabled"}`, http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(c.Index())
+}
+
+// HandleGet serves GET /debug/traces/{id}: the full span tree as JSON,
+// or, with ?format=perfetto, as a Chrome trace-event file that loads in
+// Perfetto with service spans and simulator unit cycles on one
+// timeline.
+func (c *Collector) HandleGet(w http.ResponseWriter, r *http.Request) {
+	t := c.Get(r.PathValue("id"))
+	if t == nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]string{"error": "no such trace: " + r.PathValue("id")})
+		return
+	}
+	snap := t.Snapshot()
+	if r.URL.Query().Get("format") == "perfetto" {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="trace-`+snap.TraceID+`.json"`)
+		WritePerfetto(w, snap)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap)
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+)
+
+// LogHandler is a slog.Handler wrapper that stamps every record whose
+// context carries an active span with trace and span IDs, so request
+// and job-transition log lines correlate with /debug/traces without
+// per-call-site plumbing.  Callers log through the Context variants
+// (InfoContext, LogAttrs, ...) with the request context; records
+// without a span pass through untouched.
+type LogHandler struct {
+	inner slog.Handler
+}
+
+// WrapHandler wraps h; a nil h yields a nil-safe no-op wrap of the
+// default handler.
+func WrapHandler(h slog.Handler) *LogHandler {
+	if h == nil {
+		h = slog.Default().Handler()
+	}
+	return &LogHandler{inner: h}
+}
+
+func (h *LogHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *LogHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if sp := FromContext(ctx); sp != nil {
+		rec.AddAttrs(
+			slog.String("trace", sp.Trace().ID().String()),
+			slog.String("span", sp.ID().String()),
+		)
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h *LogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &LogHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *LogHandler) WithGroup(name string) slog.Handler {
+	return &LogHandler{inner: h.inner.WithGroup(name)}
+}

@@ -1,0 +1,587 @@
+// Package obs is the request-scoped tracing and live-introspection
+// subsystem of the serving layer: a lightweight span model (trace ID +
+// span ID, W3C traceparent accepted inbound and emitted outbound)
+// threaded through context.Context across every serve path, a bounded
+// in-memory ring of completed traces with head sampling plus tail-keep
+// for slow or errored requests (collector.go), Chrome trace-event
+// export reusing internal/telemetry's builder so service spans and
+// simulator unit cycles render on one Perfetto timeline (perfetto.go),
+// debug HTTP handlers (http.go), and a slog.Handler wrapper that stamps
+// every log line with the active trace ID (log.go).
+//
+// Everything is nil-safe: a nil *Span (no trace in the context, or a
+// span dropped by the per-trace cap) accepts every method as a no-op,
+// so instrumented paths pay one nil check when tracing is off.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// TraceID identifies one end-to-end request or job trace (the W3C
+// trace-id: 16 bytes, rendered as 32 lowercase hex digits).
+type TraceID [16]byte
+
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// SpanID identifies one span within a trace (8 bytes, 16 hex digits).
+type SpanID [8]byte
+
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// NewTraceID returns a random, non-zero trace ID.
+func NewTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		if _, err := rand.Read(id[:]); err != nil {
+			panic("obs: reading random trace id: " + err.Error())
+		}
+	}
+	return id
+}
+
+// NewSpanID returns a random, non-zero span ID (exported for clients
+// — the load generator — that mint their own traceparent headers).
+func NewSpanID() SpanID { return newSpanID() }
+
+func newSpanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		if _, err := rand.Read(id[:]); err != nil {
+			panic("obs: reading random span id: " + err.Error())
+		}
+	}
+	return id
+}
+
+// ParseTraceID parses a 32-hex-digit trace ID.
+func ParseTraceID(s string) (TraceID, error) {
+	var id TraceID
+	if len(s) != 32 {
+		return id, fmt.Errorf("obs: trace id must be 32 hex digits, got %d", len(s))
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return id, fmt.Errorf("obs: bad trace id: %w", err)
+	}
+	if id.IsZero() {
+		return id, fmt.Errorf("obs: all-zero trace id is invalid")
+	}
+	return id, nil
+}
+
+// ParseTraceparent parses a W3C traceparent header
+// ("00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>").  Unknown
+// versions are accepted per the spec (except the reserved "ff");
+// malformed headers report ok=false.  sampled is bit 0 of the flags.
+func ParseTraceparent(h string) (id TraceID, parent SpanID, sampled, ok bool) {
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return id, parent, false, false
+	}
+	ver := h[:2]
+	if !isHex(ver) || ver == "ff" {
+		return id, parent, false, false
+	}
+	// Version 00 is exactly 55 chars; future versions may append fields
+	// after another dash.
+	if len(h) > 55 && (ver == "00" || h[55] != '-') {
+		return id, parent, false, false
+	}
+	tid, perr := ParseTraceID(h[3:35])
+	if perr != nil {
+		return id, parent, false, false
+	}
+	if !isHex(h[36:52]) {
+		return id, parent, false, false
+	}
+	hex.Decode(parent[:], []byte(h[36:52]))
+	if parent.IsZero() {
+		return id, parent, false, false
+	}
+	flags := h[53:55]
+	if !isHex(flags) {
+		return id, parent, false, false
+	}
+	var f [1]byte
+	hex.Decode(f[:], []byte(flags))
+	return tid, parent, f[0]&1 == 1, true
+}
+
+// FormatTraceparent renders a version-00 traceparent header.
+func FormatTraceparent(id TraceID, span SpanID, sampled bool) string {
+	flags := "00"
+	if sampled {
+		flags = "01"
+	}
+	return "00-" + id.String() + "-" + span.String() + "-" + flags
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// Kind classifies a span for timeline rendering: service spans are the
+// serving pipeline's own work, compile spans are bridged per-pass
+// compiler times, sim spans are simulator execution slices.
+type Kind uint8
+
+const (
+	KindService Kind = iota
+	KindCompile
+	KindSim
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCompile:
+		return "compile"
+	case KindSim:
+		return "sim"
+	default:
+		return "service"
+	}
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// CauseCycles is one stall cause's cycle count within a UnitCycles.
+type CauseCycles struct {
+	Cause  string `json:"cause"`
+	Cycles int64  `json:"cycles"`
+}
+
+// UnitCycles is one functional unit's cycle attribution, attached to a
+// sim span so the Perfetto export can render the unit timeline
+// alongside the service spans.  Stalls are in a deterministic order.
+type UnitCycles struct {
+	Unit   string        `json:"unit"`
+	Issued int64         `json:"issued"`
+	Idle   int64         `json:"idle"`
+	Stalls []CauseCycles `json:"stalls,omitempty"`
+}
+
+// DefaultMaxSpans bounds the spans one trace retains; spans started
+// beyond it are counted as dropped rather than recorded, so a runaway
+// job cannot grow a trace without bound.
+const DefaultMaxSpans = 512
+
+// Trace is one request's (or job's) span tree.  Spans are recorded in
+// start order; spans[0] is the root.  All span mutation goes through
+// the trace mutex, so spans may be started and ended from any
+// goroutine (the job tier ends queue-wait spans from workers).
+type Trace struct {
+	id     TraceID
+	remote bool // the trace ID arrived in an inbound traceparent
+	parent SpanID
+
+	mu       sync.Mutex
+	start    time.Time
+	spans    []*Span
+	dropped  int
+	maxSpans int
+	busy     time.Duration // service time excluding long-poll waits
+	finished bool
+	onFinish func(*Trace)
+}
+
+// Span is one timed operation within a trace.  The zero of *Span (nil)
+// is a valid no-op target for every method.
+type Span struct {
+	tr     *Trace
+	id     SpanID
+	parent SpanID
+	kind   Kind
+	name   string
+	start  time.Time
+	end    time.Time // zero while open
+	attrs  []Attr
+	errMsg string
+	units  []UnitCycles
+}
+
+// NewTrace builds a free-standing trace (not registered with any
+// collector) plus its root span.  id may be zero to allocate a fresh
+// one; parent is the inbound traceparent's span ID (zero for locally
+// originated traces).
+func NewTrace(name string, id TraceID, parent SpanID) (*Trace, *Span) {
+	remote := !id.IsZero()
+	if id.IsZero() {
+		id = NewTraceID()
+	}
+	t := &Trace{
+		id:       id,
+		remote:   remote,
+		parent:   parent,
+		start:    time.Now(),
+		maxSpans: DefaultMaxSpans,
+	}
+	root := &Span{tr: t, id: newSpanID(), parent: parent, name: name, start: t.start}
+	t.spans = append(t.spans, root)
+	return t, root
+}
+
+// ID is the trace's identifier.
+func (t *Trace) ID() TraceID {
+	if t == nil {
+		return TraceID{}
+	}
+	return t.id
+}
+
+// Start reports when the trace began.
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// Root returns the root span.
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) == 0 {
+		return nil
+	}
+	return t.spans[0]
+}
+
+// SetBusy records the trace's service time excluding intentional waits
+// (long-poll parking); the collector classifies slowness on it instead
+// of the raw duration when set.
+func (t *Trace) SetBusy(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.busy = d
+	t.mu.Unlock()
+}
+
+// startSpan allocates and records a child span.  Caller must not hold
+// t.mu.
+func (t *Trace) startSpan(parent SpanID, name string, kind Kind, start time.Time) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.finished || len(t.spans) >= t.maxSpans {
+		t.dropped++
+		return nil
+	}
+	s := &Span{tr: t, id: newSpanID(), parent: parent, kind: kind, name: name, start: start}
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// StartChild opens a new span under s.  Nil-safe: a nil receiver (or a
+// dropped span) returns nil, which is itself a valid no-op span.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.startSpan(s.id, name, KindService, time.Now())
+}
+
+// AddChildAt records an already-measured child span (the bridge for
+// per-pass compile times, which are known only after the compilation
+// returns).  Nil-safe.
+func (s *Span) AddChildAt(name string, kind Kind, start time.Time, dur time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	c := s.tr.startSpan(s.id, name, kind, start)
+	if c != nil {
+		c.tr.mu.Lock()
+		c.end = start.Add(dur)
+		c.tr.mu.Unlock()
+	}
+	return c
+}
+
+// Trace returns the span's owning trace (nil for a nil span).
+func (s *Span) Trace() *Trace {
+	if s == nil {
+		return nil
+	}
+	return s.tr
+}
+
+// ID returns the span's identifier (zero for a nil span).
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.id
+}
+
+// StartTime reports when the span started (zero for a nil span).
+func (s *Span) StartTime() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
+// IsRoot reports whether s is its trace's root span.
+func (s *Span) IsRoot() bool {
+	if s == nil {
+		return false
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	return len(s.tr.spans) > 0 && s.tr.spans[0] == s
+}
+
+// SetKind reclassifies the span for timeline rendering.
+func (s *Span) SetKind(k Kind) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.kind = k
+	s.tr.mu.Unlock()
+}
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.tr.mu.Unlock()
+}
+
+// SetAttrInt annotates the span with an integer value.
+func (s *Span) SetAttrInt(key string, value int64) {
+	s.SetAttr(key, fmt.Sprintf("%d", value))
+}
+
+// SetError marks the span (and therefore the trace) as errored.
+func (s *Span) SetError(msg string) {
+	if s == nil || msg == "" {
+		return
+	}
+	s.tr.mu.Lock()
+	s.errMsg = msg
+	s.tr.mu.Unlock()
+}
+
+// SetUnits attaches per-unit cycle attribution to the span (sim spans
+// only; rendered as unit tracks by the Perfetto export).
+func (s *Span) SetUnits(u []UnitCycles) {
+	if s == nil || len(u) == 0 {
+		return
+	}
+	s.tr.mu.Lock()
+	s.units = u
+	s.tr.mu.Unlock()
+}
+
+// End closes the span.  Idempotent; nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.tr.mu.Unlock()
+}
+
+// EndErr closes the span, recording err (when non-nil) as its error.
+func (s *Span) EndErr(err error) {
+	if s == nil {
+		return
+	}
+	if err != nil {
+		s.SetError(err.Error())
+	}
+	s.End()
+}
+
+// Finish closes the trace: any still-open span (including the root) is
+// ended, and the trace is handed to its collector exactly once.
+// Further StartChild calls are dropped.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return
+	}
+	t.finished = true
+	now := time.Now()
+	for _, s := range t.spans {
+		if s.end.IsZero() {
+			s.end = now
+		}
+	}
+	done := t.onFinish
+	t.mu.Unlock()
+	if done != nil {
+		done(t)
+	}
+}
+
+// SpanSnapshot is the JSON form of one span.
+type SpanSnapshot struct {
+	SpanID   string            `json:"span_id"`
+	ParentID string            `json:"parent_id,omitempty"`
+	Name     string            `json:"name"`
+	Kind     string            `json:"kind,omitempty"` // omitted for service spans
+	StartUs  int64             `json:"start_us"`       // microseconds since trace start
+	DurUs    int64             `json:"dur_us"`
+	Open     bool              `json:"open,omitempty"` // still running at snapshot time
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Error    string            `json:"error,omitempty"`
+	Units    []UnitCycles      `json:"units,omitempty"`
+}
+
+// TraceSnapshot is the JSON form of a whole trace, the body of
+// GET /debug/traces/{id}.
+type TraceSnapshot struct {
+	TraceID      string         `json:"trace_id"`
+	Name         string         `json:"name"`
+	Remote       bool           `json:"remote,omitempty"` // trace ID arrived via traceparent
+	ParentSpan   string         `json:"parent_span,omitempty"`
+	Start        time.Time      `json:"start"`
+	DurUs        int64          `json:"dur_us"`
+	BusyUs       int64          `json:"busy_us,omitempty"`
+	Finished     bool           `json:"finished"`
+	Error        string         `json:"error,omitempty"`
+	DroppedSpans int            `json:"dropped_spans,omitempty"`
+	Spans        []SpanSnapshot `json:"spans"`
+}
+
+// Snapshot renders the trace's current state.  Safe to call on live
+// traces (open spans report their duration so far, marked Open).
+func (t *Trace) Snapshot() TraceSnapshot {
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	snap := TraceSnapshot{
+		TraceID:      t.id.String(),
+		Remote:       t.remote,
+		Start:        t.start,
+		BusyUs:       t.busy.Microseconds(),
+		Finished:     t.finished,
+		DroppedSpans: t.dropped,
+	}
+	if !t.parent.IsZero() {
+		snap.ParentSpan = t.parent.String()
+	}
+	var last time.Time
+	for i, s := range t.spans {
+		ss := SpanSnapshot{
+			SpanID:  s.id.String(),
+			Name:    s.name,
+			StartUs: s.start.Sub(t.start).Microseconds(),
+			Error:   s.errMsg,
+		}
+		if s.kind != KindService {
+			ss.Kind = s.kind.String()
+		}
+		if !s.parent.IsZero() && s.parent != t.parent {
+			ss.ParentID = s.parent.String()
+		}
+		end := s.end
+		if end.IsZero() {
+			end, ss.Open = now, true
+		}
+		ss.DurUs = end.Sub(s.start).Microseconds()
+		if end.After(last) {
+			last = end
+		}
+		if len(s.attrs) > 0 {
+			ss.Attrs = make(map[string]string, len(s.attrs))
+			for _, a := range s.attrs {
+				ss.Attrs[a.Key] = a.Value
+			}
+		}
+		ss.Units = s.units
+		if i == 0 {
+			snap.Name = s.name
+			snap.Error = s.errMsg
+		}
+		snap.Spans = append(snap.Spans, ss)
+	}
+	if last.After(t.start) {
+		snap.DurUs = last.Sub(t.start).Microseconds()
+	}
+	return snap
+}
+
+// DurationsByName sums completed spans' durations per span name — the
+// source of the Server-Timing response header's per-stage breakdown.
+func (t *Trace) DurationsByName() map[string]time.Duration {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]time.Duration)
+	for _, s := range t.spans {
+		if !s.end.IsZero() {
+			out[s.name] += s.end.Sub(s.start)
+		}
+	}
+	return out
+}
+
+// ctxKey keys the active span in a context.Context.
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying sp as the active span.
+func ContextWith(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// FromContext returns the active span, or nil.
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// StartSpan opens a child of ctx's active span and returns a context
+// carrying the child.  Without an active span it returns ctx unchanged
+// and a nil (no-op) span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	sp := parent.StartChild(name)
+	if sp == nil {
+		return ctx, nil
+	}
+	return ContextWith(ctx, sp), sp
+}

@@ -1,0 +1,388 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundtrip(t *testing.T) {
+	id := NewTraceID()
+	span := NewSpanID()
+	for _, sampled := range []bool{true, false} {
+		h := FormatTraceparent(id, span, sampled)
+		if len(h) != 55 {
+			t.Fatalf("header %q is %d chars, want 55", h, len(h))
+		}
+		gid, gparent, gsampled, ok := ParseTraceparent(h)
+		if !ok {
+			t.Fatalf("ParseTraceparent(%q) not ok", h)
+		}
+		if gid != id || gparent != span || gsampled != sampled {
+			t.Fatalf("roundtrip mismatch: got %v %v %v", gid, gparent, gsampled)
+		}
+	}
+}
+
+func TestTraceparentMalformed(t *testing.T) {
+	valid := FormatTraceparent(NewTraceID(), NewSpanID(), true)
+	cases := map[string]string{
+		"empty":            "",
+		"short":            valid[:54],
+		"reserved version": "ff" + valid[2:],
+		"bad version hex":  "zz" + valid[2:],
+		"zero trace id":    "00-00000000000000000000000000000000-" + valid[36:],
+		"zero parent":      valid[:36] + "0000000000000000-01",
+		"bad flags":        valid[:53] + "zz",
+		"uppercase hex":    strings.ToUpper(valid),
+		"wrong separator":  valid[:35] + "_" + valid[36:],
+		"v00 with suffix":  valid + "-extra",
+	}
+	for name, h := range cases {
+		if _, _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("%s: ParseTraceparent(%q) accepted, want reject", name, h)
+		}
+	}
+	// Future versions may carry extra dash-separated fields.
+	future := "cc" + valid[2:] + "-extrafield"
+	if _, _, _, ok := ParseTraceparent(future); !ok {
+		t.Errorf("future version %q rejected, want accept", future)
+	}
+}
+
+func TestParseTraceIDErrors(t *testing.T) {
+	for _, s := range []string{"", "abc", strings.Repeat("0", 32), strings.Repeat("g", 32)} {
+		if _, err := ParseTraceID(s); err == nil {
+			t.Errorf("ParseTraceID(%q) accepted", s)
+		}
+	}
+	id := NewTraceID()
+	got, err := ParseTraceID(id.String())
+	if err != nil || got != id {
+		t.Fatalf("ParseTraceID roundtrip: %v, %v", got, err)
+	}
+}
+
+// TestNilSafety drives every span and trace method through nil
+// receivers: instrumented code paths must not care whether tracing is
+// on.
+func TestNilSafety(t *testing.T) {
+	var sp *Span
+	child := sp.StartChild("x")
+	if child != nil {
+		t.Fatal("nil span returned non-nil child")
+	}
+	sp.AddChildAt("y", KindCompile, time.Now(), time.Millisecond)
+	sp.SetKind(KindSim)
+	sp.SetAttr("k", "v")
+	sp.SetAttrInt("n", 1)
+	sp.SetError("boom")
+	sp.SetUnits([]UnitCycles{{Unit: "alu"}})
+	sp.End()
+	sp.EndErr(nil)
+	if sp.Trace() != nil || !sp.ID().IsZero() || sp.IsRoot() || !sp.StartTime().IsZero() {
+		t.Fatal("nil span accessors returned non-zero values")
+	}
+
+	var tr *Trace
+	tr.SetBusy(time.Second)
+	tr.Finish()
+	if !tr.ID().IsZero() || tr.Root() != nil || tr.DurationsByName() != nil {
+		t.Fatal("nil trace accessors returned non-zero values")
+	}
+
+	var c *Collector
+	if ct, cs := c.Start("x", TraceID{}, SpanID{}); ct != nil || cs != nil {
+		t.Fatal("nil collector started a trace")
+	}
+	if c.Get("x") != nil || c.SlowThreshold() != 0 {
+		t.Fatal("nil collector lookup misbehaved")
+	}
+	c.Index()
+	c.Stats()
+	c.SlowTraces(5)
+
+	// A context without a span yields a nil (no-op) span.
+	ctx, s2 := StartSpan(context.Background(), "x")
+	if s2 != nil || FromContext(ctx) != nil {
+		t.Fatal("span materialized from empty context")
+	}
+}
+
+func TestTraceSpanTree(t *testing.T) {
+	tr, root := NewTrace("req", TraceID{}, SpanID{})
+	if !root.IsRoot() {
+		t.Fatal("root is not root")
+	}
+	a := root.StartChild("compile")
+	a.SetKind(KindCompile)
+	a.SetAttr("level", "2")
+	a.End()
+	b := root.StartChild("sim")
+	b.SetError("divide by zero")
+	b.End()
+	root.AddChildAt("pass:parse", KindCompile, tr.Start(), 2*time.Millisecond)
+	tr.SetBusy(7 * time.Millisecond)
+	tr.Finish()
+
+	snap := tr.Snapshot()
+	if !snap.Finished || snap.Error != "" {
+		t.Fatalf("root-level snapshot wrong: finished=%v err=%q", snap.Finished, snap.Error)
+	}
+	if len(snap.Spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(snap.Spans))
+	}
+	if snap.Name != "req" || snap.BusyUs != 7000 {
+		t.Fatalf("name=%q busy=%d", snap.Name, snap.BusyUs)
+	}
+	byName := map[string]SpanSnapshot{}
+	for _, s := range snap.Spans {
+		byName[s.Name] = s
+	}
+	if byName["compile"].Kind != "compile" || byName["compile"].Attrs["level"] != "2" {
+		t.Fatalf("compile span: %+v", byName["compile"])
+	}
+	if byName["sim"].Error != "divide by zero" {
+		t.Fatalf("sim span error: %+v", byName["sim"])
+	}
+	if byName["pass:parse"].DurUs != 2000 {
+		t.Fatalf("bridged span dur %d, want 2000", byName["pass:parse"].DurUs)
+	}
+	if byName["compile"].ParentID != root.ID().String() {
+		t.Fatalf("compile parent %q, want root %q", byName["compile"].ParentID, root.ID())
+	}
+
+	// Finished traces drop new spans and a second Finish is a no-op.
+	if late := root.StartChild("late"); late != nil {
+		t.Fatal("span started after Finish")
+	}
+	tr.Finish()
+}
+
+func TestTraceMaxSpans(t *testing.T) {
+	tr, root := NewTrace("req", TraceID{}, SpanID{})
+	tr.maxSpans = 4
+	for i := 0; i < 10; i++ {
+		root.StartChild("c").End()
+	}
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 4 || snap.DroppedSpans != 7 {
+		t.Fatalf("spans=%d dropped=%d, want 4/7", len(snap.Spans), snap.DroppedSpans)
+	}
+}
+
+func TestDurationsByName(t *testing.T) {
+	tr, root := NewTrace("req", TraceID{}, SpanID{})
+	start := tr.Start()
+	root.AddChildAt("compile", KindCompile, start, 3*time.Millisecond)
+	root.AddChildAt("compile", KindCompile, start, 2*time.Millisecond)
+	root.AddChildAt("sim", KindSim, start, 5*time.Millisecond)
+	open := root.StartChild("open") // never ended: excluded
+	_ = open
+	d := tr.DurationsByName()
+	if d["compile"] != 5*time.Millisecond || d["sim"] != 5*time.Millisecond {
+		t.Fatalf("durations %v", d)
+	}
+	if _, ok := d["open"]; ok {
+		t.Fatal("open span contributed a duration")
+	}
+}
+
+func TestCollectorRetention(t *testing.T) {
+	c := NewCollector(CollectorOptions{
+		Ring:          4,
+		SlowRing:      16,
+		HeadRate:      2,
+		SlowThreshold: 10 * time.Millisecond,
+	})
+
+	// Fast, clean traces: head-sampled 1 in 2.
+	var fastIDs []string
+	for i := 0; i < 4; i++ {
+		tr, _ := c.Start("fast", TraceID{}, SpanID{})
+		tr.SetBusy(time.Millisecond)
+		fastIDs = append(fastIDs, tr.ID().String())
+		tr.Finish()
+	}
+	// A slow trace and an errored trace always survive.
+	slow, _ := c.Start("slow", TraceID{}, SpanID{})
+	slow.SetBusy(50 * time.Millisecond)
+	slow.Finish()
+	errored, eroot := c.Start("errored", TraceID{}, SpanID{})
+	errored.SetBusy(time.Millisecond)
+	eroot.SetError("exploded")
+	errored.Finish()
+
+	st := c.Stats()
+	if st.Started != 6 || st.Finished != 6 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.KeptSlow != 2 {
+		t.Fatalf("kept slow %d, want 2 (slow + errored)", st.KeptSlow)
+	}
+	if st.KeptHead != 2 || st.Discarded != 2 {
+		t.Fatalf("head sampling: kept %d discarded %d, want 2/2", st.KeptHead, st.Discarded)
+	}
+
+	if c.Get(slow.ID().String()) == nil || c.Get(errored.ID().String()) == nil {
+		t.Fatal("slow/errored trace not retrievable")
+	}
+	kept := 0
+	for _, id := range fastIDs {
+		if c.Get(id) != nil {
+			kept++
+		}
+	}
+	if kept != 2 {
+		t.Fatalf("%d fast traces retained, want 2", kept)
+	}
+
+	idx := c.Index()
+	if len(idx.Slow) != 2 || len(idx.Recent) != 2 || len(idx.Active) != 0 {
+		t.Fatalf("index sizes slow=%d recent=%d active=%d", len(idx.Slow), len(idx.Recent), len(idx.Active))
+	}
+	if rows := c.SlowTraces(1); len(rows) != 1 || rows[0].Name != "errored" {
+		t.Fatalf("SlowTraces(1) = %+v, want newest-first errored", rows)
+	}
+}
+
+func TestCollectorRingEviction(t *testing.T) {
+	c := NewCollector(CollectorOptions{Ring: 2, SlowThreshold: time.Hour})
+	var ids []string
+	for i := 0; i < 5; i++ {
+		tr, _ := c.Start("t", TraceID{}, SpanID{})
+		ids = append(ids, tr.ID().String())
+		tr.Finish()
+	}
+	for _, id := range ids[:3] {
+		if c.Get(id) != nil {
+			t.Fatalf("evicted trace %s still retrievable", id)
+		}
+	}
+	for _, id := range ids[3:] {
+		if c.Get(id) == nil {
+			t.Fatalf("recent trace %s evicted early", id)
+		}
+	}
+}
+
+func TestCollectorActiveVisible(t *testing.T) {
+	c := NewCollector(CollectorOptions{})
+	tr, _ := c.Start("live", TraceID{}, SpanID{})
+	if c.Get(tr.ID().String()) != tr {
+		t.Fatal("live trace not visible")
+	}
+	idx := c.Index()
+	if len(idx.Active) != 1 || !idx.Active[0].Active {
+		t.Fatalf("index active: %+v", idx.Active)
+	}
+	tr.Finish()
+	if c.Stats().Active != 0 {
+		t.Fatal("finished trace still counted active")
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	tr, root := NewTrace("req", TraceID{}, SpanID{})
+	ctx := ContextWith(context.Background(), root)
+	ctx2, child := StartSpan(ctx, "stage")
+	if child == nil || FromContext(ctx2) != child {
+		t.Fatal("StartSpan did not thread the child")
+	}
+	if child.Trace() != tr {
+		t.Fatal("child belongs to the wrong trace")
+	}
+	child.End()
+	tr.Finish()
+}
+
+// TestPerfettoSchema validates the Chrome trace-event export: valid
+// JSON, service spans on PidService, sim unit segments on PidSim, and
+// bridged compile passes on PidCompile.
+func TestPerfettoSchema(t *testing.T) {
+	tr, root := NewTrace("run", TraceID{}, SpanID{})
+	start := tr.Start()
+	c := root.AddChildAt("compile", KindCompile, start, 4*time.Millisecond)
+	c.SetAttr("level", "2")
+	root.AddChildAt("pass:parse", KindCompile, start, 2*time.Millisecond)
+	sim := root.AddChildAt("sim.slice", KindSim, start.Add(4*time.Millisecond), 6*time.Millisecond)
+	sim.SetUnits([]UnitCycles{{
+		Unit:   "alu",
+		Issued: 70,
+		Idle:   10,
+		Stalls: []CauseCycles{{Cause: "raw", Cycles: 20}},
+	}})
+	tr.Finish()
+
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string          `json:"ph"`
+			Pid  int             `json:"pid"`
+			Tid  int             `json:"tid"`
+			Name string          `json:"name"`
+			Ts   int64           `json:"ts"`
+			Dur  int64           `json:"dur"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid trace-event JSON: %v\n%s", err, buf.String())
+	}
+	pids := map[int]int{}
+	var sawIssued, sawStall bool
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		pids[ev.Pid]++
+		if ev.Dur < 0 || ev.Ts < 0 {
+			t.Fatalf("negative ts/dur in %+v", ev)
+		}
+		if strings.HasPrefix(ev.Name, "issued") {
+			sawIssued = true
+		}
+		if strings.HasPrefix(ev.Name, "stall:raw") {
+			sawStall = true
+		}
+	}
+	// 3 = service, 1 = compile, 2 = sim (telemetry pid conventions).
+	for _, pid := range []int{1, 2, 3} {
+		if pids[pid] == 0 {
+			t.Fatalf("no complete events on pid %d: %v", pid, pids)
+		}
+	}
+	if !sawIssued || !sawStall {
+		t.Fatalf("unit segments missing: issued=%v stall=%v", sawIssued, sawStall)
+	}
+}
+
+func TestLogHandlerAddsTraceAttrs(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(WrapHandler(slog.NewTextHandler(&buf, nil)))
+
+	tr, root := NewTrace("req", TraceID{}, SpanID{})
+	ctx := ContextWith(context.Background(), root)
+	logger.InfoContext(ctx, "with span")
+	logger.Info("without span")
+	tr.Finish()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "trace="+tr.ID().String()) ||
+		!strings.Contains(lines[0], "span="+root.ID().String()) {
+		t.Fatalf("traced line missing IDs: %s", lines[0])
+	}
+	if strings.Contains(lines[1], "trace=") {
+		t.Fatalf("untraced line gained a trace attr: %s", lines[1])
+	}
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"wmstream/internal/telemetry"
+)
+
+// WritePerfetto renders a trace snapshot as Chrome trace-event JSON
+// (the format Perfetto and chrome://tracing load), reusing the
+// telemetry package's builder so service traces use the same idiom —
+// and mix cleanly with — the simulator's cycle-level traces:
+//
+//   - service spans land on telemetry.PidService, one thread row per
+//     tree depth, timestamps in microseconds since the trace start;
+//   - bridged compile-pass spans land on telemetry.PidCompile;
+//   - sim spans carrying UnitCycles additionally expand into one
+//     thread row per functional unit on telemetry.PidSim, with
+//     issued/stall/idle segments scaled into the span's wall-clock
+//     extent, so a request's service timeline and its simulation's
+//     unit attribution render on one timeline.
+func WritePerfetto(w io.Writer, snap TraceSnapshot) error {
+	tr := telemetry.NewTrace()
+	tr.ProcessName(telemetry.PidService, "wmserved: "+snap.Name+" ["+snap.TraceID+"]")
+
+	depth := spanDepths(snap)
+	maxDepth := 0
+	hasCompile := false
+	for i, sp := range snap.Spans {
+		if depth[i] > maxDepth {
+			maxDepth = depth[i]
+		}
+		if sp.Kind == "compile" {
+			hasCompile = true
+		}
+	}
+	for d := 0; d <= maxDepth; d++ {
+		name := "request"
+		if d > 0 {
+			name = fmt.Sprintf("depth %d", d)
+		}
+		tr.ThreadName(telemetry.PidService, d, name)
+	}
+	if hasCompile {
+		tr.ProcessName(telemetry.PidCompile, "wm compiler")
+		tr.ThreadName(telemetry.PidCompile, 1, "passes")
+	}
+
+	simTid := 0
+	for i, sp := range snap.Spans {
+		name := sp.Name
+		if sp.Error != "" {
+			name += " [error]"
+		}
+		switch sp.Kind {
+		case "compile":
+			tr.Span(telemetry.PidCompile, 1, sp.StartUs, sp.DurUs, name)
+		default:
+			tr.Span(telemetry.PidService, depth[i], sp.StartUs, sp.DurUs, name)
+		}
+		if len(sp.Units) > 0 {
+			if simTid == 0 {
+				tr.ProcessName(telemetry.PidSim, "wm simulator (per-run attribution)")
+			}
+			simTid = emitUnits(tr, sp, simTid)
+		}
+	}
+	_, err := tr.WriteTo(w)
+	return err
+}
+
+// emitUnits lays one sim span's per-unit cycle attribution as
+// proportional segments across the span's wall-clock extent, one
+// thread row per unit.  Returns the next free sim tid.
+func emitUnits(tr *telemetry.Trace, sp SpanSnapshot, tid int) int {
+	for _, u := range sp.Units {
+		total := u.Issued + u.Idle
+		for _, st := range u.Stalls {
+			total += st.Cycles
+		}
+		if total <= 0 {
+			continue
+		}
+		tr.ThreadName(telemetry.PidSim, tid, u.Unit)
+		ts := sp.StartUs
+		emit := func(name string, cycles int64) {
+			if cycles <= 0 {
+				return
+			}
+			dur := sp.DurUs * cycles / total
+			tr.Span(telemetry.PidSim, tid, ts, dur,
+				fmt.Sprintf("%s (%d cycles)", name, cycles))
+			ts += dur
+		}
+		emit("issued", u.Issued)
+		for _, st := range u.Stalls {
+			emit("stall:"+st.Cause, st.Cycles)
+		}
+		emit("idle", u.Idle)
+		tid++
+	}
+	return tid
+}
+
+// spanDepths computes each span's depth in the tree (root = 0;
+// orphaned parents — e.g. dropped spans — count as depth 1).
+func spanDepths(snap TraceSnapshot) []int {
+	byID := make(map[string]int, len(snap.Spans))
+	for i, sp := range snap.Spans {
+		byID[sp.SpanID] = i
+	}
+	depth := make([]int, len(snap.Spans))
+	for i := range snap.Spans {
+		d, at := 0, i
+		for snap.Spans[at].ParentID != "" {
+			p, ok := byID[snap.Spans[at].ParentID]
+			if !ok {
+				d++
+				break
+			}
+			at = p
+			d++
+			if d > len(snap.Spans) { // cycle guard; cannot happen
+				break
+			}
+		}
+		depth[i] = d
+	}
+	return depth
+}

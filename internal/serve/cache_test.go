@@ -190,7 +190,7 @@ func TestFlightGroupSharing(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, sh := g.Do(testKey(1), func() flightResult {
+			res, sh, _ := g.Do(testKey(1), "", func() flightResult {
 				once.Do(func() { close(entered) })
 				runs++
 				<-release
@@ -222,7 +222,7 @@ func TestFlightGroupSharing(t *testing.T) {
 
 	// The flight is forgotten after completion: a later call runs fresh.
 	fresh := false
-	g.Do(testKey(1), func() flightResult {
+	g.Do(testKey(1), "", func() flightResult {
 		fresh = true
 		return flightResult{}
 	})

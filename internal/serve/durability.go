@@ -7,6 +7,7 @@ import (
 
 	"wmstream"
 	"wmstream/internal/durable"
+	"wmstream/internal/obs"
 )
 
 // Durability layer of the job tier.  When Config.JobDir is set, every
@@ -100,6 +101,19 @@ func (jm *jobManager) recover(rec *durable.Recovery) {
 				state:      jobQueued,
 				gen:        r.Gen + 1,
 				changed:    make(chan struct{}),
+			}
+			// A journaled trace ID continues the job's end-to-end trace
+			// across the restart: the resumed run records its spans under
+			// the same ID the submitter was handed, marked resumed=true.
+			if tid, err := obs.ParseTraceID(r.TraceID); err == nil {
+				tr, root := jm.srv.traces.Start("job", tid, obs.SpanID{})
+				root.SetAttr("job_id", j.id)
+				root.SetAttr("resumed", "true")
+				if j.tenant != "" {
+					root.SetAttr("tenant", j.tenant)
+				}
+				j.trace, j.root = tr, root
+				j.qspan = root.StartChild("queue.wait")
 			}
 			jm.byID[j.id] = j
 			jm.enqueueLocked(j)
@@ -203,6 +217,9 @@ func (jm *jobManager) recordLocked(j *job) durable.JobRecord {
 		Checkpoint:     j.resume,
 		PrevCheckpoint: j.resumePrev,
 	}
+	if j.trace != nil {
+		r.TraceID = j.trace.ID().String()
+	}
 	if !j.state.terminal() && j.req != nil {
 		// Non-terminal records must be re-runnable: the journal is
 		// last-wins, so each one carries the original request verbatim.
@@ -278,7 +295,11 @@ func (jm *jobManager) dropResume(j *job) {
 // continues on its in-memory state — because a checkpoint is an
 // optimization, never a correctness requirement.
 func (jm *jobManager) spill(j *job, state []byte, p wmstream.RunProgress) {
+	csp := j.root.StartChild("checkpoint.write")
+	csp.SetAttrInt("bytes", int64(len(state)))
+	csp.SetAttrInt("cycle", p.Cycles)
 	ref, err := jm.store.SaveCheckpoint(state, p.Cycles)
+	csp.EndErr(err)
 	if err != nil {
 		if err != durable.ErrCrashed {
 			jm.cfg.Logger.Warn("jobs: checkpoint spill failed; run continues unprotected",
@@ -303,7 +324,7 @@ func (jm *jobManager) spill(j *job, state []byte, p wmstream.RunProgress) {
 	}
 	rec = jm.recordLocked(j)
 	j.mu.Unlock()
-	jm.put(rec)
+	jm.putTraced(j, rec, "running")
 	if dropHash != "" {
 		jm.store.RemoveCheckpoint(durable.CheckpointRef{Hash: dropHash})
 	}

@@ -15,6 +15,7 @@ import (
 
 	"wmstream"
 	"wmstream/internal/durable"
+	"wmstream/internal/obs"
 )
 
 // The asynchronous job tier: POST /jobs accepts a /run request and
@@ -101,6 +102,15 @@ type job struct {
 	cancel          context.CancelFunc
 	cancelRequested bool
 	expires         time.Time // terminal states only: TTL deadline
+
+	// trace is the job's end-to-end trace: opened at submission (under
+	// the submit request's trace ID, so one trace covers POST /jobs
+	// through the terminal state), finished at the terminal transition.
+	// root is its "job" root span; qspan is the open queue-wait span
+	// between enqueue and dispatch.  All nil when tracing is disabled.
+	trace *obs.Trace
+	root  *obs.Span
+	qspan *obs.Span
 }
 
 // bumpLocked publishes a new generation.  Caller holds j.mu.
@@ -133,6 +143,9 @@ func (j *job) responseLocked(now time.Time) *JobResponse {
 	if j.progress != nil {
 		p := *j.progress
 		resp.Progress = &p
+	}
+	if j.trace != nil {
+		resp.TraceID = j.trace.ID().String()
 	}
 	if j.state.terminal() && !j.expires.IsZero() {
 		if d := j.expires.Sub(now); d > 0 {
@@ -207,8 +220,10 @@ func (jm *jobManager) start() {
 }
 
 // submit admits a job or sheds it.  The returned job is already
-// visible to GET /jobs/{id}.
-func (jm *jobManager) submit(req *JobRequest) (*job, error) {
+// visible to GET /jobs/{id}.  tr/root, when non-nil, become the job's
+// end-to-end trace; the job takes ownership (finished at the terminal
+// transition) only on successful admission.
+func (jm *jobManager) submit(req *JobRequest, tr *obs.Trace, root *obs.Span) (*job, error) {
 	jm.mu.Lock()
 	defer jm.mu.Unlock()
 	if jm.closed {
@@ -227,6 +242,12 @@ func (jm *jobManager) submit(req *JobRequest) (*job, error) {
 		seq:     jm.seq + 1,
 		state:   jobQueued,
 		changed: make(chan struct{}),
+		trace:   tr,
+		root:    root,
+	}
+	root.SetAttr("job_id", j.id)
+	if j.tenant != "" {
+		root.SetAttr("tenant", j.tenant)
 	}
 	// Journal before the job becomes visible: the 202 acknowledgement
 	// implies the job survives a crash, so a record that cannot be
@@ -235,12 +256,18 @@ func (jm *jobManager) submit(req *JobRequest) (*job, error) {
 	j.mu.Lock()
 	rec := jm.recordLocked(j)
 	j.mu.Unlock()
+	jsp := root.StartChild("journal.append")
+	jsp.SetAttr("state", "queued")
 	if err := jm.put(rec); err != nil {
+		jsp.EndErr(err)
+		j.trace, j.root = nil, nil
 		return nil, err
 	}
+	jsp.End()
 	jm.seq = j.seq
 	jm.byID[j.id] = j
 	jm.enqueueLocked(j)
+	j.qspan = root.StartChild("queue.wait")
 	select {
 	case jm.notify <- struct{}{}:
 	default:
@@ -345,7 +372,10 @@ func (jm *jobManager) runJob(j *job) {
 
 	canceledEarly := false
 	var rec durable.JobRecord
+	var runSpan *obs.Span
 	j.update(func() {
+		j.qspan.End()
+		j.qspan = nil
 		if j.cancelRequested {
 			canceledEarly = true
 			j.state = jobCanceled
@@ -353,14 +383,20 @@ func (jm *jobManager) runJob(j *job) {
 		} else {
 			j.state = jobRunning
 			j.cancel = cancel
+			runSpan = j.root.StartChild("run")
 		}
 		rec = jm.recordLocked(j)
 	})
-	jm.put(rec)
+	jm.putTraced(j, rec, rec.State)
 	if canceledEarly {
 		jm.srv.metrics.jobs.add(`event="canceled"`, 1)
+		jm.finishTrace(j, "canceled")
 		return
 	}
+	// The run span carries the execution through the shared pipeline:
+	// compile passes, sim slices, and checkpoint spills all become its
+	// children via the context.
+	ctx = obs.ContextWith(ctx, runSpan)
 
 	var out runOutcome
 	for {
@@ -409,11 +445,44 @@ func (jm *jobManager) runJob(j *job) {
 			dropRefs = append(dropRefs, j.resume, j.resumePrev)
 			j.resume, j.resumePrev = nil, nil
 		}
+		if j.state == jobFailed {
+			runSpan.SetError(j.errMsg)
+		}
 		rec = jm.recordLocked(j)
 	})
-	jm.put(rec)
+	runSpan.SetAttrInt("attempts", int64(rec.Attempt))
+	runSpan.End()
+	jm.putTraced(j, rec, rec.State)
 	jm.removeRefs(dropRefs...)
 	jm.srv.metrics.jobs.add(event, 1)
+	j.mu.Lock()
+	terminal := j.state.terminal()
+	j.mu.Unlock()
+	if terminal {
+		jm.finishTrace(j, rec.State)
+	}
+}
+
+// putTraced journals one record with a journal.append child span on
+// the job's trace, so WAL writes show up on the job timeline.
+func (jm *jobManager) putTraced(j *job, rec durable.JobRecord, state string) error {
+	sp := j.root.StartChild("journal.append")
+	sp.SetAttr("state", state)
+	err := jm.put(rec)
+	sp.EndErr(err)
+	return err
+}
+
+// finishTrace closes the job's end-to-end trace at a terminal state.
+func (jm *jobManager) finishTrace(j *job, state string) {
+	j.mu.Lock()
+	tr, root := j.trace, j.root
+	j.mu.Unlock()
+	if tr == nil {
+		return
+	}
+	root.SetAttr("state", state)
+	tr.Finish()
 }
 
 // runOnce is one attempt: load the best resume candidate, run through
@@ -496,6 +565,13 @@ func (jm *jobManager) cancelJob(j *job) *JobResponse {
 			jm.queued--
 			j.state = jobCanceled
 			j.expires = now.Add(jm.cfg.JobTTL)
+			j.qspan.SetAttr("outcome", "canceled")
+			j.qspan.End()
+			j.qspan = nil
+			if j.trace != nil {
+				j.root.SetAttr("state", "canceled")
+				defer j.trace.Finish()
+			}
 			j.bumpLocked()
 			r := jm.recordLocked(j)
 			canceledRec = &r
@@ -635,17 +711,35 @@ func (s *Server) decodeJobRequest(w http.ResponseWriter, r *http.Request) (*JobR
 }
 
 // handleJobSubmit is POST /jobs: admit (202 with the queued job) or
-// shed (429/503).
+// shed (429/503).  The trace opened here is the job's end-to-end
+// trace: its root "job" span outlives this request (the job finishes
+// it at its terminal transition), while the handler's own work is the
+// "admission" child span.
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	ctx, root := s.startTrace(r, "job")
+	adm := root.StartChild("admission")
+	if adm != nil {
+		ctx = obs.ContextWith(ctx, adm)
+	}
+	r = r.WithContext(ctx)
+	handedOff := false
+	defer func() {
+		// Failed submissions never reach a worker; close the trace here.
+		if !handedOff {
+			root.Trace().Finish()
+		}
+	}()
 	req, errResp, status := s.decodeJobRequest(w, r)
 	if errResp != nil {
+		adm.SetError(errResp.Error)
 		s.finish(w, r, kindJobs, start, status, mustJSON(errResp), "")
 		return
 	}
-	j, err := s.jobs.submit(req)
+	j, err := s.jobs.submit(req, root.Trace(), root)
 	switch {
 	case err == nil:
+		handedOff = true
 		s.metrics.jobs.add(`event="submitted"`, 1)
 		s.finish(w, r, kindJobs, start, http.StatusAccepted, mustJSON(j.response(time.Now())), "")
 	case errors.Is(err, ErrDraining):
@@ -675,6 +769,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	id := r.PathValue("id")
 	j := s.jobs.get(id)
+	r, _ = s.jobRequestSpan(r, j, "GET /jobs/{id}", "poll")
 	if j == nil {
 		s.finish(w, r, kindJobPoll, start, http.StatusNotFound,
 			mustJSON(&ErrorResponse{Error: "no such job: " + id}), "")
@@ -702,6 +797,11 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		wait = min(d, s.cfg.JobPollMax)
 	}
 	deadline := time.Now().Add(wait)
+	// waited accumulates time intentionally parked in the long-poll
+	// select; finishWait excludes it from the endpoint latency
+	// histogram (a client asking to wait 30s is not a slow server) and
+	// records it in the wait histogram instead.
+	var waited time.Duration
 	for {
 		resp, gen, changed := j.poll(time.Now())
 		if s.draining.Load() {
@@ -711,20 +811,21 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 			// for in-flight requests, so a held-open long-poll would
 			// stall the whole graceful exit for up to JobPollMax.
 			w.Header().Set("Connection", "close")
-			s.finish(w, r, kindJobPoll, start, http.StatusOK, mustJSON(resp), "")
+			s.finishWait(w, r, kindJobPoll, start, waited, http.StatusOK, mustJSON(resp), "")
 			return
 		}
 		if sinceGen < 0 || gen > sinceGen || wait <= 0 {
-			s.finish(w, r, kindJobPoll, start, http.StatusOK, mustJSON(resp), "")
+			s.finishWait(w, r, kindJobPoll, start, waited, http.StatusOK, mustJSON(resp), "")
 			return
 		}
 		remain := time.Until(deadline)
 		if remain <= 0 {
 			// Poll window elapsed with no change: report current state.
-			s.finish(w, r, kindJobPoll, start, http.StatusOK, mustJSON(resp), "")
+			s.finishWait(w, r, kindJobPoll, start, waited, http.StatusOK, mustJSON(resp), "")
 			return
 		}
 		timer := time.NewTimer(remain)
+		parked := time.Now()
 		select {
 		case <-changed:
 		case <-timer.C:
@@ -732,8 +833,9 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		case <-s.drainCh:
 		}
 		timer.Stop()
+		waited += time.Since(parked)
 		if r.Context().Err() != nil {
-			s.finish(w, r, kindJobPoll, start, http.StatusOK, mustJSON(resp), "")
+			s.finishWait(w, r, kindJobPoll, start, waited, http.StatusOK, mustJSON(resp), "")
 			return
 		}
 	}
@@ -745,6 +847,7 @@ func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	id := r.PathValue("id")
 	j := s.jobs.get(id)
+	r, _ = s.jobRequestSpan(r, j, "DELETE /jobs/{id}", "cancel")
 	if j == nil {
 		s.finish(w, r, kindJobCancel, start, http.StatusNotFound,
 			mustJSON(&ErrorResponse{Error: "no such job: " + id}), "")
@@ -752,4 +855,22 @@ func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := s.jobs.cancelJob(j)
 	s.finish(w, r, kindJobCancel, start, http.StatusOK, mustJSON(resp), "")
+}
+
+// jobRequestSpan attaches a poll/cancel request to the job's
+// end-to-end trace as a child span when the job still has a live one,
+// and falls back to a standalone request trace otherwise (no such
+// job, trace already finished, or tracing disabled at submission).
+func (s *Server) jobRequestSpan(r *http.Request, j *job, traceName, childName string) (*http.Request, *obs.Span) {
+	if j != nil {
+		j.mu.Lock()
+		root := j.root
+		j.mu.Unlock()
+		if sp := root.StartChild(childName); sp != nil {
+			sp.SetAttr("remote", r.RemoteAddr)
+			return r.WithContext(obs.ContextWith(r.Context(), sp)), sp
+		}
+	}
+	ctx, root := s.startTrace(r, traceName)
+	return r.WithContext(ctx), root
 }

@@ -13,6 +13,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"wmstream/internal/obs"
 )
 
 // LoadConfig parameterizes a load-generation run against a wmserved
@@ -43,6 +45,11 @@ type LoadConfig struct {
 	// The server's Retry-After hint, when present, sets the floor of
 	// each wait.  Default 0 (shed responses are final).
 	Retries int
+	// Trace sends a W3C traceparent header with every request, so each
+	// one is traced end to end on the server, and aggregates the
+	// per-stage breakdowns the server echoes back in Server-Timing
+	// headers into LoadReport.ByStage.
+	Trace bool
 	// Client overrides the HTTP client (default: http.DefaultClient
 	// with the run duration plus slack as overall timeout).
 	Client *http.Client
@@ -55,6 +62,21 @@ type EndpointLatency struct {
 	P95      time.Duration
 	P99      time.Duration
 	Max      time.Duration
+}
+
+// StageTiming aggregates one Server-Timing stage across all traced
+// responses that reported it.
+type StageTiming struct {
+	Count int64
+	Total time.Duration
+}
+
+// Mean is the stage's average duration per reporting request.
+func (s StageTiming) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
 }
 
 // LoadReport summarizes a load run.
@@ -74,11 +96,19 @@ type LoadReport struct {
 	// (done / failed / canceled), plus "shed" for 429'd submissions and
 	// "abandoned" for lifecycles cut off by the end of the run.
 	ByJobState map[string]int64
-	Elapsed    time.Duration
-	P50        time.Duration
-	P95        time.Duration
-	P99        time.Duration
-	Max        time.Duration
+	// ByStage aggregates the server-side per-stage breakdowns (queue
+	// wait, compile, sim, journal, ...) from Server-Timing response
+	// headers.  Populated only with LoadConfig.Trace.
+	ByStage map[string]StageTiming
+	// SlowestTrace is the server trace ID of the slowest traced request
+	// — the place to start in GET /debug/traces after a bad run.
+	SlowestTrace string
+	SlowestDur   time.Duration
+	Elapsed      time.Duration
+	P50          time.Duration
+	P95          time.Duration
+	P99          time.Duration
+	Max          time.Duration
 }
 
 // RPS is the achieved request throughput.
@@ -119,6 +149,22 @@ func (r *LoadReport) String() string {
 		for _, s := range states {
 			fmt.Fprintf(&b, "  jobs %-10s %d\n", s+":", r.ByJobState[s])
 		}
+	}
+	if len(r.ByStage) > 0 {
+		stages := make([]string, 0, len(r.ByStage))
+		for s := range r.ByStage {
+			stages = append(stages, s)
+		}
+		sort.Strings(stages)
+		b.WriteString("  server stages (mean per reporting request):\n")
+		for _, s := range stages {
+			st := r.ByStage[s]
+			fmt.Fprintf(&b, "    %-10s %v over %d requests\n", s, st.Mean().Round(time.Microsecond), st.Count)
+		}
+	}
+	if r.SlowestTrace != "" {
+		fmt.Fprintf(&b, "  slowest traced request: %v, trace %s (GET /debug/traces/%s)\n",
+			r.SlowestDur.Round(time.Microsecond), r.SlowestTrace, r.SlowestTrace)
 	}
 	fmt.Fprintf(&b, "  latency p50 %v  p95 %v  p99 %v  max %v\n",
 		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
@@ -185,9 +231,13 @@ type loadShard struct {
 	requests, errors int64
 	retries          int64
 	maxRetries       int
+	trace            bool
 	byStatus         map[int]int64
 	byCache          map[string]int64
 	byJobState       map[string]int64
+	byStage          map[string]StageTiming
+	slowestTrace     string
+	slowestDur       time.Duration
 	lat              map[string][]time.Duration // endpoint -> samples
 	retryAfter       time.Duration              // Retry-After from the last shed response
 }
@@ -205,7 +255,42 @@ func (sh *loadShard) observe(endpoint string, resp *http.Response, dur time.Dura
 			sh.retryAfter = time.Duration(secs) * time.Second
 		}
 	}
+	if sh.trace {
+		for stage, d := range parseServerTiming(resp.Header.Get("Server-Timing")) {
+			st := sh.byStage[stage]
+			st.Count++
+			st.Total += d
+			sh.byStage[stage] = st
+		}
+		if tid := resp.Header.Get("X-WM-Trace-Id"); tid != "" && dur > sh.slowestDur {
+			sh.slowestDur, sh.slowestTrace = dur, tid
+		}
+	}
 	sh.lat[endpoint] = append(sh.lat[endpoint], dur)
+}
+
+// parseServerTiming extracts the dur= metrics from a Server-Timing
+// header ("queue;dur=0.123, compile;dur=4.5, cache;desc=hit").
+// Metrics without a dur (like the cache state) are skipped.
+func parseServerTiming(h string) map[string]time.Duration {
+	if h == "" {
+		return nil
+	}
+	out := make(map[string]time.Duration)
+	for _, entry := range strings.Split(h, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ";")
+		if len(parts) < 2 || parts[0] == "" {
+			continue
+		}
+		for _, p := range parts[1:] {
+			if ms, ok := strings.CutPrefix(strings.TrimSpace(p), "dur="); ok {
+				if v, err := strconv.ParseFloat(ms, 64); err == nil {
+					out[parts[0]] = time.Duration(v * float64(time.Millisecond))
+				}
+			}
+		}
+	}
+	return out
 }
 
 // post issues one JSON POST — retrying shed (429/503) responses up to
@@ -255,6 +340,9 @@ func shedBackoff(attempt int) time.Duration {
 }
 
 func (sh *loadShard) do(client *http.Client, endpoint string, req *http.Request) (int, []byte) {
+	if sh.trace {
+		req.Header.Set("traceparent", obs.FormatTraceparent(obs.NewTraceID(), obs.NewSpanID(), true))
+	}
 	start := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
@@ -385,9 +473,11 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 			defer wg.Done()
 			sh := &shards[w]
 			sh.maxRetries = cfg.Retries
+			sh.trace = cfg.Trace
 			sh.byStatus = make(map[int]int64)
 			sh.byCache = make(map[string]int64)
 			sh.byJobState = make(map[string]int64)
+			sh.byStage = make(map[string]StageTiming)
 			sh.lat = make(map[string][]time.Duration)
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
 			for n := int64(0); ctx.Err() == nil; n++ {
@@ -406,6 +496,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		ByCache:    make(map[string]int64),
 		ByEndpoint: make(map[string]EndpointLatency),
 		ByJobState: make(map[string]int64),
+		ByStage:    make(map[string]StageTiming),
 		Elapsed:    time.Since(start),
 	}
 	var all []time.Duration
@@ -423,6 +514,15 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		}
 		for k, n := range sh.byJobState {
 			rep.ByJobState[k] += n
+		}
+		for stage, st := range sh.byStage {
+			agg := rep.ByStage[stage]
+			agg.Count += st.Count
+			agg.Total += st.Total
+			rep.ByStage[stage] = agg
+		}
+		if sh.slowestDur > rep.SlowestDur {
+			rep.SlowestDur, rep.SlowestTrace = sh.slowestDur, sh.slowestTrace
 		}
 		for e, lat := range sh.lat {
 			perEndpoint[e] = append(perEndpoint[e], lat...)

@@ -3,12 +3,14 @@ package serve
 import (
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"wmstream"
+	"wmstream/internal/obs"
 )
 
 // This file is a minimal, dependency-free Prometheus text-format
@@ -99,9 +101,21 @@ type metrics struct {
 	shed      counter
 	jobs      labeledCounter // job lifecycle events (submitted, completed, ...)
 	recovered labeledCounter // boot recovery outcomes (requeued, resumed, ...)
+	slow      labeledCounter // busy time over the slow threshold, by endpoint
+
+	// waits records intentional long-poll parking time, which finishWait
+	// excludes from the latency histograms so p99 reflects service time.
+	waits map[string]*histogram
 
 	simMu     sync.Mutex
 	simCycles map[string]int64 // `unit="..",cause=".."` -> cycles
+
+	// slowTrace holds, per endpoint, the trace ID of the most recent
+	// slow request — an exemplar-style breadcrumb from /metrics into
+	// /debug/traces/{id} with bounded cardinality (last-wins per
+	// endpoint, one series each).
+	slowMu    sync.Mutex
+	slowTrace map[string]string
 }
 
 func newMetrics() *metrics {
@@ -113,7 +127,11 @@ func newMetrics() *metrics {
 			kindJobPoll:   newHistogram(),
 			kindJobCancel: newHistogram(),
 		},
+		waits: map[string]*histogram{
+			kindJobPoll: newHistogram(),
+		},
 		simCycles: make(map[string]int64),
+		slowTrace: make(map[string]string),
 	}
 }
 
@@ -121,6 +139,25 @@ func (m *metrics) observeRequest(endpoint string, code int, seconds float64) {
 	m.requests.add(fmt.Sprintf(`endpoint=%q,code="%d"`, endpoint, code), 1)
 	if h := m.latency[endpoint]; h != nil {
 		h.observe(seconds)
+	}
+}
+
+// observeWait records time a request intentionally spent parked (the
+// job long-poll) in the wait histogram.
+func (m *metrics) observeWait(endpoint string, seconds float64) {
+	if h := m.waits[endpoint]; h != nil {
+		h.observe(seconds)
+	}
+}
+
+// observeSlow counts a slow request and remembers its trace ID as the
+// endpoint's exemplar.
+func (m *metrics) observeSlow(endpoint, traceID string) {
+	m.slow.add(fmt.Sprintf(`endpoint=%q`, endpoint), 1)
+	if traceID != "" {
+		m.slowMu.Lock()
+		m.slowTrace[endpoint] = traceID
+		m.slowMu.Unlock()
 	}
 }
 
@@ -155,10 +192,46 @@ type gauges struct {
 	journalMode    string // durable | degraded | crashed | memory
 	journalBytes   int64
 	journalDropped int64
+
+	// Go runtime health, sampled at scrape time.
+	goroutines   int
+	heapBytes    uint64
+	gcPauseTotal float64 // cumulative GC stop-the-world pause, seconds
+	openFDs      int     // -1 when the platform offers no cheap count
+
+	traces obs.CollectorStats
+}
+
+// openFDCount counts this process's open file descriptors via
+// /proc/self/fd; -1 where procfs is unavailable (the gauge is then
+// omitted rather than reported as a lie).
+func openFDCount() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	// The directory handle used for the listing is itself one entry.
+	return len(ents) - 1
 }
 
 func writeHeader(w io.Writer, name, help, typ string) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// writeHistogram renders one endpoint's cumulative buckets (the
+// caller has already written the family HELP/TYPE header).
+func writeHistogram(w io.Writer, name, endpoint string, h *histogram) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := int64(0)
+	for n, ub := range latencyBuckets {
+		cum += h.counts[n]
+		fmt.Fprintf(w, "%s_bucket{endpoint=%q,le=%q} %d\n", name, endpoint, trimFloat(ub), cum)
+	}
+	cum += h.counts[len(latencyBuckets)]
+	fmt.Fprintf(w, "%s_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, endpoint, cum)
+	fmt.Fprintf(w, "%s_sum{endpoint=%q} %g\n", name, endpoint, h.sum)
+	fmt.Fprintf(w, "%s_count{endpoint=%q} %d\n", name, endpoint, h.count)
 }
 
 func writeLabeled(w io.Writer, name, help string, lc *labeledCounter) {
@@ -178,22 +251,15 @@ func writeLabeled(w io.Writer, name, help string, lc *labeledCounter) {
 func (m *metrics) write(w io.Writer, g gauges) {
 	writeLabeled(w, "wmserved_requests_total", "Requests served, by endpoint and status code.", &m.requests)
 
-	writeHeader(w, "wmserved_request_duration_seconds", "Request latency, by endpoint.", "histogram")
+	writeHeader(w, "wmserved_request_duration_seconds",
+		"Request service latency, by endpoint (intentional long-poll waits excluded).", "histogram")
 	for _, endpoint := range []string{kindCompile, kindRun, kindJobs, kindJobPoll, kindJobCancel} {
-		h := m.latency[endpoint]
-		h.mu.Lock()
-		cum := int64(0)
-		for n, ub := range latencyBuckets {
-			cum += h.counts[n]
-			fmt.Fprintf(w, "wmserved_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
-				endpoint, trimFloat(ub), cum)
-		}
-		cum += h.counts[len(latencyBuckets)]
-		fmt.Fprintf(w, "wmserved_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", endpoint, cum)
-		fmt.Fprintf(w, "wmserved_request_duration_seconds_sum{endpoint=%q} %g\n", endpoint, h.sum)
-		fmt.Fprintf(w, "wmserved_request_duration_seconds_count{endpoint=%q} %d\n", endpoint, h.count)
-		h.mu.Unlock()
+		writeHistogram(w, "wmserved_request_duration_seconds", endpoint, m.latency[endpoint])
 	}
+
+	writeHeader(w, "wmserved_longpoll_wait_seconds",
+		"Time requests intentionally spent parked in a long-poll, by endpoint.", "histogram")
+	writeHistogram(w, "wmserved_longpoll_wait_seconds", kindJobPoll, m.waits[kindJobPoll])
 
 	writeLabeled(w, "wmserved_compiles_total", "Cold compiles executed, by optimization level.", &m.compiles)
 
@@ -256,6 +322,43 @@ func (m *metrics) write(w io.Writer, g gauges) {
 		fmt.Fprintf(w, "wmserved_sim_unit_cycles_total{%s} %d\n", k, m.simCycles[k])
 	}
 	m.simMu.Unlock()
+
+	writeLabeled(w, "wmserved_slow_requests_total",
+		"Requests whose busy time crossed the slow-trace threshold, by endpoint.", &m.slow)
+	writeHeader(w, "wmserved_slow_request_trace_info",
+		"Trace ID of each endpoint's most recent slow request (always 1; follow the trace_id label to /debug/traces).", "gauge")
+	m.slowMu.Lock()
+	eps := make([]string, 0, len(m.slowTrace))
+	for ep := range m.slowTrace {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		fmt.Fprintf(w, "wmserved_slow_request_trace_info{endpoint=%q,trace_id=%q} 1\n", ep, m.slowTrace[ep])
+	}
+	m.slowMu.Unlock()
+
+	writeHeader(w, "wmserved_traces_started_total", "Traces started.", "counter")
+	fmt.Fprintf(w, "wmserved_traces_started_total %d\n", g.traces.Started)
+	writeHeader(w, "wmserved_traces_finished_total", "Traces finished.", "counter")
+	fmt.Fprintf(w, "wmserved_traces_finished_total %d\n", g.traces.Finished)
+	writeHeader(w, "wmserved_traces_retained_total",
+		"Finished traces retained, by ring (slow keeps slow/errored traces, recent keeps head-sampled ordinary ones).", "counter")
+	fmt.Fprintf(w, "wmserved_traces_retained_total{ring=\"recent\"} %d\n", g.traces.KeptHead)
+	fmt.Fprintf(w, "wmserved_traces_retained_total{ring=\"slow\"} %d\n", g.traces.KeptSlow)
+	writeHeader(w, "wmserved_traces_active", "Traces currently open.", "gauge")
+	fmt.Fprintf(w, "wmserved_traces_active %d\n", g.traces.Active)
+
+	writeHeader(w, "wmserved_go_goroutines", "Live goroutines.", "gauge")
+	fmt.Fprintf(w, "wmserved_go_goroutines %d\n", g.goroutines)
+	writeHeader(w, "wmserved_go_heap_bytes", "Heap bytes in use (runtime.MemStats.HeapAlloc).", "gauge")
+	fmt.Fprintf(w, "wmserved_go_heap_bytes %d\n", g.heapBytes)
+	writeHeader(w, "wmserved_go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", "counter")
+	fmt.Fprintf(w, "wmserved_go_gc_pause_seconds_total %g\n", g.gcPauseTotal)
+	if g.openFDs >= 0 {
+		writeHeader(w, "wmserved_open_fds", "Open file descriptors.", "gauge")
+		fmt.Fprintf(w, "wmserved_open_fds %d\n", g.openFDs)
+	}
 }
 
 // trimFloat renders a bucket bound the way Prometheus clients expect

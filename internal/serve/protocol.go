@@ -89,6 +89,9 @@ type JobResponse struct {
 	// one: >1 means the run was retried after a transient failure or
 	// resumed after a restart.
 	Attempts int `json:"attempts,omitempty"`
+	// TraceID identifies the job's end-to-end trace (browsable at
+	// GET /debug/traces/{trace_id}); stable across a crash-resume.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Diagnostic is the wire form of wmstream.Diagnostic.

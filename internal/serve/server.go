@@ -24,6 +24,13 @@
 //     up.
 //  5. Successful bodies enter the cache; every outcome feeds the
 //     /metrics counters and the structured request log.
+//
+// Every request is additionally traced end to end (internal/obs): a
+// W3C traceparent is accepted inbound and a span tree — admission,
+// queue wait, compile (with per-pass children), sim slices, journal
+// writes — is retained in a bounded ring, browsable at /debug/traces
+// and /debug/statusz, with per-stage timings echoed in a Server-Timing
+// response header and the trace ID in X-WM-Trace-Id.
 package serve
 
 import (
@@ -35,13 +42,16 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"wmstream"
 	"wmstream/internal/durable"
+	"wmstream/internal/obs"
 )
 
 // Endpoint kinds; also the label values used in metrics.
@@ -126,6 +136,19 @@ type Config struct {
 	// JobFaults injects journal/checkpoint write failures — the
 	// crash-restart harness's hook.  Nil in production.
 	JobFaults *durable.FaultPoints
+
+	// TraceRing caps the in-memory ring of completed request traces
+	// (default 256; negative disables tracing entirely).
+	TraceRing int
+	// TraceSlowThreshold classifies a request as slow by its busy time
+	// (duration minus intentional long-poll waits): slow traces bypass
+	// head sampling into the tail-keep ring and increment
+	// wmserved_slow_requests_total (default 500ms).
+	TraceSlowThreshold time.Duration
+	// TraceHeadRate keeps 1 in N ordinary completed traces (default 1:
+	// keep all until the ring evicts them).  Slow and errored traces
+	// are always kept.
+	TraceHeadRate int
 }
 
 func (c Config) withDefaults() Config {
@@ -185,6 +208,15 @@ func (c Config) withDefaults() Config {
 	if c.JobRetryBase <= 0 {
 		c.JobRetryBase = 100 * time.Millisecond
 	}
+	if c.TraceRing == 0 {
+		c.TraceRing = 256
+	}
+	if c.TraceSlowThreshold <= 0 {
+		c.TraceSlowThreshold = 500 * time.Millisecond
+	}
+	if c.TraceHeadRate <= 0 {
+		c.TraceHeadRate = 1
+	}
 	return c
 }
 
@@ -197,6 +229,7 @@ type Server struct {
 	jobs     *jobManager
 	flights  flightGroup
 	metrics  *metrics
+	traces   *obs.Collector
 	mux      *http.ServeMux
 	start    time.Time
 	base     context.Context
@@ -211,11 +244,20 @@ type Server struct {
 // New builds a ready-to-serve Server.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	// Every log line carrying a request context gains the trace/span
+	// IDs, so logs correlate with /debug/traces without call-site
+	// plumbing.
+	cfg.Logger = slog.New(obs.WrapHandler(cfg.Logger.Handler()))
 	s := &Server{
 		cfg:     cfg,
 		cache:   NewCache(cfg.CacheBytes),
 		pool:    NewPool(cfg.Workers, cfg.QueueDepth),
 		metrics: newMetrics(),
+		traces: obs.NewCollector(obs.CollectorOptions{
+			Ring:          cfg.TraceRing,
+			HeadRate:      cfg.TraceHeadRate,
+			SlowThreshold: cfg.TraceSlowThreshold,
+		}),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 		drainCh: make(chan struct{}),
@@ -239,7 +281,26 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleJobDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/traces", s.traces.HandleIndex)
+	s.mux.HandleFunc("GET /debug/traces/{id}", s.traces.HandleGet)
+	s.mux.HandleFunc("GET /debug/statusz", s.handleStatusz)
 	return s
+}
+
+// startTrace begins (or, with an inbound traceparent, continues) a
+// trace for the request and returns the request context carrying the
+// root span.  With tracing disabled both returns are nil-safe no-ops.
+func (s *Server) startTrace(r *http.Request, name string) (context.Context, *obs.Span) {
+	if s.traces == nil {
+		return r.Context(), nil
+	}
+	tid, parent, _, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	if !ok {
+		tid, parent = obs.TraceID{}, obs.SpanID{}
+	}
+	_, root := s.traces.Start(name, tid, parent)
+	root.SetAttr("remote", r.RemoteAddr)
+	return obs.ContextWith(r.Context(), root), root
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -293,25 +354,39 @@ func (s *Server) Recovery() (RecoveryInfo, string) {
 // behind the synchronous /compile and /run endpoints.
 func (s *Server) handleSync(w http.ResponseWriter, r *http.Request, kind string) {
 	start := time.Now()
+	ctx, root := s.startTrace(r, "POST /"+kind)
+	r = r.WithContext(ctx)
 	req, errResp, status := s.decodeRequest(w, r)
 	if errResp != nil {
+		root.SetError(errResp.Error)
 		s.finish(w, r, kind, start, status, mustJSON(errResp), "")
 		return
 	}
 
 	key := req.cacheKey(kind)
-	if body, ok := s.cache.Get(key); ok {
+	lookup := root.StartChild("cache.lookup")
+	body, ok := s.cache.Get(key)
+	lookup.End()
+	if ok {
 		s.finish(w, r, kind, start, http.StatusOK, body, "hit")
 		return
 	}
 
-	res, shared := s.flights.Do(key, func() flightResult {
+	flightStart := time.Now()
+	res, shared, leader := s.flights.Do(key, root.Trace().ID().String(), func() flightResult {
 		var fr flightResult
 		ctx, cancel := context.WithTimeout(s.base, s.cfg.RequestTimeout)
 		defer cancel()
+		// The leader executes under the server's base context (so a
+		// client disconnect cannot poison coalesced followers) but
+		// carries its own request trace.
+		ctx = obs.ContextWith(ctx, root)
+		qspan := root.StartChild("queue.wait")
 		err := s.pool.Do(ctx, func(ctx context.Context) {
+			qspan.End()
 			fr = s.execute(ctx, kind, key, req)
 		})
+		qspan.EndErr(err) // no-op when the worker already ended it
 		switch {
 		case err == nil:
 		case errors.Is(err, ErrOverloaded):
@@ -338,8 +413,15 @@ func (s *Server) handleSync(w http.ResponseWriter, r *http.Request, kind string)
 	if shared {
 		cacheState = "coalesced"
 		s.metrics.coalesced.inc()
+		// The leader's trace holds the execution spans; this trace
+		// records only that it attached, and to whom.
+		attach := root.AddChildAt("singleflight.attach", obs.KindService,
+			flightStart, time.Since(flightStart))
+		attach.SetAttr("leader_trace", leader)
 	} else if res.status == http.StatusOK {
+		fill := root.StartChild("cache.fill")
 		s.cache.Put(key, res.body)
+		fill.End()
 	}
 	s.finish(w, r, kind, start, res.status, res.body, cacheState)
 }
@@ -416,7 +498,12 @@ func (s *Server) execute(ctx context.Context, kind string, key Key, req *Request
 func (s *Server) perform(ctx context.Context, kind string, req *Request, simOpts wmstream.SimOptions) runOutcome {
 	s.metrics.compiles.add(fmt.Sprintf("level=%q", req.levelLabel()), 1)
 
-	cres, err := wmstream.CompileContext(ctx, req.Source, wmstream.CompileConfig{Options: req.options()})
+	cctx, csp := obs.StartSpan(ctx, "compile")
+	csp.SetKind(obs.KindCompile)
+	csp.SetAttr("level", req.levelLabel())
+	cres, err := wmstream.CompileContext(cctx, req.Source, wmstream.CompileConfig{Options: req.options()})
+	bridgePassSpans(csp, cres.Stats)
+	csp.EndErr(err)
 	diags := toWireDiags(cres.Diagnostics)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -435,7 +522,11 @@ func (s *Server) perform(ctx context.Context, kind string, req *Request, simOpts
 		}
 	}
 
-	sres, err := wmstream.RunWithTelemetryContext(ctx, cres.Program, req.machine(), simOpts)
+	sctx, ssp := obs.StartSpan(ctx, "sim")
+	sres, err := wmstream.RunWithTelemetryContext(sctx, cres.Program, req.machine(), simOpts)
+	ssp.SetAttrInt("cycles", sres.Cycles)
+	ssp.SetUnits(toUnitCycles(sres.Units))
+	ssp.EndErr(err)
 	s.metrics.addSimUnits(sres.Units)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -483,6 +574,45 @@ func (s *Server) perform(ctx context.Context, kind string, req *Request, simOpts
 	}
 }
 
+// bridgePassSpans synthesizes per-pass compile child spans from the
+// compiler's pass statistics, laid end to end from the compile span's
+// start.  Pass times are summed across parallel optimizer workers, so
+// the bridged row can extend past the compile span's wall time; the
+// relative pass widths are what the timeline is for.
+func bridgePassSpans(csp *obs.Span, stats *wmstream.CompileStats) {
+	if csp == nil || stats == nil {
+		return
+	}
+	at := csp.StartTime()
+	for _, ps := range stats.Passes {
+		sp := csp.AddChildAt("pass:"+ps.Name, obs.KindCompile, at, ps.Time)
+		sp.SetAttrInt("fires", int64(ps.Fires))
+		at = at.Add(ps.Time)
+	}
+}
+
+// toUnitCycles converts the simulator's per-unit breakdown into the
+// span attachment form, with stall causes in deterministic order.
+func toUnitCycles(units []wmstream.UnitBreakdown) []obs.UnitCycles {
+	if len(units) == 0 {
+		return nil
+	}
+	out := make([]obs.UnitCycles, 0, len(units))
+	for _, u := range units {
+		uc := obs.UnitCycles{Unit: u.Unit, Issued: u.Issued, Idle: u.Idle}
+		causes := make([]string, 0, len(u.Stalls))
+		for c := range u.Stalls {
+			causes = append(causes, c)
+		}
+		sort.Strings(causes)
+		for _, c := range causes {
+			uc.Stalls = append(uc.Stalls, obs.CauseCycles{Cause: c, Cycles: u.Stalls[c]})
+		}
+		out = append(out, uc)
+	}
+	return out
+}
+
 func timeoutOutcome(ctx context.Context) runOutcome {
 	return runOutcome{
 		status:  http.StatusGatewayTimeout,
@@ -493,7 +623,20 @@ func timeoutOutcome(ctx context.Context) runOutcome {
 // finish writes the response, records metrics, and emits the request
 // log line.
 func (s *Server) finish(w http.ResponseWriter, r *http.Request, kind string, start time.Time, status int, body []byte, cacheState string) {
+	s.finishWait(w, r, kind, start, 0, status, body, cacheState)
+}
+
+// finishWait is finish for endpoints that park intentionally (the job
+// long-poll): waited is excluded from the endpoint latency histogram —
+// a client asking to wait 30s is not a 30s-slow server — and recorded
+// in its own wait histogram instead.  The busy remainder also drives
+// slow-request classification.
+func (s *Server) finishWait(w http.ResponseWriter, r *http.Request, kind string, start time.Time, waited time.Duration, status int, body []byte, cacheState string) {
 	dur := time.Since(start)
+	busy := dur - waited
+	if busy < 0 {
+		busy = 0
+	}
 	h := w.Header()
 	h.Set("Content-Type", "application/json")
 	if cacheState != "" {
@@ -502,18 +645,86 @@ func (s *Server) finish(w http.ResponseWriter, r *http.Request, kind string, sta
 	if status == http.StatusTooManyRequests {
 		h.Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 	}
+
+	sp := obs.FromContext(r.Context())
+	var traceID string
+	if sp != nil {
+		tr := sp.Trace()
+		traceID = tr.ID().String()
+		h.Set("X-WM-Trace-Id", traceID)
+		h.Set("Traceparent", obs.FormatTraceparent(tr.ID(), sp.ID(), true))
+		if st := serverTiming(tr, dur, cacheState); st != "" {
+			h.Set("Server-Timing", st)
+		}
+		sp.SetAttrInt("status", int64(status))
+		if cacheState != "" {
+			sp.SetAttr("cache", cacheState)
+		}
+		if waited > 0 {
+			sp.SetAttrInt("waited_us", waited.Microseconds())
+		}
+		if status >= http.StatusInternalServerError {
+			sp.SetError(http.StatusText(status))
+		}
+	}
 	w.WriteHeader(status)
 	w.Write(body)
 
-	s.metrics.observeRequest(kind, status, dur.Seconds())
-	s.cfg.Logger.Info("request",
+	s.metrics.observeRequest(kind, status, busy.Seconds())
+	if waited > 0 {
+		s.metrics.observeWait(kind, waited.Seconds())
+	}
+	if busy >= s.cfg.TraceSlowThreshold {
+		s.metrics.observeSlow(kind, traceID)
+	}
+	s.cfg.Logger.InfoContext(r.Context(), "request",
 		"endpoint", kind,
 		"status", status,
 		"cache", cacheState,
 		"dur_ms", float64(dur.Microseconds())/1000,
+		"busy_ms", float64(busy.Microseconds())/1000,
 		"bytes", len(body),
 		"remote", r.RemoteAddr,
 	)
+	if sp != nil {
+		sp.End()
+		if sp.IsRoot() {
+			// Handler spans that are children of a longer-lived job trace
+			// end here but leave the trace to the job's terminal
+			// transition.
+			tr := sp.Trace()
+			tr.SetBusy(busy)
+			tr.Finish()
+		}
+	}
+}
+
+// timingStages maps span names to the Server-Timing metric names
+// reported per request, in render order.
+var timingStages = []struct{ span, metric string }{
+	{"queue.wait", "queue"},
+	{"singleflight.attach", "coalesce"},
+	{"compile", "compile"},
+	{"sim", "sim"},
+	{"journal.append", "journal"},
+	{"checkpoint.write", "checkpoint"},
+}
+
+// serverTiming renders the trace's per-stage breakdown as a
+// Server-Timing header value (RFC 8941 style, dur in milliseconds).
+func serverTiming(tr *obs.Trace, total time.Duration, cacheState string) string {
+	durs := tr.DurationsByName()
+	parts := make([]string, 0, len(timingStages)+2)
+	if cacheState != "" {
+		parts = append(parts, "cache;desc="+strconv.Quote(cacheState))
+	}
+	for _, st := range timingStages {
+		if d, ok := durs[st.span]; ok {
+			parts = append(parts, fmt.Sprintf("%s;dur=%.3f", st.metric, float64(d.Microseconds())/1000))
+		}
+	}
+	parts = append(parts, fmt.Sprintf("total;dur=%.3f", float64(total.Microseconds())/1000))
+	return strings.Join(parts, ", ")
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -567,6 +778,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		g.journalBytes = st.Bytes()
 		g.journalDropped = st.DroppedWrites()
 	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	g.goroutines = runtime.NumGoroutine()
+	g.heapBytes = ms.HeapAlloc
+	g.gcPauseTotal = float64(ms.PauseTotalNs) / 1e9
+	g.openFDs = openFDCount()
+	g.traces = s.traces.Stats()
 	s.metrics.write(w, g)
 }
 

@@ -11,8 +11,9 @@ type flightResult struct {
 }
 
 type flight struct {
-	done chan struct{}
-	res  flightResult
+	done   chan struct{}
+	res    flightResult
+	leader string // leader's trace ID, for followers' attach spans
 }
 
 // flightGroup coalesces concurrent requests for the same content
@@ -28,8 +29,10 @@ type flightGroup struct {
 
 // Do returns fn's result for the key, executing fn at most once among
 // concurrent callers.  shared is false for the leader that actually
-// ran fn and true for coalesced waiters.
-func (g *flightGroup) Do(k Key, fn func() flightResult) (res flightResult, shared bool) {
+// ran fn and true for coalesced waiters.  self is the caller's trace
+// ID; followers get the leader's back, so their traces can point at
+// the trace that actually holds the execution spans.
+func (g *flightGroup) Do(k Key, self string, fn func() flightResult) (res flightResult, shared bool, leader string) {
 	g.mu.Lock()
 	if g.flights == nil {
 		g.flights = make(map[Key]*flight)
@@ -37,9 +40,9 @@ func (g *flightGroup) Do(k Key, fn func() flightResult) (res flightResult, share
 	if f, ok := g.flights[k]; ok {
 		g.mu.Unlock()
 		<-f.done
-		return f.res, true
+		return f.res, true, f.leader
 	}
-	f := &flight{done: make(chan struct{})}
+	f := &flight{done: make(chan struct{}), leader: self}
 	g.flights[k] = f
 	g.mu.Unlock()
 
@@ -49,5 +52,5 @@ func (g *flightGroup) Do(k Key, fn func() flightResult) (res flightResult, share
 	delete(g.flights, k)
 	g.mu.Unlock()
 	close(f.done)
-	return f.res, false
+	return f.res, false, self
 }

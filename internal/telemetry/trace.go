@@ -24,10 +24,12 @@ type Trace struct {
 	cursor int64
 }
 
-// Process/track IDs used by the compiler and simulator recorders.
+// Process/track IDs used by the compiler, simulator, and serving-layer
+// recorders.
 const (
 	PidCompile = 1 // compile-phase spans (one track per pipeline)
 	PidSim     = 2 // simulator spans and counters (one track per unit)
+	PidService = 3 // serving-layer request/job spans (internal/obs)
 )
 
 // NewTrace returns an empty trace.
