@@ -11,7 +11,9 @@
 // so the server records a full trace for it, and the report adds the
 // server-side per-stage timing breakdown (queue wait, compile, sim,
 // journal) plus the trace ID of the slowest request for follow-up in
-// GET /debug/traces.
+// GET /debug/traces.  With -job-heavy, every job runs one fixed
+// compute-heavy program and the report's "jobs done/s" line becomes
+// the headline — the scenario for comparing wmserved -batch settings.
 package main
 
 import (
@@ -40,6 +42,7 @@ func run() int {
 		runFrac     = flag.Float64("run-fraction", 0.5, "fraction of requests hitting /run instead of /compile")
 		jobs        = flag.Bool("jobs", false, "drive all traffic through the asynchronous job API")
 		jobFrac     = flag.Float64("job-fraction", 0, "fraction of iterations driving a job lifecycle (submit, poll, cancel)")
+		jobHeavy    = flag.Bool("job-heavy", false, "job traffic submits one fixed compute-heavy program and reports jobs done/s (the wmserved -batch comparison scenario; implies -jobs)")
 		retries     = flag.Int("retries", 3, "retry shed (429/503) responses this many times with capped backoff, honoring Retry-After")
 		trace       = flag.Bool("trace", false, "send a traceparent with every request and report the server's per-stage timing breakdown")
 		seed        = flag.Int64("seed", 1, "traffic mix seed")
@@ -59,7 +62,7 @@ func run() int {
 	defer stop()
 
 	jf := *jobFrac
-	if *jobs && jf == 0 {
+	if (*jobs || *jobHeavy) && jf == 0 {
 		jf = 1
 	}
 	rep, err := serve.RunLoad(ctx, serve.LoadConfig{
@@ -69,6 +72,7 @@ func run() int {
 		HitFraction: *hitFrac,
 		RunFraction: *runFrac,
 		JobFraction: jf,
+		JobHeavy:    *jobHeavy,
 		Seed:        *seed,
 		Retries:     *retries,
 		Trace:       *trace,

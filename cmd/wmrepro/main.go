@@ -29,6 +29,7 @@ import (
 	"wmstream/internal/buildinfo"
 	"wmstream/internal/cli"
 	"wmstream/internal/experiments"
+	"wmstream/internal/sim"
 )
 
 func main() {
@@ -38,11 +39,16 @@ func main() {
 	size := flag.Int("size", 100000, "Table I array size")
 	reps := flag.Int("reps", 10, "Table I kernel repetitions")
 	benchJSON := flag.String("bench-json", "", "write per-benchmark telemetry records to this JSON file")
+	engineName := flag.String("engine", "auto", "simulation engine for -bench-json runs: auto, translated, fast, or reference")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.Print("wmrepro"))
 		return
+	}
+	engine, err := sim.ParseEngine(*engineName)
+	if err != nil {
+		fatal(err)
 	}
 
 	did := false
@@ -51,7 +57,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		err = bench.WriteJSON(f, bench.Programs(), []int{0, 3})
+		err = bench.WriteJSON(f, bench.Programs(), []int{0, 3}, engine)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}

@@ -196,3 +196,28 @@ func BenchmarkSimulator(b *testing.B) {
 	}
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim_instrs/s")
 }
+
+// BenchmarkSimulatorEngines measures every engine on identical work
+// (quicksort at O3), so engine-to-engine speedups come from one binary
+// on one host rather than from numbers recorded months apart.
+func BenchmarkSimulatorEngines(b *testing.B) {
+	p, err := Compile(Quicksort, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range []sim.Engine{sim.EngineTranslated, sim.EngineFast, sim.EngineReference} {
+		b.Run(e.String(), func(b *testing.B) {
+			cfg := sim.DefaultConfig()
+			cfg.Engine = e
+			var instrs int64
+			for n := 0; n < b.N; n++ {
+				stats, _, err := Run(p, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				instrs += stats.Instructions
+			}
+			b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim_instrs/s")
+		})
+	}
+}

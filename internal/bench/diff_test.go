@@ -11,11 +11,22 @@ import (
 	"wmstream/internal/sim"
 )
 
-// The fast engine's correctness contract: for every program, every
-// optimization level, and every machine shape, it must be cycle-exact
-// against the reference interpreter — same statistics (including the
-// per-unit telemetry attribution), same output, same final memory
-// image, same error.  These tests are that contract.
+// The accelerated engines' correctness contract: for every program,
+// every optimization level, and every machine shape, the fast engine
+// and the translated engine must be cycle-exact against the reference
+// interpreter — same statistics (including the per-unit telemetry
+// attribution), same output, same final memory image, same error.
+// These tests are that contract.
+
+// acceleratedEngines lists every engine validated against the
+// reference.
+var acceleratedEngines = []struct {
+	name string
+	eng  sim.Engine
+}{
+	{"fast", sim.EngineFast},
+	{"translated", sim.EngineTranslated},
+}
 
 // engineResult is everything externally observable about one run.
 type engineResult struct {
@@ -38,8 +49,9 @@ func runEngine(img *sim.Image, cfg sim.Config, eng sim.Engine) engineResult {
 	return r
 }
 
-// diffEngines compiles the program at the level, runs it under both
-// engines, and fails the test on any observable divergence.
+// diffEngines compiles the program at the level, runs it under the
+// reference and every accelerated engine, and fails the test on any
+// observable divergence.
 func diffEngines(t *testing.T, p Program, level int, cfg sim.Config) {
 	t.Helper()
 	rp, err := Compile(p, level)
@@ -51,33 +63,38 @@ func diffEngines(t *testing.T, p Program, level int, cfg sim.Config) {
 		t.Fatalf("link: %v", err)
 	}
 	ref := runEngine(img, cfg, sim.EngineReference)
-	fast := runEngine(img, cfg, sim.EngineFast)
-
-	if ref.errStr != fast.errStr {
-		t.Fatalf("error mismatch:\nreference: %s\nfast:      %s", ref.errStr, fast.errStr)
-	}
-	if !reflect.DeepEqual(ref.stats, fast.stats) {
-		t.Errorf("stats mismatch:\nreference: %+v\nfast:      %+v", ref.stats, fast.stats)
-	}
-	if ref.output != fast.output {
-		t.Errorf("output mismatch:\nreference: %q\nfast:      %q", ref.output, fast.output)
-	}
-	if !bytes.Equal(ref.mem, fast.mem) {
-		t.Errorf("final memory images differ (lengths %d vs %d)", len(ref.mem), len(fast.mem))
-	}
-	if ref.errStr != "" {
-		return // attribution sums only hold for completed runs
-	}
-	for _, r := range []engineResult{ref, fast} {
-		for _, u := range r.stats.Units {
-			if u.Total() != r.stats.Cycles {
-				t.Errorf("unit %s attribution sums to %d, want Cycles=%d",
-					u.Name, u.Total(), r.stats.Cycles)
+	for _, e := range acceleratedEngines {
+		got := runEngine(img, cfg, e.eng)
+		if ref.errStr != got.errStr {
+			t.Fatalf("%s: error mismatch:\nreference: %s\n%-9s %s",
+				e.name, ref.errStr, e.name+":", got.errStr)
+		}
+		if !reflect.DeepEqual(ref.stats, got.stats) {
+			t.Errorf("%s: stats mismatch:\nreference: %+v\n%-9s %+v",
+				e.name, ref.stats, e.name+":", got.stats)
+		}
+		if ref.output != got.output {
+			t.Errorf("%s: output mismatch:\nreference: %q\n%-9s %q",
+				e.name, ref.output, e.name+":", got.output)
+		}
+		if !bytes.Equal(ref.mem, got.mem) {
+			t.Errorf("%s: final memory images differ (lengths %d vs %d)",
+				e.name, len(ref.mem), len(got.mem))
+		}
+		if ref.errStr != "" {
+			continue // attribution sums only hold for completed runs
+		}
+		for _, r := range []engineResult{ref, got} {
+			for _, u := range r.stats.Units {
+				if u.Total() != r.stats.Cycles {
+					t.Errorf("unit %s attribution sums to %d, want Cycles=%d",
+						u.Name, u.Total(), r.stats.Cycles)
+				}
 			}
 		}
-	}
-	if p.Expect != "" && fast.output != p.Expect {
-		t.Errorf("output %q, want %q", fast.output, p.Expect)
+		if p.Expect != "" && got.output != p.Expect {
+			t.Errorf("%s: output %q, want %q", e.name, got.output, p.Expect)
+		}
 	}
 }
 
@@ -199,6 +216,7 @@ func TestSlicedRunDifferential(t *testing.T) {
 	}{
 		{"ref", sim.EngineReference},
 		{"fast", sim.EngineFast},
+		{"translated", sim.EngineTranslated},
 	}
 	for _, p := range progs {
 		for level := 0; level <= 3; level++ {
@@ -255,17 +273,22 @@ halt
 		t.Fatalf("link: %v", errl)
 	}
 	ref := runEngine(img, cfg, sim.EngineReference)
-	fast := runEngine(img, cfg, sim.EngineFast)
-	if ref.errStr == "" || fast.errStr == "" {
-		t.Fatalf("expected deadlock from both engines; reference=%q fast=%q",
-			ref.errStr, fast.errStr)
+	if ref.errStr == "" {
+		t.Fatalf("expected deadlock from the reference engine")
 	}
-	if ref.errStr != fast.errStr {
-		t.Fatalf("deadlock diagnosis mismatch:\nreference: %s\nfast:      %s",
-			ref.errStr, fast.errStr)
-	}
-	if !reflect.DeepEqual(ref.stats, fast.stats) {
-		t.Errorf("stats mismatch:\nreference: %+v\nfast:      %+v", ref.stats, fast.stats)
+	for _, e := range acceleratedEngines {
+		got := runEngine(img, cfg, e.eng)
+		if got.errStr == "" {
+			t.Fatalf("%s: expected a deadlock; reference said %q", e.name, ref.errStr)
+		}
+		if ref.errStr != got.errStr {
+			t.Fatalf("%s: deadlock diagnosis mismatch:\nreference: %s\n%-9s %s",
+				e.name, ref.errStr, e.name+":", got.errStr)
+		}
+		if !reflect.DeepEqual(ref.stats, got.stats) {
+			t.Errorf("%s: stats mismatch:\nreference: %+v\n%-9s %+v",
+				e.name, ref.stats, e.name+":", got.stats)
+		}
 	}
 }
 
@@ -289,15 +312,19 @@ func TestEngineDifferentialMaxCycles(t *testing.T) {
 			cfg := sim.DefaultConfig()
 			cfg.MaxCycles = max
 			ref := runEngine(img, cfg, sim.EngineReference)
-			fast := runEngine(img, cfg, sim.EngineFast)
 			if ref.errStr == "" {
 				t.Fatalf("expected a MaxCycles trap at %d cycles", max)
 			}
-			if ref.errStr != fast.errStr {
-				t.Fatalf("trap mismatch:\nreference: %s\nfast:      %s", ref.errStr, fast.errStr)
-			}
-			if !reflect.DeepEqual(ref.stats, fast.stats) {
-				t.Errorf("stats mismatch:\nreference: %+v\nfast:      %+v", ref.stats, fast.stats)
+			for _, e := range acceleratedEngines {
+				got := runEngine(img, cfg, e.eng)
+				if ref.errStr != got.errStr {
+					t.Fatalf("%s: trap mismatch:\nreference: %s\n%-9s %s",
+						e.name, ref.errStr, e.name+":", got.errStr)
+				}
+				if !reflect.DeepEqual(ref.stats, got.stats) {
+					t.Errorf("%s: stats mismatch:\nreference: %+v\n%-9s %+v",
+						e.name, ref.stats, e.name+":", got.stats)
+				}
 			}
 		})
 	}

@@ -18,8 +18,11 @@ import (
 type Result struct {
 	Program string
 	Level   int
-	Stats   sim.Stats
-	Output  string
+	// Engine is the simulation engine that executed the run (auto
+	// resolved to the engine it picks).
+	Engine sim.Engine
+	Stats  sim.Stats
+	Output string
 	// HostNS is the host wall-clock time of the simulation itself
 	// (linking and running, not compilation), for tracking simulator
 	// performance.
@@ -81,18 +84,26 @@ func Run(rp *rtl.Program, cfg sim.Config) (sim.Stats, string, error) {
 // Measure compiles and runs one benchmark at one level with the
 // default machine, timing the simulation (not the compile).
 func Measure(p Program, level int) (Result, error) {
+	return MeasureEngine(p, level, sim.EngineAuto)
+}
+
+// MeasureEngine is Measure on an explicit simulation engine, so
+// benchmark reports can compare engine speeds on identical work.
+func MeasureEngine(p Program, level int, engine sim.Engine) (Result, error) {
 	rp, err := Compile(p, level)
 	if err != nil {
 		return Result{}, err
 	}
+	cfg := sim.DefaultConfig()
+	cfg.Engine = engine
 	start := time.Now()
-	stats, out, err := Run(rp, sim.DefaultConfig())
+	stats, out, err := Run(rp, cfg)
 	host := time.Since(start)
 	if err != nil {
 		return Result{}, fmt.Errorf("%s O%d: %w", p.Name, level, err)
 	}
-	return Result{Program: p.Name, Level: level, Stats: stats, Output: out,
-		HostNS: host.Nanoseconds()}, nil
+	return Result{Program: p.Name, Level: level, Engine: engine.Resolve(),
+		Stats: stats, Output: out, HostNS: host.Nanoseconds()}, nil
 }
 
 // StreamingReduction measures the paper's Table II quantity for one

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 
+	"wmstream/internal/sim"
 	"wmstream/internal/telemetry"
 )
 
@@ -11,8 +12,12 @@ import (
 // headline numbers plus the per-unit telemetry (utilization and stall
 // attribution) the run collected.
 type Record struct {
-	Program      string `json:"program"`
-	Level        int    `json:"level"`
+	Program string `json:"program"`
+	Level   int    `json:"level"`
+	// Engine names the simulation engine that produced the record
+	// (translated, fast, or reference), so speed numbers from
+	// different engines are never conflated in downstream diffs.
+	Engine       string `json:"engine"`
 	Cycles       int64  `json:"cycles"`
 	Instructions int64  `json:"instructions"`
 	MemReads     int64  `json:"mem_reads"`
@@ -44,6 +49,7 @@ func NewRecord(r Result) Record {
 	rec := Record{
 		Program:      r.Program,
 		Level:        r.Level,
+		Engine:       r.Engine.String(),
 		Cycles:       r.Stats.Cycles,
 		Instructions: r.Stats.Instructions,
 		MemReads:     r.Stats.MemReads,
@@ -77,15 +83,15 @@ func NewRecord(r Result) Record {
 	return rec
 }
 
-// WriteJSON measures every benchmark at each level and writes the
-// records as an indented JSON array (encoding/json sorts map keys, so
-// everything except the host wall-clock fields is deterministic for
-// identical runs).
-func WriteJSON(w io.Writer, programs []Program, levels []int) error {
+// WriteJSON measures every benchmark at each level on the given
+// engine and writes the records as an indented JSON array
+// (encoding/json sorts map keys, so everything except the host
+// wall-clock fields is deterministic for identical runs).
+func WriteJSON(w io.Writer, programs []Program, levels []int, engine sim.Engine) error {
 	var records []Record
 	for _, p := range programs {
 		for _, lv := range levels {
-			r, err := Measure(p, lv)
+			r, err := MeasureEngine(p, lv, engine)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,76 @@
+package exec
+
+import (
+	"context"
+
+	"wmstream/internal/sim"
+)
+
+// Batch mode.  A serving process that dedicates one goroutine (and
+// effectively one core) per simulation scales poorly when requests are
+// plentiful and cores are not: each extra concurrent run adds
+// scheduler pressure and cache thrash without adding throughput.
+// Batch mode inverts the arrangement — N machines share one admission
+// token and take turns, one bounded slice at a time, in FIFO order.
+// One worker then sustains N interleaved simulations with the cache
+// locality of sequential execution, and per-run progress, checkpoints
+// and cancellation all keep working because they live between slices.
+//
+// The simulation results are bit-identical to dedicated execution:
+// slicing never changes what a cycle does, only when the host runs it.
+
+// Gate admits one slice at a time.  Acquire blocks until the token is
+// free; Release returns it.  Implementations must be safe for
+// concurrent use.
+type Gate interface {
+	Acquire()
+	Release()
+}
+
+// batchGate is a one-token channel gate.  Goroutines blocked in
+// Acquire are served in FIFO order (the runtime queues channel
+// waiters), which yields the blocked round-robin rotation batch mode
+// wants — no runner starves, and each runs exactly one slice per turn
+// once the batch saturates.
+type batchGate chan struct{}
+
+// NewBatchGate builds a gate shared by one batch of runners.
+func NewBatchGate() Gate {
+	g := make(batchGate, 1)
+	g <- struct{}{}
+	return g
+}
+
+func (g batchGate) Acquire() { <-g }
+func (g batchGate) Release() { g <- struct{}{} }
+
+// BatchResult is one machine's outcome from RunBatch, index-matched
+// with the input slice.
+type BatchResult struct {
+	Stats sim.Stats
+	Err   error
+}
+
+// RunBatch drives every machine to completion on one shared gate and
+// returns their outcomes in input order.  Options apply to each runner
+// (callbacks, when set, are invoked from that machine's goroutine);
+// o.Gate is overridden with the batch's own gate.
+func RunBatch(ctx context.Context, ms []*sim.Machine, o Options) []BatchResult {
+	gate := NewBatchGate()
+	results := make([]BatchResult, len(ms))
+	done := make(chan int)
+	for k, m := range ms {
+		k, m := k, m
+		ro := o
+		ro.Gate = gate
+		go func() {
+			st, err := Run(ctx, m, ro)
+			results[k] = BatchResult{Stats: st, Err: err}
+			done <- k
+		}()
+	}
+	for range ms {
+		<-done
+	}
+	return results
+}

@@ -1,0 +1,85 @@
+package exec_test
+
+import (
+	"context"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"wmstream/internal/exec"
+	"wmstream/internal/sim"
+)
+
+// TestRunBatchBitIdentity: a batch of gated machines produces exactly
+// the statistics and output of dedicated uninterrupted runs.
+func TestRunBatchBitIdentity(t *testing.T) {
+	const n = 300
+	wantStats, wantOut := uninterrupted(t, n)
+
+	const batch = 4
+	ms := make([]*sim.Machine, batch)
+	outs := make([]interface{ String() string }, batch)
+	for k := range ms {
+		m, out := machine(t, n)
+		ms[k], outs[k] = m, out
+	}
+	results := exec.RunBatch(context.Background(), ms, exec.Options{Slice: 128})
+	for k, r := range results {
+		if r.Err != nil {
+			t.Fatalf("machine %d: %v", k, r.Err)
+		}
+		if !reflect.DeepEqual(r.Stats, wantStats) {
+			t.Errorf("machine %d stats mismatch:\ndedicated: %+v\nbatched:   %+v", k, wantStats, r.Stats)
+		}
+		if got := outs[k].String(); got != wantOut {
+			t.Errorf("machine %d output %q, want %q", k, got, wantOut)
+		}
+	}
+}
+
+// TestGateSerializesSlices: with a shared gate, no two slices run
+// concurrently.
+func TestGateSerializesSlices(t *testing.T) {
+	const n = 300
+	var inSlice, maxInSlice atomic.Int32
+	gate := exec.NewBatchGate()
+	probe := countingGate{Gate: gate, in: &inSlice, max: &maxInSlice}
+
+	ms := make([]*sim.Machine, 3)
+	for k := range ms {
+		ms[k], _ = machine(t, n)
+	}
+	done := make(chan struct{})
+	for _, m := range ms {
+		m := m
+		go func() {
+			defer func() { done <- struct{}{} }()
+			if _, err := exec.Run(context.Background(), m, exec.Options{Slice: 64, Gate: probe}); err != nil {
+				t.Errorf("gated run: %v", err)
+			}
+		}()
+	}
+	for range ms {
+		<-done
+	}
+	if got := maxInSlice.Load(); got != 1 {
+		t.Errorf("max concurrent slices = %d, want 1", got)
+	}
+}
+
+type countingGate struct {
+	exec.Gate
+	in, max *atomic.Int32
+}
+
+func (g countingGate) Acquire() {
+	g.Gate.Acquire()
+	if v := g.in.Add(1); v > g.max.Load() {
+		g.max.Store(v)
+	}
+}
+
+func (g countingGate) Release() {
+	g.in.Add(-1)
+	g.Gate.Release()
+}

@@ -76,6 +76,12 @@ type Options struct {
 	// cycle zero.  Best effort: a failed final save never masks the
 	// cancellation error.
 	FinalCheckpoint bool
+	// Gate, when non-nil, is held around each simulation slice.  A
+	// group of runners sharing one gate (see NewBatchGate) interleaves
+	// slice-by-slice on a single admission token instead of competing
+	// for cores — the batch-mode seam.  Slicing already guarantees
+	// bit-identity, so gating changes scheduling, never results.
+	Gate Gate
 }
 
 // WallBudgetError reports a run stopped by Options.MaxWall.  The
@@ -159,7 +165,13 @@ func (r *Runner) Run(ctx context.Context) (sim.Stats, error) {
 			sliceSpan = traceSpan.StartChild("sim.slice")
 			sliceSpan.SetKind(obs.KindSim)
 		}
+		if r.o.Gate != nil {
+			r.o.Gate.Acquire()
+		}
 		done, err := r.m.RunSlice(r.o.Slice)
+		if r.o.Gate != nil {
+			r.o.Gate.Release()
+		}
 		now := time.Now()
 		p := r.snapshot(done || err != nil, now.Sub(start))
 		if sliceSpan != nil {

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestRunEngineSelection: every engine name is accepted, every engine
+// produces the same answer, and an unknown engine is rejected with a
+// message naming the valid set.
+func TestRunEngineSelection(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	var want RunResponse
+	for _, engine := range []string{"", "auto", "translated", "fast", "reference"} {
+		req := &Request{Source: helloSrc}
+		if engine != "" {
+			req.Machine = &MachineSpec{Engine: engine}
+		}
+		res := post(t, ts, "/run", req)
+		if res.status != http.StatusOK {
+			t.Fatalf("engine %q: status %d, body %s", engine, res.status, res.body)
+		}
+		var rr RunResponse
+		if err := json.Unmarshal(res.body, &rr); err != nil {
+			t.Fatalf("engine %q: bad JSON: %v", engine, err)
+		}
+		if engine == "" {
+			want = rr
+			continue
+		}
+		if rr.Output != want.Output || rr.Cycles != want.Cycles || rr.Instructions != want.Instructions {
+			t.Errorf("engine %q diverged: output=%q cycles=%d instrs=%d, want output=%q cycles=%d instrs=%d",
+				engine, rr.Output, rr.Cycles, rr.Instructions, want.Output, want.Cycles, want.Instructions)
+		}
+	}
+
+	res := post(t, ts, "/run", &Request{Source: helloSrc, Machine: &MachineSpec{Engine: "quantum"}})
+	if res.status != http.StatusBadRequest {
+		t.Fatalf("bad engine: status %d, want 400", res.status)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(res.body, &er); err != nil {
+		t.Fatalf("bad engine error body: %v", err)
+	}
+	if !strings.Contains(er.Error, "translated") {
+		t.Errorf("bad-engine message should name the valid engines, got %q", er.Error)
+	}
+}
+
+// TestEngineRunsMetric: served runs show up in
+// wmserved_engine_runs_total under the engine that actually executed
+// them (auto resolves to translated), and the translation-cache
+// families are exported.
+func TestEngineRunsMetric(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Two default-engine runs and one explicit fast run.  Distinct
+	// machine configs defeat the response cache so each run executes.
+	for _, spec := range []*MachineSpec{nil, {MemLatency: 17}, {MemLatency: 23, Engine: "fast"}} {
+		res := post(t, ts, "/run", &Request{Source: helloSrc, Machine: spec})
+		if res.status != http.StatusOK {
+			t.Fatalf("run: status %d, body %s", res.status, res.body)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(b)
+
+	for _, want := range []string{
+		`wmserved_engine_runs_total{engine="translated"} 2`,
+		`wmserved_engine_runs_total{engine="fast"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	for _, family := range []string{
+		"wmserved_translation_cache_entries",
+		"wmserved_translation_cache_cap",
+		"wmserved_translation_cache_hits_total",
+		"wmserved_translation_cache_misses_total",
+		"wmserved_translation_cache_evictions_total",
+	} {
+		if !strings.Contains(text, "\n"+family+" ") {
+			t.Errorf("metrics missing family %s", family)
+		}
+	}
+}
+
+// TestJobBatchInterleaved: one worker with JobBatch=4 completes a
+// burst of jobs whose results are identical to dedicated execution —
+// the batch gate changes host scheduling, never simulation results.
+func TestJobBatchInterleaved(t *testing.T) {
+	// Heavy enough to span many slices (so the gate actually rotates),
+	// light enough to finish promptly under the race detector.
+	const batchSrc = `int main(void) {
+    int i; double s;
+    s = 0.0;
+    for (i = 0; i < 200000; i++) s = s + i * 0.5;
+    putd(s);
+    return 0;
+}`
+	_, dedicated := newTestServer(t, Config{})
+	want := post(t, dedicated, "/run", &Request{Source: batchSrc})
+	if want.status != http.StatusOK {
+		t.Fatalf("dedicated run: status %d, body %s", want.status, want.body)
+	}
+	var wantRR RunResponse
+	if err := json.Unmarshal(want.body, &wantRR); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestServer(t, Config{JobWorkers: 1, JobBatch: 4})
+	const jobs = 4
+	ids := make([]string, jobs)
+	for n := range ids {
+		// Distinct tenants defeat nothing here (same program), but give
+		// the fair scheduler several queues to rotate over.
+		res, jr := submitJob(t, ts, &JobRequest{
+			Request: Request{Source: batchSrc},
+			Tenant:  fmt.Sprintf("t%d", n%2),
+		})
+		if res.status != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d, body %s", n, res.status, res.body)
+		}
+		ids[n] = jr.ID
+	}
+	for n, id := range ids {
+		jr := waitTerminal(t, ts, id, 0)
+		if jr.State != "done" {
+			t.Fatalf("job %d state %q, want done (error %q)", n, jr.State, jr.Error)
+		}
+		if jr.Result == nil {
+			t.Fatalf("job %d: no result", n)
+		}
+		if jr.Result.Output != wantRR.Output || jr.Result.Cycles != wantRR.Cycles {
+			t.Errorf("job %d diverged from dedicated run: output=%q cycles=%d, want output=%q cycles=%d",
+				n, jr.Result.Output, jr.Result.Cycles, wantRR.Output, wantRR.Cycles)
+		}
+	}
+}

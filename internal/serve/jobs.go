@@ -330,24 +330,35 @@ func (jm *jobManager) removePendingLocked(j *job) bool {
 	return false
 }
 
-// worker drains the queue: pop, run, repeat; sleep on the notify
-// signal when empty.
+// worker drains the queue: claim up to JobBatch jobs, run them, repeat;
+// sleep on the notify signal when empty.
 func (jm *jobManager) worker() {
 	defer jm.wg.Done()
+	batch := jm.cfg.JobBatch
+	if batch < 1 {
+		batch = 1
+	}
 	for {
 		jm.mu.Lock()
-		j := jm.popLocked()
-		if j != nil {
+		var claimed []*job
+		for len(claimed) < batch {
+			j := jm.popLocked()
+			if j == nil {
+				break
+			}
 			jm.queued--
 			jm.running++
+			claimed = append(claimed, j)
+		}
+		if len(claimed) > 0 {
 			jm.mu.Unlock()
-			jm.runJob(j)
+			jm.runClaimed(claimed)
 			jm.mu.Lock()
-			jm.running--
+			jm.running -= len(claimed)
 		}
 		closed := jm.closed
 		jm.mu.Unlock()
-		if j != nil {
+		if len(claimed) > 0 {
 			continue
 		}
 		if closed {
@@ -361,12 +372,37 @@ func (jm *jobManager) worker() {
 	}
 }
 
+// runClaimed executes one worker's claimed jobs.  A single job runs
+// inline with no gate — the dedicated path is unchanged.  Several run
+// as a batch: one goroutine each, simulation slices serialized on a
+// shared admission gate in FIFO rotation, so the worker interleaves N
+// jobs while still consuming roughly one core (internal/exec batch
+// mode).  Per-job progress, checkpoints, and cancellation all keep
+// working — they live between slices.
+func (jm *jobManager) runClaimed(js []*job) {
+	if len(js) == 1 {
+		jm.runJob(js[0], nil)
+		return
+	}
+	gate := wmstream.NewBatchGate()
+	var wg sync.WaitGroup
+	for _, j := range js {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			jm.runJob(j, gate)
+		}()
+	}
+	wg.Wait()
+}
+
 // runJob executes one job through the shared perform pipeline, feeding
 // the execution core's progress snapshots into the job's generation
 // stream.  With a durable store, the run checkpoints periodically and
 // transient failures (a checkpoint that no longer verifies) retry
 // with backoff, falling back candidate by candidate to a clean start.
-func (jm *jobManager) runJob(j *job) {
+// A non-nil gate serializes this job's slices with its batchmates.
+func (jm *jobManager) runJob(j *job, gate wmstream.BatchGate) {
 	ctx, cancel := context.WithTimeout(jm.srv.base, jm.cfg.JobTimeout)
 	defer cancel()
 
@@ -400,7 +436,7 @@ func (jm *jobManager) runJob(j *job) {
 
 	var out runOutcome
 	for {
-		out = jm.runOnce(ctx, j)
+		out = jm.runOnce(ctx, j, gate)
 		if out.resumeErr == nil || !jm.retryWait(j) {
 			break
 		}
@@ -488,10 +524,11 @@ func (jm *jobManager) finishTrace(j *job, state string) {
 // runOnce is one attempt: load the best resume candidate, run through
 // perform with checkpointing wired, and on a resume failure drop the
 // candidate so the next attempt falls back.
-func (jm *jobManager) runOnce(ctx context.Context, j *job) runOutcome {
+func (jm *jobManager) runOnce(ctx context.Context, j *job, gate wmstream.BatchGate) runOutcome {
 	opts := wmstream.SimOptions{
 		MaxWall:       jm.cfg.JobTimeout,
 		ProgressEvery: jm.cfg.JobProgressEvery,
+		Gate:          gate,
 		Progress: func(p wmstream.RunProgress) {
 			j.update(func() {
 				j.progress = &JobProgress{

@@ -38,6 +38,13 @@ type LoadConfig struct {
 	// long-poll to a terminal state (or occasionally cancel midway).
 	// Default 0 (sync traffic only).
 	JobFraction float64
+	// JobHeavy makes job traffic submit one fixed compute-heavy
+	// program instead of the hit/miss mix, so simulation time (not
+	// compile or queue time) dominates and completed jobs per second
+	// becomes the headline number — the scenario for comparing
+	// wmserved -batch settings.  Cancel probes are disabled so every
+	// lifecycle counts toward throughput.
+	JobHeavy bool
 	// Seed makes the traffic mix reproducible (default 1).
 	Seed int64
 	// Retries is how many times a shed submission (429 or 503) is
@@ -119,6 +126,15 @@ func (r *LoadReport) RPS() float64 {
 	return float64(r.Requests) / r.Elapsed.Seconds()
 }
 
+// JobsPerSec is the rate of job lifecycles that reached "done" — the
+// throughput metric of the JobHeavy batch scenario.
+func (r *LoadReport) JobsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.ByJobState["done"]) / r.Elapsed.Seconds()
+}
+
 // String renders the report as an aligned summary table.
 func (r *LoadReport) String() string {
 	var b strings.Builder
@@ -148,6 +164,9 @@ func (r *LoadReport) String() string {
 		sort.Strings(states)
 		for _, s := range states {
 			fmt.Fprintf(&b, "  jobs %-10s %d\n", s+":", r.ByJobState[s])
+		}
+		if r.ByJobState["done"] > 0 {
+			fmt.Fprintf(&b, "  jobs throughput: %.2f done/s\n", r.JobsPerSec())
 		}
 	}
 	if len(r.ByStage) > 0 {
@@ -216,6 +235,19 @@ int main(void) {
     return 0;
 }`,
 }
+
+// heavyJobProgram is the fixed workload of the JobHeavy scenario:
+// enough simulated cycles that one job spans many execution slices,
+// so batch-mode interleaving (wmserved -batch) has something to
+// rotate over, while still completing in well under a second of host
+// time per job.
+const heavyJobProgram = `int main(void) {
+    int i; double s;
+    s = 0.0;
+    for (i = 0; i < 300000; i++) s = s + i * 0.5;
+    putd(s);
+    return 0;
+}`
 
 // missProgram builds a unique source (cold-compile traffic): the
 // constant is baked into the text, so every n has a distinct content
@@ -379,6 +411,10 @@ func (sh *loadShard) jobIteration(ctx context.Context, client *http.Client, cfg 
 		src = missProgram(int64(w)<<32 | n)
 	}
 	level := rng.Intn(4)
+	if cfg.JobHeavy {
+		src = heavyJobProgram
+		level = 3
+	}
 	status, body := sh.post(ctx, client, kindJobs, cfg.BaseURL+"/jobs",
 		&JobRequest{Request: Request{Source: src, Level: &level}, Tenant: fmt.Sprintf("t%d", w%4)})
 	if status != http.StatusAccepted {
@@ -393,7 +429,7 @@ func (sh *loadShard) jobIteration(ctx context.Context, client *http.Client, cfg 
 		return
 	}
 
-	if rng.Intn(8) == 0 {
+	if !cfg.JobHeavy && rng.Intn(8) == 0 {
 		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, cfg.BaseURL+"/jobs/"+jr.ID, nil)
 		if err != nil {
 			sh.errors++

@@ -103,6 +103,11 @@ type metrics struct {
 	recovered labeledCounter // boot recovery outcomes (requeued, resumed, ...)
 	slow      labeledCounter // busy time over the slow threshold, by endpoint
 
+	// engineRuns counts completed simulation runs by the engine that
+	// actually executed them ("auto" is resolved before counting, so
+	// the labels name real engines: translated, fast, reference).
+	engineRuns labeledCounter
+
 	// waits records intentional long-poll parking time, which finishWait
 	// excludes from the latency histograms so p99 reflects service time.
 	waits map[string]*histogram
@@ -161,6 +166,12 @@ func (m *metrics) observeSlow(endpoint, traceID string) {
 	}
 }
 
+// observeEngineRun counts one simulation run against the engine that
+// executed it.
+func (m *metrics) observeEngineRun(engine string) {
+	m.engineRuns.add(fmt.Sprintf(`engine=%q`, wmstream.ResolveEngine(engine)), 1)
+}
+
 // addSimUnits folds one run's per-unit cycle attribution (the
 // internal/telemetry cause sums) into the cumulative per-cause
 // counters, giving fleet-wide stall attribution across all served
@@ -192,6 +203,10 @@ type gauges struct {
 	journalMode    string // durable | degraded | crashed | memory
 	journalBytes   int64
 	journalDropped int64
+
+	// transCache is the translated-engine cache snapshot, sampled at
+	// scrape time.
+	transCache wmstream.TransCacheStats
 
 	// Go runtime health, sampled at scrape time.
 	goroutines   int
@@ -278,6 +293,20 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "wmserved_cache_entries %d\n", g.cache.Entries)
 	writeHeader(w, "wmserved_cache_bytes", "Bytes currently cached (bodies plus overhead).", "gauge")
 	fmt.Fprintf(w, "wmserved_cache_bytes %d\n", g.cache.Bytes)
+
+	writeLabeled(w, "wmserved_engine_runs_total",
+		"Completed simulation runs, by the engine that executed them.", &m.engineRuns)
+
+	writeHeader(w, "wmserved_translation_cache_entries", "Translated programs resident in the process-wide cache.", "gauge")
+	fmt.Fprintf(w, "wmserved_translation_cache_entries %d\n", g.transCache.Entries)
+	writeHeader(w, "wmserved_translation_cache_cap", "Translation cache capacity (entries).", "gauge")
+	fmt.Fprintf(w, "wmserved_translation_cache_cap %d\n", g.transCache.Cap)
+	writeHeader(w, "wmserved_translation_cache_hits_total", "Translation cache hits.", "counter")
+	fmt.Fprintf(w, "wmserved_translation_cache_hits_total %d\n", g.transCache.Hits)
+	writeHeader(w, "wmserved_translation_cache_misses_total", "Translation cache misses (each one is a fresh translation).", "counter")
+	fmt.Fprintf(w, "wmserved_translation_cache_misses_total %d\n", g.transCache.Misses)
+	writeHeader(w, "wmserved_translation_cache_evictions_total", "Translations evicted to hold the entry cap.", "counter")
+	fmt.Fprintf(w, "wmserved_translation_cache_evictions_total %d\n", g.transCache.Evictions)
 
 	writeLabeled(w, "wmserved_jobs_total", "Asynchronous job lifecycle events, by event.", &m.jobs)
 	writeHeader(w, "wmserved_jobs_queued", "Jobs waiting for a job worker.", "gauge")

@@ -41,9 +41,10 @@ type MachineSpec struct {
 	NumSCU        int   `json:"num_scu,omitempty"`
 	WatchdogSlack int   `json:"watchdog_slack,omitempty"`
 	MaxCycles     int64 `json:"max_cycles,omitempty"`
-	// Engine selects the simulation engine: "" or "auto" (default),
-	// "fast", or "reference".  All engines produce identical results;
-	// the knob exists for validation and benchmarking.
+	// Engine selects the simulation engine: "" or "auto" (default,
+	// resolves to the translated engine), "translated", "fast", or
+	// "reference".  All engines produce identical results; the knob
+	// exists for validation and benchmarking.
 	Engine string `json:"engine,omitempty"`
 }
 
@@ -233,9 +234,9 @@ func (r *Request) validate(maxSource int64) error {
 	}
 	if r.Machine != nil {
 		switch r.Machine.Engine {
-		case "", "auto", "fast", "reference":
+		case "", "auto", "translated", "fast", "reference":
 		default:
-			return fmt.Errorf("engine must be auto, fast, or reference, got %q", r.Machine.Engine)
+			return fmt.Errorf("engine must be auto, translated, fast, or reference, got %q", r.Machine.Engine)
 		}
 	}
 	return nil

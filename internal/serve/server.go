@@ -96,6 +96,14 @@ type Config struct {
 	// (default 2): the job tier gets its own small pool so long jobs
 	// never starve synchronous traffic.
 	JobWorkers int
+	// JobBatch is how many queued jobs one job worker interleaves at a
+	// time (default 1 — dedicated execution).  Above 1, a worker claims
+	// up to JobBatch jobs and runs them on one shared admission gate:
+	// simulation slices execute one at a time in FIFO rotation, so N
+	// jobs progress together with the cache locality of sequential
+	// execution.  Results are bit-identical either way; only host
+	// scheduling changes.
+	JobBatch int
 	// JobQueueDepth bounds queued jobs across all tenants; a
 	// submission beyond it is shed with 429 (default 32).
 	JobQueueDepth int
@@ -178,6 +186,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JobWorkers <= 0 {
 		c.JobWorkers = 2
+	}
+	if c.JobBatch <= 0 {
+		c.JobBatch = 1
 	}
 	if c.JobQueueDepth <= 0 {
 		c.JobQueueDepth = 32
@@ -523,11 +534,13 @@ func (s *Server) perform(ctx context.Context, kind string, req *Request, simOpts
 	}
 
 	sctx, ssp := obs.StartSpan(ctx, "sim")
-	sres, err := wmstream.RunWithTelemetryContext(sctx, cres.Program, req.machine(), simOpts)
+	machine := req.machine()
+	sres, err := wmstream.RunWithTelemetryContext(sctx, cres.Program, machine, simOpts)
 	ssp.SetAttrInt("cycles", sres.Cycles)
 	ssp.SetUnits(toUnitCycles(sres.Units))
 	ssp.EndErr(err)
 	s.metrics.addSimUnits(sres.Units)
+	s.metrics.observeEngineRun(machine.Engine)
 	if err != nil {
 		if ctx.Err() != nil {
 			return timeoutOutcome(ctx)
@@ -785,6 +798,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	g.gcPauseTotal = float64(ms.PauseTotalNs) / 1e9
 	g.openFDs = openFDCount()
 	g.traces = s.traces.Stats()
+	g.transCache = wmstream.TranslationCacheStats()
 	s.metrics.write(w, g)
 }
 

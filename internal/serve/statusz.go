@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"wmstream"
 	"wmstream/internal/obs"
 )
 
@@ -49,6 +50,14 @@ code { background: #f6f6f6; padding: 1px 4px; }
 <tr><th>hits</th><td>{{.Cache.Hits}}</td></tr>
 <tr><th>misses</th><td>{{.Cache.Misses}}</td></tr>
 <tr><th>evictions</th><td>{{.Cache.Evictions}}</td></tr>
+</table>
+
+<h2>Translation cache</h2>
+<table>
+<tr><th>entries</th><td>{{.TransCache.Entries}} / {{.TransCache.Cap}}</td></tr>
+<tr><th>hits</th><td>{{.TransCache.Hits}}</td></tr>
+<tr><th>misses</th><td>{{.TransCache.Misses}}</td></tr>
+<tr><th>evictions</th><td>{{.TransCache.Evictions}}</td></tr>
 </table>
 
 <h2>Jobs</h2>
@@ -113,7 +122,8 @@ type statuszData struct {
 	InFlight   int64
 	QueueDepth int
 
-	Cache CacheStats
+	Cache      CacheStats
+	TransCache wmstream.TransCacheStats
 
 	JobsQueued    int
 	JobsRunning   int
@@ -141,6 +151,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		InFlight:      s.pool.InFlight(),
 		QueueDepth:    s.pool.QueueDepth(),
 		Cache:         s.cache.Stats(),
+		TransCache:    wmstream.TranslationCacheStats(),
 		JobsQueued:    jq,
 		JobsRunning:   jr,
 		JobsHeld:      jh,

@@ -35,20 +35,23 @@ package sim
 
 import (
 	"context"
+	"fmt"
 	"io"
 
 	"wmstream/internal/telemetry"
 )
 
-// Engine selects the simulation loop.  Both engines produce identical
+// Engine selects the simulation loop.  All engines produce identical
 // cycle counts, statistics, telemetry attribution, memory images and
 // faults (the differential tests in internal/bench assert this across
 // the whole benchmark suite); the fast engine gets there sooner by
-// skipping provably-stalled stretches and batching stream transfers.
+// skipping provably-stalled stretches and batching stream transfers,
+// and the translated engine sooner still by running ahead-of-time
+// compiled Go closures instead of decoding on every cycle.
 type Engine uint8
 
 const (
-	// EngineAuto picks the fast engine unless a feature that needs
+	// EngineAuto picks the translated engine unless a feature that needs
 	// per-cycle observation (Config.TraceSink) forces the reference.
 	EngineAuto Engine = iota
 	// EngineFast requests the event-stepped engine (still demoted to
@@ -56,7 +59,55 @@ const (
 	EngineFast
 	// EngineReference forces the plain cycle-by-cycle interpreter.
 	EngineReference
+	// EngineTranslated requests the binary-translating engine: the image
+	// is lowered once to per-instruction Go closures (cached process-wide
+	// by image fingerprint, see translate.go) and the hot loop runs no
+	// decode, no expression interpretation and no hazard-kind dispatch.
+	EngineTranslated
 )
+
+// String names the engine the way CLI flags and the wire protocol
+// spell it.  EngineAuto reports "auto"; use Resolve when the name of
+// the engine that actually runs is wanted.
+func (e Engine) String() string {
+	switch e {
+	case EngineFast:
+		return "fast"
+	case EngineReference:
+		return "reference"
+	case EngineTranslated:
+		return "translated"
+	default:
+		return "auto"
+	}
+}
+
+// Resolve maps EngineAuto onto the engine it selects when nothing
+// (tracing, recording) forces a demotion; concrete engines resolve to
+// themselves.
+func (e Engine) Resolve() Engine {
+	if e == EngineAuto {
+		return EngineTranslated
+	}
+	return e
+}
+
+// ParseEngine maps a flag or wire engine name onto an Engine ("" and
+// "auto" are EngineAuto).
+func ParseEngine(name string) (Engine, error) {
+	switch name {
+	case "", "auto":
+		return EngineAuto, nil
+	case "translated":
+		return EngineTranslated, nil
+	case "fast":
+		return EngineFast, nil
+	case "reference":
+		return EngineReference, nil
+	default:
+		return EngineAuto, fmt.Errorf("unknown engine %q (want auto, translated, fast, or reference)", name)
+	}
+}
 
 // Config sets the machine parameters.  The zero value is unusable; use
 // DefaultConfig.
@@ -106,7 +157,7 @@ type Config struct {
 	// source-level profiler (Machine.Retired).
 	Profile bool
 	// Engine selects the simulation loop (see Engine).  The zero value
-	// EngineAuto uses the fast engine whenever tracing permits.
+	// EngineAuto uses the translated engine whenever tracing permits.
 	Engine Engine
 	// Ctx, when non-nil, cancels the simulation cooperatively: the
 	// engine loops poll its Done channel (every cancelCheckInterval

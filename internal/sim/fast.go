@@ -1,9 +1,10 @@
 package sim
 
 import (
-	"wmstream/internal/telemetry"
+	"math/bits"
 
 	"wmstream/internal/rtl"
+	"wmstream/internal/telemetry"
 )
 
 // The fast engine.  It runs the same step() as the reference engine but
@@ -124,16 +125,63 @@ func (m *Machine) idleSkip(dLoad, dBranch, dIFU, slack, limit int64) {
 	m.now = target
 }
 
-// nextEvent returns the earliest stored ready time strictly after now
-// (0 when none exists).  These are the only time-varying inputs of a
+// noteEvent feeds the next-event cache with a freshly stored ready
+// time.  Every site that writes a future readyAt, FIFO-entry ready, or
+// condition-code ready time calls it, so the cache never misses an
+// event; consumed entries merely leave it stale-small, which only
+// shortens an idle skip.  An unknown cache (0) stays unknown — the next
+// nextEvent call rebuilds it by scanning.
+func (m *Machine) noteEvent(t int64) {
+	if t > m.now && m.nextEv != 0 && t < m.nextEv {
+		m.nextEv = t
+	}
+}
+
+// setReady stores a scalar register's result forwarding time, keeping
+// the ready mask and the next-event cache fed.
+func (m *Machine) setReady(c rtl.Class, n int, t int64) {
+	m.readyAt[c][n] = t
+	m.readyMask[c] |= 1 << uint(n)
+	m.noteEvent(t)
+}
+
+// nextEvent returns a conservative bound on the earliest stored ready
+// time strictly after now (0 when none exists): the cached bound when
+// it is still in the future, else a full scan whose result re-seeds the
+// cache.  These ready times are the only time-varying inputs of a
 // no-progress cycle: scalar result forwarding times, in-flight FIFO
 // data arrival times, and condition-code ready times.
 func (m *Machine) nextEvent() int64 {
+	if ev := m.nextEv; ev > m.now {
+		if ev == unboundedCycles {
+			return 0
+		}
+		return ev
+	}
+	ev := m.scanNextEvent()
+	if ev == 0 {
+		m.nextEv = unboundedCycles
+	} else {
+		m.nextEv = ev
+	}
+	return ev
+}
+
+// scanNextEvent derives the exact next event by scanning every stored
+// ready time (the cache-rebuild slow path).
+func (m *Machine) scanNextEvent() int64 {
 	ev := unboundedCycles
 	for c := 0; c < 2; c++ {
-		for n := 0; n < rtl.NumArchRegs; n++ {
-			if t := m.readyAt[c][n]; t > m.now && t < ev {
-				ev = t
+		// Visit only registers whose mask bit says a future readyAt may
+		// be stored, clearing bits proven stale.
+		for mask := m.readyMask[c]; mask != 0; mask &= mask - 1 {
+			n := bits.TrailingZeros32(mask)
+			if t := m.readyAt[c][n]; t > m.now {
+				if t < ev {
+					ev = t
+				}
+			} else {
+				m.readyMask[c] &^= 1 << uint(n)
 			}
 		}
 		for n := 0; n < 2; n++ {

@@ -260,6 +260,7 @@ func (m *Machine) startStream(i *rtl.Instr, dec *decoded) bool {
 		return false
 	}
 	unit.active = true
+	m.activeSCUs++
 	unit.input = i.Kind == rtl.KStreamIn
 	unit.class = i.MemClass
 	unit.fifoN = i.FIFO.N

@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"crypto/sha256"
 	"fmt"
+	"sort"
+	"sync"
 
 	"wmstream/internal/rtl"
 )
@@ -28,6 +31,47 @@ type Image struct {
 	// else next), so compiler-synthesized prologue/epilogue code
 	// attributes to the function rather than vanishing from profiles.
 	Line []int
+
+	fpOnce sync.Once
+	fp     [sha256.Size]byte
+}
+
+// Fingerprint returns the content address of the image: a SHA-256 over
+// everything that determines execution and diagnostics — the rendered
+// instructions with their non-printing fields, resolved branch targets,
+// the entry point, the global layout, initialized data, and the
+// function/line debug tables.  Two images with equal fingerprints
+// behave identically under any machine configuration, which is what
+// makes the process-wide translation cache and the machine pool sound.
+// Computed once per image and cached.
+func (img *Image) Fingerprint() [sha256.Size]byte {
+	img.fpOnce.Do(func() {
+		h := sha256.New()
+		fmt.Fprintf(h, "wmimg/1\x00entry=%d\x00dataend=%d\x00", img.Entry, img.DataEnd)
+		names := make([]string, 0, len(img.Globals))
+		for name := range img.Globals {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(h, "g\x00%s\x00%d\x00", name, img.Globals[name])
+		}
+		for _, c := range img.Init {
+			fmt.Fprintf(h, "init\x00%d\x00", c.addr)
+			h.Write(c.data)
+			h.Write([]byte{0})
+		}
+		for n, i := range img.Code {
+			// String covers the operands; the numeric fields cover the
+			// parts a rendering could conceivably alias.
+			fmt.Fprintf(h, "i\x00%s\x00%d %d %d %d %d %d %t %d\x00",
+				i.String(), img.Target[n], i.Kind, i.MemSize, i.MemClass,
+				i.CCClass, i.Fmt, i.Sense, i.FIFO.N)
+			fmt.Fprintf(h, "%s\x00%d\x00", img.FuncOf[n], img.Line[n])
+		}
+		h.Sum(img.fp[:0])
+	})
+	return img.fp
 }
 
 type initChunk struct {

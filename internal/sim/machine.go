@@ -31,6 +31,11 @@ type dispatched struct {
 	i   *rtl.Instr
 	dec *decoded
 	seq int64
+	// fn caches the translated issue function for idx.  Set when the
+	// translated IFU dispatches; nil when another engine dispatched or
+	// after a checkpoint restore — runTranslated's prologue refills it
+	// (the interpreting engines ignore it).
+	fn issueFn
 }
 
 // fifoEntry is one datum in (or on its way to) an input FIFO.
@@ -105,6 +110,9 @@ type Machine struct {
 	streamIter [2][2]int64
 
 	scus []*scu
+	// activeSCUs counts SCUs with active=true so per-cycle checks that
+	// scan for streams can skip the scan entirely in scalar code.
+	activeSCUs int
 	// outStreams counts active output streams per (class, fifo) so the
 	// per-cycle store matcher avoids rescanning every SCU.
 	outStreams [2][2]int
@@ -154,20 +162,70 @@ type Machine struct {
 	// retired counts issue events per code index for the source-level
 	// profiler; nil unless cfg.Profile.
 	retired []int64
+
+	// nextEv caches a conservative lower bound on the earliest stored
+	// ready time strictly after now: 0 = unknown (scan), unboundedCycles
+	// = known none.  Every write of a future ready time goes through
+	// noteEvent, so a cached value > now can never exceed the true next
+	// event — stale (already consumed) entries only make it smaller,
+	// which is safe (a short idle skip just re-observes the same cycle).
+	nextEv int64
+	// readyMask over-approximates, per class, the registers whose
+	// readyAt may lie in the future; scanNextEvent visits only set bits
+	// and clears the stale ones.  Bits are set where readyAt is written
+	// and may go stale as time passes — never the reverse.
+	readyMask [2]uint32
+
+	// tr is the lazily attached translation (EngineTranslated /
+	// EngineAuto); shared across machines via the process-wide cache.
+	tr *translation
+
+	// The translated engine defers per-cycle Idle charges — of fully
+	// idle SCUs, and of each execution unit with an empty queue — into
+	// counters, flushed into unitCounts wherever the counts become
+	// observable (Stats, SaveState, a cycle where the unit works).  The
+	// cause flags record that cycleCause already says Idle for the
+	// covered slots, so the fast paths touch neither array.
+	scuIdleDeferred  int64
+	unitIdleDeferred [2]int64
+	scuCauseIdle     bool
+	unitCauseIdle    [2]bool
+
+	// pooled marks a machine handed out by Acquire; Release refuses
+	// machines built directly by New.
+	pooled bool
 }
 
-// New builds a machine for the linked image.  When the image's global
-// data would collide with the configured stack, the stack is relocated
-// above the data and memory grows to fit.
-func New(img *Image, cfg Config) *Machine {
+// normalizeConfig resolves the configuration New actually builds with:
+// when the image's global data would collide with the configured stack,
+// the stack is relocated above the data and memory grows to fit.  The
+// machine pool keys on the normalized form so two requests for the same
+// image land in the same pool regardless of pre-adjustment values.
+func normalizeConfig(img *Image, cfg Config) Config {
 	if img.DataEnd+65536 > cfg.StackTop {
 		cfg.StackTop = ((img.DataEnd + 65536 + 4095) &^ 4095) + 1<<20
 	}
 	if int64(cfg.MemSize) < cfg.StackTop+4096 {
 		cfg.MemSize = int(cfg.StackTop + 4096)
 	}
+	return cfg
+}
+
+// New builds a machine for the linked image.  When the image's global
+// data would collide with the configured stack, the stack is relocated
+// above the data and memory grows to fit.
+func New(img *Image, cfg Config) *Machine {
+	cfg = normalizeConfig(img, cfg)
 	m := &Machine{cfg: cfg, img: img, lastRetired: -1}
-	m.dec = decodeImage(img, cfg)
+	// Runs headed for the translated engine (the default) attach their
+	// translation here and share its decode cache — for a cached image,
+	// machine construction skips decoding entirely.
+	if cfg.TraceSink == nil && cfg.Engine != EngineFast && cfg.Engine != EngineReference {
+		m.tr = translationFor(img, cfg)
+		m.dec = m.tr.dec
+	} else {
+		m.dec = decodeImage(img, cfg)
+	}
 	m.mem = make([]byte, cfg.MemSize)
 	for _, c := range img.Init {
 		copy(m.mem[c.addr:], c.data)
@@ -267,10 +325,13 @@ func (m *Machine) RunSlice(budget int64) (bool, error) {
 	)
 	// The trace recorder observes every cycle, so it forces the
 	// reference engine regardless of the requested engine.
-	if m.cfg.Engine != EngineReference && m.rec == nil {
-		done, err = m.runFast(limit)
-	} else {
+	switch {
+	case m.rec != nil || m.cfg.Engine == EngineReference:
 		done, err = m.runRef(limit)
+	case m.cfg.Engine == EngineFast:
+		done, err = m.runFast(limit)
+	default: // EngineAuto, EngineTranslated
+		done, err = m.runTranslated(limit)
 	}
 	if done || err != nil {
 		m.finished = true
@@ -287,9 +348,27 @@ func (m *Machine) RunSlice(budget int64) (bool, error) {
 // has run to completion (matching Run's historical contract: error
 // paths leave it zero).
 func (m *Machine) Stats() Stats {
+	m.flushSCUIdle()
 	st := m.stats
 	st.Units = append([]telemetry.Unit(nil), m.unitCounts...)
 	return st
+}
+
+// flushSCUIdle applies the translated engine's deferred Idle charges
+// (no-op elsewhere).
+func (m *Machine) flushSCUIdle() {
+	if k := m.scuIdleDeferred; k != 0 {
+		m.scuIdleDeferred = 0
+		for u := unitSCU0; u < len(m.unitCounts); u++ {
+			m.unitCounts[u].Counts[telemetry.CauseIdle] += k
+		}
+	}
+	for c := 0; c < 2; c++ {
+		if k := m.unitIdleDeferred[c]; k != 0 {
+			m.unitIdleDeferred[c] = 0
+			m.unitCounts[unitIEU+c].Counts[telemetry.CauseIdle] += k
+		}
+	}
 }
 
 // Progress returns the headline counters of the run so far without
@@ -517,8 +596,11 @@ func (m *Machine) outputStreamActive(c rtl.Class, n int) bool {
 // deactivate retires an SCU, keeping the output-stream census in sync.
 // Every s.active=false in the machine goes through here.
 func (m *Machine) deactivate(s *scu) {
-	if s.active && !s.input {
-		m.outStreams[s.class][s.fifoN]--
+	if s.active {
+		m.activeSCUs--
+		if !s.input {
+			m.outStreams[s.class][s.fifoN]--
+		}
 	}
 	s.active = false
 }
@@ -555,10 +637,12 @@ func (m *Machine) stepSCUs() {
 				}
 				val = v
 			}
+			ready := m.now + int64(m.cfg.MemLatency)
 			q.push(fifoEntry{
-				val: val, ready: m.now + int64(m.cfg.MemLatency), served: true,
+				val: val, ready: ready, served: true,
 				addr: s.base, size: s.size,
 			})
+			m.noteEvent(ready)
 			m.stats.MemReads++
 		} else {
 			q := &m.outFIFO[s.class][s.fifoN]
@@ -631,10 +715,14 @@ func (m *Machine) serveMemory() {
 				e.val = val
 				e.served = true
 				e.ready = m.now + int64(m.cfg.MemLatency)
+				m.noteEvent(e.ready)
 				m.unserved--
 				m.portsLeft--
 				m.stats.MemReads++
 				m.progress()
+				if m.unserved == 0 {
+					return // no unserved entries left anywhere
+				}
 			}
 		}
 	}
@@ -673,6 +761,9 @@ func (m *Machine) storeConflict(addr int64, size int, seq int64) bool {
 // must wait for the stream to pass the address (its data is still in
 // flight through the output FIFO).
 func (m *Machine) outputStreamConflict(addr int64, size int) bool {
+	if m.activeSCUs == 0 {
+		return false
+	}
 	for _, s := range m.scus {
 		if !s.active || s.input || s.remaining == 0 {
 			continue

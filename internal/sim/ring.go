@@ -50,6 +50,12 @@ func (r *ring[T]) reserve(c int) {
 	}
 }
 
+// reset empties the ring, keeping its buffer.
+func (r *ring[T]) reset() {
+	r.head = 0
+	r.n = 0
+}
+
 // grow reallocates to the smallest power of two >= max(c, 8), moving
 // the live entries to the front.
 func (r *ring[T]) grow(c int) {

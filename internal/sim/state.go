@@ -160,6 +160,7 @@ func (m *Machine) SaveState() ([]byte, error) {
 		}
 	}
 
+	m.flushSCUIdle()
 	m.encodeStats(e)
 	e.int(len(m.unitCounts))
 	for _, u := range m.unitCounts {
@@ -288,11 +289,15 @@ func (m *Machine) RestoreState(data []byte) error {
 			return fmt.Errorf("sim: checkpoint SCU references FIFO (%d,%d) out of range", s.class, s.fifoN)
 		}
 	}
-	// The output-stream census is derived state; rebuild it.
+	// The stream censuses are derived state; rebuild them.
 	m.outStreams = [2][2]int{}
+	m.activeSCUs = 0
 	for _, s := range m.scus {
-		if s.active && !s.input {
-			m.outStreams[s.class][s.fifoN]++
+		if s.active {
+			m.activeSCUs++
+			if !s.input {
+				m.outStreams[s.class][s.fifoN]++
+			}
 		}
 	}
 
@@ -354,6 +359,18 @@ func (m *Machine) RestoreState(data []byte) error {
 	m.finished = false
 	m.termErr = nil
 	m.err = nil
+	// The next-event cache and ready mask are derived state: force a
+	// rescan, and mark every register as possibly-ready (stale bits are
+	// cleared lazily by the scan).
+	m.nextEv = 0
+	m.readyMask = [2]uint32{^uint32(0), ^uint32(0)}
+	// Deferred SCU Idle charges belong to the machine that ran the
+	// cycles, not to the restored state (the counts in the checkpoint
+	// are already flushed).
+	m.scuIdleDeferred = 0
+	m.scuCauseIdle = false
+	m.unitIdleDeferred = [2]int64{}
+	m.unitCauseIdle = [2]bool{}
 	return nil
 }
 

@@ -71,7 +71,7 @@ func TestStateRoundTripMidRun(t *testing.T) {
 	for _, e := range []struct {
 		name string
 		eng  Engine
-	}{{"ref", EngineReference}, {"fast", EngineFast}} {
+	}{{"ref", EngineReference}, {"fast", EngineFast}, {"translated", EngineTranslated}} {
 		e := e
 		t.Run(e.name, func(t *testing.T) {
 			cfg := DefaultConfig()
@@ -150,6 +150,60 @@ func TestStateCrossEngineResume(t *testing.T) {
 		t.Errorf("output %q, want %q", out.String(), wantOut)
 	}
 	if !bytes.Equal(m2.Mem(), wantMem) {
+		t.Errorf("final memory images differ")
+	}
+}
+
+// TestStateCrossEngineChain splices one run across all three engines —
+// a slice under the translated engine, a slice under the fast engine,
+// the rest under the reference — through checkpoints at each seam.  The
+// encoding is engine-independent and every engine is bit-identical, so
+// the spliced run must match the uninterrupted reference run exactly.
+func TestStateCrossEngineChain(t *testing.T) {
+	img := checkpointImage(t)
+	refCfg := DefaultConfig()
+	refCfg.Engine = EngineReference
+	wantStats, wantOut, wantMem := runUninterrupted(t, img, refCfg)
+
+	hop := func(blob []byte, eng Engine, out *bytes.Buffer, slice int64) ([]byte, *Machine) {
+		t.Helper()
+		cfg := DefaultConfig()
+		cfg.Engine = eng
+		cfg.Output = out
+		m := New(img, cfg)
+		if blob != nil {
+			if err := m.RestoreState(blob); err != nil {
+				t.Fatalf("RestoreState under engine %d: %v", eng, err)
+			}
+		}
+		if slice >= 0 {
+			if done, err := m.RunSlice(slice); err != nil || done {
+				t.Fatalf("engine %d slice ended early (done=%v err=%v)", eng, done, err)
+			}
+			next, err := m.SaveState()
+			if err != nil {
+				t.Fatalf("SaveState under engine %d: %v", eng, err)
+			}
+			return next, m
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("final run under engine %d: %v", eng, err)
+		}
+		return nil, m
+	}
+
+	var out bytes.Buffer
+	blob, _ := hop(nil, EngineTranslated, &out, 101)
+	blob, _ = hop(blob, EngineFast, &out, 97)
+	_, last := hop(blob, EngineReference, &out, -1)
+
+	if stats := last.Stats(); !reflect.DeepEqual(stats, wantStats) {
+		t.Errorf("stats mismatch:\nreference: %+v\nspliced:   %+v", wantStats, stats)
+	}
+	if out.String() != wantOut {
+		t.Errorf("output %q, want %q", out.String(), wantOut)
+	}
+	if !bytes.Equal(last.Mem(), wantMem) {
 		t.Errorf("final memory images differ")
 	}
 }

@@ -117,6 +117,9 @@ func (m *Machine) stepUnit(c rtl.Class) {
 }
 
 func (m *Machine) inputStreamIssuing(c rtl.Class, n int) bool {
+	if m.activeSCUs == 0 {
+		return false
+	}
 	for _, s := range m.scus {
 		if s.active && s.input && s.class == c && s.fifoN == n && s.remaining != 0 {
 			return true
@@ -202,13 +205,14 @@ func (m *Machine) execute(d *dispatched, c rtl.Class) {
 		switch {
 		case dec.isCompare:
 			m.ccFIFO[dst.Class].push(ccEntry{val != 0, m.now + 1})
+			m.noteEvent(m.now + 1)
 		case dst.IsZero():
 			// Discarded.
 		case dst.IsFIFO():
 			m.outFIFO[dst.Class][dst.N].push(val)
 		default:
 			m.regs[dst.Class][dst.N] = val
-			m.readyAt[dst.Class][dst.N] = m.now + dec.latency
+			m.setReady(dst.Class, dst.N, m.now+dec.latency)
 		}
 	case rtl.KLoad:
 		addr, ok := m.evalProg(dec.addr)

@@ -334,12 +334,13 @@ type Machine struct {
 	NumSCU        int   // stream control units
 	WatchdogSlack int   // no-progress cycles beyond MemLatency before a deadlock is declared
 	MaxCycles     int64 // simulated-cycle bound before a runaway run traps (0 = default)
-	// Engine selects the simulation loop: "" or "auto" picks the fast
-	// engine whenever tracing permits, "fast" requests it explicitly,
-	// "reference" forces the plain cycle-by-cycle interpreter.  Both
-	// engines produce identical results; the knob exists so
-	// cross-engine identity (including checkpoint/resume across
-	// engines) can be asserted from the outside.
+	// Engine selects the simulation loop: "" or "auto" picks the
+	// translated engine whenever tracing permits, "translated" requests
+	// it explicitly, "fast" the event-stepped interpreter, "reference"
+	// the plain cycle-by-cycle interpreter.  All engines produce
+	// identical results; the knob exists so cross-engine identity
+	// (including checkpoint/resume across engines) can be asserted
+	// from the outside, and so benchmarks can pin a loop.
 	Engine string
 }
 
@@ -384,6 +385,26 @@ type WallBudgetError = exec.WallBudgetError
 // delivered through SimOptions.Progress.
 type RunProgress = exec.Progress
 
+// TransCacheStats reports the process-wide translated-engine cache:
+// how many compiled translations are resident, the LRU capacity, and
+// cumulative hit/miss/eviction counts since process start.
+type TransCacheStats = sim.TransCacheStats
+
+// TranslationCacheStats snapshots the translation cache counters, for
+// exporters and debug pages.
+func TranslationCacheStats() TransCacheStats { return sim.TranslationCacheStats() }
+
+// ResolveEngine names the engine a Machine.Engine value actually runs:
+// "" and "auto" resolve to "translated"; other values name themselves.
+func ResolveEngine(engine string) string {
+	switch engine {
+	case "", "auto":
+		return "translated"
+	default:
+		return engine
+	}
+}
+
 // Result reports a simulation run.
 type Result struct {
 	Cycles       int64
@@ -423,6 +444,8 @@ func simConfig(m Machine) sim.Config {
 		cfg.Engine = sim.EngineFast
 	case "reference":
 		cfg.Engine = sim.EngineReference
+	case "translated":
+		cfg.Engine = sim.EngineTranslated
 	default:
 		cfg.Engine = sim.EngineAuto
 	}
@@ -448,7 +471,11 @@ func RunContext(ctx context.Context, p *Program, m Machine) (Result, error) {
 	cfg.Ctx = ctx
 	var out bytes.Buffer
 	cfg.Output = &out
-	machine := sim.New(img, cfg)
+	// Machines come from the recycling pool: a serving process running
+	// the same image repeatedly reuses memory and telemetry arrays
+	// instead of reallocating them per request.
+	machine := sim.Acquire(img, cfg)
+	defer sim.Release(machine)
 	stats, err := exec.Run(ctx, machine, exec.Options{})
 	if err != nil {
 		return Result{Output: out.String()}, err
