@@ -14,6 +14,10 @@
 // GET /debug/traces.  With -job-heavy, every job runs one fixed
 // compute-heavy program and the report's "jobs done/s" line becomes
 // the headline — the scenario for comparing wmserved -batch settings.
+// With -endpoints a,b,c the load spreads across the nodes of a
+// wmserved cluster — round-robin by default, or pinned per program
+// with -affinity key — and the report adds per-node request, error,
+// and latency breakdowns.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,6 +41,8 @@ func main() {
 func run() int {
 	var (
 		url         = flag.String("url", "http://localhost:8037", "wmserved base URL")
+		endpoints   = flag.String("endpoints", "", "comma-separated base URLs of a wmserved cluster; overrides -url and adds per-node breakdowns")
+		affinity    = flag.String("affinity", "rr", "multi-endpoint target policy: rr (round-robin) or key (pin each program to one node)")
 		duration    = flag.Duration("duration", 10*time.Second, "how long to generate load")
 		concurrency = flag.Int("c", 16, "concurrent client goroutines")
 		hitFrac     = flag.Float64("hit-fraction", 0.7, "fraction of requests reusing a fixed program set")
@@ -65,8 +72,23 @@ func run() int {
 	if (*jobs || *jobHeavy) && jf == 0 {
 		jf = 1
 	}
+	var urls []string
+	if *endpoints != "" {
+		for _, u := range strings.Split(*endpoints, ",") {
+			u = strings.TrimSuffix(strings.TrimSpace(u), "/")
+			if u == "" {
+				continue
+			}
+			if !strings.Contains(u, "://") {
+				u = "http://" + u
+			}
+			urls = append(urls, u)
+		}
+	}
 	rep, err := serve.RunLoad(ctx, serve.LoadConfig{
 		BaseURL:     *url,
+		BaseURLs:    urls,
+		Affinity:    *affinity,
 		Duration:    *duration,
 		Concurrency: *concurrency,
 		HitFraction: *hitFrac,

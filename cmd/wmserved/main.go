@@ -4,8 +4,12 @@
 // shedding, and Prometheus metrics on GET /metrics.  POST /jobs runs
 // simulations asynchronously — long-poll GET /jobs/{id} for progress,
 // DELETE /jobs/{id} to cancel — on a separate bounded worker pool with
-// per-tenant fair scheduling.  See internal/serve for the pipeline and
-// README.md for the wire format.
+// per-tenant fair scheduling.  With -cluster-peers, N wmserved
+// processes form a consistent-hash cluster: any node serves any
+// request, forwarding keys owned by healthy peers over the -peer-addr
+// listener so each key is compiled at most once cluster-wide, and
+// degrading to local execution when an owner is down.  See
+// internal/serve for the pipeline and README.md for the wire format.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"time"
 
 	"wmstream/internal/buildinfo"
+	"wmstream/internal/cluster"
 	"wmstream/internal/serve"
 )
 
@@ -50,6 +55,10 @@ func run() int {
 		jobFsync   = flag.String("job-fsync", "batch", "journal fsync policy: batch, always, or never")
 		jobRetries = flag.Int("job-retries", 3, "transient-failure retries per job (negative = none)")
 
+		nodeID       = flag.String("node-id", "", "this node's cluster identity (required with -cluster-peers)")
+		peerAddr     = flag.String("peer-addr", "", "internal cluster peer listener address (required with -cluster-peers)")
+		clusterPeers = flag.String("cluster-peers", "", "static cluster membership as comma-separated id=host:port pairs (peer addresses), including this node; empty = single-node mode")
+
 		debugAddr = flag.String("debug-addr", "", "private debug listener with net/http/pprof plus the trace/metrics endpoints (empty = disabled)")
 		traceRing = flag.Int("trace-ring", 0, "completed traces retained for /debug/traces (0 = default 256, negative = tracing off)")
 		traceSlow = flag.Duration("trace-slow", 0, "busy-time threshold above which a trace is kept in the slow ring (0 = default 500ms)")
@@ -67,6 +76,32 @@ func run() int {
 	}
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	// Cluster mode: a static peer list makes this node one shard of a
+	// consistent-hash cluster.  The peer listener speaks the same
+	// HTTP/JSON protocol as the public one — forwarded requests are
+	// ordinary requests marked X-WM-Forwarded — so the cluster needs no
+	// second wire format.
+	var cl *cluster.Cluster
+	if *clusterPeers != "" {
+		if *nodeID == "" || *peerAddr == "" {
+			fmt.Fprintln(os.Stderr, "wmserved: -cluster-peers requires -node-id and -peer-addr")
+			return 2
+		}
+		peers, err := cluster.ParsePeers(*clusterPeers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wmserved: %v\n", err)
+			return 2
+		}
+		cl, err = cluster.New(cluster.Config{Self: *nodeID, Peers: peers})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wmserved: %v\n", err)
+			return 2
+		}
+		cl.Start()
+		defer cl.Close()
+	}
+
 	srv := serve.New(serve.Config{
 		Workers:            *workers,
 		QueueDepth:         *queue,
@@ -86,6 +121,7 @@ func run() int {
 		JobDir:             *jobDir,
 		JobFsync:           *jobFsync,
 		JobRetries:         *jobRetries,
+		Cluster:            cl,
 		TraceRing:          *traceRing,
 		TraceSlowThreshold: *traceSlow,
 	})
@@ -105,6 +141,24 @@ func run() int {
 		return 1
 	}
 	httpSrv := &http.Server{Handler: srv}
+
+	// The peer listener serves the same handler as the public one;
+	// separating the addresses lets deployments firewall the internal
+	// mesh away from client traffic.
+	var peerSrv *http.Server
+	if cl != nil {
+		pln, err := net.Listen("tcp", *peerAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wmserved: peer listener: %v\n", err)
+			return 1
+		}
+		peerSrv = &http.Server{Handler: srv}
+		go peerSrv.Serve(pln)
+		defer peerSrv.Close()
+		logger.Info("wmserved cluster peer listening",
+			"addr", pln.Addr().String(), "node", cl.Self(),
+			"nodes", len(cl.Nodes()), "owned_fraction", cl.OwnedFraction())
+	}
 
 	// The optional debug listener keeps profiling and introspection off
 	// the public port: pprof handlers plus the same /debug/*, /metrics,

@@ -1,0 +1,350 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Peer is one configured cluster member: a stable identity plus the
+// base URL of its internal peer listener.
+type Peer struct {
+	ID   string
+	Addr string
+}
+
+// ParsePeers parses the -cluster-peers flag format: comma-separated
+// id=addr pairs ("a=host:1234,b=http://host:1235").  Addresses without
+// a scheme get "http://".
+func ParsePeers(s string) ([]Peer, error) {
+	var peers []Peer
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("cluster: bad peer %q (want id=host:port)", part)
+		}
+		if !strings.Contains(addr, "://") {
+			addr = "http://" + addr
+		}
+		peers = append(peers, Peer{ID: id, Addr: strings.TrimSuffix(addr, "/")})
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	return peers, nil
+}
+
+// Config configures a Cluster.
+type Config struct {
+	// Self is this node's ID; it must appear in Peers.
+	Self string
+	// Peers is the full static membership, including Self.
+	Peers []Peer
+	// VNodes is the virtual-node count per node (default DefaultVNodes).
+	VNodes int
+	// ProbeEvery is the health-probe period (default 2s).
+	ProbeEvery time.Duration
+	// ProbeTimeout bounds one probe's HTTP round trip (default 1s).
+	ProbeTimeout time.Duration
+	// Client is the HTTP client for probes and forwards (default: a
+	// dedicated client with sane connection reuse).
+	Client *http.Client
+}
+
+// peerState is the live health record of one remote peer.
+type peerState struct {
+	id, addr string
+	up       atomic.Bool
+
+	mu        sync.Mutex
+	lastErr   string
+	lastProbe time.Time
+	probes    int64
+	failures  int64
+}
+
+// PeerStatus is the externally visible snapshot of one peer, rendered
+// into /healthz and /debug/statusz.
+type PeerStatus struct {
+	ID        string  `json:"id"`
+	Addr      string  `json:"addr"`
+	Up        bool    `json:"up"`
+	LastError string  `json:"last_error,omitempty"`
+	AgeSec    float64 `json:"last_probe_age_seconds,omitempty"`
+	Probes    int64   `json:"probes"`
+	Failures  int64   `json:"failures"`
+}
+
+// Health is the cluster section of /healthz.
+type Health struct {
+	Self          string       `json:"self"`
+	Nodes         int          `json:"nodes"`
+	VNodes        int          `json:"vnodes"`
+	OwnedFraction float64      `json:"owned_fraction"`
+	PeersUp       int          `json:"peers_up"`
+	Peers         []PeerStatus `json:"peers"`
+}
+
+// Route is the ownership decision for one key.
+type Route struct {
+	ID    string // owning node
+	Addr  string // owner's peer address ("" when Local)
+	Local bool   // this node owns the key
+	Up    bool   // owner believed healthy (true when Local)
+}
+
+// Cluster is one node's view of the mesh: the shared ring plus live
+// health state for every remote peer.  All methods are safe for
+// concurrent use.
+type Cluster struct {
+	self      string
+	selfAddr  string
+	ring      *Ring
+	peers     []*peerState // remote peers only, sorted by ID
+	byID      map[string]*peerState
+	client    *http.Client
+	ownedFrac float64
+
+	probeEvery   time.Duration
+	probeTimeout time.Duration
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+	started  atomic.Bool
+}
+
+// New validates the membership and builds the node's cluster view.
+// Peers start optimistically up; the probe loop (Start) and passive
+// forward failures (MarkDown) correct that within one probe period.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Self node ID required")
+	}
+	ids := make([]string, 0, len(cfg.Peers))
+	byID := make(map[string]*peerState, len(cfg.Peers))
+	var selfAddr string
+	selfSeen := false
+	for _, p := range cfg.Peers {
+		if p.ID == "" || p.Addr == "" {
+			return nil, fmt.Errorf("cluster: peer with empty ID or address")
+		}
+		if _, dup := byID[p.ID]; dup || (p.ID == cfg.Self && selfSeen) {
+			return nil, fmt.Errorf("cluster: duplicate peer ID %q", p.ID)
+		}
+		ids = append(ids, p.ID)
+		if p.ID == cfg.Self {
+			selfSeen = true
+			selfAddr = p.Addr
+			continue
+		}
+		ps := &peerState{id: p.ID, addr: strings.TrimSuffix(p.Addr, "/")}
+		ps.up.Store(true)
+		byID[p.ID] = ps
+	}
+	if !selfSeen {
+		return nil, fmt.Errorf("cluster: self %q not in peer list", cfg.Self)
+	}
+	ring, err := NewRing(ids, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	peers := make([]*peerState, 0, len(byID))
+	for _, ps := range byID {
+		peers = append(peers, ps)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i].id < peers[j].id })
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = 2 * time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+	}
+	return &Cluster{
+		self:         cfg.Self,
+		selfAddr:     selfAddr,
+		ring:         ring,
+		peers:        peers,
+		byID:         byID,
+		client:       client,
+		ownedFrac:    ring.OwnedFraction(cfg.Self),
+		probeEvery:   cfg.ProbeEvery,
+		probeTimeout: cfg.ProbeTimeout,
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}, nil
+}
+
+// Self is this node's ID.
+func (c *Cluster) Self() string { return c.self }
+
+// SelfAddr is this node's advertised peer address.
+func (c *Cluster) SelfAddr() string { return c.selfAddr }
+
+// Nodes is the full sorted membership (including self).
+func (c *Cluster) Nodes() []string { return c.ring.Nodes() }
+
+// OwnedFraction is the share of the key space this node owns.
+func (c *Cluster) OwnedFraction() float64 { return c.ownedFrac }
+
+// Do issues an HTTP request on the cluster's shared client (forwards
+// reuse the same connection pool the prober warms).
+func (c *Cluster) Do(req *http.Request) (*http.Response, error) { return c.client.Do(req) }
+
+// Route decides where a key's request should execute.
+func (c *Cluster) Route(key []byte) Route {
+	owner := c.ring.Owner(key)
+	if owner == c.self {
+		return Route{ID: owner, Local: true, Up: true}
+	}
+	ps := c.byID[owner]
+	return Route{ID: owner, Addr: ps.addr, Up: ps.up.Load()}
+}
+
+// PeerUp reports whether the peer is currently believed healthy (true
+// for self).
+func (c *Cluster) PeerUp(id string) bool {
+	if id == c.self {
+		return true
+	}
+	ps, ok := c.byID[id]
+	return ok && ps.up.Load()
+}
+
+// MarkDown records a passive failure observation (a forward that could
+// not reach the peer), flipping it down immediately instead of waiting
+// for the next probe.  The probe loop brings it back up.
+func (c *Cluster) MarkDown(id, reason string) {
+	ps, ok := c.byID[id]
+	if !ok {
+		return
+	}
+	ps.up.Store(false)
+	ps.mu.Lock()
+	ps.lastErr = reason
+	ps.failures++
+	ps.mu.Unlock()
+}
+
+// Start launches the background probe loop.  Idempotent; Close stops
+// it.
+func (c *Cluster) Start() {
+	if !c.started.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer close(c.done)
+		t := time.NewTicker(c.probeEvery)
+		defer t.Stop()
+		// Prime health immediately rather than serving a whole period
+		// on optimistic state.
+		c.Probe(context.Background())
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				c.Probe(context.Background())
+			}
+		}
+	}()
+}
+
+// Close stops the probe loop (if started) and waits for it to exit.
+func (c *Cluster) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	if c.started.Load() {
+		<-c.done
+	}
+}
+
+// Probe runs one synchronous health round: every remote peer's
+// /healthz is fetched in parallel and its up/down state updated.  A
+// peer is up only when it answers 200 within the probe timeout — a
+// draining peer (503) is down for routing purposes, which is exactly
+// what a load balancer would conclude.
+func (c *Cluster) Probe(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, ps := range c.peers {
+		wg.Add(1)
+		go func(ps *peerState) {
+			defer wg.Done()
+			c.probeOne(ctx, ps)
+		}(ps)
+	}
+	wg.Wait()
+}
+
+func (c *Cluster) probeOne(ctx context.Context, ps *peerState) {
+	ctx, cancel := context.WithTimeout(ctx, c.probeTimeout)
+	defer cancel()
+	var errMsg string
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ps.addr+"/healthz", nil)
+	if err != nil {
+		errMsg = err.Error()
+	} else {
+		resp, err := c.client.Do(req)
+		switch {
+		case err != nil:
+			errMsg = err.Error()
+		case resp.StatusCode != http.StatusOK:
+			errMsg = "healthz status " + resp.Status
+		}
+		if err == nil {
+			resp.Body.Close()
+		}
+	}
+	ps.up.Store(errMsg == "")
+	ps.mu.Lock()
+	ps.lastProbe = time.Now()
+	ps.probes++
+	ps.lastErr = errMsg
+	if errMsg != "" {
+		ps.failures++
+	}
+	ps.mu.Unlock()
+}
+
+// Snapshot renders the node's current cluster view for /healthz,
+// /metrics, and /debug/statusz.
+func (c *Cluster) Snapshot() Health {
+	h := Health{
+		Self:          c.self,
+		Nodes:         len(c.ring.Nodes()),
+		VNodes:        c.ring.VNodes(),
+		OwnedFraction: c.ownedFrac,
+	}
+	for _, ps := range c.peers {
+		ps.mu.Lock()
+		st := PeerStatus{
+			ID:        ps.id,
+			Addr:      ps.addr,
+			Up:        ps.up.Load(),
+			LastError: ps.lastErr,
+			Probes:    ps.probes,
+			Failures:  ps.failures,
+		}
+		if !ps.lastProbe.IsZero() {
+			st.AgeSec = time.Since(ps.lastProbe).Seconds()
+		}
+		ps.mu.Unlock()
+		if st.Up {
+			h.PeersUp++
+		}
+		h.Peers = append(h.Peers, st)
+	}
+	return h
+}

@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("a=host:1, b=http://other:2/ ,c=https://third:3")
+	if err != nil {
+		t.Fatalf("ParsePeers: %v", err)
+	}
+	want := []Peer{
+		{ID: "a", Addr: "http://host:1"},
+		{ID: "b", Addr: "http://other:2"},
+		{ID: "c", Addr: "https://third:3"},
+	}
+	if len(peers) != len(want) {
+		t.Fatalf("got %v", peers)
+	}
+	for i := range want {
+		if peers[i] != want[i] {
+			t.Errorf("peer %d = %+v, want %+v", i, peers[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "noequals", "=addr", "id=", ","} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	peers := []Peer{{ID: "a", Addr: "http://x:1"}, {ID: "b", Addr: "http://x:2"}}
+	if _, err := New(Config{Self: "z", Peers: peers}); err == nil {
+		t.Error("self outside peer list accepted")
+	}
+	if _, err := New(Config{Self: "a", Peers: append(peers, Peer{ID: "b", Addr: "http://x:3"})}); err == nil {
+		t.Error("duplicate peer ID accepted")
+	}
+	c, err := New(Config{Self: "a", Peers: peers})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if c.Self() != "a" || c.SelfAddr() != "http://x:1" {
+		t.Errorf("self = %q addr %q", c.Self(), c.SelfAddr())
+	}
+	if !c.PeerUp("b") {
+		t.Error("peers should start optimistically up")
+	}
+}
+
+// TestProbeFlipsState: a probe marks a dead peer down and a revived
+// peer back up; MarkDown flips immediately without waiting for a
+// probe.
+func TestProbeFlipsState(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			t.Errorf("probe hit %s, want /healthz", r.URL.Path)
+		}
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+
+	c, err := New(Config{
+		Self: "self",
+		Peers: []Peer{
+			{ID: "self", Addr: "http://unused:1"},
+			{ID: "peer", Addr: ts.URL},
+		},
+		ProbeTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	c.Probe(context.Background())
+	if !c.PeerUp("peer") {
+		t.Fatalf("healthy peer probed down: %+v", c.Snapshot())
+	}
+
+	healthy.Store(false) // draining: healthz says 503 -> down for routing
+	c.Probe(context.Background())
+	if c.PeerUp("peer") {
+		t.Fatal("draining peer still up after probe")
+	}
+
+	healthy.Store(true)
+	c.Probe(context.Background())
+	if !c.PeerUp("peer") {
+		t.Fatal("revived peer still down after probe")
+	}
+
+	c.MarkDown("peer", "connection refused")
+	if c.PeerUp("peer") {
+		t.Fatal("MarkDown did not flip the peer down")
+	}
+	snap := c.Snapshot()
+	if snap.PeersUp != 0 || len(snap.Peers) != 1 || snap.Peers[0].LastError != "connection refused" {
+		t.Errorf("snapshot after MarkDown: %+v", snap)
+	}
+	if snap.OwnedFraction <= 0 || snap.OwnedFraction >= 1 {
+		t.Errorf("owned fraction %v for a 2-node cluster", snap.OwnedFraction)
+	}
+}
+
+// TestRouteAgreesAcrossNodes: every node in a cluster computes the
+// same owner for the same key, and exactly one of them calls it local.
+func TestRouteAgreesAcrossNodes(t *testing.T) {
+	peers := []Peer{
+		{ID: "n0", Addr: "http://h:1"},
+		{ID: "n1", Addr: "http://h:2"},
+		{ID: "n2", Addr: "http://h:3"},
+	}
+	views := make([]*Cluster, len(peers))
+	for i, p := range peers {
+		c, err := New(Config{Self: p.ID, Peers: peers})
+		if err != nil {
+			t.Fatalf("New(%s): %v", p.ID, err)
+		}
+		views[i] = c
+	}
+	for _, key := range [][]byte{[]byte("k1"), []byte("k2"), []byte("k3"), []byte("k4"), []byte("k5")} {
+		owner := views[0].Route(key).ID
+		locals := 0
+		for _, v := range views {
+			rt := v.Route(key)
+			if rt.ID != owner {
+				t.Fatalf("node %s routes %q to %s, node n0 to %s", v.Self(), key, rt.ID, owner)
+			}
+			if rt.Local {
+				locals++
+				if v.Self() != owner {
+					t.Fatalf("node %s claims key owned by %s", v.Self(), owner)
+				}
+				if rt.Addr != "" {
+					t.Errorf("local route carries addr %q", rt.Addr)
+				}
+			} else if !rt.Up || rt.Addr == "" {
+				t.Errorf("remote route %+v: want up with addr", rt)
+			}
+		}
+		if locals != 1 {
+			t.Fatalf("%d nodes claim key %q", locals, key)
+		}
+	}
+}
+
+// TestStartClose: the probe loop runs and shuts down cleanly, and a
+// never-started cluster can still be closed.
+func TestStartClose(t *testing.T) {
+	var probes atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		probes.Add(1)
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+	c, err := New(Config{
+		Self:       "self",
+		Peers:      []Peer{{ID: "self", Addr: "http://unused:1"}, {ID: "peer", Addr: ts.URL}},
+		ProbeEvery: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	c.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for probes.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.Close()
+	if probes.Load() < 2 {
+		t.Fatalf("probe loop fired %d times", probes.Load())
+	}
+
+	idle, err := New(Config{Self: "a", Peers: []Peer{{ID: "a", Addr: "http://x:1"}}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	idle.Close() // must not hang without Start
+}

@@ -1,0 +1,151 @@
+// Package cluster promotes a single wmserved node to a member of a
+// multi-node cluster.  It supplies the three distributed-systems
+// primitives the serving layer composes:
+//
+//   - a consistent-hash ring (this file) mapping content-addressed
+//     cache keys to owning nodes, stable under membership change:
+//     adding or removing one node remaps only the keys that node
+//     gains or loses, so the rest of the cluster's caches stay warm;
+//   - node identity and static membership (cluster.go): a peer list
+//     configured up front, with per-peer health probing and passive
+//     failure detection feeding an up/down state;
+//   - the routing decision (Cluster.Route): local, forward to a
+//     healthy owner, or degrade to local execution when the owner is
+//     down.
+//
+// The ring and the membership model are deliberately independent: the
+// ring is a pure function of the configured node IDs, NOT of health
+// state.  A down node keeps its arcs — requests for its keys degrade
+// to local execution at whichever node received them — so a flapping
+// peer does not churn ownership (and therefore cache placement) across
+// the whole cluster.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per physical node.  128
+// points per node keeps the maximum ownership imbalance under ~1.35x
+// the fair share (enforced by TestRingDistribution) while ring
+// construction stays microseconds-cheap.
+const DefaultVNodes = 128
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle
+// and the physical node that owns the arc ending at it.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// Ring is a consistent-hash ring over a fixed node set.  It is
+// immutable after construction and safe for concurrent use; membership
+// changes build a new Ring.
+type Ring struct {
+	vnodes int
+	nodes  []string // sorted, deduplicated
+	points []ringPoint
+}
+
+// KeyHash reduces an arbitrary key to its position on the hash circle.
+// SHA-256 (truncated to 64 bits) keeps placement uniform regardless of
+// key structure and — unlike anything seeded or map-ordered — is
+// identical in every process, which is what makes ownership a
+// cluster-wide agreement rather than a per-node opinion.
+func KeyHash(key []byte) uint64 {
+	sum := sha256.Sum256(key)
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// pointHash positions one virtual node on the circle.
+func pointHash(node string, vnode int) uint64 {
+	sum := sha256.Sum256([]byte(node + "#" + strconv.Itoa(vnode)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// NewRing builds a ring over the node IDs with vnodes virtual nodes
+// each (DefaultVNodes when <= 0).  The input order is irrelevant:
+// nodes are sorted and deduplicated, and hash ties are broken by node
+// name, so every process configured with the same membership computes
+// the same ring.
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(nodes))
+	uniq := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node ID")
+		}
+		if !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	sort.Strings(uniq)
+	points := make([]ringPoint, 0, len(uniq)*vnodes)
+	for _, n := range uniq {
+		for v := 0; v < vnodes; v++ {
+			points = append(points, ringPoint{hash: pointHash(n, v), node: n})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].hash != points[j].hash {
+			return points[i].hash < points[j].hash
+		}
+		return points[i].node < points[j].node
+	})
+	return &Ring{vnodes: vnodes, nodes: uniq, points: points}, nil
+}
+
+// Nodes returns the ring's membership in sorted order.  The slice is
+// shared; callers must not modify it.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// VNodes reports the virtual-node count per physical node.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Owner maps a key to its owning node: the first virtual node at or
+// clockwise of the key's hash position (wrapping past the top of the
+// circle).
+func (r *Ring) Owner(key []byte) string { return r.ownerAt(KeyHash(key)) }
+
+// OwnerString is Owner for string keys.
+func (r *Ring) OwnerString(key string) string { return r.ownerAt(KeyHash([]byte(key))) }
+
+func (r *Ring) ownerAt(h uint64) string {
+	pts := r.points
+	idx := sort.Search(len(pts), func(i int) bool { return pts[i].hash >= h })
+	if idx == len(pts) {
+		idx = 0
+	}
+	return pts[idx].node
+}
+
+// OwnedFraction is the exact share of the 64-bit hash circle owned by
+// the node: the summed widths of the arcs ending at its virtual nodes,
+// over 2^64.  Across all members the fractions sum to 1; with enough
+// virtual nodes each sits near 1/len(Nodes()).
+func (r *Ring) OwnedFraction(node string) float64 {
+	pts := r.points
+	if len(pts) == 0 {
+		return 0
+	}
+	var owned uint64
+	prev := pts[len(pts)-1].hash // the arc to pts[0] wraps past zero, mod 2^64
+	for _, p := range pts {
+		if p.node == node {
+			owned += p.hash - prev
+		}
+		prev = p.hash
+	}
+	return float64(owned) / (1 << 63) / 2
+}

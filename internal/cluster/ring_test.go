@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// testKeys builds n deterministic pseudo-random keys (the production
+// keys are SHA-256 content addresses, i.e. uniform; these are too,
+// after KeyHash's own hashing).
+func testKeys(n int) [][]byte {
+	rng := rand.New(rand.NewSource(42))
+	keys := make([][]byte, n)
+	for i := range keys {
+		k := make([]byte, 16)
+		binary.BigEndian.PutUint64(k, rng.Uint64())
+		binary.BigEndian.PutUint64(k[8:], uint64(i))
+		keys[i] = k
+	}
+	return keys
+}
+
+func mustRing(t *testing.T, nodes []string, vnodes int) *Ring {
+	t.Helper()
+	r, err := NewRing(nodes, vnodes)
+	if err != nil {
+		t.Fatalf("NewRing(%v): %v", nodes, err)
+	}
+	return r
+}
+
+// TestRingDistribution enforces the load-balance bound the ISSUE asks
+// for: across 100k keys with 128 vnodes, no node owns more than 1.35x
+// its fair share — at several cluster sizes.
+func TestRingDistribution(t *testing.T) {
+	keys := testKeys(100_000)
+	for _, n := range []int{2, 3, 5, 8} {
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("node-%d", i)
+		}
+		r := mustRing(t, nodes, 128)
+		counts := make(map[string]int, n)
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		fair := float64(len(keys)) / float64(n)
+		for _, node := range nodes {
+			got := float64(counts[node])
+			if got > 1.35*fair {
+				t.Errorf("%d nodes: %s owns %.0f keys, > 1.35x fair share %.0f", n, node, got, fair)
+			}
+			if got < fair/1.35 {
+				t.Errorf("%d nodes: %s owns %.0f keys, < fair share %.0f / 1.35", n, node, got, fair)
+			}
+		}
+		// The analytic arc fractions must agree with the empirical key
+		// counts (within sampling noise) and sum to 1.
+		var sum float64
+		for _, node := range nodes {
+			f := r.OwnedFraction(node)
+			sum += f
+			emp := float64(counts[node]) / float64(len(keys))
+			if diff := f - emp; diff > 0.01 || diff < -0.01 {
+				t.Errorf("%d nodes: %s arc fraction %.4f vs empirical %.4f", n, node, f, emp)
+			}
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%d nodes: arc fractions sum to %.6f, want 1", n, sum)
+		}
+	}
+}
+
+// TestRingMinimalRemapOnAdd: growing the cluster by one node moves
+// only keys that the new node gains — never between existing nodes —
+// and about 1/(n+1) of them.
+func TestRingMinimalRemapOnAdd(t *testing.T) {
+	keys := testKeys(100_000)
+	before := mustRing(t, []string{"a", "b", "c"}, 128)
+	after := mustRing(t, []string{"a", "b", "c", "d"}, 128)
+	moved := 0
+	for _, k := range keys {
+		was, now := before.Owner(k), after.Owner(k)
+		if was == now {
+			continue
+		}
+		moved++
+		if now != "d" {
+			t.Fatalf("key moved %s -> %s: remap between surviving nodes", was, now)
+		}
+	}
+	want := float64(len(keys)) / 4
+	if f := float64(moved); f > 1.35*want || f < want/1.35 {
+		t.Errorf("moved %d keys on add, want about %.0f", moved, want)
+	}
+}
+
+// TestRingMinimalRemapOnRemove: removing a node moves only the keys it
+// owned.
+func TestRingMinimalRemapOnRemove(t *testing.T) {
+	keys := testKeys(100_000)
+	before := mustRing(t, []string{"a", "b", "c"}, 128)
+	after := mustRing(t, []string{"a", "c"}, 128)
+	moved := 0
+	for _, k := range keys {
+		was, now := before.Owner(k), after.Owner(k)
+		if was == now {
+			continue
+		}
+		moved++
+		if was != "b" {
+			t.Fatalf("key moved %s -> %s though %s survives", was, now, was)
+		}
+	}
+	want := float64(len(keys)) / 3
+	if f := float64(moved); f > 1.35*want || f < want/1.35 {
+		t.Errorf("moved %d keys on remove, want about %.0f", moved, want)
+	}
+}
+
+// TestRingDeterministicOwnership: ownership is a pure function of the
+// membership set — independent of configuration order and of the
+// process computing it.  The hard-coded hash pins the algorithm (node
+// label scheme, SHA-256 truncation) so a refactor cannot silently
+// remap every key in a live cluster.
+func TestRingDeterministicOwnership(t *testing.T) {
+	keys := testKeys(100_000)
+	a := mustRing(t, []string{"a", "b", "c"}, 128)
+	b := mustRing(t, []string{"c", "a", "b", "a"}, 128) // shuffled + duplicate
+	for _, k := range keys {
+		if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+			t.Fatalf("order-dependent ownership: %q vs %q", ao, bo)
+		}
+	}
+	if got := pointHash("a", 0); got != 0xa090a256cb93456a {
+		t.Errorf("pointHash(a#0) = %#x: the ring hash changed; this remaps every key in a rolling upgrade", got)
+	}
+	if got := KeyHash([]byte("wmstream")); got != 0xf5c5855e3757a4df {
+		t.Errorf("KeyHash(wmstream) = %#x: the key hash changed; this remaps every key in a rolling upgrade", got)
+	}
+}
+
+func TestRingRejectsBadInput(t *testing.T) {
+	if _, err := NewRing(nil, 128); err == nil {
+		t.Error("NewRing(nil) succeeded")
+	}
+	if _, err := NewRing([]string{""}, 128); err == nil {
+		t.Error("NewRing with empty ID succeeded")
+	}
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	r, _ := NewRing([]string{"a", "b", "c", "d", "e"}, 128)
+	key := []byte("0123456789abcdef0123456789abcdef")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Owner(key)
+	}
+}

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"wmstream/internal/cluster"
+	"wmstream/internal/obs"
+)
+
+// Cluster mode: the peer protocol between wmserved nodes.
+//
+// Every node runs the same serving pipeline; what the cluster adds is
+// a routing decision in front of it.  The content address (cache Key)
+// of a synchronous request is mapped through the consistent-hash ring
+// to an owning node:
+//
+//   - forwarded request (X-WM-Forwarded present)  -> execute locally,
+//     always: a forward is never re-forwarded, so routing is one hop
+//     and loop-free by construction;
+//   - owner == self                               -> execute locally
+//     under the node's cache + singleflight;
+//   - owner is a healthy peer                     -> relay the raw
+//     request bytes to the owner's peer listener and stream its
+//     response back byte-identically, annotated with X-WM-Node (who
+//     executed) and the owner's X-Cache state;
+//   - owner is down (probe or passive failure)    -> degrade: execute
+//     locally, mark the response X-WM-Degraded.  Correctness is
+//     unaffected — responses are a pure function of the content
+//     address — only the at-most-once-compiled economy is, and only
+//     while the owner is down.
+//
+// Because all nodes agree on ownership, every concurrent request for
+// one key converges on the owner, whose node-local singleflight then
+// collapses them: a key is compiled at most once cluster-wide without
+// any cross-node locking.
+const (
+	// headerForwarded marks an internal node-to-node forward and names
+	// the node that forwarded; its presence forces local execution.
+	headerForwarded = "X-WM-Forwarded"
+	// headerDeadline propagates the front node's absolute request
+	// deadline (unix microseconds) so the owner's execution budget is
+	// the time the client actually has left, not a fresh window.
+	headerDeadline = "X-WM-Deadline"
+	// headerNode names the node that actually executed the request.
+	headerNode = "X-WM-Node"
+	// headerDegraded marks a response served by local fallback because
+	// the owning node was unreachable.
+	headerDegraded = "X-WM-Degraded"
+)
+
+// forward outcomes for wmserved_cluster_forwards_total.
+const (
+	forwardOK    = "ok"    // relayed a peer response
+	forwardError = "error" // transport failure mid-forward; degraded to local
+	forwardDown  = "down"  // owner already marked down; degraded to local
+)
+
+// parseDeadline decodes an X-WM-Deadline header (unix microseconds).
+func parseDeadline(h string) (time.Time, bool) {
+	if h == "" {
+		return time.Time{}, false
+	}
+	us, err := strconv.ParseInt(h, 10, 64)
+	if err != nil {
+		return time.Time{}, false
+	}
+	return time.UnixMicro(us), true
+}
+
+// forwarded is a relayed peer response.
+type forwarded struct {
+	status int
+	body   []byte
+	cache  string // owner's X-Cache annotation
+	node   string // owner's X-WM-Node (who executed)
+}
+
+// forwardSync relays one synchronous request to the owning peer and
+// returns its response for byte-identical relay.  ok is false on a
+// transport failure, in which case the peer has been passively marked
+// down and the caller degrades to local execution.
+func (s *Server) forwardSync(ctx context.Context, kind string, raw []byte, rt cluster.Route, budget time.Duration, root *obs.Span) (forwarded, bool) {
+	cl := s.cfg.Cluster
+	fsp := root.StartChild("cluster.forward")
+	fsp.SetKind(obs.KindService)
+	fsp.SetAttr("peer", rt.ID)
+
+	// The transport gets slack beyond the execution budget so the
+	// owner's own 504 (same budget, enforced server-side) is relayed
+	// rather than clipped into a transport error here.
+	fctx, cancel := context.WithTimeout(ctx, budget+2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(fctx, http.MethodPost, rt.Addr+"/"+kind, bytes.NewReader(raw))
+	if err != nil {
+		return s.forwardFailed(ctx, rt, fsp, err), false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(headerForwarded, cl.Self())
+	req.Header.Set(headerDeadline, strconv.FormatInt(time.Now().Add(budget).UnixMicro(), 10))
+	if root != nil {
+		// The owner's trace continues this one: same trace ID, parented
+		// under the forward span, so /debug/traces/{id} on the owner
+		// shows the execution as a child of this hop.
+		req.Header.Set("traceparent", obs.FormatTraceparent(root.Trace().ID(), fsp.ID(), true))
+	}
+
+	resp, err := cl.Do(req)
+	if err != nil {
+		return s.forwardFailed(ctx, rt, fsp, err), false
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return s.forwardFailed(ctx, rt, fsp, err), false
+	}
+	s.metrics.forwards.add(fmt.Sprintf(`peer=%q,outcome=%q`, rt.ID, forwardOK), 1)
+	fsp.SetAttrInt("status", int64(resp.StatusCode))
+	fsp.SetAttr("cache", resp.Header.Get("X-Cache"))
+	fsp.End()
+	return forwarded{
+		status: resp.StatusCode,
+		body:   body,
+		cache:  resp.Header.Get("X-Cache"),
+		node:   resp.Header.Get(headerNode),
+	}, true
+}
+
+// forwardFailed records a mid-forward transport failure: the peer is
+// passively marked down (the probe loop brings it back) and the
+// request degrades to local execution.  A failure caused by the
+// requester's own cancellation says nothing about the peer's health —
+// the owner may well have finished the work — so it is counted but
+// never marks the peer down.
+func (s *Server) forwardFailed(ctx context.Context, rt cluster.Route, fsp *obs.Span, err error) forwarded {
+	if ctx.Err() == nil {
+		s.cfg.Cluster.MarkDown(rt.ID, err.Error())
+	}
+	s.metrics.forwards.add(fmt.Sprintf(`peer=%q,outcome=%q`, rt.ID, forwardError), 1)
+	fsp.EndErr(err)
+	return forwarded{}
+}

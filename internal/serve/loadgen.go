@@ -22,6 +22,17 @@ import (
 type LoadConfig struct {
 	// BaseURL is the server root, e.g. "http://localhost:8037".
 	BaseURL string
+	// BaseURLs, when set, sprays traffic across multiple nodes of a
+	// wmserved cluster (overriding BaseURL); the report then breaks
+	// latency and errors down per node in ByNode.  Target selection
+	// follows Affinity.
+	BaseURLs []string
+	// Affinity selects the multi-endpoint target policy: "rr"
+	// (default) round-robins every iteration across the endpoints;
+	// "key" pins each distinct program to one endpoint (client-side
+	// affinity — the node a key's requests land on stays fixed, the
+	// way a session-affine load balancer would route).
+	Affinity string
 	// Duration bounds the run (default 10s).
 	Duration time.Duration
 	// Concurrency is the number of client goroutines (default 16).
@@ -71,6 +82,18 @@ type EndpointLatency struct {
 	Max      time.Duration
 }
 
+// NodeStats is the per-target-node slice of a multi-endpoint load
+// report: request count, error count (transport failures plus 5xx
+// responses), and latency percentiles.
+type NodeStats struct {
+	Requests int64
+	Errors   int64
+	P50      time.Duration
+	P95      time.Duration
+	P99      time.Duration
+	Max      time.Duration
+}
+
 // StageTiming aggregates one Server-Timing stage across all traced
 // responses that reported it.
 type StageTiming struct {
@@ -99,6 +122,9 @@ type LoadReport struct {
 	// ByEndpoint breaks latency down per endpoint (compile, run, jobs,
 	// jobs-poll, jobs-cancel); the top-level percentiles aggregate all.
 	ByEndpoint map[string]EndpointLatency
+	// ByNode breaks the run down per target node (multi-endpoint mode
+	// only), keyed by base URL.
+	ByNode map[string]NodeStats
 	// ByJobState counts job lifecycles by the terminal state observed
 	// (done / failed / canceled), plus "shed" for 429'd submissions and
 	// "abandoned" for lifecycles cut off by the end of the run.
@@ -200,6 +226,21 @@ func (r *LoadReport) String() string {
 			el.P50.Round(time.Microsecond), el.P95.Round(time.Microsecond),
 			el.P99.Round(time.Microsecond), el.Max.Round(time.Microsecond))
 	}
+	if len(r.ByNode) > 0 {
+		nodes := make([]string, 0, len(r.ByNode))
+		for u := range r.ByNode {
+			nodes = append(nodes, u)
+		}
+		sort.Strings(nodes)
+		b.WriteString("  per node:\n")
+		for _, u := range nodes {
+			ns := r.ByNode[u]
+			fmt.Fprintf(&b, "    %-28s %6d reqs  %d errors  p50 %v  p95 %v  p99 %v  max %v\n",
+				u, ns.Requests, ns.Errors,
+				ns.P50.Round(time.Microsecond), ns.P95.Round(time.Microsecond),
+				ns.P99.Round(time.Microsecond), ns.Max.Round(time.Microsecond))
+		}
+	}
 	return b.String()
 }
 
@@ -272,12 +313,52 @@ type loadShard struct {
 	slowestDur       time.Duration
 	lat              map[string][]time.Duration // endpoint -> samples
 	retryAfter       time.Duration              // Retry-After from the last shed response
+
+	// Multi-endpoint targeting: urls is the node list, node the target
+	// of the current iteration (all of a job lifecycle's requests count
+	// against the node that accepted the submit).
+	urls     []string
+	affinity string
+	rr       uint64
+	node     string
+	nodeLat  map[string][]time.Duration
+	nodeErr  map[string]int64
+}
+
+// target picks the base URL for one iteration and records it as the
+// shard's current node.
+func (sh *loadShard) target(src string) string {
+	if len(sh.urls) == 1 {
+		sh.node = sh.urls[0]
+		return sh.node
+	}
+	var idx int
+	if sh.affinity == "key" {
+		// FNV-1a over the program text: each distinct program sticks to
+		// one node, like a session-affine front balancer.
+		h := uint32(2166136261)
+		for i := 0; i < len(src); i++ {
+			h = (h ^ uint32(src[i])) * 16777619
+		}
+		idx = int(h % uint32(len(sh.urls)))
+	} else {
+		idx = int(sh.rr % uint64(len(sh.urls)))
+		sh.rr++
+	}
+	sh.node = sh.urls[idx]
+	return sh.node
 }
 
 // observe records one completed HTTP exchange.
 func (sh *loadShard) observe(endpoint string, resp *http.Response, dur time.Duration) {
 	sh.requests++
 	sh.byStatus[resp.StatusCode]++
+	if len(sh.urls) > 1 {
+		sh.nodeLat[sh.node] = append(sh.nodeLat[sh.node], dur)
+		if resp.StatusCode >= http.StatusInternalServerError {
+			sh.nodeErr[sh.node]++
+		}
+	}
 	if xc := resp.Header.Get("X-Cache"); xc != "" {
 		sh.byCache[xc]++
 	}
@@ -380,6 +461,9 @@ func (sh *loadShard) do(client *http.Client, endpoint string, req *http.Request)
 	if err != nil {
 		if req.Context().Err() == nil {
 			sh.errors++
+			if len(sh.urls) > 1 {
+				sh.nodeErr[sh.node]++
+			}
 		}
 		return 0, nil
 	}
@@ -400,7 +484,8 @@ func (sh *loadShard) syncIteration(ctx context.Context, client *http.Client, cfg
 		endpoint = kindRun
 	}
 	level := rng.Intn(4)
-	sh.post(ctx, client, endpoint, cfg.BaseURL+"/"+endpoint, &Request{Source: src, Level: &level})
+	base := sh.target(src)
+	sh.post(ctx, client, endpoint, base+"/"+endpoint, &Request{Source: src, Level: &level})
 }
 
 // jobIteration drives one full job lifecycle: submit, then either
@@ -415,7 +500,10 @@ func (sh *loadShard) jobIteration(ctx context.Context, client *http.Client, cfg 
 		src = heavyJobProgram
 		level = 3
 	}
-	status, body := sh.post(ctx, client, kindJobs, cfg.BaseURL+"/jobs",
+	// The whole lifecycle — submit, polls, cancel — stays on one node:
+	// job IDs are node-local state, not content-addressed.
+	base := sh.target(src)
+	status, body := sh.post(ctx, client, kindJobs, base+"/jobs",
 		&JobRequest{Request: Request{Source: src, Level: &level}, Tenant: fmt.Sprintf("t%d", w%4)})
 	if status != http.StatusAccepted {
 		if status == http.StatusTooManyRequests {
@@ -430,7 +518,7 @@ func (sh *loadShard) jobIteration(ctx context.Context, client *http.Client, cfg 
 	}
 
 	if !cfg.JobHeavy && rng.Intn(8) == 0 {
-		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, cfg.BaseURL+"/jobs/"+jr.ID, nil)
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, base+"/jobs/"+jr.ID, nil)
 		if err != nil {
 			sh.errors++
 			return
@@ -443,7 +531,7 @@ func (sh *loadShard) jobIteration(ctx context.Context, client *http.Client, cfg 
 
 	gen := jr.Gen
 	for ctx.Err() == nil {
-		url := fmt.Sprintf("%s/jobs/%s?gen=%d&wait=1s", cfg.BaseURL, jr.ID, gen)
+		url := fmt.Sprintf("%s/jobs/%s?gen=%d&wait=1s", base, jr.ID, gen)
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 		if err != nil {
 			sh.errors++
@@ -474,8 +562,22 @@ func (sh *loadShard) jobIteration(ctx context.Context, client *http.Client, cfg 
 // errors; transport errors are counted, not fatal, so a report is
 // produced even against a flaky target.
 func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
-	if cfg.BaseURL == "" {
-		return nil, fmt.Errorf("loadgen: BaseURL required")
+	urls := cfg.BaseURLs
+	if len(urls) == 0 {
+		if cfg.BaseURL == "" {
+			return nil, fmt.Errorf("loadgen: BaseURL or BaseURLs required")
+		}
+		urls = []string{cfg.BaseURL}
+	}
+	for _, u := range urls {
+		if u == "" {
+			return nil, fmt.Errorf("loadgen: empty base URL in BaseURLs")
+		}
+	}
+	switch cfg.Affinity {
+	case "", "rr", "key":
+	default:
+		return nil, fmt.Errorf("loadgen: Affinity must be rr or key, got %q", cfg.Affinity)
 	}
 	if cfg.Duration <= 0 {
 		cfg.Duration = 10 * time.Second
@@ -515,6 +617,11 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 			sh.byJobState = make(map[string]int64)
 			sh.byStage = make(map[string]StageTiming)
 			sh.lat = make(map[string][]time.Duration)
+			sh.urls = urls
+			sh.affinity = cfg.Affinity
+			sh.rr = uint64(w) // stagger shards so round-robin spreads instantly
+			sh.nodeLat = make(map[string][]time.Duration)
+			sh.nodeErr = make(map[string]int64)
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
 			for n := int64(0); ctx.Err() == nil; n++ {
 				if rng.Float64() < cfg.JobFraction {
@@ -537,6 +644,8 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	}
 	var all []time.Duration
 	perEndpoint := make(map[string][]time.Duration)
+	perNode := make(map[string][]time.Duration)
+	nodeErr := make(map[string]int64)
 	for w := range shards {
 		sh := &shards[w]
 		rep.Requests += sh.requests
@@ -564,12 +673,27 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 			perEndpoint[e] = append(perEndpoint[e], lat...)
 			all = append(all, lat...)
 		}
+		for u, lat := range sh.nodeLat {
+			perNode[u] = append(perNode[u], lat...)
+		}
+		for u, n := range sh.nodeErr {
+			nodeErr[u] += n
+		}
 	}
 	rep.P50, rep.P95, rep.P99, rep.Max = latencySummary(all)
 	for e, lat := range perEndpoint {
 		el := EndpointLatency{Requests: int64(len(lat))}
 		el.P50, el.P95, el.P99, el.Max = latencySummary(lat)
 		rep.ByEndpoint[e] = el
+	}
+	if len(urls) > 1 {
+		rep.ByNode = make(map[string]NodeStats, len(urls))
+		for _, u := range urls {
+			lat := perNode[u]
+			ns := NodeStats{Requests: int64(len(lat)), Errors: nodeErr[u]}
+			ns.P50, ns.P95, ns.P99, ns.Max = latencySummary(lat)
+			rep.ByNode[u] = ns
+		}
 	}
 	return rep, nil
 }

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"wmstream"
+	"wmstream/internal/cluster"
 	"wmstream/internal/obs"
 )
 
@@ -107,6 +108,18 @@ type metrics struct {
 	// actually executed them ("auto" is resolved before counting, so
 	// the labels name real engines: translated, fast, reference).
 	engineRuns labeledCounter
+
+	// forwards counts cluster routing decisions that left this node,
+	// by owning peer and outcome: "ok" (peer response relayed),
+	// "error" (transport failure mid-forward, degraded to local),
+	// "down" (owner already marked down, degraded to local).
+	forwards labeledCounter
+	// forwardedIn counts requests this node executed on behalf of a
+	// forwarding peer; cluster-wide, sum(forwards{outcome="ok"}) ==
+	// sum(forwardedIn) — the reconciliation the soak test enforces,
+	// up to forwards whose requester vanished mid-relay (the owner has
+	// counted those before the front gives up on them).
+	forwardedIn labeledCounter
 
 	// waits records intentional long-poll parking time, which finishWait
 	// excludes from the latency histograms so p99 reflects service time.
@@ -208,6 +221,10 @@ type gauges struct {
 	// scrape time.
 	transCache wmstream.TransCacheStats
 
+	// cluster is this node's cluster view, sampled at scrape time; nil
+	// outside cluster mode (the cluster families are then omitted).
+	cluster *cluster.Health
+
 	// Go runtime health, sampled at scrape time.
 	goroutines   int
 	heapBytes    uint64
@@ -307,6 +324,26 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "wmserved_translation_cache_misses_total %d\n", g.transCache.Misses)
 	writeHeader(w, "wmserved_translation_cache_evictions_total", "Translations evicted to hold the entry cap.", "counter")
 	fmt.Fprintf(w, "wmserved_translation_cache_evictions_total %d\n", g.transCache.Evictions)
+
+	if g.cluster != nil {
+		writeLabeled(w, "wmserved_cluster_forwards_total",
+			"Requests routed to an owning peer, by peer and outcome (ok, error, down; error/down degraded to local execution).", &m.forwards)
+		writeLabeled(w, "wmserved_cluster_forwarded_in_total",
+			"Requests executed here on behalf of a forwarding peer, by origin peer.", &m.forwardedIn)
+		writeHeader(w, "wmserved_cluster_peer_up", "Peer health as seen by this node: 1 up, 0 down.", "gauge")
+		for _, p := range g.cluster.Peers {
+			up := 0
+			if p.Up {
+				up = 1
+			}
+			fmt.Fprintf(w, "wmserved_cluster_peer_up{peer=%q} %d\n", p.ID, up)
+		}
+		writeHeader(w, "wmserved_cluster_owned_keys_fraction",
+			"Share of the consistent-hash key space owned by this node.", "gauge")
+		fmt.Fprintf(w, "wmserved_cluster_owned_keys_fraction %g\n", g.cluster.OwnedFraction)
+		writeHeader(w, "wmserved_cluster_nodes", "Configured cluster size, including this node.", "gauge")
+		fmt.Fprintf(w, "wmserved_cluster_nodes %d\n", g.cluster.Nodes)
+	}
 
 	writeLabeled(w, "wmserved_jobs_total", "Asynchronous job lifecycle events, by event.", &m.jobs)
 	writeHeader(w, "wmserved_jobs_queued", "Jobs waiting for a job worker.", "gauge")

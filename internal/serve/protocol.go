@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"wmstream"
+	"wmstream/internal/cluster"
 )
 
 // Request is the JSON body accepted by POST /compile and POST /run.
@@ -141,6 +142,10 @@ type HealthResponse struct {
 	InFlight      int64       `json:"in_flight"`
 	Cache         CacheStats  `json:"cache"`
 	Jobs          *JobsHealth `json:"jobs,omitempty"`
+	// Cluster reports this node's cluster view — membership, per-peer
+	// up/down state, and the owned share of the key space — when the
+	// server runs in cluster mode.
+	Cluster *cluster.Health `json:"cluster,omitempty"`
 }
 
 // JobsHealth reports the durable job tier's state: which journal mode

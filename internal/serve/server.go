@@ -31,6 +31,12 @@
 // writes — is retained in a bounded ring, browsable at /debug/traces
 // and /debug/statusz, with per-stage timings echoed in a Server-Timing
 // response header and the trace ID in X-WM-Trace-Id.
+//
+// In cluster mode (Config.Cluster) a routing decision precedes step 2:
+// the content address is mapped through a consistent-hash ring to an
+// owning node, and requests owned by a healthy peer are forwarded to
+// it instead of executing locally — see forward.go for the peer
+// protocol and internal/cluster for ring and membership.
 package serve
 
 import (
@@ -50,6 +56,7 @@ import (
 	"time"
 
 	"wmstream"
+	"wmstream/internal/cluster"
 	"wmstream/internal/durable"
 	"wmstream/internal/obs"
 )
@@ -144,6 +151,14 @@ type Config struct {
 	// JobFaults injects journal/checkpoint write failures — the
 	// crash-restart harness's hook.  Nil in production.
 	JobFaults *durable.FaultPoints
+
+	// Cluster, when non-nil, makes this node a member of a wmserved
+	// cluster: synchronous requests whose content address hashes to a
+	// healthy peer are forwarded to it (see forward.go for the peer
+	// protocol and the decision table); requests this node owns — and
+	// every forwarded request — run through the local pipeline.  The
+	// caller owns the Cluster's probe-loop lifecycle (Start/Close).
+	Cluster *cluster.Cluster
 
 	// TraceRing caps the in-memory ring of completed request traces
 	// (default 256; negative disables tracing entirely).
@@ -361,20 +376,69 @@ func (s *Server) Recovery() (RecoveryInfo, string) {
 	return s.jobs.rec, mode
 }
 
-// handleSync is the shared cache → coalesce → pool → execute pipeline
-// behind the synchronous /compile and /run endpoints.
+// handleSync fronts the synchronous /compile and /run endpoints: it
+// decodes the request, lets the cluster layer (when configured) route
+// it — local, forward to the owning peer, or degraded-local when the
+// owner is down — and otherwise runs the local cache → coalesce →
+// pool → execute pipeline.
 func (s *Server) handleSync(w http.ResponseWriter, r *http.Request, kind string) {
 	start := time.Now()
 	ctx, root := s.startTrace(r, "POST /"+kind)
 	r = r.WithContext(ctx)
-	req, errResp, status := s.decodeRequest(w, r)
+	req, raw, errResp, status := s.decodeRequest(w, r)
 	if errResp != nil {
 		root.SetError(errResp.Error)
 		s.finish(w, r, kind, start, status, mustJSON(errResp), "")
 		return
 	}
 
+	// The execution budget: the configured per-request deadline, capped
+	// by whatever deadline a forwarding front node propagated — the
+	// client's clock keeps running while a request hops nodes.
+	budget := s.cfg.RequestTimeout
+	if dl, ok := parseDeadline(r.Header.Get(headerDeadline)); ok {
+		if rem := time.Until(dl); rem < budget {
+			budget = rem
+		}
+	}
+
 	key := req.cacheKey(kind)
+	if cl := s.cfg.Cluster; cl != nil {
+		w.Header().Set(headerNode, cl.Self())
+		if from := r.Header.Get(headerForwarded); from != "" {
+			// An internal forward: always executed here, never
+			// re-forwarded, so routing is one hop and loop-free.
+			root.SetAttr("peer", from)
+			s.metrics.forwardedIn.add(fmt.Sprintf(`peer=%q`, from), 1)
+		} else if rt := cl.Route(key[:]); !rt.Local {
+			root.SetAttr("owner", rt.ID)
+			if rt.Up {
+				if fw, ok := s.forwardSync(r.Context(), kind, raw, rt, budget, root); ok {
+					if fw.node != "" {
+						w.Header().Set(headerNode, fw.node)
+					}
+					s.finish(w, r, kind, start, fw.status, fw.body, fw.cache)
+					return
+				}
+			} else {
+				s.metrics.forwards.add(fmt.Sprintf(`peer=%q,outcome=%q`, rt.ID, forwardDown), 1)
+			}
+			// Owner unreachable: serve locally so the cluster keeps
+			// answering, marked degraded (the key is temporarily compiled
+			// on more than one node; responses stay byte-identical because
+			// they are a pure function of the content address).
+			w.Header().Set(headerDegraded, "owner "+rt.ID+" down")
+			root.SetAttr("degraded_owner", rt.ID)
+		}
+	}
+
+	s.localSync(w, r, kind, start, key, req, budget)
+}
+
+// localSync is the node-local cache → coalesce → pool → execute
+// pipeline.
+func (s *Server) localSync(w http.ResponseWriter, r *http.Request, kind string, start time.Time, key Key, req *Request, budget time.Duration) {
+	root := obs.FromContext(r.Context())
 	lookup := root.StartChild("cache.lookup")
 	body, ok := s.cache.Get(key)
 	lookup.End()
@@ -386,7 +450,7 @@ func (s *Server) handleSync(w http.ResponseWriter, r *http.Request, kind string)
 	flightStart := time.Now()
 	res, shared, leader := s.flights.Do(key, root.Trace().ID().String(), func() flightResult {
 		var fr flightResult
-		ctx, cancel := context.WithTimeout(s.base, s.cfg.RequestTimeout)
+		ctx, cancel := context.WithTimeout(s.base, budget)
 		defer cancel()
 		// The leader executes under the server's base context (so a
 		// client disconnect cannot poison coalesced followers) but
@@ -437,25 +501,26 @@ func (s *Server) handleSync(w http.ResponseWriter, r *http.Request, kind string)
 	s.finish(w, r, kind, start, res.status, res.body, cacheState)
 }
 
-// decodeRequest parses and validates the body.  On failure it returns
-// a non-nil error response plus its status.
-func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*Request, *ErrorResponse, int) {
+// decodeRequest parses and validates the body, also returning the raw
+// bytes so a cluster forward can relay the request verbatim.  On
+// failure it returns a non-nil error response plus its status.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*Request, []byte, *ErrorResponse, int) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes+64<<10))
 	if err != nil {
-		return nil, &ErrorResponse{Error: "reading body: " + err.Error()}, http.StatusRequestEntityTooLarge
+		return nil, nil, &ErrorResponse{Error: "reading body: " + err.Error()}, http.StatusRequestEntityTooLarge
 	}
 	var req Request
 	if err := json.Unmarshal(body, &req); err != nil {
-		return nil, &ErrorResponse{Error: "bad request JSON: " + err.Error()}, http.StatusBadRequest
+		return nil, nil, &ErrorResponse{Error: "bad request JSON: " + err.Error()}, http.StatusBadRequest
 	}
 	if err := req.validate(s.cfg.MaxSourceBytes); err != nil {
 		status := http.StatusBadRequest
 		if int64(len(req.Source)) > s.cfg.MaxSourceBytes {
 			status = http.StatusRequestEntityTooLarge
 		}
-		return nil, &ErrorResponse{Error: err.Error()}, status
+		return nil, nil, &ErrorResponse{Error: err.Error()}, status
 	}
-	return &req, nil, 0
+	return &req, body, nil, 0
 }
 
 // runOutcome is the result of one compile(-and-run) execution in a
@@ -758,9 +823,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		jobs.JournalMode = "degraded"
 		jobs.JournalReason = s.jobs.storeErr
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	w.Write(mustJSON(&HealthResponse{
+	resp := &HealthResponse{
 		Status:        status,
 		Version:       s.cfg.Version,
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -768,7 +831,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		InFlight:      s.pool.InFlight(),
 		Cache:         s.cache.Stats(),
 		Jobs:          jobs,
-	}))
+	}
+	if cl := s.cfg.Cluster; cl != nil {
+		snap := cl.Snapshot()
+		resp.Cluster = &snap
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(mustJSON(resp))
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -799,6 +869,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	g.openFDs = openFDCount()
 	g.traces = s.traces.Stats()
 	g.transCache = wmstream.TranslationCacheStats()
+	if cl := s.cfg.Cluster; cl != nil {
+		snap := cl.Snapshot()
+		g.cluster = &snap
+	}
 	s.metrics.write(w, g)
 }
 

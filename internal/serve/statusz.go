@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"wmstream"
+	"wmstream/internal/cluster"
 	"wmstream/internal/obs"
 )
 
@@ -59,6 +60,29 @@ code { background: #f6f6f6; padding: 1px 4px; }
 <tr><th>misses</th><td>{{.TransCache.Misses}}</td></tr>
 <tr><th>evictions</th><td>{{.TransCache.Evictions}}</td></tr>
 </table>
+
+{{if .Cluster}}
+<h2>Cluster</h2>
+<table>
+<tr><th>self</th><td><code>{{.Cluster.Self}}</code></td></tr>
+<tr><th>nodes</th><td>{{.Cluster.Nodes}} ({{.Cluster.VNodes}} vnodes each)</td></tr>
+<tr><th>owned key fraction</th><td>{{printf "%.4f" .Cluster.OwnedFraction}}</td></tr>
+<tr><th>peers up</th><td>{{.Cluster.PeersUp}} / {{len .Cluster.Peers}}</td></tr>
+</table>
+<table>
+<tr><th>peer</th><th>addr</th><th>state</th><th>probes</th><th>failures</th><th>last error</th></tr>
+{{range .Cluster.Peers}}
+<tr>
+<td><code>{{.ID}}</code></td>
+<td>{{.Addr}}</td>
+<td>{{if .Up}}up{{else}}<span class="err">down</span>{{end}}</td>
+<td>{{.Probes}}</td>
+<td>{{.Failures}}</td>
+<td class="err">{{.LastError}}</td>
+</tr>
+{{end}}
+</table>
+{{end}}
 
 <h2>Jobs</h2>
 <table>
@@ -124,6 +148,7 @@ type statuszData struct {
 
 	Cache      CacheStats
 	TransCache wmstream.TransCacheStats
+	Cluster    *cluster.Health
 
 	JobsQueued    int
 	JobsRunning   int
@@ -161,6 +186,10 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.draining.Load() {
 		d.Status = "draining"
+	}
+	if cl := s.cfg.Cluster; cl != nil {
+		snap := cl.Snapshot()
+		d.Cluster = &snap
 	}
 	if st := s.jobs.store; st != nil {
 		mode, reason := st.Mode()
